@@ -1,0 +1,71 @@
+//! Criterion benches for the bipartite matching substrate: Hopcroft–Karp
+//! scaling, incremental oracle insertion, and marginal-gain evaluation.
+
+use bmatch::{hopcroft_karp, BipartiteGraph, GainScratch, MatchingOracle};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+
+fn random_graph(nx: u32, ny: u32, deg: usize, seed: u64) -> BipartiteGraph {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(nx as usize * deg);
+    for x in 0..nx {
+        for _ in 0..deg {
+            edges.push((x, rng.gen_range(0..ny)));
+        }
+    }
+    BipartiteGraph::from_edges(nx, ny, &edges)
+}
+
+fn bench_hopcroft_karp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hopcroft_karp");
+    for &n in &[200u32, 800, 3200] {
+        let graph = random_graph(n, n / 2, 4, 42);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &graph, |b, graph| {
+            b.iter(|| hopcroft_karp(black_box(graph), |_| true).size)
+        });
+    }
+    g.finish();
+}
+
+fn bench_incremental_oracle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("oracle_insert_all");
+    for &n in &[200u32, 800, 3200] {
+        let graph = random_graph(n, n / 2, 4, 43);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &graph, |b, graph| {
+            b.iter(|| {
+                let mut o = MatchingOracle::new_cardinality(graph);
+                for x in 0..graph.nx() {
+                    o.add_slot(x);
+                }
+                o.total()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_gain_evaluation(c: &mut Criterion) {
+    // gain_of on a half-committed oracle: the greedy's inner loop
+    let mut g = c.benchmark_group("oracle_gain_of");
+    for &n in &[400u32, 1600] {
+        let graph = random_graph(n, n / 2, 4, 44);
+        let mut oracle = MatchingOracle::new_cardinality(&graph);
+        for x in 0..n / 2 {
+            oracle.add_slot(x);
+        }
+        let probe: Vec<u32> = (n / 2..n / 2 + 16).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &probe, |b, probe| {
+            let mut scratch = GainScratch::new();
+            b.iter(|| oracle.gain_of(black_box(probe), &mut scratch))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hopcroft_karp,
+    bench_incremental_oracle,
+    bench_gain_evaluation
+);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion benches for the end-to-end scheduling pipeline (reduction +
+//! greedy + extraction) across instance sizes and cost models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use sched_core::{schedule_all, CandidatePolicy, SolveOptions};
+use workloads::planted::PlantedCostModel;
+use workloads::{planted_instance, PlantedConfig, PlantedInstance};
+
+fn make(n: usize, p: u32, horizon: u32, model: PlantedCostModel, seed: u64) -> PlantedInstance {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    planted_instance(
+        &PlantedConfig {
+            num_processors: p,
+            horizon,
+            target_jobs: n,
+            decoy_prob: 0.3,
+            max_value: 1,
+            cost_model: model,
+            policy: CandidatePolicy::All,
+        },
+        &mut rng,
+    )
+}
+
+fn bench_schedule_all(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schedule_all");
+    g.sample_size(10);
+    for &(n, p, t) in &[(16usize, 2u32, 16u32), (64, 4, 32), (128, 4, 48)] {
+        let inst = make(n, p, t, PlantedCostModel::Affine { restart: 3.0 }, 11);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_p{p}_t{t}")),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    schedule_all(&inst.instance, &inst.candidates, &SolveOptions::default())
+                        .unwrap()
+                        .total_cost
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_lazy_vs_eager_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schedule_all_variants");
+    g.sample_size(10);
+    let inst = make(64, 4, 32, PlantedCostModel::Market { restart: 2.0 }, 13);
+    for (name, lazy) in [("lazy", true), ("eager", false)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &inst, |b, inst| {
+            b.iter(|| {
+                schedule_all(
+                    &inst.instance,
+                    &inst.candidates,
+                    &SolveOptions {
+                        lazy,
+                        parallel: false,
+                    },
+                )
+                .unwrap()
+                .total_cost
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_schedule_all, bench_lazy_vs_eager_end_to_end);
+criterion_main!(benches);

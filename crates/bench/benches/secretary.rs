@@ -1,0 +1,62 @@
+//! Criterion benches for the online algorithms: per-stream decision cost of
+//! Algorithms 1/2 and the matroid variant.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use matroid::{Matroid, PartitionMatroid};
+use rand::SeedableRng;
+use secretary::{
+    matroid_submodular_secretary, nonmonotone_submodular_secretary, random_stream,
+    submodular_secretary,
+};
+use workloads::secretary_streams::{random_coverage, random_cut};
+
+fn bench_submodular_secretary(c: &mut Criterion) {
+    let mut g = c.benchmark_group("submodular_secretary");
+    for &n in &[100usize, 400] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let f = random_coverage(n, n / 2, 0.08, &mut rng);
+        let stream = random_stream(n, &mut rng);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &stream, |b, s| {
+            b.iter(|| submodular_secretary(black_box(&f), s, 8).len())
+        });
+    }
+    g.finish();
+}
+
+fn bench_nonmonotone(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nonmonotone_secretary");
+    for &n in &[100usize, 400] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let f = random_cut(n, n * 4, 5, &mut rng);
+        let stream = random_stream(n, &mut rng);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &stream, |b, s| {
+            let mut trng = rand::rngs::StdRng::seed_from_u64(5);
+            b.iter(|| nonmonotone_submodular_secretary(black_box(&f), s, 8, &mut trng).len())
+        });
+    }
+    g.finish();
+}
+
+fn bench_matroid_secretary(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matroid_secretary");
+    for &n in &[100usize, 400] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let f = random_coverage(n, n / 2, 0.08, &mut rng);
+        let m = PartitionMatroid::new((0..n as u32).map(|e| e % 6).collect(), vec![2; 6]);
+        let ms: Vec<&dyn Matroid> = vec![&m];
+        let stream = random_stream(n, &mut rng);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &stream, |b, s| {
+            let mut trng = rand::rngs::StdRng::seed_from_u64(7);
+            b.iter(|| matroid_submodular_secretary(black_box(&f), s, &ms, &mut trng).len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_submodular_secretary,
+    bench_nonmonotone,
+    bench_matroid_secretary
+);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Runs every experiment (E1–E13) in sequence; this regenerates all tables
+//! recorded in EXPERIMENTS.md.
+//! Usage: `cargo run -p bench --release --bin exp_all [seed] [--quick]`
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed = args
+        .iter()
+        .skip(1)
+        .find_map(|a| a.parse::<u64>().ok())
+        .unwrap_or(bench::DEFAULT_SEED);
+    let quick = args.iter().any(|a| a == "--quick");
+    println!("power-scheduling experiment suite (seed {seed}, quick = {quick})");
+    bench::experiments::run_all(seed, quick);
+    println!("\nall experiment assertions passed.");
+}

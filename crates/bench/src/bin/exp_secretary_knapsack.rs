@@ -1,0 +1,13 @@
+//! Thin wrapper: runs the `e09_secretary_knapsack` experiment (see DESIGN.md §3).
+//! Usage: `cargo run -p bench --release --bin exp_secretary_knapsack [seed] [--quick]`
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed = args
+        .iter()
+        .skip(1)
+        .find_map(|a| a.parse::<u64>().ok())
+        .unwrap_or(bench::DEFAULT_SEED);
+    let quick = args.iter().any(|a| a == "--quick");
+    bench::experiments::e09_secretary_knapsack::run(seed, quick);
+}

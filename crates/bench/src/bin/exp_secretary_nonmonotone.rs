@@ -1,0 +1,13 @@
+//! Thin wrapper: runs the `e07_secretary_nonmonotone` experiment (see DESIGN.md §3).
+//! Usage: `cargo run -p bench --release --bin exp_secretary_nonmonotone [seed] [--quick]`
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed = args
+        .iter()
+        .skip(1)
+        .find_map(|a| a.parse::<u64>().ok())
+        .unwrap_or(bench::DEFAULT_SEED);
+    let quick = args.iter().any(|a| a == "--quick");
+    bench::experiments::e07_secretary_nonmonotone::run(seed, quick);
+}

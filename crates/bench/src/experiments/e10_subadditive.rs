@@ -1,0 +1,86 @@
+//! E10 — Theorem 3.1.4 / §3.5: the subadditive frontier.
+//!
+//! Lower-bound half: on the hidden-set hard function with `k = m = √n`,
+//! value queries of size ≤ m are overwhelmingly uninformative (return 1), so
+//! no polynomial-query algorithm can track the hidden optimum — we measure
+//! the uninformative-query rate and the gap between query values and OPT.
+//! Upper-bound half: the `O(√n)` algorithm's measured ratio times `√n` must
+//! stay bounded (the matching upper bound).
+
+use crate::table::{section, Table};
+use rand::SeedableRng;
+use secretary::{random_stream, subadditive_secretary, HiddenSetFn};
+use submodular::{BitSet, SetFn};
+
+/// Runs E10 and prints its tables.
+pub fn run(seed: u64, quick: bool) {
+    section(&format!("E10  Theorem 3.5.1  hidden-set hardness: queries are blind   [seed {seed}]"));
+    let sizes: Vec<usize> = if quick { vec![100, 400] } else { vec![100, 400, 1600, 6400] };
+    let mut t = Table::new(&["n", "k=m=√n", "r", "OPT=f(S*)", "queries=1 (%)", "max query val"]);
+    for &n in &sizes {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x10 ^ n as u64);
+        let k = (n as f64).sqrt().round() as usize;
+        let t_budget = (n as f64).ln();
+        let r = 3.0 * t_budget.sqrt() * (k as f64 * k as f64 / n as f64);
+        let f = HiddenSetFn::sample(n, k, r, &mut rng);
+        let queries = if quick { 300 } else { 1000 };
+        let mut ones = 0usize;
+        let mut maxv = 0.0f64;
+        for _ in 0..queries {
+            let q = BitSet::from_iter(n, random_stream(n, &mut rng).into_iter().take(k));
+            let v = f.eval(&q);
+            maxv = maxv.max(v);
+            if v == 1.0 {
+                ones += 1;
+            }
+        }
+        let pct = 100.0 * ones as f64 / queries as f64;
+        assert!(
+            pct > 90.0,
+            "E10: hard function leaked information ({pct}% uninformative)"
+        );
+        t.row(vec![
+            n.to_string(),
+            k.to_string(),
+            format!("{r:.2}"),
+            format!("{:.0}", f.optimum()),
+            format!("{pct:.1}"),
+            format!("{maxv:.0}"),
+        ]);
+    }
+    t.print();
+    println!("  (high uninformative rate + OPT ≫ 1 = the Ω̃(√n) lower bound mechanism)");
+
+    section("E10b  §3.5.2  the O(√n) algorithm (upper bound)");
+    let mut t2 = Table::new(&["n", "k=√n", "OPT", "alg avg", "ratio", "ratio·√n"]);
+    for &n in &sizes {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xB10 ^ n as u64);
+        let k = (n as f64).sqrt().round() as usize;
+        let r = 1.5;
+        let f = HiddenSetFn::sample(n, k, r, &mut rng);
+        let opt = f.optimum();
+        let trials = if quick { 300 } else { 1000 };
+        let mut total = 0.0;
+        for _ in 0..trials {
+            let s = random_stream(n, &mut rng);
+            let hired = subadditive_secretary(&f, &s, k, &mut rng);
+            total += f.eval(&BitSet::from_iter(n, hired));
+        }
+        let avg = total / trials as f64;
+        let ratio = avg / opt;
+        let scaled = ratio * (n as f64).sqrt();
+        assert!(
+            scaled >= 0.3,
+            "E10b: ratio·√n = {scaled} below the O(√n) upper-bound shape"
+        );
+        t2.row(vec![
+            n.to_string(),
+            k.to_string(),
+            format!("{opt:.0}"),
+            format!("{avg:.2}"),
+            format!("{ratio:.3}"),
+            format!("{scaled:.2}"),
+        ]);
+    }
+    t2.print();
+}

@@ -1,0 +1,80 @@
+//! E14 — ablations of the design choices DESIGN.md calls out:
+//!
+//! * **candidate policy** — full `O(T²)` interval family vs length-bounded
+//!   vs single slots. Single slots degenerate toward per-slot set cover
+//!   (many restarts); the full family is what lets the algorithm merge awake
+//!   intervals when restarts are expensive (the paper's key modeling point).
+//! * **lazy vs eager** greedy — identical picks, far fewer oracle calls.
+
+use crate::table::{section, Table};
+use rand::SeedableRng;
+use sched_core::{
+    enumerate_candidates, schedule_all, CandidatePolicy, SolveOptions,
+};
+use std::time::Instant;
+use workloads::planted::PlantedCostModel;
+use workloads::{planted_instance, PlantedConfig};
+
+/// Runs E14 and prints its tables.
+pub fn run(seed: u64, quick: bool) {
+    section(&format!("E14  ablation: candidate interval policies   [seed {seed}]"));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x14);
+    let cfg = PlantedConfig {
+        num_processors: 2,
+        horizon: if quick { 20 } else { 40 },
+        target_jobs: if quick { 16 } else { 40 },
+        decoy_prob: 0.3,
+        max_value: 1,
+        // expensive restarts: interval merging matters
+        cost_model: PlantedCostModel::Affine { restart: 8.0 },
+        policy: CandidatePolicy::All,
+    };
+    let p = planted_instance(&cfg, &mut rng);
+
+    let mut t = Table::new(&["policy", "#candidates", "cost", "vs All", "intervals", "ms"]);
+    let mut all_cost = None;
+    for (name, policy) in [
+        ("All (T²)", CandidatePolicy::All),
+        ("MaxLength(8)", CandidatePolicy::MaxLength(8)),
+        ("MaxLength(3)", CandidatePolicy::MaxLength(3)),
+        ("SingleSlots", CandidatePolicy::SingleSlots),
+    ] {
+        let cands = enumerate_candidates(&p.instance, p.cost.as_ref(), policy);
+        let t0 = Instant::now();
+        let s = schedule_all(&p.instance, &cands, &SolveOptions::default())
+            .expect("planted instance feasible under every policy");
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        let base = *all_cost.get_or_insert(s.total_cost);
+        t.row(vec![
+            name.to_string(),
+            cands.len().to_string(),
+            format!("{:.2}", s.total_cost),
+            format!("{:.2}x", s.total_cost / base),
+            s.awake.len().to_string(),
+            format!("{ms:.1}"),
+        ]);
+    }
+    t.print();
+    println!("  (restart cost 8: single-slot candidates pay one restart per job)");
+
+    section("E14b  ablation: lazy vs eager vs parallel greedy (same instance)");
+    let cands = enumerate_candidates(&p.instance, p.cost.as_ref(), CandidatePolicy::All);
+    let mut t2 = Table::new(&["variant", "cost", "ms"]);
+    for (name, lazy, parallel) in [
+        ("eager", false, false),
+        ("eager+rayon", false, true),
+        ("lazy", true, false),
+    ] {
+        let t0 = Instant::now();
+        let s = schedule_all(&p.instance, &cands, &SolveOptions { lazy, parallel })
+            .expect("feasible");
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        t2.row(vec![
+            name.to_string(),
+            format!("{:.2}", s.total_cost),
+            format!("{ms:.1}"),
+        ]);
+    }
+    t2.print();
+    println!("  (costs must be identical across variants — asserted in tests)");
+}

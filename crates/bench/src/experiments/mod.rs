@@ -1,0 +1,33 @@
+//! Per-theorem experiments (see DESIGN.md §3 for the index and
+//! EXPERIMENTS.md for recorded outputs).
+
+pub mod e01_schedule_all;
+pub mod e02_budgeted;
+pub mod e03_prize_collecting;
+pub mod e05_setcover_hard;
+pub mod e06_secretary_monotone;
+pub mod e07_secretary_nonmonotone;
+pub mod e08_secretary_matroid;
+pub mod e09_secretary_knapsack;
+pub mod e10_subadditive;
+pub mod e11_bottleneck;
+pub mod e12_submodularity;
+pub mod e14_ablation;
+pub mod e15_gap_budget;
+
+/// Runs every experiment in sequence (the `exp_all` binary).
+pub fn run_all(seed: u64, quick: bool) {
+    e01_schedule_all::run(seed, quick);
+    e02_budgeted::run(seed, quick);
+    e03_prize_collecting::run(seed, quick);
+    e05_setcover_hard::run(seed, quick);
+    e06_secretary_monotone::run(seed, quick);
+    e07_secretary_nonmonotone::run(seed, quick);
+    e08_secretary_matroid::run(seed, quick);
+    e09_secretary_knapsack::run(seed, quick);
+    e10_subadditive::run(seed, quick);
+    e11_bottleneck::run(seed, quick);
+    e12_submodularity::run(seed, quick);
+    e14_ablation::run(seed, quick);
+    e15_gap_budget::run(seed, quick);
+}

@@ -1,0 +1,175 @@
+//! Awake-interval candidate generation.
+//!
+//! The greedy optimizes over an explicit family of candidate awake intervals
+//! (the paper's "allowable subsets"). Definition 2 permits the costs to come
+//! from a query oracle; in the polynomial regime the relevant candidates are
+//! the `O(p·T²)` contiguous intervals, optionally length-bounded. Intervals
+//! with infinite cost (unavailability) are dropped during enumeration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cost::EnergyCost;
+use crate::model::Instance;
+
+/// One candidate awake interval `[start, end)` on a processor, with its
+/// energy cost already evaluated.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CandidateInterval {
+    /// Processor index.
+    pub proc: u32,
+    /// First awake slot (inclusive).
+    pub start: u32,
+    /// One past the last awake slot (exclusive).
+    pub end: u32,
+    /// Energy cost (strictly positive, finite).
+    pub cost: f64,
+}
+
+impl CandidateInterval {
+    /// Interval length in slots.
+    #[inline]
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Never empty by construction, but included for API completeness.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+
+    /// Does the interval cover `(proc, time)`?
+    #[inline]
+    pub fn covers(&self, proc: u32, time: u32) -> bool {
+        self.proc == proc && self.start <= time && time < self.end
+    }
+}
+
+/// Which intervals to enumerate.
+#[derive(Clone, Copy, Debug)]
+pub enum CandidatePolicy {
+    /// Every interval `[s, e)` with `0 ≤ s < e ≤ T`, per processor
+    /// (`O(p·T²)` candidates).
+    All,
+    /// Every interval of length at most `max_len` (`O(p·T·max_len)`).
+    MaxLength(u32),
+    /// Single-slot intervals only (`p·T` candidates). With affine costs this
+    /// degenerates to per-slot set cover — useful as an ablation.
+    SingleSlots,
+}
+
+/// Enumerates candidate intervals for `inst` under `policy`, pricing each via
+/// `cost` and dropping infinite-cost intervals.
+///
+/// # Panics
+/// Panics if the oracle returns a non-positive finite cost (the greedy's
+/// ratio rule requires strictly positive costs).
+pub fn enumerate_candidates(
+    inst: &Instance,
+    cost: &dyn EnergyCost,
+    policy: CandidatePolicy,
+) -> Vec<CandidateInterval> {
+    let t = inst.horizon;
+    let mut out = Vec::new();
+    for proc in 0..inst.num_processors {
+        for start in 0..t {
+            let max_end = match policy {
+                CandidatePolicy::All => t,
+                CandidatePolicy::MaxLength(l) => (start + l).min(t),
+                CandidatePolicy::SingleSlots => (start + 1).min(t),
+            };
+            for end in (start + 1)..=max_end {
+                let c = cost.cost(proc, start, end);
+                if c.is_infinite() {
+                    continue;
+                }
+                assert!(
+                    c > 0.0 && c.is_finite(),
+                    "cost oracle returned invalid cost {c} for ({proc}, [{start},{end}))"
+                );
+                out.push(CandidateInterval {
+                    proc,
+                    start,
+                    end,
+                    cost: c,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{AffineCost, UnavailableSlots};
+    use crate::model::{Instance, Job, SlotRef};
+
+    fn inst(p: u32, t: u32) -> Instance {
+        Instance::new(p, t, vec![Job::unit(vec![SlotRef::new(0, 0)])])
+    }
+
+    #[test]
+    fn all_counts() {
+        let i = inst(2, 4);
+        let c = enumerate_candidates(&i, &AffineCost::new(1.0, 1.0), CandidatePolicy::All);
+        // per processor: T(T+1)/2 = 10
+        assert_eq!(c.len(), 20);
+    }
+
+    #[test]
+    fn max_length_counts() {
+        let i = inst(1, 5);
+        let c = enumerate_candidates(
+            &i,
+            &AffineCost::new(1.0, 1.0),
+            CandidatePolicy::MaxLength(2),
+        );
+        // lengths 1 (5) + 2 (4) = 9
+        assert_eq!(c.len(), 9);
+        assert!(c.iter().all(|iv| iv.len() <= 2));
+    }
+
+    #[test]
+    fn single_slots() {
+        let i = inst(3, 4);
+        let c = enumerate_candidates(&i, &AffineCost::new(1.0, 1.0), CandidatePolicy::SingleSlots);
+        assert_eq!(c.len(), 12);
+        assert!(c.iter().all(|iv| iv.len() == 1));
+    }
+
+    #[test]
+    fn infinite_cost_dropped() {
+        let i = inst(1, 3);
+        let cost = UnavailableSlots::new(AffineCost::new(1.0, 1.0), 1, &[(0, 1)]);
+        let c = enumerate_candidates(&i, &cost, CandidatePolicy::All);
+        // only [0,1) and [2,3) survive
+        assert_eq!(c.len(), 2);
+        assert!(c.iter().all(|iv| !iv.covers(0, 1)));
+    }
+
+    #[test]
+    fn costs_recorded() {
+        let i = inst(1, 3);
+        let c = enumerate_candidates(&i, &AffineCost::new(2.0, 1.0), CandidatePolicy::All);
+        for iv in &c {
+            assert_eq!(iv.cost, 2.0 + iv.len() as f64);
+        }
+    }
+
+    #[test]
+    fn covers_checks_processor() {
+        let iv = CandidateInterval {
+            proc: 1,
+            start: 2,
+            end: 5,
+            cost: 1.0,
+        };
+        assert!(iv.covers(1, 2));
+        assert!(iv.covers(1, 4));
+        assert!(!iv.covers(1, 5));
+        assert!(!iv.covers(0, 3));
+        assert_eq!(iv.len(), 3);
+        assert!(!iv.is_empty());
+    }
+}

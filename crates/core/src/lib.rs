@@ -1,0 +1,60 @@
+//! Power-minimizing multiprocessor multi-interval scheduling via submodular
+//! maximization — the primary contribution of Zadimoghaddam (2010), Chapter 2.
+//!
+//! # Problem (Definition 2 of the paper)
+//!
+//! There are `p` processors and `n` unit-time jobs over discrete time slots
+//! `0..T`. Every processor can be kept awake during any interval `[s, e)` at
+//! an *arbitrary* energy cost given by an [`cost::EnergyCost`] oracle — costs
+//! may differ per processor, vary over time (energy markets), grow
+//! super-linearly with interval length (cooling), or be infinite
+//! (unavailability). Each job specifies the set of (processor, time-slot)
+//! pairs where it may execute (*multi-interval*, per-processor). A schedule
+//! picks awake intervals and assigns each job to an awake, allowed slot, no
+//! two jobs sharing a slot. Goal: minimize total awake-interval cost.
+//!
+//! # Algorithms
+//!
+//! * [`schedule_all::schedule_all`] — Theorem 2.2.1: if a schedule of cost
+//!   `B` schedules all jobs, returns one of cost `O(B log n)`. The reduction
+//!   builds the slot–job bipartite graph, uses the cardinality matching rank
+//!   (monotone submodular by Lemma 2.2.2) as the utility, and runs the
+//!   Lemma 2.1.2 budgeted greedy with `x = n`, `ε = 1/(n+1)`.
+//! * [`prize_collecting::prize_collecting`] — Theorem 2.3.1: schedules value
+//!   `≥ (1−ε)Z` at cost `O(B log 1/ε)` against any adversary scheduling value
+//!   `≥ Z` at cost `B`, via the weighted matching rank (Lemma 2.3.2).
+//! * [`prize_collecting::prize_collecting_exact`] — Theorem 2.3.3: value
+//!   `≥ Z` exactly, cost `O((log n + log Δ)·B)` where `Δ = v_max / v_min`.
+//!
+//! Both algorithms report infeasibility (relative to the supplied candidate
+//! intervals) with a Hall-violator certificate naming jobs that provably
+//! cannot all be scheduled.
+//!
+//! # Crate layout
+//!
+//! * [`model`] — instances, jobs, schedules, and schedule validation;
+//! * [`cost`] — the energy-cost oracle and a library of cost models;
+//! * [`candidates`] — awake-interval candidate generation policies;
+//! * [`objective`] — the matching-rank [`submodular::BudgetedObjective`]
+//!   adapter driving the greedy;
+//! * [`mod@schedule_all`], [`mod@prize_collecting`] — the two headline
+//!   algorithms.
+
+pub mod candidates;
+pub mod cost;
+pub mod model;
+pub mod objective;
+pub mod prize_collecting;
+pub mod schedule_all;
+pub mod simulate;
+
+pub use candidates::{enumerate_candidates, CandidateInterval, CandidatePolicy};
+pub use cost::{
+    AffineCost, ConvexCost, EnergyCost, PerProcessorAffine, TableCost, TimeVaryingCost,
+    UnavailableSlots,
+};
+pub use model::{Instance, Job, Schedule, ScheduleError, SlotRef, SolveOptions};
+pub use objective::ScheduleObjective;
+pub use prize_collecting::{prize_collecting, prize_collecting_exact};
+pub use schedule_all::schedule_all;
+pub use simulate::{simulate, PowerTrace, SlotState};

@@ -1,0 +1,385 @@
+//! Scheduling instances, schedules, and validation.
+//!
+//! Time is discrete: slots `0..horizon`. A *slot reference* is a (processor,
+//! time) pair; internally slots get dense ids `proc * horizon + time` so that
+//! the bipartite reduction can index arrays directly.
+
+use serde::{Deserialize, Serialize};
+
+use crate::candidates::CandidateInterval;
+
+/// A (processor, time-slot) pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SlotRef {
+    /// Processor index, `0..num_processors`.
+    pub proc: u32,
+    /// Time slot, `0..horizon`.
+    pub time: u32,
+}
+
+impl SlotRef {
+    /// Convenience constructor.
+    pub fn new(proc: u32, time: u32) -> Self {
+        Self { proc, time }
+    }
+}
+
+/// A unit-time job: a positive value and the list of slots where it may run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Job {
+    /// Job value (used by the prize-collecting variants; 1.0 by convention
+    /// for schedule-all instances). Must be strictly positive.
+    pub value: f64,
+    /// Valid (processor, time) pairs — the set `T` of Definition 2. May span
+    /// several disjoint intervals on several processors.
+    pub allowed: Vec<SlotRef>,
+}
+
+impl Job {
+    /// Unit-value job allowed on the given slots.
+    pub fn unit(allowed: Vec<SlotRef>) -> Self {
+        Self {
+            value: 1.0,
+            allowed,
+        }
+    }
+
+    /// Job allowed anywhere in `[start, end)` on processor `proc`.
+    pub fn window(value: f64, proc: u32, start: u32, end: u32) -> Self {
+        Self {
+            value,
+            allowed: (start..end).map(|t| SlotRef::new(proc, t)).collect(),
+        }
+    }
+
+    /// Adds every slot of `[start, end)` on `proc` to the allowed set.
+    pub fn add_window(mut self, proc: u32, start: u32, end: u32) -> Self {
+        self.allowed
+            .extend((start..end).map(|t| SlotRef::new(proc, t)));
+        self
+    }
+}
+
+/// A scheduling instance (Definition 2 of the paper).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Instance {
+    /// Number of processors `p`.
+    pub num_processors: u32,
+    /// Number of time slots `T`; valid times are `0..horizon`.
+    pub horizon: u32,
+    /// The jobs.
+    pub jobs: Vec<Job>,
+}
+
+impl Instance {
+    /// Creates an instance, validating slot references and job values.
+    ///
+    /// # Panics
+    /// Panics if any allowed slot is out of range or a job value is not
+    /// strictly positive and finite.
+    pub fn new(num_processors: u32, horizon: u32, jobs: Vec<Job>) -> Self {
+        for (i, j) in jobs.iter().enumerate() {
+            assert!(
+                j.value > 0.0 && j.value.is_finite(),
+                "job {i} has invalid value {}",
+                j.value
+            );
+            for s in &j.allowed {
+                assert!(
+                    s.proc < num_processors && s.time < horizon,
+                    "job {i} references out-of-range slot ({}, {})",
+                    s.proc,
+                    s.time
+                );
+            }
+        }
+        Self {
+            num_processors,
+            horizon,
+            jobs,
+        }
+    }
+
+    /// Number of jobs `n`.
+    pub fn num_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Dense slot id of `s` (`proc * horizon + time`).
+    #[inline]
+    pub fn slot_id(&self, s: SlotRef) -> u32 {
+        s.proc * self.horizon + s.time
+    }
+
+    /// Inverse of [`Instance::slot_id`].
+    #[inline]
+    pub fn slot_ref(&self, id: u32) -> SlotRef {
+        SlotRef {
+            proc: id / self.horizon,
+            time: id % self.horizon,
+        }
+    }
+
+    /// Total number of dense slot ids (`p · T`).
+    #[inline]
+    pub fn num_slots(&self) -> u32 {
+        self.num_processors * self.horizon
+    }
+
+    /// Sum of all job values.
+    pub fn total_value(&self) -> f64 {
+        self.jobs.iter().map(|j| j.value).sum()
+    }
+
+    /// `(v_min, v_max)` over jobs; `None` for empty instances.
+    pub fn value_range(&self) -> Option<(f64, f64)> {
+        self.jobs
+            .iter()
+            .map(|j| j.value)
+            .fold(None, |acc, v| match acc {
+                None => Some((v, v)),
+                Some((lo, hi)) => Some((lo.min(v), hi.max(v))),
+            })
+    }
+}
+
+/// Options controlling the greedy solvers.
+#[derive(Clone, Copy, Debug)]
+pub struct SolveOptions {
+    /// Use lazy-greedy candidate selection (recommended).
+    pub lazy: bool,
+    /// Parallelize full candidate scans with rayon.
+    pub parallel: bool,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        Self {
+            lazy: true,
+            parallel: false,
+        }
+    }
+}
+
+/// A computed schedule: chosen awake intervals plus a job assignment.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Chosen awake intervals, in greedy pick order.
+    pub awake: Vec<CandidateInterval>,
+    /// Per-job assignment (`None` = not scheduled).
+    pub assignments: Vec<Option<SlotRef>>,
+    /// Total energy cost of the awake intervals.
+    pub total_cost: f64,
+    /// Total value of scheduled jobs.
+    pub scheduled_value: f64,
+    /// Number of scheduled jobs.
+    pub scheduled_count: usize,
+}
+
+/// Why a solve failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScheduleError {
+    /// Not all jobs (or not enough value) can be scheduled with the supplied
+    /// candidate intervals. The certificate lists a Hall-violating job set
+    /// when one exists: more jobs than available distinct slots among the
+    /// union of all candidates.
+    Infeasible {
+        /// Jobs forming a Hall violator (may be empty when the stall is due
+        /// to exhausted candidates rather than a matching deficiency).
+        certificate: Vec<u32>,
+        /// Value scheduled at the stall point.
+        achieved_value: f64,
+    },
+    /// The requested target exceeds the total value present in the instance.
+    TargetExceedsTotalValue {
+        /// Requested target.
+        target: f64,
+        /// Sum of all job values.
+        total: f64,
+    },
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::Infeasible {
+                certificate,
+                achieved_value,
+            } => write!(
+                f,
+                "infeasible with the supplied candidates (achieved value {achieved_value}; \
+                 Hall violator of {} jobs)",
+                certificate.len()
+            ),
+            ScheduleError::TargetExceedsTotalValue { target, total } => {
+                write!(f, "target {target} exceeds total instance value {total}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// Violations detected by [`validate_schedule`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScheduleViolation {
+    /// A job was assigned a slot not in its allowed list.
+    DisallowedSlot { job: u32 },
+    /// Two jobs share one slot.
+    SlotCollision { slot: SlotRef },
+    /// An assigned slot is not covered by any awake interval.
+    SlotNotAwake { job: u32, slot: SlotRef },
+    /// Recorded cost does not match the sum of awake interval costs.
+    CostMismatch { recorded: f64, actual: f64 },
+    /// Recorded value/count do not match the assignment.
+    AccountingMismatch,
+}
+
+/// Checks a schedule against its instance: allowed slots, no collisions,
+/// awake coverage, and cost/value accounting. Returns all violations found.
+pub fn validate_schedule(inst: &Instance, s: &Schedule) -> Vec<ScheduleViolation> {
+    let mut out = Vec::new();
+    let mut used = std::collections::HashSet::new();
+    let mut value = 0.0;
+    let mut count = 0usize;
+
+    for (jid, asg) in s.assignments.iter().enumerate() {
+        let Some(slot) = asg else { continue };
+        count += 1;
+        value += inst.jobs[jid].value;
+        if !inst.jobs[jid].allowed.contains(slot) {
+            out.push(ScheduleViolation::DisallowedSlot { job: jid as u32 });
+        }
+        if !used.insert(*slot) {
+            out.push(ScheduleViolation::SlotCollision { slot: *slot });
+        }
+        let covered = s
+            .awake
+            .iter()
+            .any(|iv| iv.proc == slot.proc && iv.start <= slot.time && slot.time < iv.end);
+        if !covered {
+            out.push(ScheduleViolation::SlotNotAwake {
+                job: jid as u32,
+                slot: *slot,
+            });
+        }
+    }
+
+    let actual_cost: f64 = s.awake.iter().map(|iv| iv.cost).sum();
+    if (actual_cost - s.total_cost).abs() > 1e-6 {
+        out.push(ScheduleViolation::CostMismatch {
+            recorded: s.total_cost,
+            actual: actual_cost,
+        });
+    }
+    if count != s.scheduled_count || (value - s.scheduled_value).abs() > 1e-6 {
+        out.push(ScheduleViolation::AccountingMismatch);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_instance() -> Instance {
+        Instance::new(
+            2,
+            4,
+            vec![
+                Job::unit(vec![SlotRef::new(0, 0), SlotRef::new(1, 2)]),
+                Job::window(2.0, 0, 1, 3),
+            ],
+        )
+    }
+
+    #[test]
+    fn slot_id_roundtrip() {
+        let inst = tiny_instance();
+        for p in 0..2 {
+            for t in 0..4 {
+                let s = SlotRef::new(p, t);
+                assert_eq!(inst.slot_ref(inst.slot_id(s)), s);
+            }
+        }
+        assert_eq!(inst.num_slots(), 8);
+    }
+
+    #[test]
+    fn job_window_builder() {
+        let j = Job::window(1.5, 1, 2, 5);
+        assert_eq!(j.allowed.len(), 3);
+        assert_eq!(j.allowed[0], SlotRef::new(1, 2));
+        let j2 = Job::unit(vec![]).add_window(0, 0, 2).add_window(1, 3, 4);
+        assert_eq!(j2.allowed.len(), 3);
+    }
+
+    #[test]
+    fn totals() {
+        let inst = tiny_instance();
+        assert_eq!(inst.total_value(), 3.0);
+        assert_eq!(inst.value_range(), Some((1.0, 2.0)));
+        assert_eq!(inst.num_jobs(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range slot")]
+    fn out_of_range_slot_rejected() {
+        Instance::new(1, 2, vec![Job::unit(vec![SlotRef::new(0, 2)])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid value")]
+    fn non_positive_value_rejected() {
+        Instance::new(1, 2, vec![Job {
+            value: 0.0,
+            allowed: vec![],
+        }]);
+    }
+
+    #[test]
+    fn validation_catches_violations() {
+        let inst = tiny_instance();
+        let good = Schedule {
+            awake: vec![CandidateInterval {
+                proc: 0,
+                start: 0,
+                end: 3,
+                cost: 5.0,
+            }],
+            assignments: vec![Some(SlotRef::new(0, 0)), Some(SlotRef::new(0, 1))],
+            total_cost: 5.0,
+            scheduled_value: 3.0,
+            scheduled_count: 2,
+        };
+        assert!(validate_schedule(&inst, &good).is_empty());
+
+        // collision + disallowed + not-awake + bad accounting
+        let bad = Schedule {
+            awake: vec![],
+            assignments: vec![Some(SlotRef::new(0, 3)), Some(SlotRef::new(0, 3))],
+            total_cost: 1.0,
+            scheduled_value: 0.0,
+            scheduled_count: 0,
+        };
+        let v = validate_schedule(&inst, &bad);
+        assert!(v.contains(&ScheduleViolation::DisallowedSlot { job: 0 }));
+        assert!(v.contains(&ScheduleViolation::SlotCollision {
+            slot: SlotRef::new(0, 3)
+        }));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, ScheduleViolation::SlotNotAwake { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, ScheduleViolation::CostMismatch { .. })));
+        assert!(v.contains(&ScheduleViolation::AccountingMismatch));
+    }
+
+    #[test]
+    fn empty_instance_value_range() {
+        let inst = Instance::new(1, 1, vec![]);
+        assert_eq!(inst.value_range(), None);
+        assert_eq!(inst.total_value(), 0.0);
+    }
+}

@@ -1,0 +1,216 @@
+//! The bipartite reduction and the greedy objective adapter.
+//!
+//! Section 2.2 of the paper formulates scheduling as submodular maximization:
+//! ground set = slot/processor pairs, allowable subsets = candidate awake
+//! intervals (each contributing its slots), utility = matching rank of the
+//! slot–job bipartite graph. This module builds that graph once
+//! ([`ScheduleReduction`]) and adapts the incremental
+//! [`bmatch::MatchingOracle`] to the [`BudgetedObjective`] interface consumed
+//! by the Lemma 2.1.2 greedy.
+
+use bmatch::{BipartiteGraph, BipartiteGraphBuilder, GainScratch, MatchingOracle};
+use submodular::BudgetedObjective;
+
+use crate::candidates::CandidateInterval;
+use crate::model::{Instance, Schedule, SlotRef};
+
+/// The slot–job bipartite graph plus per-candidate slot lists.
+///
+/// Built once per solve; borrowed by [`ScheduleObjective`].
+#[derive(Clone, Debug)]
+pub struct ScheduleReduction {
+    /// `X` = dense slot ids (`proc · horizon + time`), `Y` = jobs.
+    pub graph: BipartiteGraph,
+    /// For each candidate interval: the slot ids it contributes that have at
+    /// least one adjacent job (degree-0 slots can never change the matching,
+    /// so they are omitted from gain evaluation — the interval's *cost* still
+    /// covers them).
+    pub slot_lists: Vec<Vec<u32>>,
+    /// Candidate costs, aligned with `slot_lists`.
+    pub costs: Vec<f64>,
+}
+
+impl ScheduleReduction {
+    /// Builds the reduction for `inst` and the given candidate family.
+    pub fn build(inst: &Instance, candidates: &[CandidateInterval]) -> Self {
+        let mut b = BipartiteGraphBuilder::new(inst.num_slots(), inst.num_jobs() as u32);
+        for (jid, job) in inst.jobs.iter().enumerate() {
+            for &s in &job.allowed {
+                b.add_edge(inst.slot_id(s), jid as u32);
+            }
+        }
+        let graph = b.build();
+
+        let slot_lists = candidates
+            .iter()
+            .map(|iv| {
+                (iv.start..iv.end)
+                    .map(|t| inst.slot_id(SlotRef::new(iv.proc, t)))
+                    .filter(|&sid| graph.deg_x(sid) > 0)
+                    .collect()
+            })
+            .collect();
+        let costs = candidates.iter().map(|iv| iv.cost).collect();
+
+        Self {
+            graph,
+            slot_lists,
+            costs,
+        }
+    }
+}
+
+/// [`BudgetedObjective`] over the matching rank: `F(S)` = maximum (weighted)
+/// value of jobs matchable into the union of committed candidate intervals.
+pub struct ScheduleObjective<'r> {
+    red: &'r ScheduleReduction,
+    oracle: MatchingOracle<'r>,
+}
+
+impl<'r> ScheduleObjective<'r> {
+    /// Cardinality utility (Lemma 2.2.2): every job counts 1.
+    pub fn new_cardinality(red: &'r ScheduleReduction) -> Self {
+        Self {
+            red,
+            oracle: MatchingOracle::new_cardinality(&red.graph),
+        }
+    }
+
+    /// Weighted utility (Lemma 2.3.2): job `j` counts `values[j] > 0`.
+    pub fn new_weighted(red: &'r ScheduleReduction, values: Vec<f64>) -> Self {
+        Self {
+            red,
+            oracle: MatchingOracle::new(&red.graph, values),
+        }
+    }
+
+    /// Read access to the underlying oracle (matching extraction,
+    /// Hall-violator certificates).
+    pub fn oracle(&self) -> &MatchingOracle<'r> {
+        &self.oracle
+    }
+
+    /// Extracts the schedule corresponding to the chosen candidate indices
+    /// and the oracle's current maximum matching.
+    pub fn extract_schedule(
+        &self,
+        inst: &Instance,
+        candidates: &[CandidateInterval],
+        chosen: &[usize],
+    ) -> Schedule {
+        let awake: Vec<CandidateInterval> = chosen.iter().map(|&i| candidates[i]).collect();
+        let mut assignments = vec![None; inst.num_jobs()];
+        let mut value = 0.0;
+        let mut count = 0usize;
+        for (slot_id, job) in self.oracle.matching() {
+            assignments[job as usize] = Some(inst.slot_ref(slot_id));
+            value += inst.jobs[job as usize].value;
+            count += 1;
+        }
+        let total_cost = awake.iter().map(|iv| iv.cost).sum();
+        Schedule {
+            awake,
+            assignments,
+            total_cost,
+            scheduled_value: value,
+            scheduled_count: count,
+        }
+    }
+}
+
+impl BudgetedObjective for ScheduleObjective<'_> {
+    type Scratch = GainScratch;
+
+    fn num_subsets(&self) -> usize {
+        self.red.slot_lists.len()
+    }
+
+    fn cost(&self, i: usize) -> f64 {
+        self.red.costs[i]
+    }
+
+    fn current(&self) -> f64 {
+        self.oracle.total()
+    }
+
+    fn gain(&self, i: usize, scratch: &mut Self::Scratch) -> f64 {
+        self.oracle.gain_of(&self.red.slot_lists[i], scratch)
+    }
+
+    fn commit(&mut self, i: usize) -> f64 {
+        self.oracle.commit(&self.red.slot_lists[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::{enumerate_candidates, CandidatePolicy};
+    use crate::cost::AffineCost;
+    use crate::model::{Instance, Job};
+    use submodular::{budgeted_greedy, GreedyConfig};
+
+    fn two_job_instance() -> Instance {
+        Instance::new(
+            1,
+            4,
+            vec![Job::window(1.0, 0, 0, 2), Job::window(1.0, 0, 2, 4)],
+        )
+    }
+
+    #[test]
+    fn reduction_shapes() {
+        let inst = two_job_instance();
+        let cands = enumerate_candidates(&inst, &AffineCost::new(1.0, 1.0), CandidatePolicy::All);
+        let red = ScheduleReduction::build(&inst, &cands);
+        assert_eq!(red.graph.nx(), 4);
+        assert_eq!(red.graph.ny(), 2);
+        assert_eq!(red.slot_lists.len(), cands.len());
+        assert_eq!(red.costs.len(), cands.len());
+    }
+
+    #[test]
+    fn degree_zero_slots_filtered() {
+        // job only at t=0; interval [0,3) contributes just slot 0 to the list
+        let inst = Instance::new(1, 3, vec![Job::window(1.0, 0, 0, 1)]);
+        let cands = vec![CandidateInterval {
+            proc: 0,
+            start: 0,
+            end: 3,
+            cost: 4.0,
+        }];
+        let red = ScheduleReduction::build(&inst, &cands);
+        assert_eq!(red.slot_lists[0], vec![0]);
+    }
+
+    #[test]
+    fn greedy_drives_objective_to_full_schedule() {
+        let inst = two_job_instance();
+        let cands = enumerate_candidates(&inst, &AffineCost::new(1.0, 1.0), CandidatePolicy::All);
+        let red = ScheduleReduction::build(&inst, &cands);
+        let mut obj = ScheduleObjective::new_cardinality(&red);
+        let n = inst.num_jobs() as f64;
+        let out = budgeted_greedy(&mut obj, GreedyConfig::lazy(n, 1.0 / (n + 1.0)));
+        assert!(out.reached_target);
+        assert_eq!(out.utility, 2.0);
+        let sched = obj.extract_schedule(&inst, &cands, &out.chosen);
+        assert_eq!(sched.scheduled_count, 2);
+        assert!(crate::model::validate_schedule(&inst, &sched).is_empty());
+    }
+
+    #[test]
+    fn weighted_objective_counts_values() {
+        let inst = Instance::new(
+            1,
+            2,
+            vec![Job::window(5.0, 0, 0, 1), Job::window(3.0, 0, 1, 2)],
+        );
+        let cands = enumerate_candidates(&inst, &AffineCost::new(1.0, 1.0), CandidatePolicy::All);
+        let red = ScheduleReduction::build(&inst, &cands);
+        let values = inst.jobs.iter().map(|j| j.value).collect();
+        let mut obj = ScheduleObjective::new_weighted(&red, values);
+        let out = budgeted_greedy(&mut obj, GreedyConfig::new(8.0, 0.01));
+        assert!(out.reached_target);
+        assert_eq!(out.utility, 8.0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Discrete-time power simulation of a schedule.
+//!
+//! The optimization side of this crate treats awake-interval costs as opaque
+//! oracle values; this module replays a [`Schedule`] slot by slot, producing
+//! the per-processor machine-state timeline (sleep / idle-awake / busy), the
+//! restart count, utilization statistics, and — for decomposable cost
+//! models — a per-slot energy attribution. Examples use it for narration;
+//! tests use it as an independent cross-check of schedule accounting.
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::{Instance, Schedule};
+
+/// Machine state of one processor in one slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SlotState {
+    /// Asleep (not inside any awake interval).
+    Sleep,
+    /// Awake but not executing a job (the paper's "processor may be idle
+    /// during an awake interval").
+    Idle,
+    /// Awake and executing a job.
+    Busy,
+}
+
+/// Result of replaying a schedule.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PowerTrace {
+    /// `states[p][t]`: machine state of processor `p` in slot `t`.
+    pub states: Vec<Vec<SlotState>>,
+    /// Number of awake intervals (= restarts paid) per processor.
+    pub restarts: Vec<usize>,
+    /// Awake slots per processor.
+    pub awake_slots: Vec<usize>,
+    /// Busy slots per processor.
+    pub busy_slots: Vec<usize>,
+    /// Total energy as recorded by the schedule.
+    pub total_energy: f64,
+}
+
+impl PowerTrace {
+    /// Fraction of awake time spent busy, per processor (`None` when a
+    /// processor was never awake).
+    pub fn utilization(&self, proc: u32) -> Option<f64> {
+        let a = self.awake_slots[proc as usize];
+        (a > 0).then(|| self.busy_slots[proc as usize] as f64 / a as f64)
+    }
+
+    /// Fleet-wide utilization (`None` if nothing was ever awake).
+    pub fn fleet_utilization(&self) -> Option<f64> {
+        let a: usize = self.awake_slots.iter().sum();
+        let b: usize = self.busy_slots.iter().sum();
+        (a > 0).then(|| b as f64 / a as f64)
+    }
+
+    /// One line per processor: `S` sleep, `.` idle, `#` busy.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (p, row) in self.states.iter().enumerate() {
+            out.push_str(&format!("p{p}: "));
+            for s in row {
+                out.push(match s {
+                    SlotState::Sleep => 'S',
+                    SlotState::Idle => '.',
+                    SlotState::Busy => '#',
+                });
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Replays `schedule` against `inst`.
+///
+/// Overlapping awake intervals on one processor are merged for state
+/// purposes (a slot is awake if any chosen interval covers it) but each
+/// chosen interval still counts one restart, mirroring how the optimizer
+/// pays for intervals.
+pub fn simulate(inst: &Instance, schedule: &Schedule) -> PowerTrace {
+    let p = inst.num_processors as usize;
+    let t = inst.horizon as usize;
+    let mut states = vec![vec![SlotState::Sleep; t]; p];
+
+    for iv in &schedule.awake {
+        for time in iv.start..iv.end {
+            let s = &mut states[iv.proc as usize][time as usize];
+            if *s == SlotState::Sleep {
+                *s = SlotState::Idle;
+            }
+        }
+    }
+    for asg in schedule.assignments.iter().flatten() {
+        states[asg.proc as usize][asg.time as usize] = SlotState::Busy;
+    }
+
+    let mut restarts = vec![0usize; p];
+    for iv in &schedule.awake {
+        restarts[iv.proc as usize] += 1;
+    }
+    let awake_slots: Vec<usize> = states
+        .iter()
+        .map(|row| row.iter().filter(|&&s| s != SlotState::Sleep).count())
+        .collect();
+    let busy_slots: Vec<usize> = states
+        .iter()
+        .map(|row| row.iter().filter(|&&s| s == SlotState::Busy).count())
+        .collect();
+
+    PowerTrace {
+        states,
+        restarts,
+        awake_slots,
+        busy_slots,
+        total_energy: schedule.total_cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::{enumerate_candidates, CandidatePolicy};
+    use crate::cost::AffineCost;
+    use crate::model::{Job, SlotRef, SolveOptions};
+    use crate::schedule_all::schedule_all;
+
+    fn solved() -> (Instance, Schedule) {
+        let inst = Instance::new(
+            1,
+            5,
+            vec![
+                Job::unit(vec![SlotRef::new(0, 0)]),
+                Job::unit(vec![SlotRef::new(0, 3)]),
+            ],
+        );
+        let cands = enumerate_candidates(&inst, &AffineCost::new(10.0, 1.0), CandidatePolicy::All);
+        let s = schedule_all(&inst, &cands, &SolveOptions::default()).unwrap();
+        (inst, s)
+    }
+
+    #[test]
+    fn states_match_schedule() {
+        let (inst, s) = solved();
+        let trace = simulate(&inst, &s);
+        // one merged interval [0,4): busy at 0 and 3, idle at 1, 2
+        assert_eq!(trace.states[0][0], SlotState::Busy);
+        assert_eq!(trace.states[0][1], SlotState::Idle);
+        assert_eq!(trace.states[0][2], SlotState::Idle);
+        assert_eq!(trace.states[0][3], SlotState::Busy);
+        assert_eq!(trace.states[0][4], SlotState::Sleep);
+        assert_eq!(trace.restarts[0], 1);
+        assert_eq!(trace.awake_slots[0], 4);
+        assert_eq!(trace.busy_slots[0], 2);
+        assert_eq!(trace.utilization(0), Some(0.5));
+        assert_eq!(trace.fleet_utilization(), Some(0.5));
+        assert_eq!(trace.total_energy, s.total_cost);
+    }
+
+    #[test]
+    fn render_shape() {
+        let (inst, s) = solved();
+        let r = simulate(&inst, &s).render();
+        assert_eq!(r.trim_end(), "p0: #..#S");
+    }
+
+    #[test]
+    fn empty_schedule_all_sleep() {
+        let inst = Instance::new(2, 3, vec![]);
+        let s = Schedule {
+            awake: vec![],
+            assignments: vec![],
+            total_cost: 0.0,
+            scheduled_value: 0.0,
+            scheduled_count: 0,
+        };
+        let trace = simulate(&inst, &s);
+        assert!(trace
+            .states
+            .iter()
+            .all(|row| row.iter().all(|&x| x == SlotState::Sleep)));
+        assert_eq!(trace.utilization(0), None);
+        assert_eq!(trace.fleet_utilization(), None);
+    }
+
+    #[test]
+    fn busy_count_equals_scheduled_count() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        for _ in 0..10 {
+            let t = rng.gen_range(4..10u32);
+            let p = rng.gen_range(1..3u32);
+            let n = rng.gen_range(1..5usize);
+            let jobs: Vec<Job> = (0..n)
+                .map(|_| {
+                    let proc = rng.gen_range(0..p);
+                    let s = rng.gen_range(0..t);
+                    let e = rng.gen_range(s + 1..=t);
+                    Job::window(1.0, proc, s, e)
+                })
+                .collect();
+            let inst = Instance::new(p, t, jobs);
+            let cands =
+                enumerate_candidates(&inst, &AffineCost::new(2.0, 1.0), CandidatePolicy::All);
+            if let Ok(s) = schedule_all(&inst, &cands, &SolveOptions::default()) {
+                let trace = simulate(&inst, &s);
+                let busy: usize = trace.busy_slots.iter().sum();
+                assert_eq!(busy, s.scheduled_count);
+                let restarts: usize = trace.restarts.iter().sum();
+                assert_eq!(restarts, s.awake.len());
+            }
+        }
+    }
+}

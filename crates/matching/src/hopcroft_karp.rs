@@ -1,0 +1,272 @@
+//! Hopcroft–Karp maximum-cardinality bipartite matching.
+//!
+//! Used as an independent test oracle for [`crate::MatchingOracle`] and for
+//! one-shot feasibility checks. Runs in `O(E · √V)`.
+
+use crate::graph::BipartiteGraph;
+use crate::oracle::NONE;
+
+/// Result of a maximum-cardinality matching computation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Matching {
+    /// `match_x[x]` is the job matched to slot `x`, or [`NONE`].
+    pub match_x: Vec<u32>,
+    /// `match_y[y]` is the slot matched to job `y`, or [`NONE`].
+    pub match_y: Vec<u32>,
+    /// Cardinality of the matching.
+    pub size: usize,
+}
+
+/// Computes a maximum-cardinality matching of the subgraph of `g` induced by
+/// the slots `x` with `allowed(x) == true` (all jobs are always available).
+///
+/// Pass `|_| true` to match on the full graph.
+pub fn hopcroft_karp(g: &BipartiteGraph, allowed: impl Fn(u32) -> bool) -> Matching {
+    let nx = g.nx() as usize;
+    let ny = g.ny() as usize;
+    let mut match_x = vec![NONE; nx];
+    let mut match_y = vec![NONE; ny];
+    let mut size = 0usize;
+
+    const INF: u32 = u32::MAX;
+    // BFS layers over X-side vertices.
+    let mut dist = vec![INF; nx];
+    let mut queue: Vec<u32> = Vec::with_capacity(nx);
+
+    loop {
+        // BFS from all free allowed slots.
+        queue.clear();
+        for x in 0..nx as u32 {
+            if allowed(x) && match_x[x as usize] == NONE {
+                dist[x as usize] = 0;
+                queue.push(x);
+            } else {
+                dist[x as usize] = INF;
+            }
+        }
+        let mut found_free_job = false;
+        let mut head = 0;
+        while head < queue.len() {
+            let x = queue[head];
+            head += 1;
+            for &y in g.adj_x(x) {
+                let mx = match_y[y as usize];
+                if mx == NONE {
+                    found_free_job = true;
+                } else if dist[mx as usize] == INF {
+                    dist[mx as usize] = dist[x as usize] + 1;
+                    queue.push(mx);
+                }
+            }
+        }
+        if !found_free_job {
+            break;
+        }
+
+        // DFS phase: find a maximal set of vertex-disjoint shortest augmenting
+        // paths. Iterative DFS with an explicit stack of (slot, adj cursor).
+        for x0 in 0..nx as u32 {
+            if allowed(x0) && match_x[x0 as usize] == NONE && dfs(g, x0, &mut match_x, &mut match_y, &mut dist) {
+                size += 1;
+            }
+        }
+    }
+
+    Matching {
+        match_x,
+        match_y,
+        size,
+    }
+}
+
+/// Attempts to find one augmenting path from free slot `x` restricted to the
+/// BFS layering in `dist`; flips it on success. Recursive depth is bounded by
+/// the layering (≤ √V phases × path length), and paths are short in practice;
+/// we use an explicit stack to stay safe on adversarial instances.
+fn dfs(
+    g: &BipartiteGraph,
+    x0: u32,
+    match_x: &mut [u32],
+    match_y: &mut [u32],
+    dist: &mut [u32],
+) -> bool {
+    const INF: u32 = u32::MAX;
+    // stack entries: (slot, index into its adjacency list)
+    let mut stack: Vec<(u32, usize)> = vec![(x0, 0)];
+    // the alternating path of (slot, job) pairs committed so far
+    let mut path: Vec<(u32, u32)> = Vec::new();
+
+    while let Some(&mut (x, ref mut cursor)) = stack.last_mut() {
+        let adj = g.adj_x(x);
+        let mut advanced = false;
+        while *cursor < adj.len() {
+            let y = adj[*cursor];
+            *cursor += 1;
+            let mx = match_y[y as usize];
+            if mx == NONE {
+                // Found a free job: flip the whole path plus (x, y).
+                path.push((x, y));
+                for &(px, py) in path.iter().rev() {
+                    match_x[px as usize] = py;
+                    match_y[py as usize] = px;
+                }
+                return true;
+            }
+            if dist[mx as usize] == dist[x as usize] + 1 {
+                path.push((x, y));
+                stack.push((mx, 0));
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            // Dead end: remove x from this phase's DFS forest.
+            dist[x as usize] = INF;
+            stack.pop();
+            path.pop();
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(nx: u32, ny: u32, e: &[(u32, u32)]) -> BipartiteGraph {
+        BipartiteGraph::from_edges(nx, ny, e)
+    }
+
+    fn check_valid(g: &BipartiteGraph, m: &Matching, allowed: impl Fn(u32) -> bool) {
+        let mut count = 0;
+        for x in 0..g.nx() {
+            let y = m.match_x[x as usize];
+            if y != NONE {
+                assert!(allowed(x), "matched disallowed slot {x}");
+                assert!(g.adj_x(x).contains(&y), "matched non-edge ({x},{y})");
+                assert_eq!(m.match_y[y as usize], x, "inconsistent match arrays");
+                count += 1;
+            }
+        }
+        for y in 0..g.ny() {
+            let x = m.match_y[y as usize];
+            if x != NONE {
+                assert_eq!(m.match_x[x as usize], y);
+            }
+        }
+        assert_eq!(count, m.size);
+    }
+
+    #[test]
+    fn empty() {
+        let gr = g(0, 0, &[]);
+        let m = hopcroft_karp(&gr, |_| true);
+        assert_eq!(m.size, 0);
+    }
+
+    #[test]
+    fn single_edge() {
+        let gr = g(1, 1, &[(0, 0)]);
+        let m = hopcroft_karp(&gr, |_| true);
+        assert_eq!(m.size, 1);
+        check_valid(&gr, &m, |_| true);
+    }
+
+    #[test]
+    fn perfect_matching_cycle() {
+        // C4-like: x0-y0, x0-y1, x1-y0, x1-y1 => perfect matching size 2
+        let gr = g(2, 2, &[(0, 0), (0, 1), (1, 0), (1, 1)]);
+        let m = hopcroft_karp(&gr, |_| true);
+        assert_eq!(m.size, 2);
+        check_valid(&gr, &m, |_| true);
+    }
+
+    #[test]
+    fn star_limits_matching() {
+        // one slot adjacent to 3 jobs: matching size 1
+        let gr = g(1, 3, &[(0, 0), (0, 1), (0, 2)]);
+        let m = hopcroft_karp(&gr, |_| true);
+        assert_eq!(m.size, 1);
+    }
+
+    #[test]
+    fn needs_augmentation() {
+        // Classic case where greedy fails but augmentation succeeds:
+        // x0: {y0, y1}, x1: {y0}. Max matching = 2.
+        let gr = g(2, 2, &[(0, 0), (0, 1), (1, 0)]);
+        let m = hopcroft_karp(&gr, |_| true);
+        assert_eq!(m.size, 2);
+        check_valid(&gr, &m, |_| true);
+    }
+
+    #[test]
+    fn allowed_mask_restricts() {
+        let gr = g(2, 2, &[(0, 0), (1, 1)]);
+        let m = hopcroft_karp(&gr, |x| x == 0);
+        assert_eq!(m.size, 1);
+        assert_eq!(m.match_x[1], NONE);
+        check_valid(&gr, &m, |x| x == 0);
+    }
+
+    #[test]
+    fn long_augmenting_chain() {
+        // Path graph forcing a long augmenting path:
+        // x_i adjacent to y_i and y_{i+1}; x_{k-1} adjacent only to y_{k-1}.
+        let k = 50u32;
+        let mut e = Vec::new();
+        for i in 0..k {
+            e.push((i, i));
+            if i + 1 < k {
+                e.push((i, i + 1));
+            }
+        }
+        let gr = g(k, k, &e);
+        let m = hopcroft_karp(&gr, |_| true);
+        assert_eq!(m.size, k as usize);
+        check_valid(&gr, &m, |_| true);
+    }
+
+    #[test]
+    fn brute_force_agreement_small_random() {
+        // compare against brute force on tiny random graphs
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for trial in 0..200 {
+            let nx = rng.gen_range(1..=5u32);
+            let ny = rng.gen_range(1..=5u32);
+            let mut e = Vec::new();
+            for x in 0..nx {
+                for y in 0..ny {
+                    if rng.gen_bool(0.4) {
+                        e.push((x, y));
+                    }
+                }
+            }
+            let gr = g(nx, ny, &e);
+            let m = hopcroft_karp(&gr, |_| true);
+            let bf = brute_force_max_matching(&gr);
+            assert_eq!(m.size, bf, "trial {trial}: hk={} bf={}", m.size, bf);
+            check_valid(&gr, &m, |_| true);
+        }
+    }
+
+    /// Exponential brute force over job subsets for tiny graphs.
+    fn brute_force_max_matching(g: &BipartiteGraph) -> usize {
+        fn rec(g: &BipartiteGraph, y: u32, used_x: &mut Vec<bool>) -> usize {
+            if y == g.ny() {
+                return 0;
+            }
+            // skip job y
+            let mut best = rec(g, y + 1, used_x);
+            for &x in g.adj_y(y) {
+                if !used_x[x as usize] {
+                    used_x[x as usize] = true;
+                    best = best.max(1 + rec(g, y + 1, used_x));
+                    used_x[x as usize] = false;
+                }
+            }
+            best
+        }
+        rec(g, 0, &mut vec![false; g.nx() as usize])
+    }
+}

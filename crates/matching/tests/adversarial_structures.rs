@@ -1,0 +1,129 @@
+//! Adversarial graph structures for the matching substrate: long alternating
+//! chains (worst-case augmenting paths), complete bipartite blocks (maximum
+//! rebinding pressure), and crown-like graphs where greedy matching without
+//! augmentation loses half the jobs.
+
+use bmatch::{hall_violator, hopcroft_karp, BipartiteGraph, GainScratch, MatchingOracle};
+
+/// Chain graph: slot i ~ {job i, job i+1}; only a full cascade of rebindings
+/// saturates everything when slots are added in the adversarial order.
+fn chain(k: u32) -> BipartiteGraph {
+    let mut e = Vec::new();
+    for i in 0..k {
+        e.push((i, i));
+        if i + 1 < k {
+            e.push((i, i + 1));
+        }
+    }
+    BipartiteGraph::from_edges(k, k, &e)
+}
+
+#[test]
+fn long_chain_reaches_perfect_matching_in_any_insertion_order() {
+    let k = 200;
+    let g = chain(k);
+    // forward, backward, and interleaved insertion orders
+    let orders: Vec<Vec<u32>> = vec![
+        (0..k).collect(),
+        (0..k).rev().collect(),
+        (0..k).step_by(2).chain((1..k).step_by(2)).collect(),
+    ];
+    for order in orders {
+        let mut o = MatchingOracle::new_cardinality(&g);
+        for v in order {
+            o.add_slot(v);
+        }
+        assert_eq!(o.total(), k as f64, "chain must end perfectly matched");
+    }
+}
+
+#[test]
+fn complete_bipartite_rebinding_pressure() {
+    // K_{30,30}: every insertion augments; weighted values force specific
+    // winners under contention.
+    let n = 30u32;
+    let mut e = Vec::new();
+    for x in 0..n {
+        for y in 0..n {
+            e.push((x, y));
+        }
+    }
+    let g = BipartiteGraph::from_edges(n, n, &e);
+    let values: Vec<f64> = (0..n).map(|y| (y + 1) as f64).collect();
+    let mut o = MatchingOracle::new(&g, values);
+    // adding j slots must capture the j highest-value jobs
+    for (added, x) in (0..n).enumerate() {
+        o.add_slot(x);
+        let expect: f64 = (0..=added as u32).map(|i| (n - i) as f64).sum();
+        assert_eq!(o.total(), expect, "after {} slots", added + 1);
+    }
+}
+
+#[test]
+fn crown_graph_gain_evaluation_matches_hk() {
+    // slots 0..k each adjacent to job 0 only; slot k..2k adjacent to all jobs:
+    // gains of the flexible block must account for contention on job 0.
+    let k = 8u32;
+    let jobs = k;
+    let mut e = Vec::new();
+    for x in 0..k {
+        e.push((x, 0));
+    }
+    for x in k..2 * k {
+        for y in 0..jobs {
+            e.push((x, y));
+        }
+    }
+    let g = BipartiteGraph::from_edges(2 * k, jobs, &e);
+    let mut o = MatchingOracle::new_cardinality(&g);
+    // commit all the rigid slots: only one can be useful
+    o.commit(&(0..k).collect::<Vec<_>>());
+    assert_eq!(o.total(), 1.0);
+    // probing the flexible block must report jobs-1 additional (job 0 taken)
+    let mut scratch = GainScratch::new();
+    let flexible: Vec<u32> = (k..2 * k).collect();
+    assert_eq!(o.gain_of(&flexible, &mut scratch), (jobs - 1) as f64);
+    o.commit(&flexible);
+    let hk = hopcroft_karp(&g, |_| true);
+    assert_eq!(o.total(), hk.size as f64);
+}
+
+#[test]
+fn hall_violator_on_starved_crown() {
+    // 3 rigid slots all adjacent to job 0 only; 4 jobs total, one flexible slot
+    let e = vec![(0, 0), (1, 0), (2, 0), (3, 0), (3, 1)];
+    let g = BipartiteGraph::from_edges(4, 4, &e);
+    let mut o = MatchingOracle::new_cardinality(&g);
+    o.commit(&[0, 1, 2, 3]);
+    // jobs 2 and 3 isolated; violator from either names itself
+    let v = hall_violator(&o).expect("unsaturated jobs exist");
+    assert!(!v.is_empty());
+    // every returned job really is part of a deficient set: the certificate's
+    // neighborhood in S is smaller than the certificate
+    let mut slots = std::collections::HashSet::new();
+    for &y in &v {
+        for &x in g.adj_y(y) {
+            if o.is_allowed(x) {
+                slots.insert(x);
+            }
+        }
+    }
+    assert!(slots.len() < v.len());
+}
+
+#[test]
+fn alternating_path_length_stress() {
+    // Deep chain with the adversarial insertion order; verify each increment
+    // is still exactly 1 (single long augmenting path per insertion).
+    let k = 500u32;
+    let g = chain(k);
+    let mut o = MatchingOracle::new_cardinality(&g);
+    // insert in reverse: slot k-1 first. Each new slot i can only match job
+    // i or i+1; matching job i+1 is taken by slot i+1 already, forcing
+    // rebinding cascades toward the end of the chain.
+    for v in (0..k).rev() {
+        let gain = o.add_slot(v);
+        assert_eq!(gain, 1.0, "insertion of slot {v} must gain exactly 1");
+    }
+    assert_eq!(o.total(), k as f64);
+}

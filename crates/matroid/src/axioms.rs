@@ -1,0 +1,120 @@
+//! Exhaustive matroid-axiom verification for small ground sets.
+//!
+//! Validates the three axioms the paper recalls in §3.1: the empty set is
+//! independent; independence is hereditary; and the exchange (augmentation)
+//! property holds. Exponential in the ground size — test-only.
+
+use crate::Matroid;
+
+/// Checks the matroid axioms of `m` exhaustively.
+///
+/// # Panics
+/// Panics if the ground set has more than 16 elements.
+pub fn check_matroid_axioms(m: &dyn Matroid) -> Result<(), String> {
+    let n = m.ground_size();
+    assert!(n <= 16, "exhaustive axiom check limited to ground size ≤ 16");
+    let to_set = |mask: u32| -> Vec<u32> { (0..n as u32).filter(|i| mask >> i & 1 == 1).collect() };
+    let indep: Vec<bool> = (0u32..(1 << n)).map(|mask| m.is_independent(&to_set(mask))).collect();
+
+    if !indep[0] {
+        return Err("empty set is not independent".into());
+    }
+
+    // hereditary: every subset of an independent set is independent
+    for mask in 0u32..(1 << n) {
+        if !indep[mask as usize] {
+            continue;
+        }
+        let mut sub = mask;
+        loop {
+            if !indep[sub as usize] {
+                return Err(format!("hereditary violated: {sub:#b} ⊆ {mask:#b}"));
+            }
+            if sub == 0 {
+                break;
+            }
+            sub = (sub - 1) & mask;
+        }
+    }
+
+    // exchange: |A| > |B|, both independent ⇒ ∃ a ∈ A∖B with B+a independent
+    for a in 0u32..(1 << n) {
+        if !indep[a as usize] {
+            continue;
+        }
+        for b in 0u32..(1 << n) {
+            if !indep[b as usize] || a.count_ones() <= b.count_ones() {
+                continue;
+            }
+            let diff = a & !b;
+            let ok = (0..n as u32)
+                .filter(|i| diff >> i & 1 == 1)
+                .any(|i| indep[(b | (1 << i)) as usize]);
+            if !ok {
+                return Err(format!("exchange violated: A={a:#b}, B={b:#b}"));
+            }
+        }
+    }
+
+    // rank consistency
+    let true_rank = (0u32..(1 << n))
+        .filter(|&mask| indep[mask as usize])
+        .map(|mask| mask.count_ones() as usize)
+        .max()
+        .unwrap_or(0);
+    if m.rank() != true_rank {
+        return Err(format!("rank() = {} but true rank = {true_rank}", m.rank()));
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An intentionally broken "matroid" violating exchange.
+    struct NotAMatroid;
+    impl Matroid for NotAMatroid {
+        fn ground_size(&self) -> usize {
+            3
+        }
+        fn is_independent(&self, set: &[u32]) -> bool {
+            // {0,1} independent, but {2} maximal on its own: violates exchange
+            match set.len() {
+                0 => true,
+                1 => true,
+                2 => set.contains(&0) && set.contains(&1),
+                _ => false,
+            }
+        }
+        fn rank(&self) -> usize {
+            2
+        }
+    }
+
+    #[test]
+    fn detects_exchange_violation() {
+        let err = check_matroid_axioms(&NotAMatroid).unwrap_err();
+        assert!(err.contains("exchange"), "unexpected error: {err}");
+    }
+
+    /// Free matroid: everything independent.
+    struct Free(usize);
+    impl Matroid for Free {
+        fn ground_size(&self) -> usize {
+            self.0
+        }
+        fn is_independent(&self, _set: &[u32]) -> bool {
+            true
+        }
+        fn rank(&self) -> usize {
+            self.0
+        }
+    }
+
+    #[test]
+    fn free_matroid_passes() {
+        check_matroid_axioms(&Free(4)).unwrap();
+    }
+}

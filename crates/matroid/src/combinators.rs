@@ -1,0 +1,220 @@
+//! Matroid combinators: truncation, restriction, and direct sum.
+//!
+//! These closure operations let the experiments compose the menagerie
+//! (Babaioff et al.'s constant-competitive *truncated* partition matroids
+//! are literally `Truncation<PartitionMatroid>`), and they come with the
+//! standard matroid-theory guarantees, validated by the exhaustive axiom
+//! checker in this crate's tests.
+
+use crate::Matroid;
+
+/// The truncation `M|_k`: independent iff independent in `M` **and** of size
+/// at most `k`. Always a matroid.
+#[derive(Clone, Debug)]
+pub struct Truncation<M> {
+    inner: M,
+    k: usize,
+}
+
+impl<M: Matroid> Truncation<M> {
+    /// Truncates `inner` to rank at most `k`.
+    pub fn new(inner: M, k: usize) -> Self {
+        Self { inner, k }
+    }
+
+    /// The wrapped matroid.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+}
+
+impl<M: Matroid> Matroid for Truncation<M> {
+    fn ground_size(&self) -> usize {
+        self.inner.ground_size()
+    }
+    fn is_independent(&self, set: &[u32]) -> bool {
+        set.len() <= self.k && self.inner.is_independent(set)
+    }
+    fn rank(&self) -> usize {
+        self.inner.rank().min(self.k)
+    }
+    fn can_add(&self, current: &[u32], e: u32) -> bool {
+        current.len() < self.k && self.inner.can_add(current, e)
+    }
+}
+
+/// The restriction `M | S`: the matroid on the same ground set whose
+/// independent sets are the independent subsets of `S` (elements outside
+/// `S` become loops). Always a matroid.
+#[derive(Clone, Debug)]
+pub struct Restriction<M> {
+    inner: M,
+    allowed: Vec<bool>,
+    rank: usize,
+}
+
+impl<M: Matroid> Restriction<M> {
+    /// Restricts `inner` to the elements of `keep`.
+    pub fn new(inner: M, keep: &[u32]) -> Self {
+        let mut allowed = vec![false; inner.ground_size()];
+        for &e in keep {
+            allowed[e as usize] = true;
+        }
+        // rank by matroid greedy over the kept elements
+        let mut cur: Vec<u32> = Vec::new();
+        for e in 0..inner.ground_size() as u32 {
+            if allowed[e as usize] && inner.can_add(&cur, e) {
+                cur.push(e);
+            }
+        }
+        let rank = cur.len();
+        Self {
+            inner,
+            allowed,
+            rank,
+        }
+    }
+}
+
+impl<M: Matroid> Matroid for Restriction<M> {
+    fn ground_size(&self) -> usize {
+        self.inner.ground_size()
+    }
+    fn is_independent(&self, set: &[u32]) -> bool {
+        set.iter().all(|&e| self.allowed[e as usize]) && self.inner.is_independent(set)
+    }
+    fn rank(&self) -> usize {
+        self.rank
+    }
+    fn can_add(&self, current: &[u32], e: u32) -> bool {
+        self.allowed[e as usize] && self.inner.can_add(current, e)
+    }
+}
+
+/// The direct sum `M₁ ⊕ M₂` over the disjoint union of the ground sets:
+/// elements `0..n₁` behave as `M₁`, elements `n₁..n₁+n₂` as `M₂` (shifted).
+/// Always a matroid.
+#[derive(Clone, Debug)]
+pub struct DirectSum<A, B> {
+    left: A,
+    right: B,
+}
+
+impl<A: Matroid, B: Matroid> DirectSum<A, B> {
+    /// Builds the direct sum.
+    pub fn new(left: A, right: B) -> Self {
+        Self { left, right }
+    }
+
+    fn split(&self, set: &[u32]) -> (Vec<u32>, Vec<u32>) {
+        let n1 = self.left.ground_size() as u32;
+        let mut l = Vec::new();
+        let mut r = Vec::new();
+        for &e in set {
+            if e < n1 {
+                l.push(e);
+            } else {
+                r.push(e - n1);
+            }
+        }
+        (l, r)
+    }
+}
+
+impl<A: Matroid, B: Matroid> Matroid for DirectSum<A, B> {
+    fn ground_size(&self) -> usize {
+        self.left.ground_size() + self.right.ground_size()
+    }
+    fn is_independent(&self, set: &[u32]) -> bool {
+        let (l, r) = self.split(set);
+        self.left.is_independent(&l) && self.right.is_independent(&r)
+    }
+    fn rank(&self) -> usize {
+        self.left.rank() + self.right.rank()
+    }
+    fn can_add(&self, current: &[u32], e: u32) -> bool {
+        let n1 = self.left.ground_size() as u32;
+        let (l, r) = self.split(current);
+        if e < n1 {
+            self.left.can_add(&l, e)
+        } else {
+            self.right.can_add(&r, e - n1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{check_matroid_axioms, GraphicMatroid, PartitionMatroid, UniformMatroid};
+
+    #[test]
+    fn truncation_caps_rank() {
+        let m = Truncation::new(UniformMatroid::new(6, 5), 2);
+        assert_eq!(m.rank(), 2);
+        assert!(m.is_independent(&[0, 1]));
+        assert!(!m.is_independent(&[0, 1, 2]));
+        assert!(m.can_add(&[0], 1));
+        assert!(!m.can_add(&[0, 1], 2));
+        check_matroid_axioms(&m).unwrap();
+    }
+
+    #[test]
+    fn truncated_partition_matroid() {
+        // the Babaioff et al. special case
+        let p = PartitionMatroid::new(vec![0, 0, 1, 1, 2, 2], vec![2, 2, 2]);
+        let m = Truncation::new(p, 3);
+        assert_eq!(m.rank(), 3);
+        assert!(m.is_independent(&[0, 2, 4]));
+        assert!(!m.is_independent(&[0, 1, 2, 3]));
+        check_matroid_axioms(&m).unwrap();
+    }
+
+    #[test]
+    fn restriction_makes_loops() {
+        let m = Restriction::new(UniformMatroid::new(5, 3), &[0, 2, 4]);
+        assert!(m.is_independent(&[0, 2, 4]));
+        assert!(!m.is_independent(&[1]));
+        assert_eq!(m.rank(), 3);
+        check_matroid_axioms(&m).unwrap();
+        let tight = Restriction::new(UniformMatroid::new(5, 3), &[0]);
+        assert_eq!(tight.rank(), 1);
+        check_matroid_axioms(&tight).unwrap();
+    }
+
+    #[test]
+    fn restriction_of_graphic() {
+        // K3 restricted to two of its edges: both independent together
+        let g = GraphicMatroid::new(3, vec![(0, 1), (1, 2), (0, 2)]);
+        let m = Restriction::new(g, &[0, 1]);
+        assert!(m.is_independent(&[0, 1]));
+        assert!(!m.is_independent(&[2]));
+        assert_eq!(m.rank(), 2);
+        check_matroid_axioms(&m).unwrap();
+    }
+
+    #[test]
+    fn direct_sum_separates_grounds() {
+        let m = DirectSum::new(UniformMatroid::new(2, 1), UniformMatroid::new(3, 2));
+        assert_eq!(m.ground_size(), 5);
+        assert_eq!(m.rank(), 3);
+        assert!(m.is_independent(&[0, 2, 3]));
+        assert!(!m.is_independent(&[0, 1])); // both from left (cap 1)
+        assert!(!m.is_independent(&[2, 3, 4])); // all from right (cap 2)
+        assert!(m.can_add(&[0, 2], 3));
+        assert!(!m.can_add(&[0, 2, 3], 4));
+        check_matroid_axioms(&m).unwrap();
+    }
+
+    #[test]
+    fn nested_combinators() {
+        let p = PartitionMatroid::new(vec![0, 0, 1, 1], vec![1, 2]);
+        let m = Truncation::new(
+            DirectSum::new(p, UniformMatroid::new(2, 2)),
+            3,
+        );
+        assert_eq!(m.ground_size(), 6);
+        assert_eq!(m.rank(), 3);
+        check_matroid_axioms(&m).unwrap();
+    }
+}

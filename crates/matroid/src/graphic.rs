@@ -1,0 +1,171 @@
+//! Graphic matroid: edge sets that form forests.
+
+use crate::Matroid;
+
+/// The graphic matroid of an undirected multigraph: ground elements are
+/// edges; a set is independent iff it is acyclic (a forest).
+///
+/// Babaioff et al. gave constant-competitive secretary algorithms for graphic
+/// matroids; they are the "structured" family in experiment E8.
+#[derive(Clone, Debug)]
+pub struct GraphicMatroid {
+    n_vertices: usize,
+    edges: Vec<(u32, u32)>,
+    rank: usize,
+}
+
+impl GraphicMatroid {
+    /// Creates the graphic matroid of the graph on `n_vertices` vertices with
+    /// the given edge list. Self-loops are allowed (they are dependent as
+    /// singletons, i.e. loops in matroid terms).
+    pub fn new(n_vertices: usize, edges: Vec<(u32, u32)>) -> Self {
+        for &(u, v) in &edges {
+            assert!(
+                (u as usize) < n_vertices && (v as usize) < n_vertices,
+                "edge ({u},{v}) out of range"
+            );
+        }
+        // rank = n_vertices − #components of the full graph (loops ignored)
+        let mut dsu = Dsu::new(n_vertices);
+        let mut rank = 0;
+        for &(u, v) in &edges {
+            if dsu.union(u as usize, v as usize) {
+                rank += 1;
+            }
+        }
+        Self {
+            n_vertices,
+            edges,
+            rank,
+        }
+    }
+}
+
+impl Matroid for GraphicMatroid {
+    fn ground_size(&self) -> usize {
+        self.edges.len()
+    }
+
+    fn is_independent(&self, set: &[u32]) -> bool {
+        let mut dsu = Dsu::new(self.n_vertices);
+        for &e in set {
+            let (u, v) = self.edges[e as usize];
+            if !dsu.union(u as usize, v as usize) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn can_add(&self, current: &[u32], e: u32) -> bool {
+        let mut dsu = Dsu::new(self.n_vertices);
+        for &c in current {
+            let (u, v) = self.edges[c as usize];
+            let fresh = dsu.union(u as usize, v as usize);
+            debug_assert!(fresh, "`current` must be independent");
+        }
+        let (u, v) = self.edges[e as usize];
+        dsu.find(u as usize) != dsu.find(v as usize)
+    }
+}
+
+/// Small union–find with path halving and union by size.
+#[derive(Clone, Debug)]
+struct Dsu {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] as usize != x {
+            self.parent[x] = self.parent[self.parent[x] as usize];
+            x = self.parent[x] as usize;
+        }
+        x
+    }
+
+    /// Returns false if `a` and `b` were already connected.
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big as u32;
+        self.size[big] += self.size[small];
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check_matroid_axioms;
+
+    #[test]
+    fn triangle() {
+        // K3: any 2 edges independent, all 3 dependent
+        let m = GraphicMatroid::new(3, vec![(0, 1), (1, 2), (0, 2)]);
+        assert!(m.is_independent(&[0, 1]));
+        assert!(m.is_independent(&[0, 2]));
+        assert!(!m.is_independent(&[0, 1, 2]));
+        assert_eq!(m.rank(), 2);
+        assert!(!m.can_add(&[0, 1], 2));
+        assert!(m.can_add(&[0], 1));
+    }
+
+    #[test]
+    fn self_loop_is_dependent() {
+        let m = GraphicMatroid::new(2, vec![(0, 0), (0, 1)]);
+        assert!(!m.is_independent(&[0]));
+        assert!(m.is_independent(&[1]));
+        assert_eq!(m.rank(), 1);
+    }
+
+    #[test]
+    fn parallel_edges() {
+        let m = GraphicMatroid::new(2, vec![(0, 1), (0, 1)]);
+        assert!(m.is_independent(&[0]));
+        assert!(!m.is_independent(&[0, 1]));
+        assert_eq!(m.rank(), 1);
+    }
+
+    #[test]
+    fn forest_rank_multiple_components() {
+        // two disjoint edges + isolated vertex: rank 2
+        let m = GraphicMatroid::new(5, vec![(0, 1), (2, 3)]);
+        assert_eq!(m.rank(), 2);
+        assert!(m.is_independent(&[0, 1]));
+    }
+
+    #[test]
+    fn axioms_k4() {
+        // K4 has 6 edges, rank 3
+        let edges = vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+        let m = GraphicMatroid::new(4, edges);
+        assert_eq!(m.rank(), 3);
+        check_matroid_axioms(&m).unwrap();
+    }
+
+    #[test]
+    fn axioms_with_loop_and_parallel() {
+        let m = GraphicMatroid::new(3, vec![(0, 0), (0, 1), (0, 1), (1, 2)]);
+        check_matroid_axioms(&m).unwrap();
+    }
+}

@@ -1,0 +1,150 @@
+//! Laminar matroid: capacities on a laminar family of element sets.
+
+use crate::Matroid;
+
+/// A laminar matroid: a family of element sets, any two of which are nested
+/// or disjoint, each with a capacity; a set `S` is independent iff
+/// `|S ∩ F| ≤ cap(F)` for every family member `F`.
+///
+/// Generalizes both uniform (one family set = everything) and partition
+/// matroids (disjoint family sets).
+#[derive(Clone, Debug)]
+pub struct LaminarMatroid {
+    n: usize,
+    /// Sorted, deduplicated member lists.
+    families: Vec<Vec<u32>>,
+    caps: Vec<usize>,
+    rank: usize,
+}
+
+impl LaminarMatroid {
+    /// Creates a laminar matroid over ground `0..n`.
+    ///
+    /// # Panics
+    /// Panics if the family is not laminar (some pair neither nested nor
+    /// disjoint), if lengths mismatch, or if members are out of range.
+    pub fn new(n: usize, mut families: Vec<Vec<u32>>, caps: Vec<usize>) -> Self {
+        assert_eq!(families.len(), caps.len());
+        for f in families.iter_mut() {
+            f.sort_unstable();
+            f.dedup();
+            for &e in f.iter() {
+                assert!((e as usize) < n, "element {e} out of range");
+            }
+        }
+        for i in 0..families.len() {
+            for j in i + 1..families.len() {
+                let (a, b) = (&families[i], &families[j]);
+                let inter = intersection_size(a, b);
+                let nested_or_disjoint = inter == 0 || inter == a.len() || inter == b.len();
+                assert!(
+                    nested_or_disjoint,
+                    "family sets {i} and {j} are neither nested nor disjoint"
+                );
+            }
+        }
+        let mut m = Self {
+            n,
+            families,
+            caps,
+            rank: 0,
+        };
+        // rank = size of a maximum independent set, found greedily (valid
+        // because matroid greedy with unit weights maximizes cardinality).
+        let mut cur: Vec<u32> = Vec::new();
+        for e in 0..n as u32 {
+            if m.can_add(&cur, e) {
+                cur.push(e);
+            }
+        }
+        m.rank = cur.len();
+        m
+    }
+}
+
+fn intersection_size(a: &[u32], b: &[u32]) -> usize {
+    let (mut i, mut j, mut c) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                c += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    c
+}
+
+impl Matroid for LaminarMatroid {
+    fn ground_size(&self) -> usize {
+        self.n
+    }
+
+    fn is_independent(&self, set: &[u32]) -> bool {
+        debug_assert!(set.iter().all(|&e| (e as usize) < self.n));
+        self.families.iter().zip(&self.caps).all(|(f, &cap)| {
+            set.iter().filter(|&&e| f.binary_search(&e).is_ok()).count() <= cap
+        })
+    }
+
+    fn rank(&self) -> usize {
+        self.rank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check_matroid_axioms;
+
+    #[test]
+    fn nested_caps() {
+        // inner {0,1} cap 1, outer {0,1,2,3} cap 2
+        let m = LaminarMatroid::new(4, vec![vec![0, 1], vec![0, 1, 2, 3]], vec![1, 2]);
+        assert!(m.is_independent(&[0, 2]));
+        assert!(!m.is_independent(&[0, 1]));
+        assert!(!m.is_independent(&[0, 2, 3]));
+        assert_eq!(m.rank(), 2);
+    }
+
+    #[test]
+    fn reduces_to_partition() {
+        let m = LaminarMatroid::new(4, vec![vec![0, 1], vec![2, 3]], vec![1, 1]);
+        assert!(m.is_independent(&[0, 2]));
+        assert!(!m.is_independent(&[2, 3]));
+        assert_eq!(m.rank(), 2);
+    }
+
+    #[test]
+    fn elements_outside_families_are_free() {
+        let m = LaminarMatroid::new(3, vec![vec![0]], vec![0]);
+        assert!(!m.is_independent(&[0]));
+        assert!(m.is_independent(&[1, 2]));
+        assert_eq!(m.rank(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "neither nested nor disjoint")]
+    fn non_laminar_rejected() {
+        LaminarMatroid::new(3, vec![vec![0, 1], vec![1, 2]], vec![1, 1]);
+    }
+
+    #[test]
+    fn axioms() {
+        check_matroid_axioms(&LaminarMatroid::new(
+            5,
+            vec![vec![0, 1], vec![0, 1, 2, 3], vec![4]],
+            vec![1, 3, 1],
+        ))
+        .unwrap();
+        check_matroid_axioms(&LaminarMatroid::new(
+            4,
+            vec![vec![0, 1, 2, 3], vec![0, 1]],
+            vec![2, 1],
+        ))
+        .unwrap();
+    }
+}

@@ -1,0 +1,113 @@
+//! Partition matroid: per-group capacities.
+
+use crate::Matroid;
+
+/// Ground set partitioned into groups; independent iff every group
+/// contributes at most its capacity.
+///
+/// Truncated partition matroids are one of the special cases for which
+/// Babaioff et al. gave constant-competitive secretary algorithms; they show
+/// up in E8 as the "easy" matroid family.
+#[derive(Clone, Debug)]
+pub struct PartitionMatroid {
+    /// `group[e]` = group id of element `e`.
+    group: Vec<u32>,
+    /// `cap[g]` = capacity of group `g`.
+    cap: Vec<usize>,
+}
+
+impl PartitionMatroid {
+    /// Creates a partition matroid.
+    ///
+    /// # Panics
+    /// Panics if a group id is out of range of `cap`.
+    pub fn new(group: Vec<u32>, cap: Vec<usize>) -> Self {
+        for &g in &group {
+            assert!((g as usize) < cap.len(), "group id {g} has no capacity entry");
+        }
+        Self { group, cap }
+    }
+
+    fn counts(&self, set: &[u32]) -> Vec<usize> {
+        let mut c = vec![0usize; self.cap.len()];
+        for &e in set {
+            c[self.group[e as usize] as usize] += 1;
+        }
+        c
+    }
+}
+
+impl Matroid for PartitionMatroid {
+    fn ground_size(&self) -> usize {
+        self.group.len()
+    }
+
+    fn is_independent(&self, set: &[u32]) -> bool {
+        debug_assert!(set.iter().all(|&e| (e as usize) < self.group.len()));
+        self.counts(set)
+            .iter()
+            .zip(&self.cap)
+            .all(|(&c, &k)| c <= k)
+    }
+
+    fn rank(&self) -> usize {
+        // per group: min(capacity, group size)
+        let mut sizes = vec![0usize; self.cap.len()];
+        for &g in &self.group {
+            sizes[g as usize] += 1;
+        }
+        sizes
+            .iter()
+            .zip(&self.cap)
+            .map(|(&s, &k)| s.min(k))
+            .sum()
+    }
+
+    fn can_add(&self, current: &[u32], e: u32) -> bool {
+        let g = self.group[e as usize];
+        let used = current
+            .iter()
+            .filter(|&&x| self.group[x as usize] == g)
+            .count();
+        used < self.cap[g as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check_matroid_axioms;
+
+    #[test]
+    fn basic() {
+        // groups: {0,1} cap 1, {2,3,4} cap 2
+        let m = PartitionMatroid::new(vec![0, 0, 1, 1, 1], vec![1, 2]);
+        assert!(m.is_independent(&[0, 2, 3]));
+        assert!(!m.is_independent(&[0, 1]));
+        assert!(!m.is_independent(&[2, 3, 4]));
+        assert_eq!(m.rank(), 3);
+        assert!(m.can_add(&[0, 2], 3));
+        assert!(!m.can_add(&[0, 2, 3], 4));
+    }
+
+    #[test]
+    fn zero_capacity_group() {
+        let m = PartitionMatroid::new(vec![0, 1], vec![0, 1]);
+        assert!(!m.is_independent(&[0]));
+        assert!(m.is_independent(&[1]));
+        assert_eq!(m.rank(), 1);
+    }
+
+    #[test]
+    fn axioms() {
+        check_matroid_axioms(&PartitionMatroid::new(vec![0, 0, 1, 1, 1], vec![1, 2])).unwrap();
+        check_matroid_axioms(&PartitionMatroid::new(vec![0, 1, 2], vec![1, 1, 1])).unwrap();
+        check_matroid_axioms(&PartitionMatroid::new(vec![0, 0, 0, 0], vec![2])).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "no capacity entry")]
+    fn invalid_group_panics() {
+        PartitionMatroid::new(vec![0, 5], vec![1]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Transversal matroid: job sets simultaneously matchable in a bipartite
+//! graph.
+//!
+//! This is the matroid implicitly at work in the scheduling reduction of the
+//! paper's Chapter 2: the sets of jobs that can be scheduled into a fixed
+//! collection of awake slots are exactly the independent sets of the
+//! transversal matroid of the slot–job graph. Bounded-degree transversal
+//! matroids are also one of Babaioff et al.'s constant-competitive secretary
+//! cases (E8).
+
+use crate::Matroid;
+use bmatch::{hopcroft_karp, BipartiteGraph};
+
+/// Transversal matroid over the `Y` (job) side of a bipartite graph: a set of
+/// jobs is independent iff they can all be matched to distinct `X` (slot)
+/// vertices simultaneously.
+#[derive(Clone, Debug)]
+pub struct TransversalMatroid {
+    g: BipartiteGraph,
+    rank: usize,
+}
+
+impl TransversalMatroid {
+    /// Creates the transversal matroid of `g`, with ground set `0..g.ny()`.
+    pub fn new(g: BipartiteGraph) -> Self {
+        let rank = hopcroft_karp(&g, |_| true).size;
+        Self { g, rank }
+    }
+
+    /// The underlying bipartite graph.
+    pub fn graph(&self) -> &BipartiteGraph {
+        &self.g
+    }
+
+    /// Kuhn-style augmentation restricted to the jobs in `set`.
+    fn matchable(&self, set: &[u32]) -> bool {
+        let nx = self.g.nx() as usize;
+        let mut match_x = vec![u32::MAX; nx];
+        let mut seen = vec![false; nx];
+
+        // DFS augment for one job; `members` guards recursion into set jobs only.
+        fn augment(
+            g: &BipartiteGraph,
+            y: u32,
+            match_x: &mut [u32],
+            seen: &mut [bool],
+        ) -> bool {
+            for &x in g.adj_y(y) {
+                if seen[x as usize] {
+                    continue;
+                }
+                seen[x as usize] = true;
+                let occ = match_x[x as usize];
+                if occ == u32::MAX || augment(g, occ, match_x, seen) {
+                    match_x[x as usize] = y;
+                    return true;
+                }
+            }
+            false
+        }
+
+        for &y in set {
+            seen.fill(false);
+            if !augment(&self.g, y, &mut match_x, &mut seen) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl Matroid for TransversalMatroid {
+    fn ground_size(&self) -> usize {
+        self.g.ny() as usize
+    }
+
+    fn is_independent(&self, set: &[u32]) -> bool {
+        debug_assert!(set.iter().all(|&e| e < self.g.ny()));
+        self.matchable(set)
+    }
+
+    fn rank(&self) -> usize {
+        self.rank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check_matroid_axioms;
+
+    #[test]
+    fn two_jobs_one_slot() {
+        // both jobs adjacent only to slot 0: singletons independent, pair not
+        let g = BipartiteGraph::from_edges(1, 2, &[(0, 0), (0, 1)]);
+        let m = TransversalMatroid::new(g);
+        assert!(m.is_independent(&[0]));
+        assert!(m.is_independent(&[1]));
+        assert!(!m.is_independent(&[0, 1]));
+        assert_eq!(m.rank(), 1);
+    }
+
+    #[test]
+    fn isolated_job_is_loop() {
+        let g = BipartiteGraph::from_edges(1, 2, &[(0, 0)]);
+        let m = TransversalMatroid::new(g);
+        assert!(!m.is_independent(&[1]));
+        assert!(m.is_independent(&[0]));
+    }
+
+    #[test]
+    fn requires_augmentation() {
+        // job0: {slot0, slot1}; job1: {slot0}. Both matchable together.
+        let g = BipartiteGraph::from_edges(2, 2, &[(0, 0), (1, 0), (0, 1)]);
+        let m = TransversalMatroid::new(g);
+        assert!(m.is_independent(&[0, 1]));
+        assert_eq!(m.rank(), 2);
+    }
+
+    #[test]
+    fn axioms_random() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        for _ in 0..15 {
+            let nx = rng.gen_range(1..=4u32);
+            let ny = rng.gen_range(1..=5u32);
+            let mut e = Vec::new();
+            for x in 0..nx {
+                for y in 0..ny {
+                    if rng.gen_bool(0.4) {
+                        e.push((x, y));
+                    }
+                }
+            }
+            let m = TransversalMatroid::new(BipartiteGraph::from_edges(nx, ny, &e));
+            check_matroid_axioms(&m).unwrap();
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Uniform matroid: independent iff at most `k` elements.
+
+use crate::Matroid;
+
+/// The uniform matroid `U_{k,n}`: a set is independent iff `|S| ≤ k`.
+///
+/// The cardinality constraint of the basic multiple-choice secretary problem
+/// is exactly this matroid.
+#[derive(Clone, Debug)]
+pub struct UniformMatroid {
+    n: usize,
+    k: usize,
+}
+
+impl UniformMatroid {
+    /// Creates `U_{k,n}`.
+    pub fn new(n: usize, k: usize) -> Self {
+        Self { n, k }
+    }
+}
+
+impl Matroid for UniformMatroid {
+    fn ground_size(&self) -> usize {
+        self.n
+    }
+    fn is_independent(&self, set: &[u32]) -> bool {
+        debug_assert!(set.iter().all(|&e| (e as usize) < self.n));
+        set.len() <= self.k
+    }
+    fn rank(&self) -> usize {
+        self.k.min(self.n)
+    }
+    fn can_add(&self, current: &[u32], _e: u32) -> bool {
+        current.len() < self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check_matroid_axioms;
+
+    #[test]
+    fn basic() {
+        let m = UniformMatroid::new(5, 2);
+        assert!(m.is_independent(&[]));
+        assert!(m.is_independent(&[0, 4]));
+        assert!(!m.is_independent(&[0, 1, 2]));
+        assert!(m.can_add(&[0], 1));
+        assert!(!m.can_add(&[0, 1], 2));
+        assert_eq!(m.rank(), 2);
+    }
+
+    #[test]
+    fn rank_clamped_by_ground() {
+        let m = UniformMatroid::new(3, 10);
+        assert_eq!(m.rank(), 3);
+    }
+
+    #[test]
+    fn axioms() {
+        check_matroid_axioms(&UniformMatroid::new(5, 2)).unwrap();
+        check_matroid_axioms(&UniformMatroid::new(4, 0)).unwrap();
+        check_matroid_axioms(&UniformMatroid::new(4, 4)).unwrap();
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests: matroid combinators preserve the axioms for randomized
+//! base matroids, and their ranks compose as the theory says.
+
+use matroid::{
+    check_matroid_axioms, DirectSum, GraphicMatroid, Matroid, PartitionMatroid, Restriction,
+    Truncation, UniformMatroid,
+};
+use proptest::prelude::*;
+
+fn partition_strategy() -> impl Strategy<Value = PartitionMatroid> {
+    (1usize..6, 1usize..4).prop_flat_map(|(n, groups)| {
+        (
+            proptest::collection::vec(0u32..groups as u32, n),
+            proptest::collection::vec(0usize..3, groups),
+        )
+            .prop_map(|(assign, caps)| PartitionMatroid::new(assign, caps))
+    })
+}
+
+fn graphic_strategy() -> impl Strategy<Value = GraphicMatroid> {
+    (2usize..5).prop_flat_map(|verts| {
+        proptest::collection::vec((0u32..verts as u32, 0u32..verts as u32), 1..7)
+            .prop_map(move |edges| GraphicMatroid::new(verts, edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn truncation_of_partition_is_matroid(m in partition_strategy(), k in 0usize..5) {
+        let t = Truncation::new(m, k);
+        if t.ground_size() <= 9 {
+            prop_assert!(check_matroid_axioms(&t).is_ok());
+        }
+    }
+
+    #[test]
+    fn truncation_of_graphic_is_matroid(m in graphic_strategy(), k in 0usize..4) {
+        let t = Truncation::new(m, k);
+        if t.ground_size() <= 9 {
+            prop_assert!(check_matroid_axioms(&t).is_ok());
+        }
+    }
+
+    #[test]
+    fn restriction_preserves_axioms(m in partition_strategy(),
+                                    keep_bits in proptest::collection::vec(any::<bool>(), 6)) {
+        let keep: Vec<u32> = (0..m.ground_size() as u32)
+            .filter(|&e| *keep_bits.get(e as usize).unwrap_or(&false))
+            .collect();
+        let r = Restriction::new(m, &keep);
+        if r.ground_size() <= 9 {
+            prop_assert!(check_matroid_axioms(&r).is_ok());
+        }
+    }
+
+    #[test]
+    fn direct_sum_preserves_axioms(a in partition_strategy(), b in graphic_strategy()) {
+        let s = DirectSum::new(a, b);
+        if s.ground_size() <= 9 {
+            prop_assert!(check_matroid_axioms(&s).is_ok());
+        }
+    }
+
+    #[test]
+    fn direct_sum_rank_is_additive(a in partition_strategy(), k in 1usize..4) {
+        let u = UniformMatroid::new(3, k);
+        let expected = a.rank() + u.rank();
+        let s = DirectSum::new(a, u);
+        prop_assert_eq!(s.rank(), expected);
+    }
+
+    #[test]
+    fn truncation_rank_is_min(m in graphic_strategy(), k in 0usize..6) {
+        let inner_rank = m.rank();
+        let t = Truncation::new(m, k);
+        prop_assert_eq!(t.rank(), inner_rank.min(k));
+    }
+
+    #[test]
+    fn can_add_agrees_with_is_independent(m in partition_strategy(),
+                                          set_bits in proptest::collection::vec(any::<bool>(), 6),
+                                          e in 0u32..6) {
+        let n = m.ground_size() as u32;
+        prop_assume!(e < n);
+        let current: Vec<u32> = (0..n)
+            .filter(|&x| x != e && *set_bits.get(x as usize).unwrap_or(&false))
+            .collect();
+        prop_assume!(m.is_independent(&current));
+        let mut ext = current.clone();
+        ext.push(e);
+        prop_assert_eq!(m.can_add(&current, e), m.is_independent(&ext));
+    }
+}

@@ -1,0 +1,211 @@
+//! Section 3.6 and Appendix .3: bottleneck (min) and robust top-`k`
+//! secretary rules.
+//!
+//! * [`bottleneck_secretary`] — the paper's `O(k)`-competitive rule for the
+//!   aggregate `f(T) = min_{e∈T} v_e` (hiring a team limited by its slowest
+//!   member): observe the first `1/k` fraction, set the threshold `a` to the
+//!   best efficiency seen, then hire the first `k` later arrivals exceeding
+//!   `a`. Theorem 3.6.1 lower-bounds the probability of hiring exactly the
+//!   `k` best.
+//! * [`oblivious_topk`] — the appendix's robust rule: split the stream into
+//!   `k` segments and run an independent 1/e rule in each; the same run
+//!   simultaneously approximates every monotone weighted objective
+//!   `Σ γᵢ·a⁽ⁱ⁾` without knowing `γ`.
+
+const INV_E: f64 = 0.36787944117144233;
+
+/// The bottleneck rule. `values_in_order` are the efficiencies in arrival
+/// order; `observe_frac` defaults to the paper's `1/k` when `None`.
+/// Returns the stream positions hired (at most `k`, possibly fewer).
+pub fn bottleneck_secretary(
+    values_in_order: &[f64],
+    k: usize,
+    observe_frac: Option<f64>,
+) -> Vec<usize> {
+    let n = values_in_order.len();
+    if n == 0 || k == 0 {
+        return Vec::new();
+    }
+    let frac = observe_frac.unwrap_or(1.0 / k as f64);
+    let cutoff = ((n as f64) * frac.clamp(0.0, 1.0)).floor() as usize;
+    let cutoff = cutoff.min(n);
+    let a = values_in_order[..cutoff]
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    let mut hired = Vec::with_capacity(k);
+    for (pos, &v) in values_in_order.iter().enumerate().skip(cutoff) {
+        if v > a {
+            hired.push(pos);
+            if hired.len() == k {
+                break;
+            }
+        }
+    }
+    hired
+}
+
+/// Did the rule hire exactly the `k` largest values? (The success event of
+/// Theorem 3.6.1; assumes distinct values.)
+pub fn hired_k_best(values_in_order: &[f64], hired: &[usize], k: usize) -> bool {
+    if hired.len() != k {
+        return false;
+    }
+    let mut sorted: Vec<f64> = values_in_order.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    let kth = sorted[k - 1];
+    hired.iter().all(|&p| values_in_order[p] >= kth)
+}
+
+/// Oblivious top-`k`: `k` independent per-segment 1/e rules. Returns hired
+/// stream positions (at most one per segment).
+pub fn oblivious_topk(values_in_order: &[f64], k: usize) -> Vec<usize> {
+    let n = values_in_order.len();
+    if n == 0 || k == 0 {
+        return Vec::new();
+    }
+    let seg_len = n as f64 / k as f64;
+    let mut hired = Vec::with_capacity(k);
+    for i in 0..k {
+        let lo = (i as f64 * seg_len).floor() as usize;
+        let hi = ((((i + 1) as f64) * seg_len).floor() as usize).min(n);
+        if lo >= hi {
+            continue;
+        }
+        let obs_end = (lo as f64 + (hi - lo) as f64 * INV_E).floor() as usize;
+        let obs_end = obs_end.clamp(lo, hi);
+        let threshold = values_in_order[lo..obs_end]
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        if let Some(p) = values_in_order[obs_end..hi].iter().position(|&v| v > threshold) {
+            hired.push(obs_end + p);
+        }
+    }
+    hired
+}
+
+/// The γ-weighted objective of Appendix .3: sort the hired values
+/// decreasingly and take `Σ γᵢ · v⁽ⁱ⁾` (missing positions contribute 0).
+/// `gamma` must be non-increasing.
+pub fn gamma_objective(values: &[f64], gamma: &[f64]) -> f64 {
+    debug_assert!(gamma.windows(2).all(|w| w[0] >= w[1]), "γ must be non-increasing");
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    gamma
+        .iter()
+        .zip(v.iter().chain(std::iter::repeat(&0.0)))
+        .map(|(&g, &x)| g * x)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::random_stream;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hires_at_most_k_above_threshold() {
+        let vals = [5.0, 1.0, 7.0, 6.0, 8.0, 9.0, 2.0, 10.0];
+        let hired = bottleneck_secretary(&vals, 2, Some(0.25));
+        // cutoff 2 -> a = 5; first 2 above 5 afterwards: positions 2 (7), 3 (6)
+        assert_eq!(hired, vec![2, 3]);
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert!(bottleneck_secretary(&[], 3, None).is_empty());
+        assert!(bottleneck_secretary(&[1.0], 0, None).is_empty());
+    }
+
+    #[test]
+    fn success_detection() {
+        let vals = [3.0, 9.0, 8.0, 1.0];
+        assert!(hired_k_best(&vals, &[1, 2], 2));
+        assert!(!hired_k_best(&vals, &[1, 3], 2));
+        assert!(!hired_k_best(&vals, &[1], 2));
+    }
+
+    #[test]
+    fn success_probability_positive_and_k_dependent() {
+        // Monte-Carlo estimate of P[hire exactly the k best]; must be clearly
+        // positive and follow the Theorem 3.6.1 shape (decaying in k).
+        let mut rng = rand::rngs::StdRng::seed_from_u64(314);
+        let n = 60;
+        let trials = 3000;
+        let mut probs = Vec::new();
+        for k in [2usize, 4] {
+            let mut hit = 0;
+            for _ in 0..trials {
+                let order = random_stream(n, &mut rng);
+                let vals: Vec<f64> = order.iter().map(|&i| i as f64 + 1.0).collect();
+                let hired = bottleneck_secretary(&vals, k, None);
+                if hired_k_best(&vals, &hired, k) {
+                    hit += 1;
+                }
+            }
+            probs.push(hit as f64 / trials as f64);
+        }
+        assert!(probs[0] > 0.02, "k=2 success probability too small: {}", probs[0]);
+        assert!(probs[1] > 0.001, "k=4 success probability too small: {}", probs[1]);
+        assert!(probs[0] > probs[1], "success probability should decay with k");
+    }
+
+    #[test]
+    fn oblivious_topk_one_per_segment() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let n = 50;
+        let k = 5;
+        let order = random_stream(n, &mut rng);
+        let vals: Vec<f64> = order.iter().map(|&i| i as f64).collect();
+        let hired = oblivious_topk(&vals, k);
+        assert!(hired.len() <= k);
+        // one hire per segment: positions must be in distinct length-10 blocks
+        let mut segs: Vec<usize> = hired.iter().map(|&p| p / 10).collect();
+        segs.dedup();
+        assert_eq!(segs.len(), hired.len());
+    }
+
+    #[test]
+    fn gamma_objective_weighted_sum() {
+        let g = [3.0, 2.0, 1.0];
+        assert_eq!(gamma_objective(&[1.0, 5.0], &g), 3.0 * 5.0 + 2.0 * 1.0);
+        assert_eq!(gamma_objective(&[], &g), 0.0);
+        assert_eq!(gamma_objective(&[2.0, 2.0, 2.0, 2.0], &g), 12.0);
+    }
+
+    #[test]
+    fn oblivious_topk_approximates_gamma_objectives() {
+        // The same run must do well for several γ vectors simultaneously.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let n = 100;
+        let k = 5;
+        let trials = 500;
+        let gammas: Vec<Vec<f64>> = vec![
+            vec![1.0, 0.0, 0.0, 0.0, 0.0], // max
+            vec![1.0; 5],                  // sum of top 5
+            vec![5.0, 4.0, 3.0, 2.0, 1.0],
+        ];
+        let mut ratios = vec![0.0f64; gammas.len()];
+        for _ in 0..trials {
+            let order = random_stream(n, &mut rng);
+            let vals: Vec<f64> = order.iter().map(|&i| (i + 1) as f64).collect();
+            let hired = oblivious_topk(&vals, k);
+            let hired_vals: Vec<f64> = hired.iter().map(|&p| vals[p]).collect();
+            let mut top: Vec<f64> = vals.clone();
+            top.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            for (i, g) in gammas.iter().enumerate() {
+                let opt = gamma_objective(&top[..k], g);
+                ratios[i] += gamma_objective(&hired_vals, g) / opt;
+            }
+        }
+        for (i, r) in ratios.iter().enumerate() {
+            let avg = r / trials as f64;
+            assert!(
+                avg > 0.2,
+                "oblivious rule ratio {avg} too low for gamma #{i}"
+            );
+        }
+    }
+}

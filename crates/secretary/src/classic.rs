@@ -1,0 +1,95 @@
+//! The classical secretary problem: Dynkin's 1/e stopping rule.
+//!
+//! Observe the first `⌊φ·n⌋` arrivals without hiring; then hire the first
+//! arrival strictly better than everything observed. With `φ = 1/e` the best
+//! element is hired with probability → 1/e. Used standalone and as the
+//! per-segment subroutine inside Algorithm 1.
+
+/// Runs the threshold rule on values given **in arrival order**; returns the
+/// stream position of the hired element, or `None` if no later element beats
+/// the observation phase (the classic "walked away empty-handed" outcome).
+///
+/// `observe_frac` is clamped to `[0, 1)`; the canonical choice is `1/e`.
+/// Ties are treated as "not better" (strict improvement required), matching
+/// the standard analysis for distinct values.
+pub fn classic_secretary(values_in_order: &[f64], observe_frac: f64) -> Option<usize> {
+    let n = values_in_order.len();
+    if n == 0 {
+        return None;
+    }
+    let frac = observe_frac.clamp(0.0, 1.0 - f64::EPSILON);
+    let cutoff = ((n as f64) * frac).floor() as usize;
+    let threshold = values_in_order[..cutoff]
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    values_in_order[cutoff..]
+        .iter()
+        .position(|&v| v > threshold)
+        .map(|p| cutoff + p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::random_stream;
+    use rand::SeedableRng;
+
+    const INV_E: f64 = 0.36787944117144233;
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(classic_secretary(&[], INV_E), None);
+        // cutoff 0 => first element always hired
+        assert_eq!(classic_secretary(&[5.0], INV_E), Some(0));
+    }
+
+    #[test]
+    fn hires_first_above_observation_max() {
+        let vals = [3.0, 7.0, 1.0, 5.0, 9.0, 2.0];
+        // observe 2 items (6/e ≈ 2.2): threshold 7; first later > 7 is 9 at 4
+        assert_eq!(classic_secretary(&vals, INV_E), Some(4));
+    }
+
+    #[test]
+    fn none_when_best_in_observation() {
+        let vals = [9.0, 7.0, 1.0, 5.0, 2.0, 0.5];
+        assert_eq!(classic_secretary(&vals, INV_E), None);
+    }
+
+    #[test]
+    fn success_probability_close_to_inv_e() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2718);
+        let n = 100;
+        let trials = 4000;
+        let mut hits = 0;
+        for _ in 0..trials {
+            let order = random_stream(n, &mut rng);
+            let vals: Vec<f64> = order.iter().map(|&i| i as f64).collect();
+            if let Some(pos) = classic_secretary(&vals, INV_E) {
+                if vals[pos] == (n - 1) as f64 {
+                    hits += 1;
+                }
+            }
+        }
+        let p = hits as f64 / trials as f64;
+        assert!(
+            (p - INV_E).abs() < 0.04,
+            "empirical success probability {p} far from 1/e"
+        );
+    }
+
+    #[test]
+    fn observe_frac_one_never_hires() {
+        let vals = [1.0, 2.0, 3.0];
+        // frac clamped below 1: cutoff = 2, can still hire the last element
+        let r = classic_secretary(&vals, 1.0);
+        assert_eq!(r, Some(2));
+    }
+
+    #[test]
+    fn zero_frac_hires_first() {
+        let vals = [1.0, 2.0];
+        assert_eq!(classic_secretary(&vals, 0.0), Some(0));
+    }
+}

@@ -1,0 +1,42 @@
+//! Secretary algorithms — Chapter 3 of Zadimoghaddam (2010).
+//!
+//! The online face of the scheduling work: processors/secretaries arrive in
+//! uniformly random order; decisions to hire are immediate and irrevocable;
+//! utility of the hired set is a (possibly non-monotone) submodular function
+//! accessed through a value oracle that may only be queried on already-seen
+//! elements.
+//!
+//! Implemented algorithms and their paper guarantees:
+//!
+//! | Module | Algorithm | Guarantee |
+//! |---|---|---|
+//! | [`classic`] | Dynkin's 1/e rule | best item w.p. ≥ 1/e |
+//! | [`submodular_alg`] | Algorithm 1 (monotone) | `(1−1/e)/(7e)`-competitive (Thm 3.2.5) |
+//! | [`submodular_alg`] | Algorithm 2 (non-monotone) | `1/(8e²)`-competitive (Thm 3.2.8) |
+//! | [`matroid_alg`] | Algorithm 3 (+`l` matroids) | `O(l log² r)`-competitive (Thm 3.1.2) |
+//! | [`knapsack`] | `l`-knapsack reduction + single-knapsack | `O(l)`-competitive (Thm 3.1.3) |
+//! | [`subadditive`] | segment sampler + hidden-set hard function | `O(√n)` upper bound, `Ω̃(√n)` lower (Thm 3.1.4) |
+//! | [`bottleneck`] | min-utility threshold rule | hires the `k` best w.p. ≈ `e⁻²ᵏ`-ish (Thm 3.6.1) |
+//! | [`bottleneck`] | oblivious top-`k` (per-segment 1/e rule) | robust `γ`-objective (App. .3) |
+//!
+//! Offline reference solvers used by the experiments to estimate `f(R)` live
+//! in [`offline`]. All randomness is injected (`rand::Rng`), so every
+//! simulation is reproducible from its seed.
+
+pub mod bottleneck;
+pub mod classic;
+pub mod knapsack;
+pub mod matroid_alg;
+pub mod offline;
+pub mod stream;
+pub mod subadditive;
+pub mod submodular_alg;
+
+pub use bottleneck::{bottleneck_secretary, oblivious_topk};
+pub use classic::classic_secretary;
+pub use knapsack::{knapsack_secretary, KnapsackInstance};
+pub use matroid_alg::matroid_submodular_secretary;
+pub use offline::{offline_exact_small, offline_greedy, offline_matroid_greedy};
+pub use stream::random_stream;
+pub use subadditive::{subadditive_secretary, HiddenSetFn};
+pub use submodular_alg::{nonmonotone_submodular_secretary, submodular_secretary};

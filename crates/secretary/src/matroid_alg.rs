@@ -1,0 +1,237 @@
+//! Algorithm 3: the (multi-)matroid submodular secretary problem
+//! (Theorem 3.1.2, `O(l log² r)`-competitive).
+//!
+//! The algorithm works on the first half `U₁` of the stream only (so that in
+//! expectation a large independent fragment of the optimum is still
+//! addable later), guesses the refined-optimum size `k = |S*|` uniformly from
+//! `{2⁰, 2¹, …, 2^⌈log₂ r⌉}` (the `log r` guessing loses one `log r` factor;
+//! the per-segment analysis the other), and then runs the segment/threshold
+//! machinery of Algorithm 1 restricted to moves that keep the hired set
+//! independent in **all** given matroids. Small guesses (`k ≤ log₂ r`)
+//! degrade to hiring the single best feasible element by the 1/e rule.
+
+use matroid::Matroid;
+use rand::Rng;
+use submodular::{BitSet, SetFn};
+
+const INV_E: f64 = 0.36787944117144233;
+
+/// Runs Algorithm 3 on the arrival order `stream` under the given matroid
+/// constraints. Returns the hired set (independent in every matroid).
+pub fn matroid_submodular_secretary<F: SetFn + ?Sized>(
+    f: &F,
+    stream: &[u32],
+    matroids: &[&dyn Matroid],
+    rng: &mut impl Rng,
+) -> Vec<u32> {
+    let n = stream.len();
+    if n == 0 || matroids.is_empty() {
+        return Vec::new();
+    }
+    let r = matroid::max_rank(matroids).max(1);
+    let log_r = (r as f64).log2().ceil() as u32;
+
+    // guess k uniformly from {2^0, ..., 2^log_r}
+    let exp = rng.gen_range(0..=log_r);
+    let k = 1usize << exp;
+
+    let half = &stream[..n / 2];
+    if half.is_empty() {
+        return Vec::new();
+    }
+
+    if (k as f64) <= (r as f64).log2().max(1.0) {
+        // singleton mode: 1/e rule over feasible single elements of U1
+        return best_feasible_singleton(f, half, matroids);
+    }
+
+    segmented_matroid_greedy(f, half, matroids, k)
+}
+
+/// 1/e rule on `f({e})` restricted to elements independent as singletons.
+fn best_feasible_singleton<F: SetFn + ?Sized>(
+    f: &F,
+    stream: &[u32],
+    matroids: &[&dyn Matroid],
+) -> Vec<u32> {
+    let n = stream.len();
+    let cutoff = ((n as f64) * INV_E).floor() as usize;
+    let mut single = BitSet::new(f.ground_size());
+    let eval1 = |e: u32, buf: &mut BitSet| {
+        buf.clear();
+        buf.insert(e);
+        f.eval(buf)
+    };
+    let feasible = |e: u32| matroids.iter().all(|m| m.is_independent(&[e]));
+
+    let mut threshold = f64::NEG_INFINITY;
+    for &e in &stream[..cutoff] {
+        if feasible(e) {
+            threshold = threshold.max(eval1(e, &mut single));
+        }
+    }
+    for &e in &stream[cutoff..] {
+        if feasible(e) && eval1(e, &mut single) > threshold {
+            return vec![e];
+        }
+    }
+    Vec::new()
+}
+
+/// Algorithm 1's segment/threshold loop with matroid feasibility filters:
+/// `k` segments over `stream`, at most one hire per segment, hires must keep
+/// the set independent in all matroids (the `T_{i−1} ∪ {a_j} ∈ I` conditions
+/// in the paper's pseudocode).
+fn segmented_matroid_greedy<F: SetFn + ?Sized>(
+    f: &F,
+    stream: &[u32],
+    matroids: &[&dyn Matroid],
+    k: usize,
+) -> Vec<u32> {
+    let n = stream.len();
+    let mut hired: Vec<u32> = Vec::new();
+    let mut t_set = BitSet::new(f.ground_size());
+    let mut f_t = f.eval(&t_set);
+    let seg_len = n as f64 / k as f64;
+    let mut with_e = BitSet::new(f.ground_size());
+
+    for i in 0..k {
+        let seg_start = (i as f64 * seg_len).floor() as usize;
+        let seg_end = ((((i + 1) as f64) * seg_len).floor() as usize).min(n);
+        if seg_start >= seg_end {
+            continue;
+        }
+        let obs_end =
+            (seg_start as f64 + (seg_end - seg_start) as f64 * INV_E).floor() as usize;
+        let obs_end = obs_end.clamp(seg_start, seg_end);
+
+        let feasible =
+            |e: u32, hired: &Vec<u32>| matroids.iter().all(|m| m.can_add(hired, e));
+
+        let mut alpha = f64::NEG_INFINITY;
+        for &e in &stream[seg_start..obs_end] {
+            if t_set.contains(e) || !feasible(e, &hired) {
+                continue;
+            }
+            with_e.copy_from(&t_set);
+            with_e.insert(e);
+            alpha = alpha.max(f.eval(&with_e));
+        }
+        if alpha < f_t {
+            alpha = f_t;
+        }
+
+        for &e in &stream[obs_end..seg_end] {
+            if t_set.contains(e) || !feasible(e, &hired) {
+                continue;
+            }
+            with_e.copy_from(&t_set);
+            with_e.insert(e);
+            let v = f.eval(&with_e);
+            if v >= alpha {
+                t_set.insert(e);
+                hired.push(e);
+                f_t = v;
+                break;
+            }
+        }
+    }
+    hired
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offline::offline_matroid_greedy;
+    use crate::stream::random_stream;
+    use matroid::{GraphicMatroid, PartitionMatroid, UniformMatroid};
+    use rand::SeedableRng;
+    use submodular::functions::{AdditiveFn, CoverageFn};
+
+    fn eval_set<F: SetFn + ?Sized>(f: &F, set: &[u32]) -> f64 {
+        f.eval(&BitSet::from_iter(f.ground_size(), set.iter().copied()))
+    }
+
+    #[test]
+    fn output_always_independent() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let n = 40;
+        let f = AdditiveFn::new((0..n).map(|i| (i % 7) as f64 + 1.0).collect());
+        let m1 = UniformMatroid::new(n, 5);
+        let m2 = PartitionMatroid::new((0..n as u32).map(|e| e % 4).collect(), vec![2; 4]);
+        let ms: Vec<&dyn Matroid> = vec![&m1, &m2];
+        for _ in 0..100 {
+            let s = random_stream(n, &mut rng);
+            let hired = matroid_submodular_secretary(&f, &s, &ms, &mut rng);
+            assert!(matroid::independent_in_all(&ms, &hired), "hired {hired:?} dependent");
+        }
+    }
+
+    #[test]
+    fn empty_cases() {
+        let f = AdditiveFn::new(vec![1.0]);
+        let m = UniformMatroid::new(1, 1);
+        let ms: Vec<&dyn Matroid> = vec![&m];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        assert!(matroid_submodular_secretary(&f, &[], &ms, &mut rng).is_empty());
+        let no_ms: Vec<&dyn Matroid> = vec![];
+        assert!(matroid_submodular_secretary(&f, &[0], &no_ms, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn achieves_reasonable_fraction_on_partition_matroid() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let n = 60;
+        let universe = 40;
+        let covers: Vec<Vec<u32>> = (0..n)
+            .map(|_| {
+                (0..universe as u32)
+                    .filter(|_| rng.gen_bool(0.1))
+                    .collect()
+            })
+            .collect();
+        let f = CoverageFn::unweighted(universe, covers);
+        let m = PartitionMatroid::new((0..n as u32).map(|e| e % 5).collect(), vec![2; 5]);
+        let ms: Vec<&dyn Matroid> = vec![&m];
+        let (_, off) = offline_matroid_greedy(&f, &ms);
+        assert!(off > 0.0);
+        let r = matroid::max_rank(&ms) as f64;
+        let l = 1.0;
+        let trials = 500;
+        let mut total = 0.0;
+        for _ in 0..trials {
+            let s = random_stream(n, &mut rng);
+            let hired = matroid_submodular_secretary(&f, &s, &ms, &mut rng);
+            total += eval_set(&f, &hired);
+        }
+        let ratio = (total / trials as f64) / off;
+        // Theorem 3.1.2's bound is Ω(1/(l log² r)); check we clear it.
+        let bound = 1.0 / (8.0 * std::f64::consts::E * l * (r.log2().max(1.0)).powi(2));
+        assert!(
+            ratio >= bound,
+            "matroid secretary ratio {ratio} below bound {bound}"
+        );
+    }
+
+    #[test]
+    fn graphic_matroid_output_is_forest() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(123);
+        // K6: 15 edges
+        let mut edges = Vec::new();
+        for u in 0..6u32 {
+            for v in (u + 1)..6 {
+                edges.push((u, v));
+            }
+        }
+        let ne = edges.len();
+        let gm = GraphicMatroid::new(6, edges);
+        let ms: Vec<&dyn Matroid> = vec![&gm];
+        let f = AdditiveFn::new((0..ne).map(|i| (i * 13 % 17) as f64 + 1.0).collect());
+        for _ in 0..50 {
+            let s = random_stream(ne, &mut rng);
+            let hired = matroid_submodular_secretary(&f, &s, &ms, &mut rng);
+            assert!(gm.is_independent(&hired));
+            assert!(hired.len() <= 5);
+        }
+    }
+}

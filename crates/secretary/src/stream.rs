@@ -1,0 +1,58 @@
+//! Arrival streams: uniformly random permutations of the ground set.
+
+use rand::Rng;
+
+/// A uniformly random arrival order of elements `0..n` (Fisher–Yates).
+pub fn random_stream(n: usize, rng: &mut impl Rng) -> Vec<u32> {
+    let mut v: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        v.swap(i, j);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn is_permutation() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let s = random_stream(50, &mut rng);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = random_stream(20, &mut rand::rngs::StdRng::seed_from_u64(7));
+        let b = random_stream(20, &mut rand::rngs::StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn roughly_uniform_first_element() {
+        // sanity: over many draws, each element appears first with freq ≈ 1/n
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let n = 5;
+        let trials = 5000;
+        let mut counts = vec![0usize; n];
+        for _ in 0..trials {
+            counts[random_stream(n, &mut rng)[0] as usize] += 1;
+        }
+        for &c in &counts {
+            let freq = c as f64 / trials as f64;
+            assert!((freq - 0.2).abs() < 0.05, "first-element frequency {freq}");
+        }
+    }
+
+    #[test]
+    fn edge_sizes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        assert!(random_stream(0, &mut rng).is_empty());
+        assert_eq!(random_stream(1, &mut rng), vec![0]);
+    }
+}

@@ -1,0 +1,248 @@
+//! Dense fixed-capacity bitset over `u64` blocks.
+//!
+//! The canonical subset representation used by the set-function library and
+//! the budgeted greedy. All bulk operations (`union_with`, `count`,
+//! `intersection_count`) run a word at a time.
+
+/// A set of `u32` element ids drawn from `0..capacity`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    blocks: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set with room for element ids `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            blocks: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// Creates a set containing every id in `0..capacity`.
+    pub fn full(capacity: usize) -> Self {
+        let mut s = Self::new(capacity);
+        for i in 0..capacity {
+            s.insert(i as u32);
+        }
+        s
+    }
+
+    /// Builds a set from an iterator of element ids.
+    pub fn from_iter(capacity: usize, ids: impl IntoIterator<Item = u32>) -> Self {
+        let mut s = Self::new(capacity);
+        for i in ids {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Maximum id + 1 this set can hold.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts `id`; returns whether it was newly inserted.
+    ///
+    /// # Panics
+    /// Panics if `id >= capacity`.
+    #[inline]
+    pub fn insert(&mut self, id: u32) -> bool {
+        assert!((id as usize) < self.capacity, "id {id} out of capacity {}", self.capacity);
+        let (b, m) = (id as usize / 64, 1u64 << (id % 64));
+        let was = self.blocks[b] & m != 0;
+        self.blocks[b] |= m;
+        !was
+    }
+
+    /// Removes `id`; returns whether it was present.
+    #[inline]
+    pub fn remove(&mut self, id: u32) -> bool {
+        let (b, m) = (id as usize / 64, 1u64 << (id % 64));
+        let was = self.blocks[b] & m != 0;
+        self.blocks[b] &= !m;
+        was
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, id: u32) -> bool {
+        let (b, m) = (id as usize / 64, 1u64 << (id % 64));
+        (id as usize) < self.capacity && self.blocks[b] & m != 0
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// In-place union: `self ∪= other`.
+    ///
+    /// # Panics
+    /// Panics if capacities differ.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection: `self ∩= other`.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= b;
+        }
+    }
+
+    /// In-place difference: `self \= other`.
+    pub fn difference_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= !b;
+        }
+    }
+
+    /// `|self ∩ other|` without allocating.
+    pub fn intersection_count(&self, other: &BitSet) -> usize {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Is `self ⊆ other`?
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Removes all elements, keeping capacity.
+    pub fn clear(&mut self) {
+        self.blocks.fill(0);
+    }
+
+    /// Copies the contents of `other` into `self` (capacities must match).
+    pub fn copy_from(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        self.blocks.copy_from_slice(&other.blocks);
+    }
+
+    /// Iterates over contained ids in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.blocks.iter().enumerate().flat_map(|(bi, &block)| {
+            let mut b = block;
+            std::iter::from_fn(move || {
+                if b == 0 {
+                    None
+                } else {
+                    let t = b.trailing_zeros();
+                    b &= b - 1;
+                    Some(bi as u32 * 64 + t)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(100);
+        assert!(!s.contains(63));
+        assert!(s.insert(63));
+        assert!(!s.insert(63));
+        assert!(s.contains(63));
+        assert!(s.insert(64));
+        assert_eq!(s.count(), 2);
+        assert!(s.remove(63));
+        assert!(!s.remove(63));
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn iter_order_and_roundtrip() {
+        let ids = [0u32, 1, 63, 64, 65, 99];
+        let s = BitSet::from_iter(100, ids.iter().copied());
+        let got: Vec<u32> = s.iter().collect();
+        assert_eq!(got, ids);
+    }
+
+    #[test]
+    fn union_intersect_difference() {
+        let a = BitSet::from_iter(10, [1, 2, 3]);
+        let b = BitSet::from_iter(10, [3, 4]);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![3]);
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(a.intersection_count(&b), 1);
+    }
+
+    #[test]
+    fn subset_relation() {
+        let a = BitSet::from_iter(10, [1, 2]);
+        let b = BitSet::from_iter(10, [1, 2, 3]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(a.is_subset(&a));
+        assert!(BitSet::new(10).is_subset(&a));
+    }
+
+    #[test]
+    fn full_and_clear() {
+        let mut s = BitSet::full(70);
+        assert_eq!(s.count(), 70);
+        assert!(s.contains(69));
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.capacity(), 70);
+    }
+
+    #[test]
+    fn zero_capacity() {
+        let s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn out_of_range_insert_panics() {
+        BitSet::new(5).insert(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn capacity_mismatch_panics() {
+        let mut a = BitSet::new(5);
+        a.union_with(&BitSet::new(6));
+    }
+
+    #[test]
+    fn copy_from_overwrites() {
+        let mut a = BitSet::from_iter(10, [1, 2]);
+        let b = BitSet::from_iter(10, [7]);
+        a.copy_from(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![7]);
+    }
+}

@@ -1,0 +1,644 @@
+//! Submodular maximization with budget constraints — the bicriteria greedy of
+//! Lemma 2.1.2.
+//!
+//! Given allowable subsets `S₁..S_m` with positive costs `Cᵢ`, a monotone
+//! submodular utility `F`, and a target `x`, the greedy repeatedly picks the
+//! subset maximizing
+//!
+//! ```text
+//! ( min{x, F(S ∪ Sᵢ)} − F(S) ) / Cᵢ
+//! ```
+//!
+//! until utility reaches `(1−ε)x`. Lemma 2.1.2 proves: if some collection of
+//! cost `B` achieves utility `x`, the greedy's cost is at most
+//! `2B⌈log₂(1/ε)⌉`.
+//!
+//! # Oracle abstraction
+//!
+//! The greedy is generic over [`BudgetedObjective`], which exposes exact
+//! marginal-gain evaluation *without mutation* plus a commit operation. This
+//! lets the identical greedy drive explicit set systems (this module's
+//! [`SetSystemObjective`]) and the incremental matching-rank oracles of the
+//! scheduling reduction (`sched-core`), including lazily and in parallel.
+//!
+//! # Lazy evaluation
+//!
+//! Because `F` is submodular and the clamp `min(x, ·)` only tightens as
+//! `F(S)` grows, each candidate's ratio is non-increasing over the run; stale
+//! heap entries are therefore valid upper bounds, and the classical
+//! lazy-greedy (re-evaluate the top of the heap until the top is fresh) makes
+//! exactly the same choices as the eager scan up to ties, which we break
+//! deterministically by `(ratio, cost, index)`.
+
+use rayon::prelude::*;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::bitset::BitSet;
+use crate::functions::SetFn;
+
+/// Objective oracle for the budgeted greedy.
+///
+/// Implementations maintain a current solution set `S` internally; `gain(i)`
+/// must return the exact `F(S ∪ Sᵢ) − F(S)` without changing `S`, and
+/// `commit(i)` must apply `S ← S ∪ Sᵢ` and return the realized gain.
+pub trait BudgetedObjective: Sync {
+    /// Per-thread scratch for gain evaluation.
+    type Scratch: Default + Send;
+
+    /// Number of allowable subsets `m`.
+    fn num_subsets(&self) -> usize;
+
+    /// Cost `Cᵢ > 0` of subset `i`.
+    fn cost(&self, i: usize) -> f64;
+
+    /// Current utility `F(S)`.
+    fn current(&self) -> f64;
+
+    /// Exact marginal gain of subset `i` against the current solution.
+    fn gain(&self, i: usize, scratch: &mut Self::Scratch) -> f64;
+
+    /// Commits subset `i`; returns the realized gain.
+    fn commit(&mut self, i: usize) -> f64;
+}
+
+/// Configuration for [`budgeted_greedy`].
+#[derive(Clone, Copy, Debug)]
+pub struct GreedyConfig {
+    /// Utility target `x`.
+    pub target: f64,
+    /// Bicriteria slack `ε ∈ (0, 1)`: the greedy stops at utility
+    /// `(1−ε)·target`.
+    pub epsilon: f64,
+    /// Use the lazy-greedy heap instead of full scans.
+    pub lazy: bool,
+    /// Parallelize full candidate scans with rayon (only affects the
+    /// non-lazy path and the initial heap build).
+    pub parallel: bool,
+}
+
+impl GreedyConfig {
+    /// Eager sequential config with the given target and slack.
+    pub fn new(target: f64, epsilon: f64) -> Self {
+        Self {
+            target,
+            epsilon,
+            lazy: false,
+            parallel: false,
+        }
+    }
+
+    /// Lazy-greedy config (recommended for large candidate families).
+    pub fn lazy(target: f64, epsilon: f64) -> Self {
+        Self {
+            target,
+            epsilon,
+            lazy: true,
+            parallel: false,
+        }
+    }
+}
+
+/// One greedy iteration, for phase-structure experiments (E2).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IterRecord {
+    /// Chosen subset index.
+    pub chosen: usize,
+    /// Clamped gain realized.
+    pub gain: f64,
+    /// Cost paid.
+    pub cost: f64,
+    /// Utility after the commit.
+    pub utility_after: f64,
+}
+
+/// Result of a [`budgeted_greedy`] run.
+#[derive(Clone, Debug)]
+pub struct GreedyOutcome {
+    /// Chosen subset indices, in pick order.
+    pub chosen: Vec<usize>,
+    /// Total cost paid.
+    pub total_cost: f64,
+    /// Final utility `F(S)`.
+    pub utility: f64,
+    /// Whether utility ≥ `(1−ε)·target` was reached.
+    pub reached_target: bool,
+    /// Number of exact gain evaluations performed (lazy-greedy effectiveness
+    /// metric).
+    pub evaluations: usize,
+    /// Per-iteration trace.
+    pub trace: Vec<IterRecord>,
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    ratio: f64,
+    cost: f64,
+    idx: usize,
+    round: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // max-heap by ratio; ties -> cheaper first, then lower index
+        self.ratio
+            .partial_cmp(&other.ratio)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.cost.partial_cmp(&self.cost).unwrap_or(Ordering::Equal))
+            .then_with(|| other.idx.cmp(&self.idx))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Runs the Lemma 2.1.2 bicriteria greedy to utility `(1−ε)·target`.
+///
+/// Returns with `reached_target == false` if the greedy stalls (no candidate
+/// has positive clamped gain) before reaching the goal; on monotone
+/// submodular objectives this certifies that *no* collection of the given
+/// subsets attains the target.
+///
+/// # Panics
+/// Panics if `epsilon ∉ (0,1)`, `target < 0`, or any cost is not strictly
+/// positive and finite.
+pub fn budgeted_greedy<O: BudgetedObjective>(obj: &mut O, cfg: GreedyConfig) -> GreedyOutcome {
+    assert!(
+        cfg.epsilon > 0.0 && cfg.epsilon < 1.0,
+        "epsilon must lie in (0,1), got {}",
+        cfg.epsilon
+    );
+    assert!(cfg.target >= 0.0, "target must be non-negative");
+    let m = obj.num_subsets();
+    for i in 0..m {
+        let c = obj.cost(i);
+        assert!(c > 0.0 && c.is_finite(), "cost of subset {i} must be positive and finite, got {c}");
+    }
+
+    let goal = (1.0 - cfg.epsilon) * cfg.target;
+    let mut out = GreedyOutcome {
+        chosen: Vec::new(),
+        total_cost: 0.0,
+        utility: obj.current(),
+        reached_target: obj.current() >= goal,
+        evaluations: 0,
+        trace: Vec::new(),
+    };
+    if out.reached_target || m == 0 {
+        out.reached_target = out.utility >= goal;
+        return out;
+    }
+
+    if cfg.lazy {
+        lazy_loop(obj, cfg, goal, &mut out);
+    } else {
+        eager_loop(obj, cfg, goal, &mut out);
+    }
+    out
+}
+
+/// Clamped gain: `min{x, F(S∪Sᵢ)} − F(S)` given the raw gain.
+#[inline]
+fn clamp_gain(raw: f64, current: f64, target: f64) -> f64 {
+    raw.min(target - current).max(0.0)
+}
+
+fn eager_loop<O: BudgetedObjective>(
+    obj: &mut O,
+    cfg: GreedyConfig,
+    goal: f64,
+    out: &mut GreedyOutcome,
+) {
+    let m = obj.num_subsets();
+    while out.utility < goal {
+        let cur = out.utility;
+        let pick = {
+            let obj_ref: &O = obj;
+            if cfg.parallel {
+                (0..m)
+                    .into_par_iter()
+                    .map_init(O::Scratch::default, |scratch, i| {
+                        let g = clamp_gain(obj_ref.gain(i, scratch), cur, cfg.target);
+                        (g / obj_ref.cost(i), g, i)
+                    })
+                    .reduce(
+                        || (f64::NEG_INFINITY, 0.0, usize::MAX),
+                        |a, b| better(a, b, obj_ref),
+                    )
+            } else {
+                let mut scratch = O::Scratch::default();
+                let mut best = (f64::NEG_INFINITY, 0.0, usize::MAX);
+                for i in 0..m {
+                    let g = clamp_gain(obj_ref.gain(i, &mut scratch), cur, cfg.target);
+                    best = better(best, (g / obj_ref.cost(i), g, i), obj_ref);
+                }
+                best
+            }
+        };
+        out.evaluations += m;
+        let (_, gain, idx) = pick;
+        if idx == usize::MAX || gain <= 0.0 {
+            break; // stalled
+        }
+        commit_pick(obj, cfg, idx, out);
+    }
+    out.reached_target = out.utility >= goal;
+}
+
+/// Deterministic argmax: higher ratio wins; ties broken by lower cost, then
+/// lower index — associative, so safe as a parallel reduction.
+#[inline]
+fn better<O: BudgetedObjective>(
+    a: (f64, f64, usize),
+    b: (f64, f64, usize),
+    obj: &O,
+) -> (f64, f64, usize) {
+    if b.2 == usize::MAX {
+        return a;
+    }
+    if a.2 == usize::MAX {
+        return b;
+    }
+    match a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal) {
+        Ordering::Less => b,
+        Ordering::Greater => a,
+        Ordering::Equal => {
+            let (ca, cb) = (obj.cost(a.2), obj.cost(b.2));
+            match ca.partial_cmp(&cb).unwrap_or(Ordering::Equal) {
+                Ordering::Less => a,
+                Ordering::Greater => b,
+                Ordering::Equal => {
+                    if a.2 <= b.2 {
+                        a
+                    } else {
+                        b
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn lazy_loop<O: BudgetedObjective>(
+    obj: &mut O,
+    cfg: GreedyConfig,
+    goal: f64,
+    out: &mut GreedyOutcome,
+) {
+    let m = obj.num_subsets();
+    let mut round = 0usize;
+    let cur0 = out.utility;
+
+    // Initial evaluation of every candidate (optionally parallel).
+    let initial: Vec<(f64, f64)> = {
+        let obj_ref: &O = obj;
+        if cfg.parallel {
+            (0..m)
+                .into_par_iter()
+                .map_init(O::Scratch::default, |scratch, i| {
+                    let g = clamp_gain(obj_ref.gain(i, scratch), cur0, cfg.target);
+                    (g / obj_ref.cost(i), obj_ref.cost(i))
+                })
+                .collect()
+        } else {
+            let mut scratch = O::Scratch::default();
+            (0..m)
+                .map(|i| {
+                    let g = clamp_gain(obj_ref.gain(i, &mut scratch), cur0, cfg.target);
+                    (g / obj_ref.cost(i), obj_ref.cost(i))
+                })
+                .collect()
+        }
+    };
+    out.evaluations += m;
+
+    let mut heap: BinaryHeap<HeapEntry> = initial
+        .into_iter()
+        .enumerate()
+        .map(|(idx, (ratio, cost))| HeapEntry {
+            ratio,
+            cost,
+            idx,
+            round: 0,
+        })
+        .collect();
+
+    let mut scratch = O::Scratch::default();
+    while out.utility < goal {
+        let Some(top) = heap.pop() else { break };
+        if top.ratio <= 0.0 {
+            break; // every remaining candidate has zero clamped gain
+        }
+        if top.round == round {
+            // fresh: this is the true argmax
+            commit_pick(obj, cfg, top.idx, out);
+            round += 1;
+        } else {
+            // stale: re-evaluate against the current solution and re-insert
+            let g = clamp_gain(obj.gain(top.idx, &mut scratch), out.utility, cfg.target);
+            out.evaluations += 1;
+            heap.push(HeapEntry {
+                ratio: g / top.cost,
+                cost: top.cost,
+                idx: top.idx,
+                round,
+            });
+        }
+    }
+    out.reached_target = out.utility >= goal;
+}
+
+fn commit_pick<O: BudgetedObjective>(
+    obj: &mut O,
+    cfg: GreedyConfig,
+    idx: usize,
+    out: &mut GreedyOutcome,
+) {
+    let before = out.utility;
+    let raw = obj.commit(idx);
+    let cost = obj.cost(idx);
+    out.utility = obj.current();
+    debug_assert!((out.utility - (before + raw)).abs() < 1e-6);
+    out.total_cost += cost;
+    out.chosen.push(idx);
+    out.trace.push(IterRecord {
+        chosen: idx,
+        gain: clamp_gain(raw, before, cfg.target),
+        cost,
+        utility_after: out.utility,
+    });
+}
+
+/// [`BudgetedObjective`] over an explicit set system: allowable subsets given
+/// as id lists, utility given by any [`SetFn`] evaluated on the union bitset.
+pub struct SetSystemObjective<'f, F: SetFn> {
+    f: &'f F,
+    subsets: Vec<Vec<u32>>,
+    costs: Vec<f64>,
+    union: BitSet,
+    current: f64,
+}
+
+impl<'f, F: SetFn> SetSystemObjective<'f, F> {
+    /// Creates the objective with solution `S = ∅`.
+    ///
+    /// # Panics
+    /// Panics if lengths mismatch, ids exceed the ground set, or costs are
+    /// not strictly positive.
+    pub fn new(f: &'f F, subsets: Vec<Vec<u32>>, costs: Vec<f64>) -> Self {
+        assert_eq!(subsets.len(), costs.len());
+        let n = f.ground_size();
+        for s in &subsets {
+            for &e in s {
+                assert!((e as usize) < n, "element {e} outside ground set of size {n}");
+            }
+        }
+        let union = BitSet::new(n);
+        let current = f.eval(&union);
+        Self {
+            f,
+            subsets,
+            costs,
+            union,
+            current,
+        }
+    }
+
+    /// Current union of committed subsets.
+    pub fn union(&self) -> &BitSet {
+        &self.union
+    }
+
+    /// The allowable subsets.
+    pub fn subsets(&self) -> &[Vec<u32>] {
+        &self.subsets
+    }
+}
+
+/// Scratch for [`SetSystemObjective`]: a reusable bitset for `S ∪ Sᵢ`.
+#[derive(Default)]
+pub struct SetSystemScratch {
+    tmp: Option<BitSet>,
+}
+
+impl<F: SetFn> BudgetedObjective for SetSystemObjective<'_, F> {
+    type Scratch = SetSystemScratch;
+
+    fn num_subsets(&self) -> usize {
+        self.subsets.len()
+    }
+
+    fn cost(&self, i: usize) -> f64 {
+        self.costs[i]
+    }
+
+    fn current(&self) -> f64 {
+        self.current
+    }
+
+    fn gain(&self, i: usize, scratch: &mut Self::Scratch) -> f64 {
+        let n = self.f.ground_size();
+        let tmp = scratch.tmp.get_or_insert_with(|| BitSet::new(n));
+        if tmp.capacity() != n {
+            *tmp = BitSet::new(n);
+        }
+        tmp.copy_from(&self.union);
+        for &e in &self.subsets[i] {
+            tmp.insert(e);
+        }
+        self.f.eval(tmp) - self.current
+    }
+
+    fn commit(&mut self, i: usize) -> f64 {
+        for &e in &self.subsets[i] {
+            self.union.insert(e);
+        }
+        let new = self.f.eval(&self.union);
+        let gain = new - self.current;
+        self.current = new;
+        gain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functions::CoverageFn;
+
+    fn cover_instance() -> (CoverageFn, Vec<Vec<u32>>, Vec<f64>) {
+        // universe {0..5}; ground elements = universe items themselves
+        // (identity coverage); allowable subsets pick groups of items.
+        let f = CoverageFn::unweighted(6, (0..6).map(|i| vec![i as u32]).collect());
+        let subsets = vec![
+            vec![0, 1, 2],    // cost 3
+            vec![3, 4],       // cost 2
+            vec![5],          // cost 1
+            vec![0, 1, 2, 3, 4, 5], // cost 10 (bad deal)
+            vec![2, 3],       // cost 5 (bad deal)
+        ];
+        let costs = vec![3.0, 2.0, 1.0, 10.0, 5.0];
+        (f, subsets, costs)
+    }
+
+    #[test]
+    fn reaches_full_target() {
+        let (f, subsets, costs) = cover_instance();
+        let mut obj = SetSystemObjective::new(&f, subsets, costs);
+        let out = budgeted_greedy(&mut obj, GreedyConfig::new(6.0, 1.0 / 7.0));
+        assert!(out.reached_target);
+        // (1-1/7)*6 = 36/7 > 5, so integral utility must be 6
+        assert_eq!(out.utility, 6.0);
+        assert_eq!(out.total_cost, 6.0); // picks subsets 0,1,2
+        let mut ch = out.chosen.clone();
+        ch.sort_unstable();
+        assert_eq!(ch, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn partial_target_stops_early() {
+        let (f, subsets, costs) = cover_instance();
+        let mut obj = SetSystemObjective::new(&f, subsets, costs);
+        // target 6 with eps = 0.5 stops at utility >= 3
+        let out = budgeted_greedy(&mut obj, GreedyConfig::new(6.0, 0.5));
+        assert!(out.reached_target);
+        assert!(out.utility >= 3.0);
+        assert!(out.total_cost <= 3.0 + 1e-12);
+    }
+
+    #[test]
+    fn stalls_when_infeasible() {
+        // universe has 3 items but subsets only ever cover item 0
+        let f = CoverageFn::unweighted(3, vec![vec![0]]);
+        let mut obj = SetSystemObjective::new(&f, vec![vec![0]], vec![1.0]);
+        let out = budgeted_greedy(&mut obj, GreedyConfig::new(3.0, 0.1));
+        assert!(!out.reached_target);
+        assert_eq!(out.utility, 1.0);
+    }
+
+    #[test]
+    fn lazy_matches_eager() {
+        let (f, subsets, costs) = cover_instance();
+        let run = |lazy: bool| {
+            let mut obj = SetSystemObjective::new(&f, subsets.clone(), costs.clone());
+            let mut cfg = GreedyConfig::new(6.0, 1.0 / 7.0);
+            cfg.lazy = lazy;
+            budgeted_greedy(&mut obj, cfg)
+        };
+        let eager = run(false);
+        let lazy = run(true);
+        assert_eq!(eager.chosen, lazy.chosen);
+        assert_eq!(eager.utility, lazy.utility);
+        assert_eq!(eager.total_cost, lazy.total_cost);
+        assert!(
+            lazy.evaluations <= eager.evaluations,
+            "lazy should not evaluate more than eager"
+        );
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (f, subsets, costs) = cover_instance();
+        let run = |parallel: bool| {
+            let mut obj = SetSystemObjective::new(&f, subsets.clone(), costs.clone());
+            let mut cfg = GreedyConfig::new(6.0, 1.0 / 7.0);
+            cfg.parallel = parallel;
+            budgeted_greedy(&mut obj, cfg)
+        };
+        let seq = run(false);
+        let par = run(true);
+        assert_eq!(seq.chosen, par.chosen);
+        assert_eq!(seq.total_cost, par.total_cost);
+    }
+
+    #[test]
+    fn respects_cost_bound_on_planted_instances() {
+        // plant an optimal cover of known cost B and verify cost <= 2*ceil(log2(1/eps))*B
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let n = rng.gen_range(10..40usize);
+            // optimal solution: k disjoint subsets covering everything, each cost 1
+            let k = rng.gen_range(2..6usize);
+            let mut subsets: Vec<Vec<u32>> = vec![Vec::new(); k];
+            for item in 0..n as u32 {
+                subsets[rng.gen_range(0..k)].push(item);
+            }
+            subsets.retain(|s| !s.is_empty());
+            let b = subsets.len() as f64;
+            // plus noise subsets with random costs
+            for _ in 0..20 {
+                let len = rng.gen_range(1..=n / 2);
+                let mut s: Vec<u32> = (0..n as u32).collect();
+                for i in (1..s.len()).rev() {
+                    let j = rng.gen_range(0..=i);
+                    s.swap(i, j);
+                }
+                s.truncate(len);
+                subsets.push(s);
+            }
+            let m = subsets.len();
+            let mut costs = vec![1.0; m];
+            for c in costs.iter_mut().skip((b as usize).min(m)) {
+                *c = rng.gen_range(0.5..4.0);
+            }
+            let f = CoverageFn::unweighted(n, (0..n).map(|i| vec![i as u32]).collect());
+            // ground elements are items; allowable subsets as generated
+            let eps = 0.125;
+            let mut obj = SetSystemObjective::new(&f, subsets, costs);
+            let out = budgeted_greedy(&mut obj, GreedyConfig::lazy(n as f64, eps));
+            assert!(out.reached_target);
+            let bound = 2.0 * (1.0 / eps).log2().ceil() * b;
+            assert!(
+                out.total_cost <= bound + 1e-9,
+                "cost {} exceeds bound {bound} (B={b})",
+                out.total_cost
+            );
+        }
+    }
+
+    #[test]
+    fn trace_is_consistent() {
+        let (f, subsets, costs) = cover_instance();
+        let mut obj = SetSystemObjective::new(&f, subsets, costs);
+        let out = budgeted_greedy(&mut obj, GreedyConfig::new(6.0, 1.0 / 7.0));
+        assert_eq!(out.trace.len(), out.chosen.len());
+        let mut cost = 0.0;
+        for (r, &c) in out.trace.iter().zip(&out.chosen) {
+            assert_eq!(r.chosen, c);
+            cost += r.cost;
+        }
+        assert_eq!(cost, out.total_cost);
+        assert_eq!(out.trace.last().unwrap().utility_after, out.utility);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn bad_epsilon_panics() {
+        let f = CoverageFn::unweighted(1, vec![vec![0]]);
+        let mut obj = SetSystemObjective::new(&f, vec![vec![0]], vec![1.0]);
+        budgeted_greedy(&mut obj, GreedyConfig::new(1.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cost_panics() {
+        let f = CoverageFn::unweighted(1, vec![vec![0]]);
+        let mut obj = SetSystemObjective::new(&f, vec![vec![0]], vec![0.0]);
+        budgeted_greedy(&mut obj, GreedyConfig::new(1.0, 0.5));
+    }
+
+    #[test]
+    fn zero_target_returns_immediately() {
+        let f = CoverageFn::unweighted(1, vec![vec![0]]);
+        let mut obj = SetSystemObjective::new(&f, vec![vec![0]], vec![1.0]);
+        let out = budgeted_greedy(&mut obj, GreedyConfig::new(0.0, 0.5));
+        assert!(out.reached_target);
+        assert!(out.chosen.is_empty());
+        assert_eq!(out.total_cost, 0.0);
+    }
+}

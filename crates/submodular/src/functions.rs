@@ -1,0 +1,456 @@
+//! A library of set functions over a fixed ground set.
+//!
+//! Each function documents its monotonicity and submodularity; the metadata is
+//! queryable at runtime ([`SetFn::is_monotone`], [`SetFn::is_submodular`])
+//! because the secretary experiments deliberately exercise non-monotone
+//! (directed cut) and non-submodular (bottleneck min, subadditive hidden-set)
+//! utilities.
+//!
+//! Functions are evaluated on [`BitSet`] subsets of `0..ground_size()`.
+
+use crate::bitset::BitSet;
+
+/// A real-valued set function `f : 2^U → ℝ` with `f(∅) = 0` unless documented
+/// otherwise.
+pub trait SetFn: Sync {
+    /// `|U|`.
+    fn ground_size(&self) -> usize;
+
+    /// Evaluates `f(set)`.
+    fn eval(&self, set: &BitSet) -> f64;
+
+    /// Marginal value `f(set ∪ {e}) − f(set)`. The default clones; structured
+    /// implementations may override with something faster.
+    fn marginal(&self, set: &BitSet, e: u32) -> f64 {
+        if set.contains(e) {
+            return 0.0;
+        }
+        let mut s = set.clone();
+        s.insert(e);
+        self.eval(&s) - self.eval(set)
+    }
+
+    /// Whether `f` is monotone non-decreasing (metadata, trusted by callers).
+    fn is_monotone(&self) -> bool {
+        true
+    }
+
+    /// Whether `f` is submodular (metadata, trusted by callers).
+    fn is_submodular(&self) -> bool {
+        true
+    }
+}
+
+/// Weighted coverage: element `i` of the ground set is a *set* covering some
+/// universe items; `f(S) = Σ_{u covered by S} weight(u)`. Monotone submodular.
+#[derive(Clone, Debug)]
+pub struct CoverageFn {
+    universe: usize,
+    covers: Vec<Vec<u32>>,
+    weights: Vec<f64>,
+}
+
+impl CoverageFn {
+    /// `covers[i]` lists universe items covered by ground element `i`;
+    /// `weights[u]` is the (non-negative) weight of universe item `u`.
+    ///
+    /// # Panics
+    /// Panics on negative weights or out-of-range universe items.
+    pub fn new(universe: usize, covers: Vec<Vec<u32>>, weights: Vec<f64>) -> Self {
+        assert_eq!(weights.len(), universe);
+        assert!(weights.iter().all(|&w| w >= 0.0), "negative weight");
+        for c in &covers {
+            for &u in c {
+                assert!((u as usize) < universe, "universe item {u} out of range");
+            }
+        }
+        Self {
+            universe,
+            covers,
+            weights,
+        }
+    }
+
+    /// Unweighted coverage (all universe weights 1).
+    pub fn unweighted(universe: usize, covers: Vec<Vec<u32>>) -> Self {
+        Self::new(universe, covers, vec![1.0; universe])
+    }
+
+    /// Universe size.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Items covered by ground element `i`.
+    pub fn covers(&self, i: usize) -> &[u32] {
+        &self.covers[i]
+    }
+
+    /// Weight of universe item `u`.
+    pub fn weight(&self, u: u32) -> f64 {
+        self.weights[u as usize]
+    }
+}
+
+impl SetFn for CoverageFn {
+    fn ground_size(&self) -> usize {
+        self.covers.len()
+    }
+
+    fn eval(&self, set: &BitSet) -> f64 {
+        let mut covered = BitSet::new(self.universe);
+        for i in set.iter() {
+            for &u in &self.covers[i as usize] {
+                covered.insert(u);
+            }
+        }
+        covered.iter().map(|u| self.weights[u as usize]).sum()
+    }
+}
+
+/// Modular (additive) function: `f(S) = Σ_{i∈S} v_i`. Monotone (for `v ≥ 0`)
+/// and trivially submodular.
+#[derive(Clone, Debug)]
+pub struct AdditiveFn {
+    values: Vec<f64>,
+}
+
+impl AdditiveFn {
+    /// Creates from per-element values (must be non-negative for the
+    /// monotonicity metadata to be truthful).
+    pub fn new(values: Vec<f64>) -> Self {
+        assert!(values.iter().all(|&v| v >= 0.0), "negative value");
+        Self { values }
+    }
+
+    /// Per-element values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+impl SetFn for AdditiveFn {
+    fn ground_size(&self) -> usize {
+        self.values.len()
+    }
+    fn eval(&self, set: &BitSet) -> f64 {
+        set.iter().map(|i| self.values[i as usize]).sum()
+    }
+    fn marginal(&self, set: &BitSet, e: u32) -> f64 {
+        if set.contains(e) {
+            0.0
+        } else {
+            self.values[e as usize]
+        }
+    }
+}
+
+/// Budget-additive: `f(S) = min(budget, Σ_{i∈S} v_i)`. Monotone submodular.
+#[derive(Clone, Debug)]
+pub struct BudgetAdditiveFn {
+    inner: AdditiveFn,
+    budget: f64,
+}
+
+impl BudgetAdditiveFn {
+    /// Creates with the given cap.
+    pub fn new(values: Vec<f64>, budget: f64) -> Self {
+        assert!(budget >= 0.0);
+        Self {
+            inner: AdditiveFn::new(values),
+            budget,
+        }
+    }
+}
+
+impl SetFn for BudgetAdditiveFn {
+    fn ground_size(&self) -> usize {
+        self.inner.ground_size()
+    }
+    fn eval(&self, set: &BitSet) -> f64 {
+        self.inner.eval(set).min(self.budget)
+    }
+}
+
+/// Facility location: `f(S) = Σ_c max_{i∈S} w[c][i]` over clients `c`
+/// (0 when `S = ∅`). Monotone submodular for `w ≥ 0`.
+#[derive(Clone, Debug)]
+pub struct FacilityLocationFn {
+    /// `w[c][i]`: affinity of client `c` for facility `i`.
+    w: Vec<Vec<f64>>,
+    ground: usize,
+}
+
+impl FacilityLocationFn {
+    /// `w[c]` must all have length `ground`.
+    pub fn new(ground: usize, w: Vec<Vec<f64>>) -> Self {
+        for row in &w {
+            assert_eq!(row.len(), ground, "affinity row length mismatch");
+            assert!(row.iter().all(|&x| x >= 0.0), "negative affinity");
+        }
+        Self { w, ground }
+    }
+}
+
+impl SetFn for FacilityLocationFn {
+    fn ground_size(&self) -> usize {
+        self.ground
+    }
+    fn eval(&self, set: &BitSet) -> f64 {
+        if set.is_empty() {
+            return 0.0;
+        }
+        self.w
+            .iter()
+            .map(|row| set.iter().map(|i| row[i as usize]).fold(0.0, f64::max))
+            .sum()
+    }
+}
+
+/// Directed cut: `f(S) = Σ` of weights of arcs `(u, v)` with `u ∈ S`,
+/// `v ∉ S`. Submodular but **non-monotone**; the canonical hard case for
+/// Algorithm 2 (non-monotone submodular secretary).
+#[derive(Clone, Debug)]
+pub struct DirectedCutFn {
+    n: usize,
+    arcs: Vec<(u32, u32, f64)>,
+}
+
+impl DirectedCutFn {
+    /// Creates from a weighted arc list over vertices `0..n`.
+    pub fn new(n: usize, arcs: Vec<(u32, u32, f64)>) -> Self {
+        for &(u, v, w) in &arcs {
+            assert!((u as usize) < n && (v as usize) < n, "arc endpoint out of range");
+            assert!(w >= 0.0, "negative arc weight");
+        }
+        Self { n, arcs }
+    }
+}
+
+impl SetFn for DirectedCutFn {
+    fn ground_size(&self) -> usize {
+        self.n
+    }
+    fn eval(&self, set: &BitSet) -> f64 {
+        self.arcs
+            .iter()
+            .filter(|&&(u, v, _)| set.contains(u) && !set.contains(v))
+            .map(|&(_, _, w)| w)
+            .sum()
+    }
+    fn is_monotone(&self) -> bool {
+        false
+    }
+}
+
+/// Bottleneck: `f(S) = min_{i∈S} v_i` (0 for the empty set). **Neither
+/// monotone nor submodular** — it models the slowest-member utility of
+/// Section 3.6 and must only be used with algorithms documented to accept it.
+#[derive(Clone, Debug)]
+pub struct MinFn {
+    values: Vec<f64>,
+}
+
+impl MinFn {
+    /// Creates from per-element efficiencies.
+    pub fn new(values: Vec<f64>) -> Self {
+        Self { values }
+    }
+}
+
+impl SetFn for MinFn {
+    fn ground_size(&self) -> usize {
+        self.values.len()
+    }
+    fn eval(&self, set: &BitSet) -> f64 {
+        if set.is_empty() {
+            return 0.0;
+        }
+        set.iter()
+            .map(|i| self.values[i as usize])
+            .fold(f64::INFINITY, f64::min)
+    }
+    fn is_monotone(&self) -> bool {
+        false
+    }
+    fn is_submodular(&self) -> bool {
+        false
+    }
+}
+
+/// Best-single-element: `f(S) = max_{i∈S} v_i` (0 for the empty set).
+/// Monotone submodular; the multiple-choice secretary classic.
+#[derive(Clone, Debug)]
+pub struct MaxFn {
+    values: Vec<f64>,
+}
+
+impl MaxFn {
+    /// Creates from per-element values (non-negative).
+    pub fn new(values: Vec<f64>) -> Self {
+        assert!(values.iter().all(|&v| v >= 0.0));
+        Self { values }
+    }
+}
+
+impl SetFn for MaxFn {
+    fn ground_size(&self) -> usize {
+        self.values.len()
+    }
+    fn eval(&self, set: &BitSet) -> f64 {
+        set.iter().map(|i| self.values[i as usize]).fold(0.0, f64::max)
+    }
+}
+
+/// Exhaustively verifies submodularity of `f` on every pair `(A ⊆ B, v)` for
+/// tiny ground sets (≤ ~14 elements). Intended for tests.
+pub fn check_submodular_exhaustive(f: &dyn SetFn) -> Result<(), String> {
+    let n = f.ground_size();
+    assert!(n <= 14, "exhaustive check is exponential; use small ground sets");
+    let sets: Vec<BitSet> = (0u32..(1 << n))
+        .map(|mask| BitSet::from_iter(n, (0..n as u32).filter(|i| mask >> i & 1 == 1)))
+        .collect();
+    let vals: Vec<f64> = sets.iter().map(|s| f.eval(s)).collect();
+    for (ma, a) in sets.iter().enumerate() {
+        for (mb, b) in sets.iter().enumerate() {
+            if !a.is_subset(b) {
+                continue;
+            }
+            for v in 0..n as u32 {
+                if b.contains(v) {
+                    continue;
+                }
+                let mav = ma | (1usize << v);
+                let mbv = mb | (1usize << v);
+                let ga = vals[mav] - vals[ma];
+                let gb = vals[mbv] - vals[mb];
+                if ga < gb - 1e-9 {
+                    return Err(format!(
+                        "submodularity violated: A mask {ma:#b}, B mask {mb:#b}, v={v}: {ga} < {gb}"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Exhaustively verifies monotonicity on tiny ground sets. Intended for tests.
+pub fn check_monotone_exhaustive(f: &dyn SetFn) -> Result<(), String> {
+    let n = f.ground_size();
+    assert!(n <= 14);
+    let sets: Vec<BitSet> = (0u32..(1 << n))
+        .map(|mask| BitSet::from_iter(n, (0..n as u32).filter(|i| mask >> i & 1 == 1)))
+        .collect();
+    let vals: Vec<f64> = sets.iter().map(|s| f.eval(s)).collect();
+    for (m, s) in sets.iter().enumerate() {
+        for v in 0..n as u32 {
+            if s.contains(v) {
+                continue;
+            }
+            let mv = m | (1usize << v);
+            if vals[mv] < vals[m] - 1e-9 {
+                return Err(format!("monotonicity violated at mask {m:#b} + {v}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_basic() {
+        // sets: {0,1}, {1,2}, {3}
+        let f = CoverageFn::unweighted(4, vec![vec![0, 1], vec![1, 2], vec![3]]);
+        assert_eq!(f.eval(&BitSet::new(3)), 0.0);
+        assert_eq!(f.eval(&BitSet::from_iter(3, [0])), 2.0);
+        assert_eq!(f.eval(&BitSet::from_iter(3, [0, 1])), 3.0);
+        assert_eq!(f.eval(&BitSet::from_iter(3, [0, 1, 2])), 4.0);
+        assert_eq!(f.marginal(&BitSet::from_iter(3, [0]), 1), 1.0);
+        assert_eq!(f.marginal(&BitSet::from_iter(3, [0]), 0), 0.0);
+    }
+
+    #[test]
+    fn coverage_weighted() {
+        let f = CoverageFn::new(2, vec![vec![0], vec![0, 1]], vec![5.0, 3.0]);
+        assert_eq!(f.eval(&BitSet::from_iter(2, [0])), 5.0);
+        assert_eq!(f.eval(&BitSet::from_iter(2, [1])), 8.0);
+    }
+
+    #[test]
+    fn coverage_is_monotone_submodular() {
+        let f = CoverageFn::unweighted(5, vec![vec![0, 1], vec![1, 2, 3], vec![4], vec![0, 4]]);
+        check_monotone_exhaustive(&f).unwrap();
+        check_submodular_exhaustive(&f).unwrap();
+    }
+
+    #[test]
+    fn additive_is_modular() {
+        let f = AdditiveFn::new(vec![1.0, 2.0, 3.0]);
+        assert_eq!(f.eval(&BitSet::from_iter(3, [0, 2])), 4.0);
+        check_monotone_exhaustive(&f).unwrap();
+        check_submodular_exhaustive(&f).unwrap();
+    }
+
+    #[test]
+    fn budget_additive_caps() {
+        let f = BudgetAdditiveFn::new(vec![4.0, 4.0], 5.0);
+        assert_eq!(f.eval(&BitSet::from_iter(2, [0])), 4.0);
+        assert_eq!(f.eval(&BitSet::from_iter(2, [0, 1])), 5.0);
+        check_submodular_exhaustive(&f).unwrap();
+    }
+
+    #[test]
+    fn facility_location() {
+        let f = FacilityLocationFn::new(2, vec![vec![1.0, 3.0], vec![2.0, 0.0]]);
+        assert_eq!(f.eval(&BitSet::from_iter(2, [0])), 3.0);
+        assert_eq!(f.eval(&BitSet::from_iter(2, [1])), 3.0);
+        assert_eq!(f.eval(&BitSet::from_iter(2, [0, 1])), 5.0);
+        check_monotone_exhaustive(&f).unwrap();
+        check_submodular_exhaustive(&f).unwrap();
+    }
+
+    #[test]
+    fn directed_cut_nonmonotone_but_submodular() {
+        let f = DirectedCutFn::new(3, vec![(0, 1, 1.0), (1, 2, 2.0), (0, 2, 1.5)]);
+        assert_eq!(f.eval(&BitSet::from_iter(3, [0])), 2.5);
+        assert_eq!(f.eval(&BitSet::from_iter(3, [0, 1])), 3.5);
+        assert_eq!(f.eval(&BitSet::from_iter(3, [0, 1, 2])), 0.0);
+        assert!(!f.is_monotone());
+        check_submodular_exhaustive(&f).unwrap();
+        assert!(check_monotone_exhaustive(&f).is_err());
+    }
+
+    #[test]
+    fn min_fn_is_neither() {
+        let f = MinFn::new(vec![3.0, 1.0, 2.0]);
+        assert_eq!(f.eval(&BitSet::new(3)), 0.0);
+        assert_eq!(f.eval(&BitSet::from_iter(3, [0])), 3.0);
+        assert_eq!(f.eval(&BitSet::from_iter(3, [0, 1])), 1.0);
+        assert!(!f.is_monotone());
+        assert!(!f.is_submodular());
+        assert!(check_monotone_exhaustive(&f).is_err());
+    }
+
+    #[test]
+    fn max_fn_submodular() {
+        let f = MaxFn::new(vec![3.0, 1.0, 2.0]);
+        assert_eq!(f.eval(&BitSet::from_iter(3, [1, 2])), 2.0);
+        check_monotone_exhaustive(&f).unwrap();
+        check_submodular_exhaustive(&f).unwrap();
+    }
+
+    #[test]
+    fn default_marginal_matches_eval_difference() {
+        let f = CoverageFn::unweighted(4, vec![vec![0, 1], vec![1, 2], vec![3], vec![0, 3]]);
+        let s = BitSet::from_iter(4, [0]);
+        for e in 0..4u32 {
+            let mut se = s.clone();
+            se.insert(e);
+            assert_eq!(f.marginal(&s, e), f.eval(&se) - f.eval(&s));
+        }
+    }
+}

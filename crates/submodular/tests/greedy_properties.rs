@@ -1,0 +1,144 @@
+//! Property tests for the budgeted greedy across objective implementations:
+//! lazy ≡ eager ≡ parallel, fast coverage objective ≡ generic objective,
+//! trace/accounting invariants, and Lemma 2.1.1 (the paper's key lemma).
+
+use proptest::prelude::*;
+use submodular::functions::CoverageFn;
+use submodular::{
+    budgeted_greedy, BitSet, CoverageObjective, GreedyConfig, SetFn, SetSystemObjective,
+};
+
+#[derive(Debug, Clone)]
+struct Inst {
+    universe: usize,
+    covers: Vec<Vec<u32>>,
+    subsets: Vec<Vec<u32>>,
+    costs: Vec<f64>,
+}
+
+fn instance_strategy() -> impl Strategy<Value = Inst> {
+    (4usize..20, 3usize..10).prop_flat_map(|(universe, n)| {
+        let covers = proptest::collection::vec(
+            proptest::collection::vec(0u32..universe as u32, 0..5),
+            n,
+        );
+        let m = 2usize..7;
+        (Just(universe), covers, m).prop_flat_map(move |(u, cov, m)| {
+            let nn = cov.len();
+            let subsets = proptest::collection::vec(
+                proptest::collection::vec(0u32..nn as u32, 1..=nn),
+                m,
+            );
+            let costs = proptest::collection::vec(1u32..6, m);
+            (Just(u), Just(cov), subsets, costs).prop_map(|(u, cov, mut subs, costs)| {
+                for s in subs.iter_mut() {
+                    s.sort_unstable();
+                    s.dedup();
+                }
+                Inst {
+                    universe: u,
+                    covers: cov,
+                    subsets: subs,
+                    costs: costs.into_iter().map(|c| c as f64).collect(),
+                }
+            })
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_greedy_variants_agree(inst in instance_strategy(), eps_exp in 1i32..6,
+                                 target_frac in 0.1f64..1.0) {
+        let f = CoverageFn::unweighted(inst.universe, inst.covers.clone());
+        let full = f.eval(&BitSet::full(f.ground_size()));
+        let target = full * target_frac;
+        let eps = 2f64.powi(-eps_exp);
+
+        let run = |lazy: bool, parallel: bool| {
+            let mut obj = SetSystemObjective::new(&f, inst.subsets.clone(), inst.costs.clone());
+            let cfg = GreedyConfig { target, epsilon: eps, lazy, parallel };
+            budgeted_greedy(&mut obj, cfg)
+        };
+        let eager = run(false, false);
+        let lazy = run(true, false);
+        let par = run(false, true);
+        prop_assert_eq!(&eager.chosen, &lazy.chosen);
+        prop_assert_eq!(&eager.chosen, &par.chosen);
+        prop_assert_eq!(eager.total_cost, lazy.total_cost);
+        prop_assert!(lazy.evaluations <= eager.evaluations);
+
+        // fast coverage objective makes identical picks too
+        let mut fast = CoverageObjective::new(&f, inst.subsets.clone(), inst.costs.clone());
+        let fast_out = budgeted_greedy(&mut fast, GreedyConfig { target, epsilon: eps, lazy: false, parallel: false });
+        prop_assert_eq!(&eager.chosen, &fast_out.chosen);
+        prop_assert!((eager.utility - fast_out.utility).abs() < 1e-9);
+    }
+
+    #[test]
+    fn outcome_accounting_invariants(inst in instance_strategy(), eps_exp in 1i32..5) {
+        let f = CoverageFn::unweighted(inst.universe, inst.covers.clone());
+        let full = f.eval(&BitSet::full(f.ground_size()));
+        prop_assume!(full > 0.0);
+        let eps = 2f64.powi(-eps_exp);
+        let mut obj = SetSystemObjective::new(&f, inst.subsets.clone(), inst.costs.clone());
+        let out = budgeted_greedy(&mut obj, GreedyConfig::new(full, eps));
+
+        // chosen are distinct and valid indices
+        let mut ch = out.chosen.clone();
+        ch.sort_unstable();
+        ch.dedup();
+        prop_assert_eq!(ch.len(), out.chosen.len());
+        prop_assert!(out.chosen.iter().all(|&i| i < inst.subsets.len()));
+
+        // trace matches chosen; costs add up; utility_after is non-decreasing
+        prop_assert_eq!(out.trace.len(), out.chosen.len());
+        let cost_sum: f64 = out.trace.iter().map(|r| r.cost).sum();
+        prop_assert!((cost_sum - out.total_cost).abs() < 1e-9);
+        let mut prev = 0.0;
+        for r in &out.trace {
+            prop_assert!(r.utility_after >= prev - 1e-9);
+            prev = r.utility_after;
+        }
+
+        // final utility equals F of the committed union
+        let mut union = BitSet::new(f.ground_size());
+        for &i in &out.chosen {
+            for &e in &inst.subsets[i] {
+                union.insert(e);
+            }
+        }
+        prop_assert!((f.eval(&union) - out.utility).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lemma_2_1_1_holds(inst in instance_strategy(),
+                         s_prime_bits in proptest::collection::vec(any::<bool>(), 10)) {
+        // Lemma 2.1.1: Σⱼ [F(S' ∪ Sⱼ) − F(S')] ≥ F(T) − F(S') where T = ∪ Sⱼ.
+        let f = CoverageFn::unweighted(inst.universe, inst.covers.clone());
+        let n = f.ground_size();
+        let s_prime = BitSet::from_iter(
+            n,
+            (0..n as u32).filter(|&e| *s_prime_bits.get(e as usize).unwrap_or(&false)),
+        );
+        let f_sp = f.eval(&s_prime);
+
+        let mut t = BitSet::new(n);
+        let mut gain_sum = 0.0;
+        for subset in &inst.subsets {
+            let mut su = s_prime.clone();
+            for &e in subset {
+                su.insert(e);
+                t.insert(e);
+            }
+            gain_sum += f.eval(&su) - f_sp;
+        }
+        let f_t = f.eval(&t);
+        prop_assert!(
+            gain_sum >= f_t - f_sp - 1e-9,
+            "Lemma 2.1.1 violated: {} < {}", gain_sum, f_t - f_sp
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! Workload and instance generators for the experiments.
+//!
+//! * [`planted`] — scheduling instances with a *planted* feasible solution of
+//!   known cost, giving an upper bound on OPT for approximation-ratio
+//!   measurements at sizes where the exact solver is unaffordable;
+//! * [`setcover_hard`] — the Appendix .1 reduction from Set Cover to
+//!   one-interval scheduling with nonuniform processors (Theorem .1.2), plus
+//!   the classical tight family on which the greedy provably pays
+//!   `Ω(log n)·OPT`;
+//! * [`market`] — sinusoidal day/night energy-price curves with noise, for
+//!   the time-varying-cost scenario the paper motivates;
+//! * [`secretary_streams`] — random utility functions (coverage, directed
+//!   cut, additive with heavy tails) for the Chapter 3 experiments.
+//!
+//! All generators take explicit RNGs so every experiment is reproducible
+//! from its printed seed.
+
+pub mod market;
+pub mod online_hiring;
+pub mod planted;
+pub mod secretary_streams;
+pub mod setcover_hard;
+
+pub use market::market_prices;
+pub use online_hiring::ProcessorRankFn;
+pub use planted::{planted_instance, PlantedConfig, PlantedInstance};
+pub use setcover_hard::{greedy_lower_bound_family, set_cover_to_scheduling};

@@ -1,0 +1,63 @@
+//! Energy-market price curves: the paper's motivating example for
+//! time-varying interval costs ("energy cost … varies substantially in
+//! energy markets over the course of a day").
+
+use rand::Rng;
+
+/// Generates a per-slot price curve `base + amp·sin(2π·t/period) + noise`,
+/// clamped to be strictly positive. `noise` is the uniform half-width.
+pub fn market_prices(
+    horizon: usize,
+    base: f64,
+    amp: f64,
+    period: f64,
+    noise: f64,
+    rng: &mut impl Rng,
+) -> Vec<f64> {
+    assert!(base > 0.0 && amp >= 0.0 && period > 0.0 && noise >= 0.0);
+    (0..horizon)
+        .map(|t| {
+            let s = base + amp * (2.0 * std::f64::consts::PI * t as f64 / period).sin();
+            let n = if noise > 0.0 {
+                rng.gen_range(-noise..noise)
+            } else {
+                0.0
+            };
+            (s + n).max(0.05)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn positive_and_right_length() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let p = market_prices(48, 1.0, 0.9, 24.0, 0.2, &mut rng);
+        assert_eq!(p.len(), 48);
+        assert!(p.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn oscillates_day_night() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let p = market_prices(24, 1.0, 0.8, 24.0, 0.0, &mut rng);
+        // peak near t=6 (sin max), trough near t=18 (sin min)
+        assert!(p[6] > p[18]);
+        assert!(p[6] > 1.5);
+        assert!(p[18] < 0.5);
+    }
+
+    #[test]
+    fn zero_noise_deterministic() {
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(1);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(999);
+        assert_eq!(
+            market_prices(10, 1.0, 0.5, 12.0, 0.0, &mut r1),
+            market_prices(10, 1.0, 0.5, 12.0, 0.0, &mut r2)
+        );
+    }
+}

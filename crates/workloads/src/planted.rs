@@ -1,0 +1,299 @@
+//! Planted-OPT scheduling instances.
+//!
+//! A *planted* instance embeds a known feasible solution: a set of awake
+//! intervals whose total cost `B` upper-bounds the true optimum. Jobs are
+//! placed into distinct slots inside the planted intervals (so the plant
+//! schedules everything), then optionally given extra random allowed slots
+//! (decoys) — extra freedom can only lower OPT, so `measured_cost / B` is a
+//! *conservative* estimate of the greedy's approximation ratio.
+
+use rand::Rng;
+use sched_core::{
+    enumerate_candidates, AffineCost, CandidateInterval, CandidatePolicy, ConvexCost, EnergyCost,
+    Instance, Job, SlotRef, TimeVaryingCost,
+};
+
+use crate::market::market_prices;
+
+/// Which cost model to generate.
+#[derive(Clone, Copy, Debug)]
+pub enum PlantedCostModel {
+    /// Classical `α + length` with the given restart `α`.
+    Affine {
+        /// Restart cost.
+        restart: f64,
+    },
+    /// Sinusoidal day/night prices plus restart (see [`crate::market`]).
+    Market {
+        /// Restart cost.
+        restart: f64,
+    },
+    /// Convex `restart + len + quad·len²`.
+    Convex {
+        /// Restart cost.
+        restart: f64,
+        /// Quadratic coefficient.
+        quad: f64,
+    },
+}
+
+/// Generator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct PlantedConfig {
+    /// Number of processors.
+    pub num_processors: u32,
+    /// Horizon `T`.
+    pub horizon: u32,
+    /// Approximate number of jobs to plant.
+    pub target_jobs: usize,
+    /// Probability that a job gets a decoy window on another processor.
+    pub decoy_prob: f64,
+    /// Job values drawn uniformly from `1..=max_value` (1 = unit values).
+    pub max_value: u32,
+    /// Cost model.
+    pub cost_model: PlantedCostModel,
+    /// Candidate policy for the returned candidate family.
+    pub policy: CandidatePolicy,
+}
+
+impl Default for PlantedConfig {
+    fn default() -> Self {
+        Self {
+            num_processors: 2,
+            horizon: 16,
+            target_jobs: 12,
+            decoy_prob: 0.3,
+            max_value: 1,
+            cost_model: PlantedCostModel::Affine { restart: 3.0 },
+            policy: CandidatePolicy::All,
+        }
+    }
+}
+
+/// A planted instance: the problem, the candidate family, the plant, and its
+/// cost (an upper bound on OPT).
+pub struct PlantedInstance {
+    /// The scheduling instance.
+    pub instance: Instance,
+    /// Candidate awake intervals (already priced).
+    pub candidates: Vec<CandidateInterval>,
+    /// The planted feasible solution.
+    pub planted: Vec<CandidateInterval>,
+    /// Total cost of the plant (`B ≥ OPT`).
+    pub planted_cost: f64,
+    /// The cost oracle used (kept alive for baselines like always-on).
+    pub cost: Box<dyn EnergyCost + Send>,
+}
+
+/// Generates a planted instance. Panics only on degenerate configs
+/// (`horizon == 0`, `num_processors == 0`).
+pub fn planted_instance(cfg: &PlantedConfig, rng: &mut impl Rng) -> PlantedInstance {
+    assert!(cfg.num_processors > 0 && cfg.horizon > 0);
+    let cost: Box<dyn EnergyCost + Send> = match cfg.cost_model {
+        PlantedCostModel::Affine { restart } => Box::new(AffineCost::new(restart, 1.0)),
+        PlantedCostModel::Market { restart } => {
+            let prices = (0..cfg.num_processors)
+                .map(|_| market_prices(cfg.horizon as usize, 1.0, 0.8, 24.0, 0.1, rng))
+                .collect();
+            Box::new(TimeVaryingCost::new(restart, prices))
+        }
+        PlantedCostModel::Convex { restart, quad } => {
+            Box::new(ConvexCost::new(restart, 1.0, quad))
+        }
+    };
+
+    // Plant awake intervals: 1–2 random pieces per processor, then keep
+    // adding pieces into free space until the plant holds at least
+    // `target_jobs` slots (or space runs out).
+    let mut planted: Vec<CandidateInterval> = Vec::new();
+    let mut occupied = vec![vec![false; cfg.horizon as usize]; cfg.num_processors as usize];
+    let mut planted_slots = 0usize;
+    let try_plant = |rng: &mut dyn rand::RngCore,
+                         planted: &mut Vec<CandidateInterval>,
+                         occupied: &mut Vec<Vec<bool>>,
+                         planted_slots: &mut usize| {
+        let proc = rng.gen_range(0..cfg.num_processors);
+        let start = rng.gen_range(0..cfg.horizon);
+        // must leave a one-slot margin to existing pieces on this processor
+        let occ = &occupied[proc as usize];
+        if occ[start as usize] || (start > 0 && occ[start as usize - 1]) {
+            return false;
+        }
+        let want = rng.gen_range(1..=cfg.horizon.div_ceil(3).max(1));
+        let mut end = start;
+        while end < cfg.horizon && end - start < want && !occ[end as usize] {
+            end += 1;
+        }
+        // keep a gap after the piece too
+        if end < cfg.horizon && occ[end as usize] && end > start {
+            end -= u32::from(end > start + 1);
+        }
+        if end == start {
+            return false;
+        }
+        let c = cost.cost(proc, start, end);
+        if !c.is_finite() {
+            return false;
+        }
+        for t in start..end {
+            occupied[proc as usize][t as usize] = true;
+        }
+        *planted_slots += (end - start) as usize;
+        planted.push(CandidateInterval {
+            proc,
+            start,
+            end,
+            cost: c,
+        });
+        true
+    };
+    let initial_pieces = cfg.num_processors as usize * 2;
+    for _ in 0..initial_pieces {
+        try_plant(rng, &mut planted, &mut occupied, &mut planted_slots);
+    }
+    let mut attempts = 0;
+    while planted_slots < cfg.target_jobs && attempts < 20 * cfg.target_jobs {
+        try_plant(rng, &mut planted, &mut occupied, &mut planted_slots);
+        attempts += 1;
+    }
+    // Guarantee at least one planted interval.
+    if planted.is_empty() {
+        let c = cost.cost(0, 0, 1);
+        planted.push(CandidateInterval {
+            proc: 0,
+            start: 0,
+            end: 1,
+            cost: c,
+        });
+    }
+    let planted_cost: f64 = planted.iter().map(|iv| iv.cost).sum();
+
+    // Place jobs into distinct slots inside the plant.
+    let mut free_slots: Vec<SlotRef> = planted
+        .iter()
+        .flat_map(|iv| (iv.start..iv.end).map(move |t| SlotRef::new(iv.proc, t)))
+        .collect();
+    free_slots.sort_unstable();
+    free_slots.dedup();
+    // shuffle
+    for i in (1..free_slots.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        free_slots.swap(i, j);
+    }
+    let n_jobs = cfg.target_jobs.min(free_slots.len()).max(1);
+
+    let mut jobs = Vec::with_capacity(n_jobs);
+    for &home in free_slots.iter().take(n_jobs) {
+        let value = if cfg.max_value <= 1 {
+            1.0
+        } else {
+            rng.gen_range(1..=cfg.max_value) as f64
+        };
+        let mut allowed = vec![home];
+        // multi-interval decoys: extra windows that only make the problem easier
+        if rng.gen_bool(cfg.decoy_prob) {
+            let proc = rng.gen_range(0..cfg.num_processors);
+            let start = rng.gen_range(0..cfg.horizon);
+            let end = (start + rng.gen_range(1..=3)).min(cfg.horizon);
+            allowed.extend((start..end).map(|t| SlotRef::new(proc, t)));
+        }
+        allowed.sort_unstable();
+        allowed.dedup();
+        jobs.push(Job { value, allowed });
+    }
+
+    let instance = Instance::new(cfg.num_processors, cfg.horizon, jobs);
+    let candidates = enumerate_candidates(&instance, cost.as_ref(), cfg.policy);
+
+    PlantedInstance {
+        instance,
+        candidates,
+        planted,
+        planted_cost,
+        cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sched_core::{schedule_all, SolveOptions};
+
+    #[test]
+    fn plant_is_feasible_and_greedy_respects_bound() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for trial in 0..15 {
+            let cfg = PlantedConfig::default();
+            let p = planted_instance(&cfg, &mut rng);
+            let n = p.instance.num_jobs() as f64;
+            let s = schedule_all(&p.instance, &p.candidates, &SolveOptions::default())
+                .unwrap_or_else(|e| panic!("trial {trial}: planted instance infeasible: {e}"));
+            assert_eq!(s.scheduled_count, p.instance.num_jobs());
+            let bound = 2.0 * (n + 1.0).log2().ceil() * p.planted_cost;
+            assert!(
+                s.total_cost <= bound + 1e-9,
+                "trial {trial}: {} > bound {bound}",
+                s.total_cost
+            );
+        }
+    }
+
+    #[test]
+    fn market_and_convex_models_generate() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for model in [
+            PlantedCostModel::Market { restart: 2.0 },
+            PlantedCostModel::Convex {
+                restart: 1.0,
+                quad: 0.2,
+            },
+        ] {
+            let cfg = PlantedConfig {
+                cost_model: model,
+                ..Default::default()
+            };
+            let p = planted_instance(&cfg, &mut rng);
+            assert!(!p.candidates.is_empty());
+            assert!(p.planted_cost > 0.0);
+            let s = schedule_all(&p.instance, &p.candidates, &SolveOptions::default());
+            assert!(s.is_ok());
+        }
+    }
+
+    #[test]
+    fn respects_target_jobs() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let cfg = PlantedConfig {
+            target_jobs: 5,
+            horizon: 30,
+            ..Default::default()
+        };
+        let p = planted_instance(&cfg, &mut rng);
+        assert!(p.instance.num_jobs() <= 5);
+        assert!(p.instance.num_jobs() >= 1);
+    }
+
+    #[test]
+    fn values_in_range() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let cfg = PlantedConfig {
+            max_value: 7,
+            ..Default::default()
+        };
+        let p = planted_instance(&cfg, &mut rng);
+        for j in &p.instance.jobs {
+            assert!(j.value >= 1.0 && j.value <= 7.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = PlantedConfig::default();
+        let a = planted_instance(&cfg, &mut rand::rngs::StdRng::seed_from_u64(9));
+        let b = planted_instance(&cfg, &mut rand::rngs::StdRng::seed_from_u64(9));
+        assert_eq!(a.planted_cost, b.planted_cost);
+        assert_eq!(a.instance.num_jobs(), b.instance.num_jobs());
+        assert_eq!(a.candidates.len(), b.candidates.len());
+    }
+}

@@ -1,0 +1,106 @@
+//! Random utility functions for the Chapter 3 (secretary) experiments.
+
+use rand::Rng;
+use submodular::functions::{AdditiveFn, CoverageFn, DirectedCutFn, FacilityLocationFn};
+
+/// Random unweighted coverage function: `n` candidates each covering every
+/// universe item independently with probability `density`.
+pub fn random_coverage(
+    n: usize,
+    universe: usize,
+    density: f64,
+    rng: &mut impl Rng,
+) -> CoverageFn {
+    let covers = (0..n)
+        .map(|_| {
+            (0..universe as u32)
+                .filter(|_| rng.gen_bool(density))
+                .collect()
+        })
+        .collect();
+    CoverageFn::unweighted(universe, covers)
+}
+
+/// Random directed-cut function (the canonical non-monotone submodular
+/// utility): `arcs` random arcs with weights in `1..=max_w`.
+pub fn random_cut(n: usize, arcs: usize, max_w: u32, rng: &mut impl Rng) -> DirectedCutFn {
+    let list: Vec<(u32, u32, f64)> = (0..arcs)
+        .filter_map(|_| {
+            let u = rng.gen_range(0..n as u32);
+            let v = rng.gen_range(0..n as u32);
+            (u != v).then(|| (u, v, rng.gen_range(1..=max_w) as f64))
+        })
+        .collect();
+    DirectedCutFn::new(n, list)
+}
+
+/// Additive values with a heavy tail: mostly small values, a few large ones
+/// (`value = base^pareto_draw`), the regime where secretary rules matter.
+pub fn heavy_tail_additive(n: usize, rng: &mut impl Rng) -> AdditiveFn {
+    let values = (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            (1.0 / (1.0 - u * 0.999)).powf(1.2)
+        })
+        .collect();
+    AdditiveFn::new(values)
+}
+
+/// Random facility-location utility: `clients` clients with uniform
+/// affinities to `n` candidate facilities.
+pub fn random_facility_location(
+    n: usize,
+    clients: usize,
+    rng: &mut impl Rng,
+) -> FacilityLocationFn {
+    let w = (0..clients)
+        .map(|_| (0..n).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect();
+    FacilityLocationFn::new(n, w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use submodular::{BitSet, SetFn};
+
+    #[test]
+    fn coverage_shapes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let f = random_coverage(20, 30, 0.2, &mut rng);
+        assert_eq!(f.ground_size(), 20);
+        let full = BitSet::full(20);
+        assert!(f.eval(&full) <= 30.0);
+    }
+
+    #[test]
+    fn cut_is_nonmonotone_metadata() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let f = random_cut(15, 60, 5, &mut rng);
+        assert!(!f.is_monotone());
+        assert!(f.is_submodular());
+        // full set cuts nothing
+        assert_eq!(f.eval(&BitSet::full(15)), 0.0);
+    }
+
+    #[test]
+    fn heavy_tail_positive_and_varied() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let f = heavy_tail_additive(200, &mut rng);
+        let vals = f.values();
+        assert!(vals.iter().all(|&v| v >= 1.0));
+        let max = vals.iter().copied().fold(0.0, f64::max);
+        let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(max / min > 10.0, "tail not heavy: max {max}, min {min}");
+    }
+
+    #[test]
+    fn facility_location_monotone() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let f = random_facility_location(8, 5, &mut rng);
+        let a = BitSet::from_iter(8, [0, 1]);
+        let b = BitSet::from_iter(8, [0, 1, 2, 3]);
+        assert!(f.eval(&b) >= f.eval(&a));
+    }
+}

@@ -1,0 +1,171 @@
+//! Set-Cover hardness workloads (Appendix .1 of the paper).
+//!
+//! Theorem .1.2 reduces Set Cover to *one-interval scheduling with nonuniform
+//! processors*: one processor per set, one job per element, every job's
+//! window is the full horizon but only on the processors whose sets contain
+//! its element; keeping any processor awake costs 1 regardless of interval.
+//! The minimum-cost schedule is exactly the minimum set cover — so the
+//! scheduling greedy inherits both the `ln n` guarantee and the matching
+//! lower bound. [`greedy_lower_bound_family`] provides the classical
+//! instances on which the greedy provably pays `Ω(log n)·OPT`.
+
+use sched_core::{CandidateInterval, Instance, Job, SlotRef};
+use submodular::setcover::SetCoverInstance;
+
+/// The Theorem .1.2 reduction. Returns the scheduling instance and its
+/// candidate family: one full-horizon interval per processor at unit cost
+/// (any sub-interval is dominated, so the one candidate per processor loses
+/// nothing and keeps the equivalence exact).
+pub fn set_cover_to_scheduling(sc: &SetCoverInstance) -> (Instance, Vec<CandidateInterval>) {
+    let n = sc.universe as u32; // jobs AND horizon length
+    let m = sc.sets.len() as u32; // processors
+    assert!(n > 0, "empty universe");
+
+    // job e is allowed on processor j (any time) iff e ∈ S_j
+    let mut allowed_procs: Vec<Vec<u32>> = vec![Vec::new(); sc.universe];
+    for (j, set) in sc.sets.iter().enumerate() {
+        for &e in set {
+            allowed_procs[e as usize].push(j as u32);
+        }
+    }
+    let jobs: Vec<Job> = allowed_procs
+        .into_iter()
+        .map(|procs| {
+            let allowed = procs
+                .iter()
+                .flat_map(|&p| (0..n).map(move |t| SlotRef::new(p, t)))
+                .collect();
+            Job {
+                value: 1.0,
+                allowed,
+            }
+        })
+        .collect();
+
+    let instance = Instance::new(m, n, jobs);
+    let candidates = (0..m)
+        .map(|p| CandidateInterval {
+            proc: p,
+            start: 0,
+            end: n,
+            cost: sc.costs[p as usize],
+        })
+        .collect();
+    (instance, candidates)
+}
+
+/// The classical tight family for the Set Cover greedy: a `2 × (2^k − 1)`
+/// element grid. The two rows cover everything (OPT = 2); the bait sets
+/// `D_1..D_k` cover column blocks of halving width, and the greedy picks all
+/// `k` of them — ratio `k/2 = Θ(log n)`.
+pub fn greedy_lower_bound_family(k: u32) -> SetCoverInstance {
+    assert!((1..=20).contains(&k));
+    let m = (1u32 << k) - 1; // columns
+    let universe = (2 * m) as usize;
+    // element ids: row 0 = 0..m, row 1 = m..2m
+    let row0: Vec<u32> = (0..m).collect();
+    let row1: Vec<u32> = (m..2 * m).collect();
+
+    let mut sets = vec![row0, row1];
+    let mut col = 0u32;
+    for j in 1..=k {
+        let width = 1u32 << (k - j);
+        let mut d = Vec::with_capacity(2 * width as usize);
+        for c in col..col + width {
+            d.push(c); // row 0
+            d.push(m + c); // row 1
+        }
+        sets.push(d);
+        col += width;
+    }
+    debug_assert_eq!(col, m);
+    SetCoverInstance::unit_costs(universe, sets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sched_core::{schedule_all, SolveOptions};
+    use submodular::setcover::{exact_set_cover, greedy_set_cover};
+
+    #[test]
+    fn reduction_preserves_optimum() {
+        // universe {0,1,2}; sets {0,1}, {2}, {0,1,2}(cost 3)
+        let sc = SetCoverInstance {
+            universe: 3,
+            sets: vec![vec![0, 1], vec![2], vec![0, 1, 2]],
+            costs: vec![1.0, 1.0, 3.0],
+        };
+        let (inst, cands) = set_cover_to_scheduling(&sc);
+        assert_eq!(inst.num_jobs(), 3);
+        assert_eq!(cands.len(), 3);
+        let s = schedule_all(&inst, &cands, &SolveOptions::default()).unwrap();
+        let (_, opt) = exact_set_cover(&sc).unwrap();
+        assert_eq!(opt, 2.0);
+        // greedy on the scheduling side must match the set-cover greedy bound
+        assert!(s.total_cost >= opt);
+        assert!(s.total_cost <= (sc.harmonic_bound() + 1.0) * opt);
+    }
+
+    #[test]
+    fn reduction_scheduling_greedy_equals_setcover_greedy() {
+        let sc = SetCoverInstance {
+            universe: 6,
+            sets: vec![
+                vec![0, 1, 2],
+                vec![3, 4],
+                vec![5],
+                vec![0, 3, 5],
+                vec![1, 2, 4],
+            ],
+            costs: vec![1.0, 1.0, 1.0, 1.0, 1.0],
+        };
+        let (inst, cands) = set_cover_to_scheduling(&sc);
+        let s = schedule_all(&inst, &cands, &SolveOptions::default()).unwrap();
+        let scg = greedy_set_cover(&sc);
+        assert!(scg.complete);
+        assert_eq!(
+            s.total_cost, scg.cost,
+            "scheduling greedy and set-cover greedy should pay the same"
+        );
+    }
+
+    #[test]
+    fn lower_bound_family_structure() {
+        for k in 1..=5u32 {
+            let sc = greedy_lower_bound_family(k);
+            let m = (1usize << k) - 1;
+            assert_eq!(sc.universe, 2 * m);
+            assert_eq!(sc.sets.len(), 2 + k as usize);
+            assert!(sc.is_coverable());
+            // rows partition the universe
+            assert_eq!(sc.sets[0].len(), m);
+            assert_eq!(sc.sets[1].len(), m);
+            // baits partition the universe too
+            let bait_total: usize = sc.sets[2..].iter().map(|s| s.len()).sum();
+            assert_eq!(bait_total, 2 * m);
+        }
+    }
+
+    #[test]
+    fn greedy_pays_log_factor_on_lower_bound_family() {
+        for k in 2..=6u32 {
+            let sc = greedy_lower_bound_family(k);
+            let sol = greedy_set_cover(&sc);
+            assert!(sol.complete);
+            // OPT = 2 (the two rows); greedy must fall for the baits
+            assert!(
+                sol.cost >= k as f64,
+                "k={k}: greedy cost {} below the intended Ω(log n) trap",
+                sol.cost
+            );
+        }
+    }
+
+    #[test]
+    fn reduction_infeasible_when_uncoverable() {
+        let sc = SetCoverInstance::unit_costs(2, vec![vec![0]]);
+        let (inst, cands) = set_cover_to_scheduling(&sc);
+        assert!(schedule_all(&inst, &cands, &SolveOptions::default()).is_err());
+    }
+}

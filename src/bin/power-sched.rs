@@ -1,0 +1,164 @@
+//! `power-sched` — command-line front end for the scheduling library.
+//!
+//! ```text
+//! power-sched generate --seed 7 --processors 2 --horizon 16 --jobs 12 --out inst.json
+//! power-sched solve inst.json --restart 3 --rate 1 [--target 25.5] [--out sched.json]
+//! power-sched validate inst.json sched.json
+//! ```
+//!
+//! Instances and schedules are serialized with serde as plain JSON, so they
+//! round-trip through scripts and other tooling. The solver uses the affine
+//! cost model from the CLI flags; richer cost models are a library-level
+//! concern (they are closures/oracles, not data).
+
+use power_scheduling::prelude::*;
+use power_scheduling::scheduling::model::validate_schedule;
+use power_scheduling::scheduling::simulate::simulate;
+use power_scheduling::workloads::planted::PlantedCostModel;
+use power_scheduling::workloads::{planted_instance, PlantedConfig};
+use rand::SeedableRng;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("solve") => cmd_solve(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: power-sched <generate|solve|validate> ...\n\
+                 \n  generate --seed S --processors P --horizon T --jobs N [--values V] --out FILE\
+                 \n  solve INSTANCE.json [--restart A] [--rate R] [--target Z] [--policy all|single|maxlen:K] [--out FILE]\
+                 \n  validate INSTANCE.json SCHEDULE.json"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let seed: u64 = flag(args, "--seed").map_or(Ok(0), |v| v.parse().map_err(|e| format!("{e}")))?;
+    let processors: u32 = flag(args, "--processors")
+        .map_or(Ok(2), |v| v.parse().map_err(|e| format!("{e}")))?;
+    let horizon: u32 =
+        flag(args, "--horizon").map_or(Ok(16), |v| v.parse().map_err(|e| format!("{e}")))?;
+    let jobs: usize =
+        flag(args, "--jobs").map_or(Ok(12), |v| v.parse().map_err(|e| format!("{e}")))?;
+    let values: u32 =
+        flag(args, "--values").map_or(Ok(1), |v| v.parse().map_err(|e| format!("{e}")))?;
+    let out = flag(args, "--out").ok_or("--out FILE is required")?;
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let p = planted_instance(
+        &PlantedConfig {
+            num_processors: processors,
+            horizon,
+            target_jobs: jobs,
+            decoy_prob: 0.3,
+            max_value: values,
+            cost_model: PlantedCostModel::Affine { restart: 3.0 },
+            policy: CandidatePolicy::All,
+        },
+        &mut rng,
+    );
+    let json = serde_json::to_string_pretty(&p.instance).map_err(|e| e.to_string())?;
+    std::fs::write(&out, json).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} ({} jobs, {} processors, horizon {}; planted feasible cost {:.2})",
+        out,
+        p.instance.num_jobs(),
+        p.instance.num_processors,
+        p.instance.horizon,
+        p.planted_cost
+    );
+    Ok(())
+}
+
+fn parse_policy(s: &str) -> Result<CandidatePolicy, String> {
+    match s {
+        "all" => Ok(CandidatePolicy::All),
+        "single" => Ok(CandidatePolicy::SingleSlots),
+        other => match other.strip_prefix("maxlen:") {
+            Some(k) => Ok(CandidatePolicy::MaxLength(
+                k.parse().map_err(|e| format!("bad maxlen: {e}"))?,
+            )),
+            None => Err(format!("unknown policy '{other}'")),
+        },
+    }
+}
+
+fn cmd_solve(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing INSTANCE.json")?;
+    let restart: f64 =
+        flag(args, "--restart").map_or(Ok(3.0), |v| v.parse().map_err(|e| format!("{e}")))?;
+    let rate: f64 =
+        flag(args, "--rate").map_or(Ok(1.0), |v| v.parse().map_err(|e| format!("{e}")))?;
+    let policy = parse_policy(&flag(args, "--policy").unwrap_or_else(|| "all".into()))?;
+    let target: Option<f64> = match flag(args, "--target") {
+        Some(v) => Some(v.parse().map_err(|e| format!("{e}"))?),
+        None => None,
+    };
+
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let inst: Instance = serde_json::from_str(&text).map_err(|e| e.to_string())?;
+    let cost = AffineCost::new(restart, rate);
+    let cands = enumerate_candidates(&inst, &cost, policy);
+
+    let schedule = match target {
+        Some(z) => prize_collecting_exact(&inst, &cands, z, &SolveOptions::default()),
+        None => schedule_all(&inst, &cands, &SolveOptions::default()),
+    }
+    .map_err(|e| e.to_string())?;
+
+    println!(
+        "scheduled {}/{} jobs (value {:.1}) at energy cost {:.2} with {} awake intervals",
+        schedule.scheduled_count,
+        inst.num_jobs(),
+        schedule.scheduled_value,
+        schedule.total_cost,
+        schedule.awake.len()
+    );
+    print!("{}", simulate(&inst, &schedule).render());
+
+    if let Some(out) = flag(args, "--out") {
+        let json = serde_json::to_string_pretty(&schedule).map_err(|e| e.to_string())?;
+        std::fs::write(&out, json).map_err(|e| e.to_string())?;
+        println!("wrote {out}");
+    }
+    Ok(())
+}
+
+fn cmd_validate(args: &[String]) -> Result<(), String> {
+    let [inst_path, sched_path] = args else {
+        return Err("usage: validate INSTANCE.json SCHEDULE.json".into());
+    };
+    let inst: Instance = serde_json::from_str(
+        &std::fs::read_to_string(inst_path).map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| e.to_string())?;
+    let sched: Schedule = serde_json::from_str(
+        &std::fs::read_to_string(sched_path).map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| e.to_string())?;
+    let violations = validate_schedule(&inst, &sched);
+    if violations.is_empty() {
+        println!("schedule is valid");
+        Ok(())
+    } else {
+        Err(format!("schedule invalid: {violations:?}"))
+    }
+}

@@ -1,0 +1,87 @@
+//! Serde round-trips for the on-disk formats the CLI uses, plus simulation
+//! cross-checks of schedule accounting.
+
+use power_scheduling::prelude::*;
+use power_scheduling::scheduling::simulate::{simulate, SlotState};
+use power_scheduling::workloads::planted::PlantedCostModel;
+use power_scheduling::workloads::{planted_instance, PlantedConfig};
+use rand::SeedableRng;
+
+fn solved_pair() -> (Instance, Schedule) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5150);
+    let p = planted_instance(
+        &PlantedConfig {
+            num_processors: 2,
+            horizon: 10,
+            target_jobs: 6,
+            decoy_prob: 0.2,
+            max_value: 3,
+            cost_model: PlantedCostModel::Affine { restart: 2.0 },
+            policy: CandidatePolicy::All,
+        },
+        &mut rng,
+    );
+    let s = schedule_all(&p.instance, &p.candidates, &SolveOptions::default()).unwrap();
+    (p.instance, s)
+}
+
+#[test]
+fn instance_json_roundtrip() {
+    let (inst, _) = solved_pair();
+    let json = serde_json::to_string(&inst).unwrap();
+    let back: Instance = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.num_processors, inst.num_processors);
+    assert_eq!(back.horizon, inst.horizon);
+    assert_eq!(back.num_jobs(), inst.num_jobs());
+    for (a, b) in back.jobs.iter().zip(&inst.jobs) {
+        assert_eq!(a.value, b.value);
+        assert_eq!(a.allowed, b.allowed);
+    }
+}
+
+#[test]
+fn schedule_json_roundtrip_still_validates() {
+    let (inst, sched) = solved_pair();
+    let json = serde_json::to_string(&sched).unwrap();
+    let back: Schedule = serde_json::from_str(&json).unwrap();
+    assert!(power_scheduling::scheduling::model::validate_schedule(&inst, &back).is_empty());
+    assert_eq!(back.total_cost, sched.total_cost);
+    assert_eq!(back.assignments, sched.assignments);
+}
+
+#[test]
+fn simulation_agrees_with_schedule_accounting() {
+    let (inst, sched) = solved_pair();
+    let trace = simulate(&inst, &sched);
+    let busy: usize = trace.busy_slots.iter().sum();
+    assert_eq!(busy, sched.scheduled_count);
+    let restarts: usize = trace.restarts.iter().sum();
+    assert_eq!(restarts, sched.awake.len());
+    // every busy slot corresponds to exactly one assignment
+    for asg in sched.assignments.iter().flatten() {
+        assert_eq!(
+            trace.states[asg.proc as usize][asg.time as usize],
+            SlotState::Busy
+        );
+    }
+    // render has one line per processor, horizon chars each
+    let render = trace.render();
+    let lines: Vec<&str> = render.trim_end().lines().collect();
+    assert_eq!(lines.len(), inst.num_processors as usize);
+    for line in lines {
+        assert_eq!(line.len() - 4, inst.horizon as usize); // "pN: " prefix
+    }
+}
+
+#[test]
+fn solved_schedule_survives_disk_and_resolves_identically() {
+    // write-read-solve determinism: same instance JSON solved twice gives the
+    // same cost (full determinism of the greedy)
+    let (inst, sched) = solved_pair();
+    let json = serde_json::to_string(&inst).unwrap();
+    let back: Instance = serde_json::from_str(&json).unwrap();
+    let cost = AffineCost::new(2.0, 1.0);
+    let cands = enumerate_candidates(&back, &cost, CandidatePolicy::All);
+    let s2 = schedule_all(&back, &cands, &SolveOptions::default()).unwrap();
+    assert_eq!(s2.total_cost, sched.total_cost);
+}

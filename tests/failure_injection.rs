@@ -1,0 +1,155 @@
+//! Failure injection: malformed cost oracles, degenerate instances, and
+//! adversarial candidate families must fail loudly and precisely — never
+//! return a silently-wrong schedule.
+
+use power_scheduling::prelude::*;
+use power_scheduling::scheduling::model::validate_schedule;
+
+/// A cost oracle that returns NaN for some intervals.
+struct NanCost;
+impl EnergyCost for NanCost {
+    fn cost(&self, _p: u32, start: u32, _e: u32) -> f64 {
+        if start == 1 {
+            f64::NAN
+        } else {
+            1.0
+        }
+    }
+}
+
+/// A cost oracle that returns zero (violates the strictly-positive
+/// contract that the greedy's ratio rule needs).
+struct ZeroCost;
+impl EnergyCost for ZeroCost {
+    fn cost(&self, _p: u32, _s: u32, _e: u32) -> f64 {
+        0.0
+    }
+}
+
+/// Negative costs.
+struct NegativeCost;
+impl EnergyCost for NegativeCost {
+    fn cost(&self, _p: u32, _s: u32, _e: u32) -> f64 {
+        -3.0
+    }
+}
+
+fn one_job_instance() -> Instance {
+    Instance::new(1, 3, vec![Job::unit(vec![SlotRef::new(0, 0)])])
+}
+
+#[test]
+#[should_panic(expected = "invalid cost")]
+fn nan_cost_rejected_at_enumeration() {
+    enumerate_candidates(&one_job_instance(), &NanCost, CandidatePolicy::All);
+}
+
+#[test]
+#[should_panic(expected = "invalid cost")]
+fn zero_cost_rejected_at_enumeration() {
+    enumerate_candidates(&one_job_instance(), &ZeroCost, CandidatePolicy::All);
+}
+
+#[test]
+#[should_panic(expected = "invalid cost")]
+fn negative_cost_rejected_at_enumeration() {
+    enumerate_candidates(&one_job_instance(), &NegativeCost, CandidatePolicy::All);
+}
+
+#[test]
+fn empty_candidate_family_is_infeasible_not_wrong() {
+    let inst = one_job_instance();
+    let err = schedule_all(&inst, &[], &SolveOptions::default()).unwrap_err();
+    assert!(matches!(err, ScheduleError::Infeasible { .. }));
+}
+
+#[test]
+fn candidates_missing_the_needed_slot_give_certificate() {
+    let inst = one_job_instance(); // job pinned at (0,0)
+    let cands = vec![CandidateInterval {
+        proc: 0,
+        start: 1,
+        end: 3,
+        cost: 2.0,
+    }];
+    match schedule_all(&inst, &cands, &SolveOptions::default()) {
+        Err(ScheduleError::Infeasible { certificate, .. }) => {
+            assert_eq!(certificate, vec![0], "the pinned job must be named");
+        }
+        other => panic!("expected infeasible, got {other:?}"),
+    }
+}
+
+#[test]
+fn prize_target_barely_above_total_rejected() {
+    let inst = Instance::new(1, 2, vec![Job::window(2.0, 0, 0, 2)]);
+    let cost = AffineCost::new(1.0, 1.0);
+    let cands = enumerate_candidates(&inst, &cost, CandidatePolicy::All);
+    let err =
+        prize_collecting(&inst, &cands, 2.0 + 1e-6, 0.1, &SolveOptions::default()).unwrap_err();
+    assert!(matches!(err, ScheduleError::TargetExceedsTotalValue { .. }));
+    // and exactly the total is fine
+    let ok = prize_collecting_exact(&inst, &cands, 2.0, &SolveOptions::default()).unwrap();
+    assert_eq!(ok.scheduled_value, 2.0);
+}
+
+#[test]
+fn duplicate_candidates_are_harmless() {
+    let inst = one_job_instance();
+    let iv = CandidateInterval {
+        proc: 0,
+        start: 0,
+        end: 1,
+        cost: 2.0,
+    };
+    let cands = vec![iv, iv, iv];
+    let s = schedule_all(&inst, &cands, &SolveOptions::default()).unwrap();
+    assert_eq!(s.total_cost, 2.0);
+    assert_eq!(s.awake.len(), 1, "greedy must not buy redundant copies");
+    assert!(validate_schedule(&inst, &s).is_empty());
+}
+
+#[test]
+fn overlapping_candidates_do_not_double_schedule() {
+    // two jobs share window [0,2); candidates overlap heavily
+    let inst = Instance::new(
+        1,
+        2,
+        vec![Job::window(1.0, 0, 0, 2), Job::window(1.0, 0, 0, 2)],
+    );
+    let cost = AffineCost::new(0.5, 1.0);
+    let cands = enumerate_candidates(&inst, &cost, CandidatePolicy::All);
+    let s = schedule_all(&inst, &cands, &SolveOptions::default()).unwrap();
+    assert_eq!(s.scheduled_count, 2);
+    let slots: Vec<_> = s.assignments.iter().flatten().collect();
+    assert_ne!(slots[0], slots[1], "slot collision");
+    assert!(validate_schedule(&inst, &s).is_empty());
+}
+
+#[test]
+fn zero_horizon_instance_only_schedules_nothing() {
+    let inst = Instance::new(2, 0, vec![]);
+    let cost = AffineCost::new(1.0, 1.0);
+    let cands = enumerate_candidates(&inst, &cost, CandidatePolicy::All);
+    assert!(cands.is_empty());
+    let s = schedule_all(&inst, &cands, &SolveOptions::default()).unwrap();
+    assert_eq!(s.total_cost, 0.0);
+}
+
+#[test]
+fn huge_value_spread_still_exact() {
+    // Δ = 10^9: numerically stressful for the ε = v_min/(n·v_max) slack
+    let inst = Instance::new(
+        1,
+        3,
+        vec![
+            Job::window(1.0, 0, 0, 3),
+            Job::window(1e9, 0, 0, 3),
+        ],
+    );
+    let cost = AffineCost::new(1.0, 1.0);
+    let cands = enumerate_candidates(&inst, &cost, CandidatePolicy::All);
+    let s = prize_collecting_exact(&inst, &cands, 1e9 + 1.0, &SolveOptions::default()).unwrap();
+    assert_eq!(s.scheduled_value, 1e9 + 1.0);
+    assert_eq!(s.scheduled_count, 2);
+}

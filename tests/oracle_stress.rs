@@ -1,0 +1,131 @@
+//! Larger randomized stress tests for the incremental matching-rank oracle —
+//! the load-bearing component of the whole reduction. Cross-checks hundreds
+//! of random insertion schedules against Hopcroft–Karp and the weighted
+//! reference at sizes well beyond the unit tests.
+
+use power_scheduling::matching::{
+    hopcroft_karp, BipartiteGraph, GainScratch, MatchingOracle,
+};
+use power_scheduling::matching::oracle::weighted_rank_reference;
+use rand::{Rng, SeedableRng};
+
+fn random_graph(rng: &mut impl Rng, nx: u32, ny: u32, deg: usize) -> BipartiteGraph {
+    let mut edges = Vec::with_capacity(nx as usize * deg);
+    for x in 0..nx {
+        for _ in 0..rng.gen_range(0..=deg) {
+            edges.push((x, rng.gen_range(0..ny)));
+        }
+    }
+    BipartiteGraph::from_edges(nx, ny, &edges)
+}
+
+#[test]
+fn cardinality_oracle_vs_hopcroft_karp_at_scale() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xBEEF);
+    for trial in 0..10 {
+        let nx = rng.gen_range(100..400u32);
+        let ny = rng.gen_range(50..200u32);
+        let g = random_graph(&mut rng, nx, ny, 5);
+        let mut oracle = MatchingOracle::new_cardinality(&g);
+        let mut inserted = vec![false; nx as usize];
+        // random insertion order, checking every ~50 insertions
+        let mut order: Vec<u32> = (0..nx).collect();
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        for (step, &v) in order.iter().enumerate() {
+            oracle.add_slot(v);
+            inserted[v as usize] = true;
+            if step % 50 == 49 || step + 1 == order.len() {
+                let hk = hopcroft_karp(&g, |x| inserted[x as usize]);
+                assert_eq!(
+                    oracle.total(),
+                    hk.size as f64,
+                    "trial {trial} step {step}: oracle diverged from HK"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn weighted_oracle_vs_reference_at_scale() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xCAFE);
+    for trial in 0..6 {
+        let nx = rng.gen_range(60..150u32);
+        let ny = rng.gen_range(30..80u32);
+        let g = random_graph(&mut rng, nx, ny, 4);
+        let values: Vec<f64> = (0..ny).map(|_| rng.gen_range(1..=50) as f64).collect();
+        let mut oracle = MatchingOracle::new(&g, values.clone());
+        let mut inserted = vec![false; nx as usize];
+        for v in 0..nx {
+            oracle.add_slot(v);
+            inserted[v as usize] = true;
+            if v % 37 == 36 || v + 1 == nx {
+                let want = weighted_rank_reference(&g, &values, |x| inserted[x as usize]);
+                assert_eq!(
+                    oracle.total(),
+                    want,
+                    "trial {trial} slot {v}: weighted oracle diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn interleaved_gains_and_commits_stay_consistent() {
+    // Alternate gain probes and commits; every commit must realize the gain
+    // its immediately preceding probe predicted, and probes must not corrupt
+    // the committed state even under heavy scratch reuse.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xD00D);
+    let g = random_graph(&mut rng, 300, 150, 5);
+    let values: Vec<f64> = (0..150).map(|_| rng.gen_range(1..=20) as f64).collect();
+    let mut oracle = MatchingOracle::new(&g, values);
+    let mut scratch = GainScratch::new();
+    for _ in 0..200 {
+        let probe: Vec<u32> = (0..rng.gen_range(1..8))
+            .map(|_| rng.gen_range(0..300u32))
+            .collect();
+        let predicted = oracle.gain_of(&probe, &mut scratch);
+        let again = oracle.gain_of(&probe, &mut scratch);
+        assert_eq!(predicted, again, "probe not idempotent");
+        if rng.gen_bool(0.5) {
+            let before = oracle.total();
+            let realized = oracle.commit(&probe);
+            assert_eq!(predicted, realized, "commit diverged from probe");
+            assert_eq!(oracle.total(), before + realized);
+        }
+    }
+    // final cross-check against reference
+    let committed: Vec<bool> = (0..300).map(|x| oracle.is_allowed(x)).collect();
+    let want = weighted_rank_reference(oracle.graph(), oracle.values(), |x| {
+        committed[x as usize]
+    });
+    assert_eq!(oracle.total(), want);
+}
+
+#[test]
+fn gain_scratch_shared_across_different_oracles() {
+    // One scratch reused against two different oracles (the rayon pattern
+    // after a work-steal) must stay correct thanks to epoch/versioning.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xF00D);
+    let g1 = random_graph(&mut rng, 80, 40, 4);
+    let g2 = random_graph(&mut rng, 120, 60, 4);
+    let mut o1 = MatchingOracle::new_cardinality(&g1);
+    let mut o2 = MatchingOracle::new_cardinality(&g2);
+    o1.commit(&(0..40u32).collect::<Vec<_>>());
+    o2.commit(&(0..60u32).collect::<Vec<_>>());
+    let mut scratch = GainScratch::new();
+    for _ in 0..50 {
+        let p1: Vec<u32> = (0..4).map(|_| rng.gen_range(0..80u32)).collect();
+        let p2: Vec<u32> = (0..4).map(|_| rng.gen_range(0..120u32)).collect();
+        let g1a = o1.gain_of(&p1, &mut scratch);
+        let g2a = o2.gain_of(&p2, &mut scratch);
+        let g1b = o1.gain_of(&p1, &mut scratch);
+        let g2b = o2.gain_of(&p2, &mut scratch);
+        assert_eq!(g1a, g1b, "scratch crosstalk on oracle 1");
+        assert_eq!(g2a, g2b, "scratch crosstalk on oracle 2");
+    }
+}

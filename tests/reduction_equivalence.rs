@@ -1,0 +1,73 @@
+//! Integration: the Appendix .1 Set-Cover ↔ scheduling reduction preserves
+//! optima and greedy behaviour end-to-end.
+
+use power_scheduling::prelude::*;
+use power_scheduling::submodular::setcover::{
+    exact_set_cover, greedy_set_cover, SetCoverInstance,
+};
+use power_scheduling::workloads::{greedy_lower_bound_family, set_cover_to_scheduling};
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn reduction_optima_agree_on_random_instances() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    for _ in 0..10 {
+        let n = rng.gen_range(3..8usize);
+        let m = rng.gen_range(2..6usize);
+        let mut sets: Vec<Vec<u32>> = (0..m)
+            .map(|_| (0..n as u32).filter(|_| rng.gen_bool(0.5)).collect())
+            .collect();
+        sets.push((0..n as u32).collect());
+        let sc = SetCoverInstance::unit_costs(n, sets);
+        let (inst, cands) = set_cover_to_scheduling(&sc);
+
+        let (_, sc_opt) = exact_set_cover(&sc).unwrap();
+        let sched_opt = power_scheduling::baselines::exact_schedule_all(&inst, &cands, 8_000_000)
+            .expect("coverable instance must be schedulable");
+        assert_eq!(
+            sc_opt, sched_opt.cost,
+            "reduction must preserve the optimum"
+        );
+    }
+}
+
+#[test]
+fn scheduling_greedy_log_trap_materializes() {
+    // On the tight family, OPT = 2 but the greedy pays ≥ k: the Set-Cover
+    // lower bound carried through the reduction.
+    for k in 2..=7u32 {
+        let sc = greedy_lower_bound_family(k);
+        let (inst, cands) = set_cover_to_scheduling(&sc);
+        let s = schedule_all(&inst, &cands, &SolveOptions::default()).unwrap();
+        assert!(s.total_cost >= k as f64);
+        // and the pure set-cover greedy pays the same
+        let scg = greedy_set_cover(&sc);
+        assert_eq!(s.total_cost, scg.cost);
+    }
+}
+
+#[test]
+fn one_processor_multi_interval_is_setcover_shaped() {
+    // Multi-interval single-processor instances embed set cover too (the
+    // other hardness direction, Thm .1.1): verify the greedy solves a small
+    // embedded instance correctly rather than degenerating.
+    // universe {0,1,2}: sets {0,1} -> windows {0,1}, {2} -> {2}, {0,2} -> {0,2}
+    // as time slots of one processor; each "set" becomes a candidate interval
+    // family — here we just check the scheduling greedy matches exact search.
+    let inst = Instance::new(
+        1,
+        6,
+        vec![
+            Job::unit(vec![SlotRef::new(0, 0), SlotRef::new(0, 3)]),
+            Job::unit(vec![SlotRef::new(0, 1), SlotRef::new(0, 4)]),
+            Job::unit(vec![SlotRef::new(0, 5)]),
+        ],
+    );
+    let cost = AffineCost::new(2.0, 1.0);
+    let cands = enumerate_candidates(&inst, &cost, CandidatePolicy::All);
+    let g = schedule_all(&inst, &cands, &SolveOptions::default()).unwrap();
+    let ex = power_scheduling::baselines::exact_schedule_all(&inst, &cands, 8_000_000).unwrap();
+    assert!(g.total_cost >= ex.cost - 1e-9);
+    let n = inst.num_jobs() as f64;
+    assert!(g.total_cost <= 2.0 * (n + 1.0).log2().ceil() * ex.cost + 1e-9);
+}

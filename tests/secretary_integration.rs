@@ -1,0 +1,119 @@
+//! Integration: Chapter 3 algorithms on generated workloads against offline
+//! references, including the scheduling-flavored "processors arrive online"
+//! story from the paper's introduction.
+
+use power_scheduling::matroids::{Matroid, PartitionMatroid, UniformMatroid};
+use power_scheduling::secretary::{
+    knapsack_secretary, matroid_submodular_secretary, nonmonotone_submodular_secretary,
+    offline_greedy, offline_matroid_greedy, random_stream, submodular_secretary,
+    KnapsackInstance,
+};
+use power_scheduling::submodular::functions::CoverageFn;
+use power_scheduling::submodular::{BitSet, SetFn};
+use power_scheduling::workloads::secretary_streams::{
+    heavy_tail_additive, random_coverage, random_cut,
+};
+use rand::SeedableRng;
+
+fn eval<F: SetFn + ?Sized>(f: &F, set: &[u32]) -> f64 {
+    f.eval(&BitSet::from_iter(f.ground_size(), set.iter().copied()))
+}
+
+#[test]
+fn processors_arrive_online_scheduling_story() {
+    // The paper's motivating story: tasks are fixed, processors (secretaries)
+    // arrive online; hire k of them to maximize tasks done. Utility of a
+    // processor set = tasks coverable — a coverage function.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let num_tasks = 40;
+    let num_processors = 80;
+    // each processor can execute a random subset of tasks
+    let f = random_coverage(num_processors, num_tasks, 0.1, &mut rng);
+    let k = 6;
+    let (_, offline) = offline_greedy(&f, k);
+    let trials = 400;
+    let mut total = 0.0;
+    for _ in 0..trials {
+        let s = random_stream(num_processors, &mut rng);
+        let hired = submodular_secretary(&f, &s, k);
+        assert!(hired.len() <= k);
+        total += eval(&f, &hired);
+    }
+    let ratio = total / trials as f64 / offline;
+    let bound = (1.0 - 1.0 / std::f64::consts::E) / (7.0 * std::f64::consts::E);
+    assert!(ratio >= bound, "online hiring ratio {ratio} below bound");
+}
+
+#[test]
+fn all_algorithms_respect_their_constraints() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let n = 50;
+    let f = random_coverage(n, 30, 0.1, &mut rng);
+    let cut = random_cut(n, 200, 4, &mut rng);
+    let uni = UniformMatroid::new(n, 5);
+    let part = PartitionMatroid::new((0..n as u32).map(|e| e % 4).collect(), vec![2; 4]);
+    let ms: Vec<&dyn Matroid> = vec![&uni, &part];
+    let add = heavy_tail_additive(n, &mut rng);
+    let ki = {
+        use rand::Rng;
+        KnapsackInstance::new(
+            vec![(0..n).map(|_| rng.gen_range(0.1..1.0)).collect()],
+            vec![2.0],
+        )
+    };
+
+    for _ in 0..50 {
+        let s = random_stream(n, &mut rng);
+        let h1 = submodular_secretary(&f, &s, 7);
+        assert!(h1.len() <= 7);
+        let h2 = nonmonotone_submodular_secretary(&cut, &s, 7, &mut rng);
+        assert!(h2.len() <= 7);
+        let h3 = matroid_submodular_secretary(&f, &s, &ms, &mut rng);
+        assert!(power_scheduling::matroids::independent_in_all(&ms, &h3));
+        let h4 = knapsack_secretary(&add, &ki, &s, &mut rng);
+        assert!(ki.feasible(&h4));
+    }
+}
+
+#[test]
+fn matroid_secretary_beats_nominal_bound_on_two_matroids() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let n = 60;
+    let f = random_coverage(n, 40, 0.12, &mut rng);
+    let uni = UniformMatroid::new(n, 6);
+    let part = PartitionMatroid::new((0..n as u32).map(|e| e % 5).collect(), vec![2; 5]);
+    let ms: Vec<&dyn Matroid> = vec![&uni, &part];
+    let (_, offline) = offline_matroid_greedy(&f, &ms);
+    assert!(offline > 0.0);
+    let trials = 400;
+    let mut total = 0.0;
+    for _ in 0..trials {
+        let s = random_stream(n, &mut rng);
+        let hired = matroid_submodular_secretary(&f, &s, &ms, &mut rng);
+        total += eval(&f, &hired);
+    }
+    let ratio = total / trials as f64 / offline;
+    let l = 2.0;
+    let r = power_scheduling::matroids::max_rank(&ms) as f64;
+    let nominal = 1.0 / (8.0 * std::f64::consts::E * l * r.log2().max(1.0).powi(2));
+    assert!(ratio >= nominal, "ratio {ratio} below Θ(1/(l log² r)) shape {nominal}");
+}
+
+#[test]
+fn monotone_secretary_with_identity_coverage_behaves_like_topk() {
+    // identity coverage: f additive 0/1 — algorithm should hire close to k
+    // items on long streams
+    let n = 90;
+    let f = CoverageFn::unweighted(n, (0..n).map(|i| vec![i as u32]).collect());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let k = 6;
+    let mut hires = 0usize;
+    let trials = 200;
+    for _ in 0..trials {
+        let s = random_stream(n, &mut rng);
+        hires += submodular_secretary(&f, &s, k).len();
+    }
+    let avg = hires as f64 / trials as f64;
+    // each segment hires with probability ≥ 1 − 1/e-ish; expect > k/2 on average
+    assert!(avg > k as f64 / 2.0, "average hires {avg} too low");
+}
