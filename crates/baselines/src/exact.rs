@@ -228,7 +228,10 @@ mod tests {
                     );
                 }
                 (None, Err(_)) => {} // both infeasible: consistent
-                (ex, g) => panic!("trial {trial}: feasibility disagreement {ex:?} vs {:?}", g.is_ok()),
+                (ex, g) => panic!(
+                    "trial {trial}: feasibility disagreement {ex:?} vs {:?}",
+                    g.is_ok()
+                ),
             }
         }
     }
@@ -255,7 +258,11 @@ mod tests {
 
     #[test]
     fn node_budget_exhaustion_returns_none() {
-        let inst = Instance::new(1, 6, (0..5).map(|i| Job::window(1.0, 0, i, i + 1)).collect());
+        let inst = Instance::new(
+            1,
+            6,
+            (0..5).map(|i| Job::window(1.0, 0, i, i + 1)).collect(),
+        );
         let cands = enumerate_candidates(&inst, &AffineCost::new(1.0, 1.0), CandidatePolicy::All);
         assert!(exact_schedule_all(&inst, &cands, 3).is_none());
     }

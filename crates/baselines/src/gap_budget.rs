@@ -234,7 +234,10 @@ mod tests {
         let r = max_value_with_budget(&i, 2);
         assert_eq!(r.value, 16.0);
         assert_eq!(r.intervals.len(), 2);
-        assert!(r.intervals[1].0 > r.intervals[0].1, "runs must be separated");
+        assert!(
+            r.intervals[1].0 > r.intervals[0].1,
+            "runs must be separated"
+        );
     }
 
     #[test]
@@ -311,7 +314,10 @@ mod tests {
                 }
                 best = best.max(value_of_awake_set(&i, &awake));
             }
-            assert_eq!(dp.value, best, "trial {trial}: DP disagrees with brute force");
+            assert_eq!(
+                dp.value, best,
+                "trial {trial}: DP disagrees with brute force"
+            );
         }
     }
 

@@ -152,20 +152,14 @@ pub fn edf_gap_merge(inst: &Instance, alpha: f64) -> Option<f64> {
             merged.push((s, e));
         }
     }
-    Some(
-        merged
-            .iter()
-            .map(|&(s, e)| alpha + (e - s) as f64)
-            .sum(),
-    )
+    Some(merged.iter().map(|&(s, e)| alpha + (e - s) as f64).sum())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use sched_core::{
-        enumerate_candidates, schedule_all, AffineCost, CandidatePolicy, Job, SlotRef,
-        SolveOptions,
+        enumerate_candidates, schedule_all, AffineCost, CandidatePolicy, Job, SlotRef, SolveOptions,
     };
 
     #[test]

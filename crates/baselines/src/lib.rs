@@ -17,5 +17,7 @@ pub mod gap_budget;
 pub mod heuristics;
 
 pub use exact::{exact_prize_collecting, exact_schedule_all, ExactResult};
-pub use gap_budget::{max_value_with_budget, min_runs_schedule_all, value_of_awake_set, GapBudgetResult};
+pub use gap_budget::{
+    max_value_with_budget, min_runs_schedule_all, value_of_awake_set, GapBudgetResult,
+};
 pub use heuristics::{always_on_cost, cover_each_job_greedy, edf_gap_merge};

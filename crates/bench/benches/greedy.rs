@@ -25,7 +25,13 @@ fn coverage_instance(universe: usize, m: usize, seed: u64) -> Inst {
         .collect();
     subsets.push((0..universe as u32).collect()); // coverable guarantee
     let costs = (0..subsets.len())
-        .map(|i| if i + 1 == subsets.len() { universe as f64 } else { rng.gen_range(0.5..4.0) })
+        .map(|i| {
+            if i + 1 == subsets.len() {
+                universe as f64
+            } else {
+                rng.gen_range(0.5..4.0)
+            }
+        })
         .collect();
     let f = CoverageFn::unweighted(universe, (0..universe).map(|i| vec![i as u32]).collect());
     Inst {
@@ -41,9 +47,11 @@ fn bench_greedy_variants(c: &mut Criterion) {
     g.sample_size(10);
     for &(u, m) in &[(300usize, 200usize), (1000, 800)] {
         let inst = coverage_instance(u, m, 7);
-        for (name, lazy, parallel) in
-            [("eager", false, false), ("lazy", true, false), ("lazy_par", true, true)]
-        {
+        for (name, lazy, parallel) in [
+            ("eager", false, false),
+            ("lazy", true, false),
+            ("lazy_par", true, true),
+        ] {
             g.bench_with_input(
                 BenchmarkId::new(name, format!("u{u}_m{m}")),
                 &inst,

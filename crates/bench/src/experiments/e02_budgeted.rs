@@ -12,7 +12,9 @@ use submodular::{budgeted_greedy, GreedyConfig, SetSystemObjective};
 
 /// Runs E2 and prints its table.
 pub fn run(seed: u64, quick: bool) {
-    section(&format!("E2  Lemma 2.1.2  (1−ε, 2⌈lg 1/ε⌉)-bicriteria greedy   [seed {seed}]"));
+    section(&format!(
+        "E2  Lemma 2.1.2  (1−ε, 2⌈lg 1/ε⌉)-bicriteria greedy   [seed {seed}]"
+    ));
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xE2);
 
     let universe = if quick { 60 } else { 240 };
@@ -26,7 +28,9 @@ pub fn run(seed: u64, quick: bool) {
     let b = subsets.len() as f64;
     // decoys: random subsets with random costs
     for _ in 0..40 {
-        let mut s: Vec<u32> = (0..universe as u32).filter(|_| rng.gen_bool(0.25)).collect();
+        let mut s: Vec<u32> = (0..universe as u32)
+            .filter(|_| rng.gen_bool(0.25))
+            .collect();
         s.truncate(universe / 3);
         if !s.is_empty() {
             subsets.push(s);
@@ -39,9 +43,20 @@ pub fn run(seed: u64, quick: bool) {
     let f = CoverageFn::unweighted(universe, (0..universe).map(|i| vec![i as u32]).collect());
 
     let mut t = Table::new(&[
-        "ε", "target x", "utility", "≥(1−ε)x", "cost", "bound 2⌈lg 1/ε⌉·B", "evals lazy", "evals eager",
+        "ε",
+        "target x",
+        "utility",
+        "≥(1−ε)x",
+        "cost",
+        "bound 2⌈lg 1/ε⌉·B",
+        "evals lazy",
+        "evals eager",
     ]);
-    let exps: Vec<i32> = if quick { vec![1, 3, 6] } else { (1..=10).collect() };
+    let exps: Vec<i32> = if quick {
+        vec![1, 3, 6]
+    } else {
+        (1..=10).collect()
+    };
     for e in exps {
         let eps = 2f64.powi(-e);
         let x = universe as f64;

@@ -6,9 +6,7 @@
 
 use crate::table::{section, Table};
 use rand::{Rng, SeedableRng};
-use sched_core::{
-    prize_collecting, prize_collecting_exact, CandidatePolicy, SolveOptions,
-};
+use sched_core::{CandidatePolicy, Solver};
 use workloads::planted::PlantedCostModel;
 use workloads::{planted_instance, PlantedConfig};
 
@@ -16,7 +14,9 @@ use workloads::{planted_instance, PlantedConfig};
 pub fn run(seed: u64, quick: bool) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xE3);
 
-    section(&format!("E3  Theorem 2.3.1  prize-collecting (1−ε)Z, cost O(B log 1/ε)   [seed {seed}]"));
+    section(&format!(
+        "E3  Theorem 2.3.1  prize-collecting (1−ε)Z, cost O(B log 1/ε)   [seed {seed}]"
+    ));
     let cfg = PlantedConfig {
         num_processors: 2,
         horizon: if quick { 14 } else { 24 },
@@ -29,12 +29,18 @@ pub fn run(seed: u64, quick: bool) {
     let p = planted_instance(&cfg, &mut rng);
     let total = p.instance.total_value();
     let z = 0.8 * total;
+    // one Solver for the whole ε sweep: candidates priced once, reused
+    let solver = Solver::with_candidates(&p.instance, &p.candidates[..]);
     let mut t = Table::new(&["ε", "Z", "value", "≥(1−ε)Z", "cost", "bound 2⌈lg 1/ε⌉·B"]);
     for e in [1, 2, 4, 6, 8] {
         let eps = 2f64.powi(-e);
-        let s = prize_collecting(&p.instance, &p.candidates, z, eps, &SolveOptions::default())
+        let s = solver
+            .prize_collecting(z, eps)
             .expect("planted instance can reach Z");
-        assert!(s.scheduled_value >= (1.0 - eps) * z - 1e-9, "E3 value guarantee violated");
+        assert!(
+            s.scheduled_value >= (1.0 - eps) * z - 1e-9,
+            "E3 value guarantee violated"
+        );
         let bound = 2.0 * (1.0 / eps).log2().ceil() * p.planted_cost;
         assert!(s.total_cost <= bound + 1e-9, "E3 cost bound violated");
         t.row(vec![
@@ -59,9 +65,13 @@ pub fn run(seed: u64, quick: bool) {
         let p = planted_instance(&cfg, &mut rng);
         let total = p.instance.total_value();
         let z = rng.gen_range(0.5..0.9) * total;
-        let s = prize_collecting_exact(&p.instance, &p.candidates, z, &SolveOptions::default())
+        let s = Solver::with_candidates(&p.instance, &p.candidates[..])
+            .prize_collecting_exact(z)
             .expect("planted instance can reach Z");
-        assert!(s.scheduled_value >= z - 1e-9, "E4 exact-Z guarantee violated");
+        assert!(
+            s.scheduled_value >= z - 1e-9,
+            "E4 exact-Z guarantee violated"
+        );
         let n = p.instance.num_jobs() as f64;
         let (vmin, vmax) = p.instance.value_range().unwrap();
         let d = vmax / vmin;

@@ -16,8 +16,19 @@ use workloads::{greedy_lower_bound_family, set_cover_to_scheduling};
 /// Runs E5 and E13 and prints both tables.
 pub fn run(seed: u64, quick: bool) {
     section("E5  Thm .1.2  Set-Cover-hard reduction: greedy ratio grows ~ log n");
-    let ks: Vec<u32> = if quick { vec![2, 4, 6] } else { vec![2, 4, 6, 8, 10] };
-    let mut t = Table::new(&["k", "n (universe)", "OPT", "sched-greedy", "ratio", "k/2 (trap)"]);
+    let ks: Vec<u32> = if quick {
+        vec![2, 4, 6]
+    } else {
+        vec![2, 4, 6, 8, 10]
+    };
+    let mut t = Table::new(&[
+        "k",
+        "n (universe)",
+        "OPT",
+        "sched-greedy",
+        "ratio",
+        "k/2 (trap)",
+    ]);
     let mut ratios = Vec::new();
     for &k in &ks {
         let sc = greedy_lower_bound_family(k);
@@ -58,8 +69,14 @@ pub fn run(seed: u64, quick: bool) {
             .map(|_| (0..n as u32).filter(|_| rng.gen_bool(0.35)).collect())
             .collect();
         sets.push((0..n as u32).collect()); // ensure coverable
-        let costs: Vec<f64> = (0..sets.len()).map(|_| rng.gen_range(1..6) as f64).collect();
-        let sc = SetCoverInstance { universe: n, sets, costs };
+        let costs: Vec<f64> = (0..sets.len())
+            .map(|_| rng.gen_range(1..6) as f64)
+            .collect();
+        let sc = SetCoverInstance {
+            universe: n,
+            sets,
+            costs,
+        };
         let sol = greedy_set_cover(&sc);
         let (_, opt) = exact_set_cover(&sc).expect("coverable by construction");
         let hn1 = sc.harmonic_bound() + 1.0;

@@ -15,9 +15,19 @@ use workloads::secretary_streams::{random_coverage, random_facility_location};
 
 /// Runs E6 and prints its table.
 pub fn run(seed: u64, quick: bool) {
-    section(&format!("E6  Theorem 3.2.5  monotone submodular secretary ≥ (1−1/e)/(7e) ≈ 0.0332   [seed {seed}]"));
+    section(&format!(
+        "E6  Theorem 3.2.5  monotone submodular secretary ≥ (1−1/e)/(7e) ≈ 0.0332   [seed {seed}]"
+    ));
     let trials = if quick { 200 } else { 1000 };
-    let mut t = Table::new(&["utility", "n", "k", "offline ref", "online avg", "ratio", "bound"]);
+    let mut t = Table::new(&[
+        "utility",
+        "n",
+        "k",
+        "offline ref",
+        "online avg",
+        "ratio",
+        "bound",
+    ]);
     let bound = (1.0 - 1.0 / std::f64::consts::E) / (7.0 * std::f64::consts::E);
 
     let configs: Vec<(usize, usize)> = if quick {

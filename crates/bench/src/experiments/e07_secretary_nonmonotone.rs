@@ -13,7 +13,15 @@ pub fn run(seed: u64, quick: bool) {
     section(&format!("E7  Theorem 3.2.8  non-monotone (directed cut) secretary ≥ 1/(8e²) ≈ 0.0169   [seed {seed}]"));
     let trials = if quick { 300 } else { 1500 };
     let bound = 1.0 / (8.0 * std::f64::consts::E * std::f64::consts::E);
-    let mut t = Table::new(&["n", "arcs", "k", "offline ref", "online avg", "ratio", "bound"]);
+    let mut t = Table::new(&[
+        "n",
+        "arcs",
+        "k",
+        "offline ref",
+        "online avg",
+        "ratio",
+        "bound",
+    ]);
 
     let configs: Vec<(usize, usize, usize)> = if quick {
         vec![(40, 200, 6)]

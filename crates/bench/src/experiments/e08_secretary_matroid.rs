@@ -11,7 +11,9 @@ use workloads::secretary_streams::random_coverage;
 
 /// Runs E8 and prints its table.
 pub fn run(seed: u64, quick: bool) {
-    section(&format!("E8  Theorem 3.1.2  matroid submodular secretary, Ω(1/(l log² r))   [seed {seed}]"));
+    section(&format!(
+        "E8  Theorem 3.1.2  matroid submodular secretary, Ω(1/(l log² r))   [seed {seed}]"
+    ));
     let trials = if quick { 200 } else { 800 };
     let n = if quick { 48 } else { 96 };
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xE8);
@@ -22,10 +24,7 @@ pub fn run(seed: u64, quick: bool) {
     let partition = PartitionMatroid::new((0..n as u32).map(|e| e % 6).collect(), vec![2; 6]);
     let laminar = LaminarMatroid::new(
         n,
-        vec![
-            (0..n as u32 / 2).collect(),
-            (0..n as u32).collect(),
-        ],
+        vec![(0..n as u32 / 2).collect(), (0..n as u32).collect()],
         vec![4, 10],
     );
     // graphic matroid on a random graph with n edges
@@ -52,7 +51,15 @@ pub fn run(seed: u64, quick: bool) {
         ("l=3: +laminar", vec![&uniform, &partition, &laminar]),
     ];
 
-    let mut t = Table::new(&["constraint", "l", "r", "offline ref", "online avg", "ratio", "Ω(1/(l·lg²r))"]);
+    let mut t = Table::new(&[
+        "constraint",
+        "l",
+        "r",
+        "offline ref",
+        "online avg",
+        "ratio",
+        "Ω(1/(l·lg²r))",
+    ]);
     for (name, ms) in &families {
         let l = ms.len() as f64;
         let r = matroid::max_rank(ms) as f64;
@@ -63,9 +70,8 @@ pub fn run(seed: u64, quick: bool) {
         let total: f64 = (0..trials)
             .into_par_iter()
             .map(|trial| {
-                let mut trng = rand::rngs::StdRng::seed_from_u64(
-                    seed ^ 0x8E ^ (trial as u64) << 12,
-                );
+                let mut trng =
+                    rand::rngs::StdRng::seed_from_u64(seed ^ 0x8E ^ (trial as u64) << 12);
                 let s = random_stream(n, &mut trng);
                 let hired = matroid_submodular_secretary(&f, &s, ms, &mut trng);
                 debug_assert!(matroid::independent_in_all(ms, &hired));

@@ -13,7 +13,9 @@ use workloads::secretary_streams::heavy_tail_additive;
 
 /// Runs E9 and prints its table.
 pub fn run(seed: u64, quick: bool) {
-    section(&format!("E9  Theorem 3.1.3  l-knapsack secretary, Ω(1/l)   [seed {seed}]"));
+    section(&format!(
+        "E9  Theorem 3.1.3  l-knapsack secretary, Ω(1/l)   [seed {seed}]"
+    ));
     let trials = if quick { 300 } else { 1200 };
     let n = if quick { 50 } else { 100 };
     let mut t = Table::new(&["l", "offline ref", "online avg", "ratio", "ratio·l"]);

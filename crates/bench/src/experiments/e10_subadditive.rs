@@ -14,9 +14,22 @@ use submodular::{BitSet, SetFn};
 
 /// Runs E10 and prints its tables.
 pub fn run(seed: u64, quick: bool) {
-    section(&format!("E10  Theorem 3.5.1  hidden-set hardness: queries are blind   [seed {seed}]"));
-    let sizes: Vec<usize> = if quick { vec![100, 400] } else { vec![100, 400, 1600, 6400] };
-    let mut t = Table::new(&["n", "k=m=√n", "r", "OPT=f(S*)", "queries=1 (%)", "max query val"]);
+    section(&format!(
+        "E10  Theorem 3.5.1  hidden-set hardness: queries are blind   [seed {seed}]"
+    ));
+    let sizes: Vec<usize> = if quick {
+        vec![100, 400]
+    } else {
+        vec![100, 400, 1600, 6400]
+    };
+    let mut t = Table::new(&[
+        "n",
+        "k=m=√n",
+        "r",
+        "OPT=f(S*)",
+        "queries=1 (%)",
+        "max query val",
+    ]);
     for &n in &sizes {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x10 ^ n as u64);
         let k = (n as f64).sqrt().round() as usize;

@@ -10,7 +10,9 @@ use secretary::{bottleneck_secretary, random_stream};
 
 /// Runs E11 and prints its table.
 pub fn run(seed: u64, quick: bool) {
-    section(&format!("E11  Theorem 3.6.1  bottleneck rule: P[hire exactly the k best]   [seed {seed}]"));
+    section(&format!(
+        "E11  Theorem 3.6.1  bottleneck rule: P[hire exactly the k best]   [seed {seed}]"
+    ));
     let n = 100;
     let trials = if quick { 3000 } else { 20000 };
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x11);
@@ -40,7 +42,11 @@ pub fn run(seed: u64, quick: bool) {
             format!("{p:.4}"),
             format!("{inv_e2k:.4}"),
             format!("{e_m2k:.5}"),
-            if p >= inv_e2k { "yes".into() } else { "no".into() },
+            if p >= inv_e2k {
+                "yes".into()
+            } else {
+                "no".into()
+            },
         ]);
     }
     t.print();

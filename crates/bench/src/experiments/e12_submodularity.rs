@@ -14,16 +14,24 @@ use rayon::prelude::*;
 
 /// Runs E12 and prints its table.
 pub fn run(seed: u64, quick: bool) {
-    section(&format!("E12  Lemmas 2.2.2/2.3.2  matching rank is monotone submodular   [seed {seed}]"));
+    section(&format!(
+        "E12  Lemmas 2.2.2/2.3.2  matching rank is monotone submodular   [seed {seed}]"
+    ));
     let samples = if quick { 2_000 } else { 20_000 };
-    let mut t = Table::new(&["oracle", "samples", "submod. violations", "monot. violations"]);
+    let mut t = Table::new(&[
+        "oracle",
+        "samples",
+        "submod. violations",
+        "monot. violations",
+    ]);
 
     for weighted in [false, true] {
         let (sub_v, mono_v): (usize, usize) = (0..samples)
             .into_par_iter()
             .map(|i| {
-                let mut rng =
-                    rand::rngs::StdRng::seed_from_u64(seed ^ 0x12 ^ (i as u64) << 1 ^ weighted as u64);
+                let mut rng = rand::rngs::StdRng::seed_from_u64(
+                    seed ^ 0x12 ^ (i as u64) << 1 ^ weighted as u64,
+                );
                 let nx = rng.gen_range(2..=14u32);
                 let ny = rng.gen_range(1..=10u32);
                 let mut edges = Vec::new();
@@ -73,7 +81,12 @@ pub fn run(seed: u64, quick: bool) {
         assert_eq!(sub_v, 0, "E12: submodularity violated!");
         assert_eq!(mono_v, 0, "E12: monotonicity violated!");
         t.row(vec![
-            if weighted { "weighted (L2.3.2)" } else { "cardinality (L2.2.2)" }.to_string(),
+            if weighted {
+                "weighted (L2.3.2)"
+            } else {
+                "cardinality (L2.2.2)"
+            }
+            .to_string(),
             samples.to_string(),
             sub_v.to_string(),
             mono_v.to_string(),

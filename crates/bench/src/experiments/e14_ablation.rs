@@ -8,16 +8,16 @@
 
 use crate::table::{section, Table};
 use rand::SeedableRng;
-use sched_core::{
-    enumerate_candidates, schedule_all, CandidatePolicy, SolveOptions,
-};
+use sched_core::{CandidatePolicy, SolveOptions, Solver};
 use std::time::Instant;
 use workloads::planted::PlantedCostModel;
 use workloads::{planted_instance, PlantedConfig};
 
 /// Runs E14 and prints its tables.
 pub fn run(seed: u64, quick: bool) {
-    section(&format!("E14  ablation: candidate interval policies   [seed {seed}]"));
+    section(&format!(
+        "E14  ablation: candidate interval policies   [seed {seed}]"
+    ));
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x14);
     let cfg = PlantedConfig {
         num_processors: 2,
@@ -39,15 +39,17 @@ pub fn run(seed: u64, quick: bool) {
         ("MaxLength(3)", CandidatePolicy::MaxLength(3)),
         ("SingleSlots", CandidatePolicy::SingleSlots),
     ] {
-        let cands = enumerate_candidates(&p.instance, p.cost.as_ref(), policy);
+        let solver = Solver::new(&p.instance, p.cost.as_ref()).policy(policy);
+        let n_cands = solver.candidates().len();
         let t0 = Instant::now();
-        let s = schedule_all(&p.instance, &cands, &SolveOptions::default())
+        let s = solver
+            .schedule_all()
             .expect("planted instance feasible under every policy");
         let ms = t0.elapsed().as_secs_f64() * 1e3;
         let base = *all_cost.get_or_insert(s.total_cost);
         t.row(vec![
             name.to_string(),
-            cands.len().to_string(),
+            n_cands.to_string(),
             format!("{:.2}", s.total_cost),
             format!("{:.2}x", s.total_cost / base),
             s.awake.len().to_string(),
@@ -58,16 +60,19 @@ pub fn run(seed: u64, quick: bool) {
     println!("  (restart cost 8: single-slot candidates pay one restart per job)");
 
     section("E14b  ablation: lazy vs eager vs parallel greedy (same instance)");
-    let cands = enumerate_candidates(&p.instance, p.cost.as_ref(), CandidatePolicy::All);
+    // one Solver across all variants: the candidate cache survives option
+    // changes, so each run differs only in greedy strategy
+    let mut solver = Solver::new(&p.instance, p.cost.as_ref());
+    solver.candidates();
     let mut t2 = Table::new(&["variant", "cost", "ms"]);
     for (name, lazy, parallel) in [
         ("eager", false, false),
         ("eager+rayon", false, true),
         ("lazy", true, false),
     ] {
+        solver = solver.options(SolveOptions { lazy, parallel });
         let t0 = Instant::now();
-        let s = schedule_all(&p.instance, &cands, &SolveOptions { lazy, parallel })
-            .expect("feasible");
+        let s = solver.schedule_all().expect("feasible");
         let ms = t0.elapsed().as_secs_f64() * 1e3;
         t2.row(vec![
             name.to_string(),

@@ -13,11 +13,22 @@ use sched_core::{Instance, Job, SlotRef};
 
 /// Runs E15 and prints its table.
 pub fn run(seed: u64, quick: bool) {
-    section(&format!("E15  Thm .2.1  prize-collecting gap budget (busy-when-awake)   [seed {seed}]"));
+    section(&format!(
+        "E15  Thm .2.1  prize-collecting gap budget (busy-when-awake)   [seed {seed}]"
+    ));
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x15);
 
     let trials = if quick { 3 } else { 8 };
-    let mut t = Table::new(&["trial", "clusters", "T", "g=1", "g=2", "g=3", "g=4", "min runs (all)"]);
+    let mut t = Table::new(&[
+        "trial",
+        "clusters",
+        "T",
+        "g=1",
+        "g=2",
+        "g=3",
+        "g=4",
+        "min runs (all)",
+    ]);
     for trial in 0..trials {
         // clustered instance: `c` pinned job clusters separated by gaps
         let c = rng.gen_range(2..=4usize);
@@ -55,7 +66,10 @@ pub fn run(seed: u64, quick: bool) {
             "E15: {c} runs should capture all {c} clusters"
         );
         let min_runs = min_runs_schedule_all(&inst).expect("pinned distinct slots feasible");
-        assert_eq!(min_runs as usize, c, "E15: min runs must equal cluster count");
+        assert_eq!(
+            min_runs as usize, c,
+            "E15: min runs must equal cluster count"
+        );
 
         t.row(vec![
             trial.to_string(),

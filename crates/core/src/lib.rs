@@ -30,6 +30,26 @@
 //! intervals) with a Hall-violator certificate naming jobs that provably
 //! cannot all be scheduled.
 //!
+//! # Entry point
+//!
+//! Applications should use the [`Solver`] builder, which owns the instance,
+//! the cost oracle, the candidate policy, and the [`model::SolveOptions`] in
+//! one place and exposes all three algorithms as goal methods:
+//!
+//! ```
+//! use sched_core::{AffineCost, Instance, Job, SlotRef, Solver};
+//!
+//! let inst = Instance::new(1, 4, vec![Job::unit(vec![SlotRef::new(0, 1)])]);
+//! let cost = AffineCost::new(2.0, 1.0);
+//! let schedule = Solver::new(&inst, &cost).schedule_all().unwrap();
+//! assert_eq!(schedule.scheduled_count, 1);
+//! ```
+//!
+//! The free functions [`schedule_all()`](schedule_all::schedule_all) and
+//! [`prize_collecting()`](prize_collecting::prize_collecting) /
+//! [`prize_collecting_exact()`](prize_collecting::prize_collecting_exact)
+//! remain available for callers that manage candidate families manually.
+//!
 //! # Crate layout
 //!
 //! * [`model`] — instances, jobs, schedules, and schedule validation;
@@ -37,6 +57,7 @@
 //! * [`candidates`] — awake-interval candidate generation policies;
 //! * [`objective`] — the matching-rank [`submodular::BudgetedObjective`]
 //!   adapter driving the greedy;
+//! * [`solver`] — the [`Solver`] builder tying everything together;
 //! * [`mod@schedule_all`], [`mod@prize_collecting`] — the two headline
 //!   algorithms.
 
@@ -47,6 +68,7 @@ pub mod objective;
 pub mod prize_collecting;
 pub mod schedule_all;
 pub mod simulate;
+pub mod solver;
 
 pub use candidates::{enumerate_candidates, CandidateInterval, CandidatePolicy};
 pub use cost::{
@@ -58,3 +80,4 @@ pub use objective::ScheduleObjective;
 pub use prize_collecting::{prize_collecting, prize_collecting_exact};
 pub use schedule_all::schedule_all;
 pub use simulate::{simulate, PowerTrace, SlotState};
+pub use solver::Solver;

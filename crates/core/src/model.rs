@@ -331,10 +331,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid value")]
     fn non_positive_value_rejected() {
-        Instance::new(1, 2, vec![Job {
-            value: 0.0,
-            allowed: vec![],
-        }]);
+        Instance::new(
+            1,
+            2,
+            vec![Job {
+                value: 0.0,
+                allowed: vec![],
+            }],
+        );
     }
 
     #[test]

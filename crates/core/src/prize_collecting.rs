@@ -222,8 +222,7 @@ mod tests {
         let inst = value_skewed_instance();
         let c = cands(&inst, &AffineCost::new(1.0, 1.0));
         for &target in &[1.0, 6.0, 10.5, 11.0, 12.0] {
-            let s =
-                prize_collecting_exact(&inst, &c, target, &SolveOptions::default()).unwrap();
+            let s = prize_collecting_exact(&inst, &c, target, &SolveOptions::default()).unwrap();
             assert!(
                 s.scheduled_value >= target - 1e-9,
                 "value {} below target {target}",
@@ -280,8 +279,7 @@ mod tests {
         }];
         let err = prize_collecting(&inst, &c, 5.0, 0.1, &SolveOptions::default()).unwrap_err();
         assert!(matches!(err, ScheduleError::Infeasible { .. }));
-        let err2 =
-            prize_collecting_exact(&inst, &c, 5.0, &SolveOptions::default()).unwrap_err();
+        let err2 = prize_collecting_exact(&inst, &c, 5.0, &SolveOptions::default()).unwrap_err();
         assert!(matches!(err2, ScheduleError::Infeasible { .. }));
     }
 

@@ -84,7 +84,10 @@ mod tests {
     use crate::cost::{AffineCost, EnergyCost, PerProcessorAffine, TimeVaryingCost};
     use crate::model::{validate_schedule, Instance, Job, SlotRef};
 
-    fn solve(inst: &Instance, cost: &dyn crate::cost::EnergyCost) -> Result<Schedule, ScheduleError> {
+    fn solve(
+        inst: &Instance,
+        cost: &dyn crate::cost::EnergyCost,
+    ) -> Result<Schedule, ScheduleError> {
         let cands = enumerate_candidates(inst, cost, CandidatePolicy::All);
         schedule_all(inst, &cands, &SolveOptions::default())
     }
@@ -181,7 +184,10 @@ mod tests {
                 assert_eq!(achieved_value, 1.0);
                 // the violator found from one unsaturated job contains that
                 // job plus the one matched into slot (0,0): 2 jobs vs 1 slot
-                assert!(certificate.len() >= 2, "violator too small: {certificate:?}");
+                assert!(
+                    certificate.len() >= 2,
+                    "violator too small: {certificate:?}"
+                );
             }
             other => panic!("unexpected error {other:?}"),
         }
@@ -294,10 +300,34 @@ mod tests {
             ],
         );
         let cands = enumerate_candidates(&inst, &AffineCost::new(2.0, 1.0), CandidatePolicy::All);
-        let lazy = schedule_all(&inst, &cands, &SolveOptions { lazy: true, parallel: false }).unwrap();
-        let eager = schedule_all(&inst, &cands, &SolveOptions { lazy: false, parallel: false }).unwrap();
+        let lazy = schedule_all(
+            &inst,
+            &cands,
+            &SolveOptions {
+                lazy: true,
+                parallel: false,
+            },
+        )
+        .unwrap();
+        let eager = schedule_all(
+            &inst,
+            &cands,
+            &SolveOptions {
+                lazy: false,
+                parallel: false,
+            },
+        )
+        .unwrap();
         assert_eq!(lazy.total_cost, eager.total_cost);
-        let par = schedule_all(&inst, &cands, &SolveOptions { lazy: false, parallel: true }).unwrap();
+        let par = schedule_all(
+            &inst,
+            &cands,
+            &SolveOptions {
+                lazy: false,
+                parallel: true,
+            },
+        )
+        .unwrap();
         assert_eq!(lazy.total_cost, par.total_cost);
     }
 }

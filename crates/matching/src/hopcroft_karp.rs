@@ -66,7 +66,10 @@ pub fn hopcroft_karp(g: &BipartiteGraph, allowed: impl Fn(u32) -> bool) -> Match
         // DFS phase: find a maximal set of vertex-disjoint shortest augmenting
         // paths. Iterative DFS with an explicit stack of (slot, adj cursor).
         for x0 in 0..nx as u32 {
-            if allowed(x0) && match_x[x0 as usize] == NONE && dfs(g, x0, &mut match_x, &mut match_y, &mut dist) {
+            if allowed(x0)
+                && match_x[x0 as usize] == NONE
+                && dfs(g, x0, &mut match_x, &mut match_y, &mut dist)
+            {
                 size += 1;
             }
         }

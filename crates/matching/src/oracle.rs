@@ -205,11 +205,7 @@ impl<'g> MatchingOracle<'g> {
     /// Panics if `values.len() != g.ny()` or any value is not strictly
     /// positive and finite.
     pub fn new(g: &'g BipartiteGraph, values: Vec<f64>) -> Self {
-        assert_eq!(
-            values.len(),
-            g.ny() as usize,
-            "one value per job required"
-        );
+        assert_eq!(values.len(), g.ny() as usize, "one value per job required");
         for (y, &v) in values.iter().enumerate() {
             assert!(
                 v > 0.0 && v.is_finite(),

@@ -12,9 +12,14 @@ use crate::Matroid;
 /// Panics if the ground set has more than 16 elements.
 pub fn check_matroid_axioms(m: &dyn Matroid) -> Result<(), String> {
     let n = m.ground_size();
-    assert!(n <= 16, "exhaustive axiom check limited to ground size ≤ 16");
+    assert!(
+        n <= 16,
+        "exhaustive axiom check limited to ground size ≤ 16"
+    );
     let to_set = |mask: u32| -> Vec<u32> { (0..n as u32).filter(|i| mask >> i & 1 == 1).collect() };
-    let indep: Vec<bool> = (0u32..(1 << n)).map(|mask| m.is_independent(&to_set(mask))).collect();
+    let indep: Vec<bool> = (0u32..(1 << n))
+        .map(|mask| m.is_independent(&to_set(mask)))
+        .collect();
 
     if !indep[0] {
         return Err("empty set is not independent".into());

@@ -209,10 +209,7 @@ mod tests {
     #[test]
     fn nested_combinators() {
         let p = PartitionMatroid::new(vec![0, 0, 1, 1], vec![1, 2]);
-        let m = Truncation::new(
-            DirectSum::new(p, UniformMatroid::new(2, 2)),
-            3,
-        );
+        let m = Truncation::new(DirectSum::new(p, UniformMatroid::new(2, 2)), 3);
         assert_eq!(m.ground_size(), 6);
         assert_eq!(m.rank(), 3);
         check_matroid_axioms(&m).unwrap();

@@ -85,9 +85,10 @@ impl Matroid for LaminarMatroid {
 
     fn is_independent(&self, set: &[u32]) -> bool {
         debug_assert!(set.iter().all(|&e| (e as usize) < self.n));
-        self.families.iter().zip(&self.caps).all(|(f, &cap)| {
-            set.iter().filter(|&&e| f.binary_search(&e).is_ok()).count() <= cap
-        })
+        self.families
+            .iter()
+            .zip(&self.caps)
+            .all(|(f, &cap)| set.iter().filter(|&&e| f.binary_search(&e).is_ok()).count() <= cap)
     }
 
     fn rank(&self) -> usize {

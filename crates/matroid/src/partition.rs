@@ -23,7 +23,10 @@ impl PartitionMatroid {
     /// Panics if a group id is out of range of `cap`.
     pub fn new(group: Vec<u32>, cap: Vec<usize>) -> Self {
         for &g in &group {
-            assert!((g as usize) < cap.len(), "group id {g} has no capacity entry");
+            assert!(
+                (g as usize) < cap.len(),
+                "group id {g} has no capacity entry"
+            );
         }
         Self { group, cap }
     }
@@ -56,11 +59,7 @@ impl Matroid for PartitionMatroid {
         for &g in &self.group {
             sizes[g as usize] += 1;
         }
-        sizes
-            .iter()
-            .zip(&self.cap)
-            .map(|(&s, &k)| s.min(k))
-            .sum()
+        sizes.iter().zip(&self.cap).map(|(&s, &k)| s.min(k)).sum()
     }
 
     fn can_add(&self, current: &[u32], e: u32) -> bool {

@@ -39,12 +39,7 @@ impl TransversalMatroid {
         let mut seen = vec![false; nx];
 
         // DFS augment for one job; `members` guards recursion into set jobs only.
-        fn augment(
-            g: &BipartiteGraph,
-            y: u32,
-            match_x: &mut [u32],
-            seen: &mut [bool],
-        ) -> bool {
+        fn augment(g: &BipartiteGraph, y: u32, match_x: &mut [u32], seen: &mut [bool]) -> bool {
             for &x in g.adj_y(y) {
                 if seen[x as usize] {
                     continue;

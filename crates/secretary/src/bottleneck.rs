@@ -78,7 +78,10 @@ pub fn oblivious_topk(values_in_order: &[f64], k: usize) -> Vec<usize> {
             .iter()
             .copied()
             .fold(f64::NEG_INFINITY, f64::max);
-        if let Some(p) = values_in_order[obs_end..hi].iter().position(|&v| v > threshold) {
+        if let Some(p) = values_in_order[obs_end..hi]
+            .iter()
+            .position(|&v| v > threshold)
+        {
             hired.push(obs_end + p);
         }
     }
@@ -89,7 +92,10 @@ pub fn oblivious_topk(values_in_order: &[f64], k: usize) -> Vec<usize> {
 /// decreasingly and take `Σ γᵢ · v⁽ⁱ⁾` (missing positions contribute 0).
 /// `gamma` must be non-increasing.
 pub fn gamma_objective(values: &[f64], gamma: &[f64]) -> f64 {
-    debug_assert!(gamma.windows(2).all(|w| w[0] >= w[1]), "γ must be non-increasing");
+    debug_assert!(
+        gamma.windows(2).all(|w| w[0] >= w[1]),
+        "γ must be non-increasing"
+    );
     let mut v = values.to_vec();
     v.sort_by(|a, b| b.partial_cmp(a).unwrap());
     gamma
@@ -147,9 +153,20 @@ mod tests {
             }
             probs.push(hit as f64 / trials as f64);
         }
-        assert!(probs[0] > 0.02, "k=2 success probability too small: {}", probs[0]);
-        assert!(probs[1] > 0.001, "k=4 success probability too small: {}", probs[1]);
-        assert!(probs[0] > probs[1], "success probability should decay with k");
+        assert!(
+            probs[0] > 0.02,
+            "k=2 success probability too small: {}",
+            probs[0]
+        );
+        assert!(
+            probs[1] > 0.001,
+            "k=4 success probability too small: {}",
+            probs[1]
+        );
+        assert!(
+            probs[0] > probs[1],
+            "success probability should decay with k"
+        );
     }
 
     #[test]

@@ -59,9 +59,10 @@ impl KnapsackInstance {
 
     /// Is `set` feasible in every knapsack?
     pub fn feasible(&self, set: &[u32]) -> bool {
-        self.weights.iter().zip(&self.capacities).all(|(row, &c)| {
-            set.iter().map(|&j| row[j as usize]).sum::<f64>() <= c + 1e-12
-        })
+        self.weights
+            .iter()
+            .zip(&self.capacities)
+            .all(|(row, &c)| set.iter().map(|&j| row[j as usize]).sum::<f64>() <= c + 1e-12)
     }
 
     /// The reduction's single-knapsack weights `w'_j = max_i w_ij / C_i`
@@ -276,7 +277,9 @@ mod tests {
         let n = 60;
         let values: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..10.0)).collect();
         let f = AdditiveFn::new(values);
-        let weights = vec![(0..n).map(|_| rng.gen_range(0.1..1.0)).collect::<Vec<f64>>()];
+        let weights = vec![(0..n)
+            .map(|_| rng.gen_range(0.1..1.0))
+            .collect::<Vec<f64>>()];
         let inst = KnapsackInstance::new(weights, vec![2.0]);
         let w = inst.reduced_weights();
         let all: Vec<u32> = (0..n as u32).collect();

@@ -101,12 +101,10 @@ fn segmented_matroid_greedy<F: SetFn + ?Sized>(
         if seg_start >= seg_end {
             continue;
         }
-        let obs_end =
-            (seg_start as f64 + (seg_end - seg_start) as f64 * INV_E).floor() as usize;
+        let obs_end = (seg_start as f64 + (seg_end - seg_start) as f64 * INV_E).floor() as usize;
         let obs_end = obs_end.clamp(seg_start, seg_end);
 
-        let feasible =
-            |e: u32, hired: &Vec<u32>| matroids.iter().all(|m| m.can_add(hired, e));
+        let feasible = |e: u32, hired: &Vec<u32>| matroids.iter().all(|m| m.can_add(hired, e));
 
         let mut alpha = f64::NEG_INFINITY;
         for &e in &stream[seg_start..obs_end] {
@@ -163,7 +161,10 @@ mod tests {
         for _ in 0..100 {
             let s = random_stream(n, &mut rng);
             let hired = matroid_submodular_secretary(&f, &s, &ms, &mut rng);
-            assert!(matroid::independent_in_all(&ms, &hired), "hired {hired:?} dependent");
+            assert!(
+                matroid::independent_in_all(&ms, &hired),
+                "hired {hired:?} dependent"
+            );
         }
     }
 
@@ -184,11 +185,7 @@ mod tests {
         let n = 60;
         let universe = 40;
         let covers: Vec<Vec<u32>> = (0..n)
-            .map(|_| {
-                (0..universe as u32)
-                    .filter(|_| rng.gen_bool(0.1))
-                    .collect()
-            })
+            .map(|_| (0..universe as u32).filter(|_| rng.gen_bool(0.1)).collect())
             .collect();
         let f = CoverageFn::unweighted(universe, covers);
         let m = PartitionMatroid::new((0..n as u32).map(|e| e % 5).collect(), vec![2; 5]);

@@ -69,7 +69,10 @@ pub fn offline_exact_small<F: SetFn + ?Sized>(f: &F, k: usize) -> (Vec<u32>, f64
 /// Offline greedy under `l` matroid constraints: each round adds the
 /// best-marginal element whose addition stays independent in *all* matroids.
 /// For monotone submodular `f` this is the classical `1/(l+1)`-approximation.
-pub fn offline_matroid_greedy<F: SetFn + ?Sized>(f: &F, matroids: &[&dyn Matroid]) -> (Vec<u32>, f64) {
+pub fn offline_matroid_greedy<F: SetFn + ?Sized>(
+    f: &F,
+    matroids: &[&dyn Matroid],
+) -> (Vec<u32>, f64) {
     let n = f.ground_size();
     let mut set = BitSet::new(n);
     let mut ids: Vec<u32> = Vec::new();

@@ -199,10 +199,7 @@ mod tests {
         let mut ones = 0;
         let queries = 500;
         for _ in 0..queries {
-            let q = BitSet::from_iter(
-                n,
-                random_stream(n, &mut rng).into_iter().take(k),
-            );
+            let q = BitSet::from_iter(n, random_stream(n, &mut rng).into_iter().take(k));
             if f.eval(&q) == 1.0 {
                 ones += 1;
             }

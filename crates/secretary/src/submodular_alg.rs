@@ -144,7 +144,10 @@ mod tests {
             }
         }
         let p = hits as f64 / trials as f64;
-        assert!(p > 0.25, "should hire the best with probability ≈ 1/e, got {p}");
+        assert!(
+            p > 0.25,
+            "should hire the best with probability ≈ 1/e, got {p}"
+        );
     }
 
     #[test]

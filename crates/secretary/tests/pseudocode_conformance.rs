@@ -4,11 +4,10 @@
 //! at the interface), degenerate stream/k relationships, and the
 //! value-oracle discipline.
 
-use secretary::{
-    bottleneck_secretary, classic_secretary, oblivious_topk, random_stream,
-    submodular_secretary,
-};
 use rand::SeedableRng;
+use secretary::{
+    bottleneck_secretary, classic_secretary, oblivious_topk, random_stream, submodular_secretary,
+};
 use submodular::functions::{AdditiveFn, MaxFn};
 use submodular::{BitSet, SetFn};
 

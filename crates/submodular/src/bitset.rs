@@ -50,7 +50,11 @@ impl BitSet {
     /// Panics if `id >= capacity`.
     #[inline]
     pub fn insert(&mut self, id: u32) -> bool {
-        assert!((id as usize) < self.capacity, "id {id} out of capacity {}", self.capacity);
+        assert!(
+            (id as usize) < self.capacity,
+            "id {id} out of capacity {}",
+            self.capacity
+        );
         let (b, m) = (id as usize / 64, 1u64 << (id % 64));
         let was = self.blocks[b] & m != 0;
         self.blocks[b] |= m;
@@ -125,7 +129,10 @@ impl BitSet {
     /// Is `self ⊆ other`?
     pub fn is_subset(&self, other: &BitSet) -> bool {
         assert_eq!(self.capacity, other.capacity, "capacity mismatch");
-        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & !b == 0)
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Removes all elements, keeping capacity.

@@ -146,7 +146,12 @@ impl Ord for HeapEntry {
         self.ratio
             .partial_cmp(&other.ratio)
             .unwrap_or(Ordering::Equal)
-            .then_with(|| other.cost.partial_cmp(&self.cost).unwrap_or(Ordering::Equal))
+            .then_with(|| {
+                other
+                    .cost
+                    .partial_cmp(&self.cost)
+                    .unwrap_or(Ordering::Equal)
+            })
             .then_with(|| other.idx.cmp(&self.idx))
     }
 }
@@ -177,7 +182,10 @@ pub fn budgeted_greedy<O: BudgetedObjective>(obj: &mut O, cfg: GreedyConfig) -> 
     let m = obj.num_subsets();
     for i in 0..m {
         let c = obj.cost(i);
-        assert!(c > 0.0 && c.is_finite(), "cost of subset {i} must be positive and finite, got {c}");
+        assert!(
+            c > 0.0 && c.is_finite(),
+            "cost of subset {i} must be positive and finite, got {c}"
+        );
     }
 
     let goal = (1.0 - cfg.epsilon) * cfg.target;
@@ -395,7 +403,10 @@ impl<'f, F: SetFn> SetSystemObjective<'f, F> {
         let n = f.ground_size();
         for s in &subsets {
             for &e in s {
-                assert!((e as usize) < n, "element {e} outside ground set of size {n}");
+                assert!(
+                    (e as usize) < n,
+                    "element {e} outside ground set of size {n}"
+                );
             }
         }
         let union = BitSet::new(n);
@@ -475,11 +486,11 @@ mod tests {
         // (identity coverage); allowable subsets pick groups of items.
         let f = CoverageFn::unweighted(6, (0..6).map(|i| vec![i as u32]).collect());
         let subsets = vec![
-            vec![0, 1, 2],    // cost 3
-            vec![3, 4],       // cost 2
-            vec![5],          // cost 1
+            vec![0, 1, 2],          // cost 3
+            vec![3, 4],             // cost 2
+            vec![5],                // cost 1
             vec![0, 1, 2, 3, 4, 5], // cost 10 (bad deal)
-            vec![2, 3],       // cost 5 (bad deal)
+            vec![2, 3],             // cost 5 (bad deal)
         ];
         let costs = vec![3.0, 2.0, 1.0, 10.0, 5.0];
         (f, subsets, costs)

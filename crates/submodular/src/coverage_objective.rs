@@ -145,17 +145,11 @@ mod tests {
     use crate::budgeted::{budgeted_greedy, GreedyConfig, SetSystemObjective};
     use rand::{Rng, SeedableRng};
 
-    fn random_instance(
-        rng: &mut impl Rng,
-    ) -> (CoverageFn, Vec<Vec<u32>>, Vec<f64>, f64) {
+    fn random_instance(rng: &mut impl Rng) -> (CoverageFn, Vec<Vec<u32>>, Vec<f64>, f64) {
         let universe = rng.gen_range(5..30usize);
         let n = rng.gen_range(3..15usize);
         let covers: Vec<Vec<u32>> = (0..n)
-            .map(|_| {
-                (0..universe as u32)
-                    .filter(|_| rng.gen_bool(0.3))
-                    .collect()
-            })
+            .map(|_| (0..universe as u32).filter(|_| rng.gen_bool(0.3)).collect())
             .collect();
         let weights: Vec<f64> = (0..universe).map(|_| rng.gen_range(1..5) as f64).collect();
         let f = CoverageFn::new(universe, covers, weights.clone());

@@ -220,7 +220,10 @@ impl DirectedCutFn {
     /// Creates from a weighted arc list over vertices `0..n`.
     pub fn new(n: usize, arcs: Vec<(u32, u32, f64)>) -> Self {
         for &(u, v, w) in &arcs {
-            assert!((u as usize) < n && (v as usize) < n, "arc endpoint out of range");
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "arc endpoint out of range"
+            );
             assert!(w >= 0.0, "negative arc weight");
         }
         Self { n, arcs }
@@ -298,7 +301,9 @@ impl SetFn for MaxFn {
         self.values.len()
     }
     fn eval(&self, set: &BitSet) -> f64 {
-        set.iter().map(|i| self.values[i as usize]).fold(0.0, f64::max)
+        set.iter()
+            .map(|i| self.values[i as usize])
+            .fold(0.0, f64::max)
     }
 }
 
@@ -306,7 +311,10 @@ impl SetFn for MaxFn {
 /// tiny ground sets (≤ ~14 elements). Intended for tests.
 pub fn check_submodular_exhaustive(f: &dyn SetFn) -> Result<(), String> {
     let n = f.ground_size();
-    assert!(n <= 14, "exhaustive check is exponential; use small ground sets");
+    assert!(
+        n <= 14,
+        "exhaustive check is exponential; use small ground sets"
+    );
     let sets: Vec<BitSet> = (0u32..(1 << n))
         .map(|mask| BitSet::from_iter(n, (0..n as u32).filter(|i| mask >> i & 1 == 1)))
         .collect();

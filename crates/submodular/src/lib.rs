@@ -34,8 +34,7 @@ pub mod setcover;
 
 pub use bitset::BitSet;
 pub use budgeted::{
-    budgeted_greedy, BudgetedObjective, GreedyConfig, GreedyOutcome, IterRecord,
-    SetSystemObjective,
+    budgeted_greedy, BudgetedObjective, GreedyConfig, GreedyOutcome, IterRecord, SetSystemObjective,
 };
 pub use coverage_objective::{CoverageObjective, CoverageScratch};
 pub use functions::SetFn;

@@ -137,7 +137,10 @@ pub fn exact_set_cover(inst: &SetCoverInstance) -> Option<(Vec<usize>, f64)> {
     } else {
         (1u64 << inst.universe) - 1
     };
-    assert!(inst.universe <= 64, "exact set cover supports universes up to 64");
+    assert!(
+        inst.universe <= 64,
+        "exact set cover supports universes up to 64"
+    );
     let masks: Vec<u64> = inst
         .sets
         .iter()
@@ -187,7 +190,9 @@ mod tests {
                 .collect();
             // guarantee coverability
             sets.push((0..n as u32).collect());
-            let costs: Vec<f64> = (0..sets.len()).map(|_| rng.gen_range(1..5) as f64).collect();
+            let costs: Vec<f64> = (0..sets.len())
+                .map(|_| rng.gen_range(1..5) as f64)
+                .collect();
             let inst = SetCoverInstance {
                 universe: n,
                 sets,

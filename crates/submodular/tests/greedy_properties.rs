@@ -18,17 +18,13 @@ struct Inst {
 
 fn instance_strategy() -> impl Strategy<Value = Inst> {
     (4usize..20, 3usize..10).prop_flat_map(|(universe, n)| {
-        let covers = proptest::collection::vec(
-            proptest::collection::vec(0u32..universe as u32, 0..5),
-            n,
-        );
+        let covers =
+            proptest::collection::vec(proptest::collection::vec(0u32..universe as u32, 0..5), n);
         let m = 2usize..7;
         (Just(universe), covers, m).prop_flat_map(move |(u, cov, m)| {
             let nn = cov.len();
-            let subsets = proptest::collection::vec(
-                proptest::collection::vec(0u32..nn as u32, 1..=nn),
-                m,
-            );
+            let subsets =
+                proptest::collection::vec(proptest::collection::vec(0u32..nn as u32, 1..=nn), m);
             let costs = proptest::collection::vec(1u32..6, m);
             (Just(u), Just(cov), subsets, costs).prop_map(|(u, cov, mut subs, costs)| {
                 for s in subs.iter_mut() {

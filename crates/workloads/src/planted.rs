@@ -97,9 +97,7 @@ pub fn planted_instance(cfg: &PlantedConfig, rng: &mut impl Rng) -> PlantedInsta
                 .collect();
             Box::new(TimeVaryingCost::new(restart, prices))
         }
-        PlantedCostModel::Convex { restart, quad } => {
-            Box::new(ConvexCost::new(restart, 1.0, quad))
-        }
+        PlantedCostModel::Convex { restart, quad } => Box::new(ConvexCost::new(restart, 1.0, quad)),
     };
 
     // Plant awake intervals: 1–2 random pieces per processor, then keep
@@ -109,9 +107,9 @@ pub fn planted_instance(cfg: &PlantedConfig, rng: &mut impl Rng) -> PlantedInsta
     let mut occupied = vec![vec![false; cfg.horizon as usize]; cfg.num_processors as usize];
     let mut planted_slots = 0usize;
     let try_plant = |rng: &mut dyn rand::RngCore,
-                         planted: &mut Vec<CandidateInterval>,
-                         occupied: &mut Vec<Vec<bool>>,
-                         planted_slots: &mut usize| {
+                     planted: &mut Vec<CandidateInterval>,
+                     occupied: &mut Vec<Vec<bool>>,
+                     planted_slots: &mut usize| {
         let proc = rng.gen_range(0..cfg.num_processors);
         let start = rng.gen_range(0..cfg.horizon);
         // must leave a one-slot margin to existing pieces on this processor
@@ -194,7 +192,7 @@ pub fn planted_instance(cfg: &PlantedConfig, rng: &mut impl Rng) -> PlantedInsta
         if rng.gen_bool(cfg.decoy_prob) {
             let proc = rng.gen_range(0..cfg.num_processors);
             let start = rng.gen_range(0..cfg.horizon);
-            let end = (start + rng.gen_range(1..=3)).min(cfg.horizon);
+            let end = (start + rng.gen_range(1..=3u32)).min(cfg.horizon);
             allowed.extend((start..end).map(|t| SlotRef::new(proc, t)));
         }
         allowed.sort_unstable();

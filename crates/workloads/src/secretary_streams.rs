@@ -5,12 +5,7 @@ use submodular::functions::{AdditiveFn, CoverageFn, DirectedCutFn, FacilityLocat
 
 /// Random unweighted coverage function: `n` candidates each covering every
 /// universe item independently with probability `density`.
-pub fn random_coverage(
-    n: usize,
-    universe: usize,
-    density: f64,
-    rng: &mut impl Rng,
-) -> CoverageFn {
+pub fn random_coverage(n: usize, universe: usize, density: f64, rng: &mut impl Rng) -> CoverageFn {
     let covers = (0..n)
         .map(|_| {
             (0..universe as u32)

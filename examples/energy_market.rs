@@ -33,8 +33,8 @@ fn main() {
     }
     let inst = Instance::new(procs, horizon, jobs);
 
-    let candidates = enumerate_candidates(&inst, &cost, CandidatePolicy::All);
-    let schedule = schedule_all(&inst, &candidates, &SolveOptions::default())
+    let schedule = Solver::new(&inst, &cost)
+        .schedule_all()
         .expect("feasible: windows are wide");
 
     println!("\nchosen awake intervals:");

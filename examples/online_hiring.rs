@@ -5,9 +5,7 @@
 //!
 //! Run with: `cargo run --example online_hiring`
 
-use power_scheduling::secretary::{
-    offline_greedy, random_stream, submodular_secretary,
-};
+use power_scheduling::secretary::{offline_greedy, random_stream, submodular_secretary};
 use power_scheduling::submodular::functions::CoverageFn;
 use power_scheduling::submodular::{BitSet, SetFn};
 use rand::{Rng, SeedableRng};

@@ -82,11 +82,11 @@ fn main() {
         .collect();
     let sub = Instance::new(num_processors, horizon, reachable);
     let cost = AffineCost::new(4.0, 1.0);
-    let cands = enumerate_candidates(&sub, &cost, CandidatePolicy::All);
     // Reachable jobs can still contend for the same slot, so ask for exactly
     // the matching-rank value the hiring utility promised (prize-collecting,
     // Thm 2.3.3) rather than all reachable jobs.
-    let schedule = prize_collecting_exact(&sub, &cands, online_val, &SolveOptions::default())
+    let schedule = Solver::new(&sub, &cost)
+        .prize_collecting_exact(online_val)
         .expect("the hiring utility certified this value is schedulable");
     println!(
         "\nphase 2 (Thm 2.3.3): scheduled {} tasks (value {}) at energy cost {:.1} using {} awake intervals",

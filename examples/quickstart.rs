@@ -23,17 +23,18 @@ fn main() {
     ];
     let inst = Instance::new(2, 12, jobs);
 
-    let candidates = enumerate_candidates(&inst, &cost, CandidatePolicy::All);
+    // One Solver owns the instance, the cost oracle, the candidate policy,
+    // and the solve options; candidates are enumerated once and cached.
+    let solver = Solver::new(&inst, &cost);
     println!(
         "instance: {} jobs, {} processors, horizon {}, {} candidate intervals",
         inst.num_jobs(),
         inst.num_processors,
         inst.horizon,
-        candidates.len()
+        solver.candidates().len()
     );
 
-    let schedule = schedule_all(&inst, &candidates, &SolveOptions::default())
-        .expect("instance is feasible");
+    let schedule = solver.schedule_all().expect("instance is feasible");
 
     println!("\nawake intervals (greedy picks, O(B log n) guarantee):");
     for iv in &schedule.awake {

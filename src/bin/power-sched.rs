@@ -51,9 +51,10 @@ fn flag(args: &[String], name: &str) -> Option<String> {
 }
 
 fn cmd_generate(args: &[String]) -> Result<(), String> {
-    let seed: u64 = flag(args, "--seed").map_or(Ok(0), |v| v.parse().map_err(|e| format!("{e}")))?;
-    let processors: u32 = flag(args, "--processors")
-        .map_or(Ok(2), |v| v.parse().map_err(|e| format!("{e}")))?;
+    let seed: u64 =
+        flag(args, "--seed").map_or(Ok(0), |v| v.parse().map_err(|e| format!("{e}")))?;
+    let processors: u32 =
+        flag(args, "--processors").map_or(Ok(2), |v| v.parse().map_err(|e| format!("{e}")))?;
     let horizon: u32 =
         flag(args, "--horizon").map_or(Ok(16), |v| v.parse().map_err(|e| format!("{e}")))?;
     let jobs: usize =
@@ -116,11 +117,11 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
     let inst: Instance = serde_json::from_str(&text).map_err(|e| e.to_string())?;
     let cost = AffineCost::new(restart, rate);
-    let cands = enumerate_candidates(&inst, &cost, policy);
+    let solver = Solver::new(&inst, &cost).policy(policy);
 
     let schedule = match target {
-        Some(z) => prize_collecting_exact(&inst, &cands, z, &SolveOptions::default()),
-        None => schedule_all(&inst, &cands, &SolveOptions::default()),
+        Some(z) => solver.prize_collecting_exact(z),
+        None => solver.schedule_all(),
     }
     .map_err(|e| e.to_string())?;
 
@@ -146,14 +147,12 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
     let [inst_path, sched_path] = args else {
         return Err("usage: validate INSTANCE.json SCHEDULE.json".into());
     };
-    let inst: Instance = serde_json::from_str(
-        &std::fs::read_to_string(inst_path).map_err(|e| e.to_string())?,
-    )
-    .map_err(|e| e.to_string())?;
-    let sched: Schedule = serde_json::from_str(
-        &std::fs::read_to_string(sched_path).map_err(|e| e.to_string())?,
-    )
-    .map_err(|e| e.to_string())?;
+    let inst: Instance =
+        serde_json::from_str(&std::fs::read_to_string(inst_path).map_err(|e| e.to_string())?)
+            .map_err(|e| e.to_string())?;
+    let sched: Schedule =
+        serde_json::from_str(&std::fs::read_to_string(sched_path).map_err(|e| e.to_string())?)
+            .map_err(|e| e.to_string())?;
     let violations = validate_schedule(&inst, &sched);
     if violations.is_empty() {
         println!("schedule is valid");

@@ -28,6 +28,10 @@
 //!
 //! ## Quickstart
 //!
+//! The [`Solver`](scheduling::Solver) builder is the entry point: it owns the
+//! instance, the cost oracle, the candidate policy, and the solve options,
+//! and exposes every algorithm of Chapter 2 as a goal method.
+//!
 //! ```
 //! use power_scheduling::prelude::*;
 //!
@@ -38,8 +42,7 @@
 //! ]);
 //! // Classical cost model: waking the processor costs 10, each awake slot 1.
 //! let cost = AffineCost::new(10.0, 1.0);
-//! let candidates = enumerate_candidates(&inst, &cost, CandidatePolicy::All);
-//! let schedule = schedule_all(&inst, &candidates, &SolveOptions::default()).unwrap();
+//! let schedule = Solver::new(&inst, &cost).schedule_all().unwrap();
 //! // Expensive restarts ⇒ the algorithm keeps the processor awake through
 //! // the gap: one interval [0,4) at cost 14 instead of two restarts at 22.
 //! assert_eq!(schedule.awake.len(), 1);
@@ -86,7 +89,8 @@ pub mod prelude {
     pub use crate::scheduling::{
         enumerate_candidates, prize_collecting, prize_collecting_exact, schedule_all, AffineCost,
         CandidateInterval, CandidatePolicy, ConvexCost, EnergyCost, Instance, Job,
-        PerProcessorAffine, Schedule, ScheduleError, SlotRef, SolveOptions, TimeVaryingCost,
+        PerProcessorAffine, Schedule, ScheduleError, SlotRef, SolveOptions, Solver,
+        TimeVaryingCost,
     };
     pub use crate::submodular::{budgeted_greedy, BitSet, GreedyConfig, SetFn};
 }
@@ -99,8 +103,30 @@ mod tests {
     fn facade_compiles_and_solves() {
         let inst = Instance::new(1, 2, vec![Job::unit(vec![SlotRef::new(0, 0)])]);
         let cost = AffineCost::new(1.0, 1.0);
-        let cands = enumerate_candidates(&inst, &cost, CandidatePolicy::All);
-        let s = schedule_all(&inst, &cands, &SolveOptions::default()).unwrap();
+        let s = Solver::new(&inst, &cost).schedule_all().unwrap();
         assert_eq!(s.scheduled_count, 1);
+
+        // The free-function path stays available and agrees with the builder.
+        let cands = enumerate_candidates(&inst, &cost, CandidatePolicy::All);
+        let free = schedule_all(&inst, &cands, &SolveOptions::default()).unwrap();
+        assert_eq!(free.total_cost, s.total_cost);
+    }
+
+    #[test]
+    fn quickstart_numbers_hold() {
+        // The exact scenario from the crate docs: one interval [0,4), cost 14.
+        let inst = Instance::new(
+            1,
+            4,
+            vec![
+                Job::unit(vec![SlotRef::new(0, 0)]),
+                Job::unit(vec![SlotRef::new(0, 3)]),
+            ],
+        );
+        let cost = AffineCost::new(10.0, 1.0);
+        let schedule = Solver::new(&inst, &cost).schedule_all().unwrap();
+        assert_eq!(schedule.awake.len(), 1);
+        assert_eq!(schedule.total_cost, 14.0);
+        assert_eq!((schedule.awake[0].start, schedule.awake[0].end), (0, 4));
     }
 }

@@ -1,0 +1,169 @@
+//! End-to-end test of the `power-sched` binary: `generate → solve →
+//! validate`, exercising the real argv parsing and the serde JSON files the
+//! CLI reads and writes — the same path a shell user takes.
+
+use power_scheduling::prelude::*;
+use power_scheduling::scheduling::model::validate_schedule;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_power-sched"))
+}
+
+fn run_ok(cmd: &mut Command) -> Output {
+    let out = cmd.output().expect("spawn power-sched");
+    assert!(
+        out.status.success(),
+        "power-sched {:?} failed\nstdout: {}\nstderr: {}",
+        cmd.get_args().collect::<Vec<_>>(),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("power-sched-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn generate(dir: &Path, seed: u64, jobs: usize) -> PathBuf {
+    let inst_path = dir.join("inst.json");
+    run_ok(bin().args([
+        "generate",
+        "--seed",
+        &seed.to_string(),
+        "--processors",
+        "2",
+        "--horizon",
+        "14",
+        "--jobs",
+        &jobs.to_string(),
+        "--values",
+        "4",
+        "--out",
+        inst_path.to_str().unwrap(),
+    ]));
+    inst_path
+}
+
+#[test]
+fn generate_solve_validate_round_trip() {
+    let dir = temp_dir("all");
+    let inst_path = generate(&dir, 99, 10);
+    let sched_path = dir.join("sched.json");
+
+    let out = run_ok(bin().args([
+        "solve",
+        inst_path.to_str().unwrap(),
+        "--restart",
+        "3",
+        "--rate",
+        "1",
+        "--out",
+        sched_path.to_str().unwrap(),
+    ]));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("scheduled"),
+        "solve output missing summary: {stdout}"
+    );
+
+    // The validate subcommand must accept the files the CLI itself wrote.
+    let out = run_ok(bin().args([
+        "validate",
+        inst_path.to_str().unwrap(),
+        sched_path.to_str().unwrap(),
+    ]));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("schedule is valid"));
+
+    // Independent library-level check of the on-disk artifacts: parse both
+    // files ourselves and re-validate — the CLI's word is not enough.
+    let inst: Instance =
+        serde_json::from_str(&std::fs::read_to_string(&inst_path).unwrap()).unwrap();
+    let sched: Schedule =
+        serde_json::from_str(&std::fs::read_to_string(&sched_path).unwrap()).unwrap();
+    assert!(validate_schedule(&inst, &sched).is_empty());
+    assert_eq!(sched.scheduled_count, inst.num_jobs(), "schedule-all mode");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn solve_with_target_reaches_prize_collecting_value() {
+    let dir = temp_dir("target");
+    let inst_path = generate(&dir, 7, 8);
+    let sched_path = dir.join("sched.json");
+
+    let inst: Instance =
+        serde_json::from_str(&std::fs::read_to_string(&inst_path).unwrap()).unwrap();
+    let target = 0.5 * inst.total_value();
+
+    run_ok(bin().args([
+        "solve",
+        inst_path.to_str().unwrap(),
+        "--target",
+        &target.to_string(),
+        "--out",
+        sched_path.to_str().unwrap(),
+    ]));
+    run_ok(bin().args([
+        "validate",
+        inst_path.to_str().unwrap(),
+        sched_path.to_str().unwrap(),
+    ]));
+
+    let sched: Schedule =
+        serde_json::from_str(&std::fs::read_to_string(&sched_path).unwrap()).unwrap();
+    assert!(
+        sched.scheduled_value >= target - 1e-9,
+        "value {} below requested target {target}",
+        sched.scheduled_value
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn validate_rejects_corrupted_schedule() {
+    let dir = temp_dir("corrupt");
+    let inst_path = generate(&dir, 3, 6);
+    let sched_path = dir.join("sched.json");
+    run_ok(bin().args([
+        "solve",
+        inst_path.to_str().unwrap(),
+        "--out",
+        sched_path.to_str().unwrap(),
+    ]));
+
+    // Corrupt the recorded cost: validation must fail loudly.
+    let mut sched: Schedule =
+        serde_json::from_str(&std::fs::read_to_string(&sched_path).unwrap()).unwrap();
+    sched.total_cost += 5.0;
+    std::fs::write(&sched_path, serde_json::to_string(&sched).unwrap()).unwrap();
+
+    let out = bin()
+        .args([
+            "validate",
+            inst_path.to_str().unwrap(),
+            sched_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn power-sched");
+    assert!(
+        !out.status.success(),
+        "validate accepted a corrupted schedule"
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("CostMismatch"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_subcommand_exits_with_usage() {
+    let out = bin().arg("frobnicate").output().expect("spawn power-sched");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}

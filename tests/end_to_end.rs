@@ -83,8 +83,8 @@ fn prize_collecting_consistent_with_schedule_all_at_full_value() {
     let p = planted_instance(&default_cfg(), &mut rng);
     let full = schedule_all(&p.instance, &p.candidates, &SolveOptions::default()).unwrap();
     let z = p.instance.total_value();
-    let pc = prize_collecting_exact(&p.instance, &p.candidates, z, &SolveOptions::default())
-        .unwrap();
+    let pc =
+        prize_collecting_exact(&p.instance, &p.candidates, z, &SolveOptions::default()).unwrap();
     assert_eq!(pc.scheduled_count, p.instance.num_jobs());
     // prize-collecting at Z = total uses the same machinery; costs should be
     // identical (unit values make the weighted oracle match cardinality)

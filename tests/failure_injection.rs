@@ -142,10 +142,7 @@ fn huge_value_spread_still_exact() {
     let inst = Instance::new(
         1,
         3,
-        vec![
-            Job::window(1.0, 0, 0, 3),
-            Job::window(1e9, 0, 0, 3),
-        ],
+        vec![Job::window(1.0, 0, 0, 3), Job::window(1e9, 0, 0, 3)],
     );
     let cost = AffineCost::new(1.0, 1.0);
     let cands = enumerate_candidates(&inst, &cost, CandidatePolicy::All);

@@ -3,10 +3,8 @@
 //! of random insertion schedules against Hopcroft–Karp and the weighted
 //! reference at sizes well beyond the unit tests.
 
-use power_scheduling::matching::{
-    hopcroft_karp, BipartiteGraph, GainScratch, MatchingOracle,
-};
 use power_scheduling::matching::oracle::weighted_rank_reference;
+use power_scheduling::matching::{hopcroft_karp, BipartiteGraph, GainScratch, MatchingOracle};
 use rand::{Rng, SeedableRng};
 
 fn random_graph(rng: &mut impl Rng, nx: u32, ny: u32, deg: usize) -> BipartiteGraph {
@@ -100,9 +98,7 @@ fn interleaved_gains_and_commits_stay_consistent() {
     }
     // final cross-check against reference
     let committed: Vec<bool> = (0..300).map(|x| oracle.is_allowed(x)).collect();
-    let want = weighted_rank_reference(oracle.graph(), oracle.values(), |x| {
-        committed[x as usize]
-    });
+    let want = weighted_rank_reference(oracle.graph(), oracle.values(), |x| committed[x as usize]);
     assert_eq!(oracle.total(), want);
 }
 

@@ -2,9 +2,7 @@
 //! optima and greedy behaviour end-to-end.
 
 use power_scheduling::prelude::*;
-use power_scheduling::submodular::setcover::{
-    exact_set_cover, greedy_set_cover, SetCoverInstance,
-};
+use power_scheduling::submodular::setcover::{exact_set_cover, greedy_set_cover, SetCoverInstance};
 use power_scheduling::workloads::{greedy_lower_bound_family, set_cover_to_scheduling};
 use rand::{Rng, SeedableRng};
 

@@ -5,8 +5,7 @@
 use power_scheduling::matroids::{Matroid, PartitionMatroid, UniformMatroid};
 use power_scheduling::secretary::{
     knapsack_secretary, matroid_submodular_secretary, nonmonotone_submodular_secretary,
-    offline_greedy, offline_matroid_greedy, random_stream, submodular_secretary,
-    KnapsackInstance,
+    offline_greedy, offline_matroid_greedy, random_stream, submodular_secretary, KnapsackInstance,
 };
 use power_scheduling::submodular::functions::CoverageFn;
 use power_scheduling::submodular::{BitSet, SetFn};
@@ -96,7 +95,10 @@ fn matroid_secretary_beats_nominal_bound_on_two_matroids() {
     let l = 2.0;
     let r = power_scheduling::matroids::max_rank(&ms) as f64;
     let nominal = 1.0 / (8.0 * std::f64::consts::E * l * r.log2().max(1.0).powi(2));
-    assert!(ratio >= nominal, "ratio {ratio} below Θ(1/(l log² r)) shape {nominal}");
+    assert!(
+        ratio >= nominal,
+        "ratio {ratio} below Θ(1/(l log² r)) shape {nominal}"
+    );
 }
 
 #[test]

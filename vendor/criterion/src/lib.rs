@@ -1,0 +1,192 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the bench-harness surface its benches use: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`], [`BenchmarkId`],
+//! [`black_box`], and the `criterion_group!` / `criterion_main!` macros.
+//! Timing is a simple best-of-N wall-clock measurement — enough to print
+//! comparable numbers and to keep `cargo test` / `cargo bench` green without
+//! the statistical machinery of real criterion.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (stable `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier: `group/function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id from a function name plus a parameter.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// When true (under `cargo test`), each bench body runs once, untimed.
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` invokes harness-less bench binaries with `--test`;
+        // `cargo bench` passes `--bench`.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into();
+        run_one(self.test_mode, &name, 10, &mut f);
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.id);
+        run_one(
+            self.criterion.test_mode,
+            &name,
+            self.sample_size,
+            &mut |b| f(b, input),
+        );
+    }
+
+    /// Ends the group (report separator).
+    pub fn finish(self) {}
+}
+
+fn run_one(test_mode: bool, name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples: if test_mode { 1 } else { sample_size },
+        best: Duration::MAX,
+        timed: false,
+    };
+    f(&mut bencher);
+    if test_mode {
+        println!("test-mode bench {name}: ok");
+    } else if bencher.timed {
+        println!("bench {name}: best of {sample_size}: {:?}", bencher.best);
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    samples: usize,
+    best: Duration,
+    timed: bool,
+}
+
+impl Bencher {
+    /// Runs `routine` `samples` times, keeping the best wall-clock time.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        self.timed = true;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            let elapsed = start.elapsed();
+            if elapsed < self.best {
+                self.best = elapsed;
+            }
+        }
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_bodies() {
+        let mut c = Criterion { test_mode: true };
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &x| {
+                b.iter(|| x * 2);
+                ran += 1;
+            });
+            g.finish();
+        }
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter(9).id, "9");
+    }
+}

@@ -1,0 +1,132 @@
+//! Offline, API-compatible subset of `rayon`.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the adapters it actually calls: `into_par_iter`, `map`, `map_init`,
+//! `reduce`, `sum`, and `collect`. Everything executes **sequentially** —
+//! callers only rely on rayon for throughput, never for semantics, and every
+//! parallel reduction in the workspace is associative and order-insensitive,
+//! so the sequential fallback is observationally equivalent (and
+//! deterministic). Swapping the real rayon back in is a one-line manifest
+//! change.
+
+pub mod prelude {
+    pub use super::{IntoParallelIterator, ParIter};
+}
+
+/// Conversion into a (sequentially executing) "parallel" iterator.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item;
+    /// Underlying sequential iterator.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Mirrors `rayon::iter::IntoParallelIterator::into_par_iter`.
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    type Iter = I::IntoIter;
+
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// Sequential stand-in for rayon's `ParallelIterator`.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    /// Mirrors `ParallelIterator::map`.
+    pub fn map<U, F>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+    where
+        F: FnMut(I::Item) -> U,
+    {
+        ParIter(self.0.map(f))
+    }
+
+    /// Mirrors `ParallelIterator::map_init`: one scratch value per worker —
+    /// here, a single scratch value for the whole (sequential) pass.
+    pub fn map_init<T, U, INIT, F>(self, init: INIT, mut f: F) -> ParIter<impl Iterator<Item = U>>
+    where
+        INIT: FnOnce() -> T,
+        F: FnMut(&mut T, I::Item) -> U,
+    {
+        let mut scratch = init();
+        ParIter(self.0.map(move |x| f(&mut scratch, x)))
+    }
+
+    /// Mirrors `ParallelIterator::filter`.
+    pub fn filter<F>(self, f: F) -> ParIter<std::iter::Filter<I, F>>
+    where
+        F: FnMut(&I::Item) -> bool,
+    {
+        ParIter(self.0.filter(f))
+    }
+
+    /// Mirrors rayon's `reduce(identity, op)` (not `Iterator::reduce`).
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// Mirrors `ParallelIterator::sum`.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<I::Item>,
+    {
+        self.0.sum()
+    }
+
+    /// Mirrors `ParallelIterator::count`.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    /// Mirrors `ParallelIterator::collect` (via `FromIterator`).
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<I::Item>,
+    {
+        self.0.collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_reduce_matches_sequential() {
+        let total = (0..100u64)
+            .into_par_iter()
+            .map(|x| x * x)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, (0..100u64).map(|x| x * x).sum());
+    }
+
+    #[test]
+    fn map_init_shares_scratch() {
+        let out: Vec<u64> = (0..5u64)
+            .into_par_iter()
+            .map_init(
+                || 10u64,
+                |acc, x| {
+                    *acc += x;
+                    *acc
+                },
+            )
+            .collect();
+        assert_eq!(out, vec![10, 11, 13, 16, 20]);
+    }
+
+    #[test]
+    fn sum_and_count() {
+        let s: f64 = vec![1.0, 2.5].into_par_iter().sum();
+        assert_eq!(s, 3.5);
+        assert_eq!((0..7).into_par_iter().filter(|x| x % 2 == 0).count(), 4);
+    }
+}

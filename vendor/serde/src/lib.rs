@@ -1,0 +1,240 @@
+//! Offline, API-compatible subset of `serde`.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a minimal serde: a JSON-shaped [`Value`] data model, [`Serialize`] /
+//! [`Deserialize`] traits over it, and `#[derive(Serialize, Deserialize)]`
+//! from the sibling `serde_derive` stub (plain structs with named fields and
+//! fieldless enums — exactly what this workspace derives). `serde_json`
+//! renders and parses [`Value`]. The public surface consumed by the workspace
+//! (`use serde::{Serialize, Deserialize}` + derive + `serde_json::{to_string,
+//! to_string_pretty, from_str}`) matches upstream, so swapping the real serde
+//! back in is a manifest-only change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// JSON-shaped self-describing value — the stub's entire data model.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as `f64`; integers up to 2⁵³ are exact).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup, erroring with the field name when missing.
+    pub fn field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Object(pairs) => pairs
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error(format!("missing field `{name}`"))),
+            other => Err(Error(format!(
+                "expected object with field `{name}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Human-readable name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Error(pub String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into the [`Value`] data model.
+pub trait Serialize {
+    /// Serializes `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Deserializes a [`Value`] into `Self`.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! impl_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Num(n) => {
+                        let out = *n as $t;
+                        if out as f64 == *n {
+                            Ok(out)
+                        } else {
+                            Err(Error(format!(
+                                "number {n} out of range for {}",
+                                stringify!($t)
+                            )))
+                        }
+                    }
+                    other => Err(Error(format!(
+                        "expected number, found {}",
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Num(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Num(n) => Ok(*n),
+            other => Err(Error(format!("expected number, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error(format!("expected array, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::from_value(&42u32.to_value()), Ok(42));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        assert_eq!(
+            Option::<u32>::from_value(&Option::<u32>::None.to_value()),
+            Ok(None)
+        );
+        assert_eq!(
+            Vec::<u32>::from_value(&vec![1u32, 2].to_value()),
+            Ok(vec![1, 2])
+        );
+    }
+
+    #[test]
+    fn field_lookup_errors() {
+        let v = Value::Object(vec![("a".into(), Value::Num(1.0))]);
+        assert!(v.field("a").is_ok());
+        assert!(v.field("b").is_err());
+        assert!(Value::Null.field("a").is_err());
+    }
+
+    #[test]
+    fn narrowing_checked() {
+        assert!(u8::from_value(&Value::Num(300.0)).is_err());
+        assert!(u32::from_value(&Value::Num(-1.0)).is_err());
+        assert!(u32::from_value(&Value::Num(1.5)).is_err());
+    }
+}

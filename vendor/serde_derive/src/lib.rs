@@ -1,0 +1,252 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored serde
+//! stub, implemented directly on `proc_macro` token trees (the build
+//! environment has no crates.io access, hence no `syn`/`quote`).
+//!
+//! Supported shapes — exactly the ones this workspace derives:
+//! * non-generic structs with named fields → JSON objects;
+//! * non-generic enums whose variants all carry no data → JSON strings.
+//!
+//! Anything else produces a `compile_error!` naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, generate: fn(&Item) -> String) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => generate(&item),
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse()
+        .expect("serde_derive stub generated invalid Rust")
+}
+
+/// Skips attributes (`#[...]`, covering doc comments) and visibility
+/// (`pub`, `pub(...)`) at the cursor.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // '#' followed by a bracket group
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde stub: expected struct/enum, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde stub: expected type name, found {other:?}")),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stub: generic type `{name}` is not supported by the vendored serde derive"
+        ));
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => {
+            return Err(format!(
+                "serde stub: `{name}` must be a brace-bodied struct or enum (tuple/unit \
+                 shapes are not supported by the vendored serde derive)"
+            ))
+        }
+    };
+
+    match kind.as_str() {
+        "struct" => Ok(Item::Struct {
+            name,
+            fields: parse_named_fields(body)?,
+        }),
+        "enum" => Ok(Item::Enum {
+            name,
+            variants: parse_unit_variants(body)?,
+        }),
+        other => Err(format!("serde stub: cannot derive for `{other}` items")),
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("serde stub: expected field name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("serde stub: expected `:`, found {other:?}")),
+        }
+        // Skip the type: consume until a top-level `,` (angle-bracket aware).
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let variant = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => {
+                return Err(format!(
+                    "serde stub: expected variant name, found {other:?}"
+                ))
+            }
+        };
+        i += 1;
+        match tokens.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(other) => {
+                return Err(format!(
+                    "serde stub: enum variant `{variant}` carries data ({other:?}); only \
+                     fieldless enums are supported by the vendored serde derive"
+                ))
+            }
+        }
+        variants.push(variant);
+    }
+    Ok(variants)
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let pairs: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{pairs}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => {v:?},"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Str(::std::string::String::from(\
+                             match self {{ {arms} }}))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.field({f:?})?)?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                         ::core::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::core::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {arms}\n\
+                                 other => ::core::result::Result::Err(::serde::Error(\
+                                     ::std::format!(\
+                                         \"unknown variant `{{other}}` for {name}\"))),\n\
+                             }},\n\
+                             other => ::core::result::Result::Err(::serde::Error(\
+                                 ::std::format!(\
+                                     \"expected string for enum {name}, found {{}}\", \
+                                     other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}

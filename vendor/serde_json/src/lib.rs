@@ -1,0 +1,420 @@
+//! Offline, API-compatible subset of `serde_json` over the vendored serde
+//! stub: [`to_string`], [`to_string_pretty`], and [`from_str`], backed by a
+//! self-contained JSON printer and recursive-descent parser for
+//! [`serde::Value`].
+
+pub use serde::Error;
+use serde::{Deserialize, Serialize, Value};
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), None, 0, &mut out)?;
+    Ok(out)
+}
+
+/// Serializes `value` as human-readable JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), Some(2), 0, &mut out)?;
+    Ok(out)
+}
+
+/// Parses JSON text into a `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing characters at offset {}", p.pos)));
+    }
+    T::from_value(&v)
+}
+
+fn write_value(
+    v: &Value,
+    indent: Option<usize>,
+    depth: usize,
+    out: &mut String,
+) -> Result<(), Error> {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(n) => {
+            if !n.is_finite() {
+                return Err(Error(format!("JSON cannot represent {n}")));
+            }
+            if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                out.push_str(&format!("{}", *n as i64));
+            } else {
+                out.push_str(&format!("{n}"));
+            }
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Array(items) => {
+            write_seq(items.iter(), indent, depth, out, |item, ind, d, o| {
+                write_value(item, ind, d, o)
+            })?;
+        }
+        Value::Object(pairs) => {
+            out.push('{');
+            write_items(pairs.iter(), indent, depth, out, |(k, val), ind, d, o| {
+                write_string(k, o);
+                o.push(':');
+                if ind.is_some() {
+                    o.push(' ');
+                }
+                write_value(val, ind, d, o)
+            })?;
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn write_seq<'a, I, F>(
+    items: I,
+    indent: Option<usize>,
+    depth: usize,
+    out: &mut String,
+    write_item: F,
+) -> Result<(), Error>
+where
+    I: ExactSizeIterator<Item = &'a Value>,
+    F: Fn(&Value, Option<usize>, usize, &mut String) -> Result<(), Error>,
+{
+    out.push('[');
+    write_items(items, indent, depth, out, |item, ind, d, o| {
+        write_item(item, ind, d, o)
+    })?;
+    out.push(']');
+    Ok(())
+}
+
+fn write_items<T, I, F>(
+    items: I,
+    indent: Option<usize>,
+    depth: usize,
+    out: &mut String,
+    write_item: F,
+) -> Result<(), Error>
+where
+    I: ExactSizeIterator<Item = T>,
+    F: Fn(T, Option<usize>, usize, &mut String) -> Result<(), Error>,
+{
+    let n = items.len();
+    for (i, item) in items.enumerate() {
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * (depth + 1)));
+        }
+        write_item(item, indent, depth + 1, out)?;
+        if i + 1 < n {
+            out.push(',');
+        } else if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * depth));
+        }
+    }
+    Ok(())
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at offset {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            other => Err(Error(format!(
+                "unexpected {:?} at offset {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Num)
+            .ok_or_else(|| Error(format!("invalid number at offset {start}")))
+    }
+
+    /// Reads four hex digits starting at `at` (for `\u` escapes).
+    fn read_hex4(&self, at: usize) -> Result<u32, Error> {
+        self.bytes
+            .get(at..at + 4)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .and_then(|h| u32::from_str_radix(h, 16).ok())
+            .ok_or_else(|| Error(format!("bad \\u escape at offset {at}")))
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error("unterminated string".into())),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self.read_hex4(self.pos + 1)?;
+                            self.pos += 4;
+                            let code = if (0xD800..0xDC00).contains(&hex) {
+                                // High surrogate: a low surrogate escape must
+                                // follow (JSON encodes non-BMP chars as pairs).
+                                if self.bytes.get(self.pos + 1..self.pos + 3) != Some(b"\\u") {
+                                    return Err(Error(format!(
+                                        "unpaired surrogate at offset {}",
+                                        self.pos
+                                    )));
+                                }
+                                let low = self.read_hex4(self.pos + 3)?;
+                                self.pos += 6;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(Error(format!(
+                                        "invalid low surrogate at offset {}",
+                                        self.pos
+                                    )));
+                                }
+                                0x10000 + ((hex - 0xD800) << 10) + (low - 0xDC00)
+                            } else {
+                                hex
+                            };
+                            out.push(char::from_u32(code).ok_or_else(|| {
+                                Error(format!("bad \\u escape at offset {}", self.pos))
+                            })?);
+                        }
+                        other => {
+                            return Err(Error(format!(
+                                "bad escape {:?} at offset {}",
+                                other.map(|b| b as char),
+                                self.pos
+                            )))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 code point.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error("invalid UTF-8 in string".into()))?;
+                    let c = rest.chars().next().expect("non-empty by peek");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error(format!("expected `,` or `]` at offset {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.parse_value()?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                _ => {
+                    return Err(Error(format!(
+                        "expected `,` or `}}` at offset {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_roundtrip() {
+        let v = Value::Object(vec![
+            ("n".into(), Value::Num(14.0)),
+            ("f".into(), Value::Num(0.5)),
+            ("s".into(), Value::Str("a \"b\"\n".into())),
+            (
+                "a".into(),
+                Value::Array(vec![Value::Null, Value::Bool(true), Value::Num(-3.25)]),
+            ),
+            ("o".into(), Value::Object(vec![])),
+        ]);
+        let compact = to_string(&TestWrap(v.clone())).unwrap();
+        let parsed: TestWrap = from_str(&compact).unwrap();
+        assert_eq!(parsed.0, v);
+        let pretty = to_string_pretty(&TestWrap(v.clone())).unwrap();
+        let parsed: TestWrap = from_str(&pretty).unwrap();
+        assert_eq!(parsed.0, v);
+    }
+
+    #[test]
+    fn integers_print_without_fraction() {
+        assert_eq!(to_string(&14.0f64).unwrap(), "14");
+        assert_eq!(to_string(&14.5f64).unwrap(), "14.5");
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+    }
+
+    #[test]
+    fn surrogate_pair_escapes_decode() {
+        // escaped surrogate pair + escaped BMP char, per the JSON spec
+        let json = "\"\\ud83d\\ude00 ok \\u00e9\"";
+        let s: String = from_str(json).unwrap();
+        assert_eq!(s, "\u{1F600} ok \u{e9}");
+        // unpaired / malformed surrogates are rejected
+        assert!(from_str::<String>(r#""\ud83d""#).is_err());
+        assert!(from_str::<String>(r#""\ud83dA""#).is_err());
+        // non-BMP chars round-trip (written raw, re-parsed)
+        let json = to_string(&String::from("\u{1F600}")).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), "\u{1F600}");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<f64>("1.5 junk").is_err());
+        assert!(from_str::<f64>("[1,").is_err());
+        assert!(from_str::<Vec<f64>>("{\"a\":1}").is_err());
+    }
+
+    /// Raw-Value passthrough for tests.
+    struct TestWrap(Value);
+
+    impl serde::Serialize for TestWrap {
+        fn to_value(&self) -> Value {
+            self.0.clone()
+        }
+    }
+
+    impl serde::Deserialize for TestWrap {
+        fn from_value(v: &Value) -> Result<Self, Error> {
+            Ok(TestWrap(v.clone()))
+        }
+    }
+}
