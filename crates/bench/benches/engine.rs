@@ -1,0 +1,82 @@
+//! `bench_engine_throughput` — requests/sec through the `sched-engine`
+//! worker pool at 1, 2, and 4 workers on a fixed mixed-mode workload.
+//!
+//! Each iteration spins up a fresh engine (so worker-pool startup is part of
+//! the measured regime, as it would be for a short-lived batch job) and
+//! pushes the whole workload through `solve_batch`. On multi-core machines
+//! the 4-worker row should beat the 1-worker row roughly linearly until the
+//! core count caps it; on a single core the rows document the (small)
+//! sharding overhead instead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use sched_core::CandidatePolicy;
+use sched_engine::{Engine, EngineConfig, SolveRequest};
+use workloads::planted::PlantedCostModel;
+use workloads::{planted_instance, PlantedConfig};
+
+/// A deterministic 64-request mixed-mode workload (the same shape the
+/// `power-sched batch` acceptance test uses, sized for bench runtime).
+fn workload() -> Vec<SolveRequest> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xE16);
+    (0..64usize)
+        .map(|i| {
+            let planted = planted_instance(
+                &PlantedConfig {
+                    num_processors: 2,
+                    horizon: 24,
+                    target_jobs: 16 + i % 8,
+                    decoy_prob: 0.3,
+                    max_value: 3,
+                    cost_model: PlantedCostModel::Affine { restart: 4.0 },
+                    policy: CandidatePolicy::All,
+                },
+                &mut rng,
+            );
+            let inst = planted.instance;
+            let total = inst.total_value();
+            match i % 3 {
+                0 => SolveRequest::schedule_all(i as u64, inst, 4.0, 1.0),
+                1 => SolveRequest::prize_collecting(
+                    i as u64,
+                    inst,
+                    4.0,
+                    1.0,
+                    (total * 0.5).max(1.0),
+                    Some(0.25),
+                ),
+                _ => SolveRequest::prize_collecting_exact(
+                    i as u64,
+                    inst,
+                    4.0,
+                    1.0,
+                    (total * 0.4).max(1.0),
+                ),
+            }
+        })
+        .collect()
+}
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    let requests = workload();
+    let mut g = c.benchmark_group("engine_throughput");
+    g.sample_size(10);
+    for &workers in &[1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("workers", workers),
+            &requests,
+            |b, requests| {
+                b.iter(|| {
+                    let engine = Engine::new(EngineConfig::with_workers(workers));
+                    let responses = engine.solve_batch(requests.iter().cloned());
+                    assert!(responses.iter().all(|r| r.ok));
+                    responses.len()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine_throughput);
+criterion_main!(benches);

@@ -5,10 +5,17 @@
 //!   (many restarts); the full family is what lets the algorithm merge awake
 //!   intervals when restarts are expensive (the paper's key modeling point).
 //! * **lazy vs eager** greedy — identical picks, far fewer oracle calls.
+//!   The `parallel` toggle now measures *real* fan-out: the vendored rayon
+//!   fans full scans out over `std::thread::scope`.
+//! * **engine sharding** (E14c) — the same workload through the
+//!   `sched-engine` worker pool at 1/2/4 workers, with
+//!   `SolveOptions { parallel: true }` wired through each worker; costs must
+//!   not depend on the worker count.
 
 use crate::table::{section, Table};
 use rand::SeedableRng;
 use sched_core::{CandidatePolicy, SolveOptions, Solver};
+use sched_engine::{Engine, EngineConfig, SolveRequest};
 use std::time::Instant;
 use workloads::planted::PlantedCostModel;
 use workloads::{planted_instance, PlantedConfig};
@@ -82,4 +89,48 @@ pub fn run(seed: u64, quick: bool) {
     }
     t2.print();
     println!("  (costs must be identical across variants — asserted in tests)");
+
+    section("E14c  ablation: engine sharding (parallel scans on, 1/2/4 workers)");
+    // The planted grid is shared by every request, so workers hit their
+    // candidate caches after the first enumeration; the ablation isolates
+    // the sharding itself.
+    let batch = if quick { 16 } else { 48 };
+    let requests: Vec<SolveRequest> = (0..batch)
+        .map(|i| {
+            let mut req = SolveRequest::schedule_all(i as u64, p.instance.clone(), 8.0, 1.0);
+            req.parallel = Some(true); // SolveOptions.parallel through the pool
+            req
+        })
+        .collect();
+    let mut t3 = Table::new(&["workers", "cost (first req)", "req/s", "ms total"]);
+    let mut baseline_cost = None;
+    for workers in [1usize, 2, 4] {
+        let engine = Engine::new(EngineConfig::with_workers(workers));
+        let t0 = Instant::now();
+        let responses = engine.solve_batch(requests.iter().cloned());
+        let secs = t0.elapsed().as_secs_f64();
+        let cost = responses[0]
+            .schedule
+            .as_ref()
+            .expect("planted instance feasible")
+            .total_cost;
+        for r in &responses {
+            assert!(r.ok, "engine request failed: {:?}", r.error);
+            let c = r.schedule.as_ref().unwrap().total_cost;
+            let base = *baseline_cost.get_or_insert(c);
+            assert_eq!(
+                c.to_bits(),
+                base.to_bits(),
+                "cost must not depend on worker count"
+            );
+        }
+        t3.row(vec![
+            workers.to_string(),
+            format!("{cost:.2}"),
+            format!("{:.0}", batch as f64 / secs),
+            format!("{:.1}", secs * 1e3),
+        ]);
+    }
+    t3.print();
+    println!("  (bit-identical costs across worker counts — asserted above)");
 }

@@ -46,7 +46,7 @@ impl CandidateInterval {
 }
 
 /// Which intervals to enumerate.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CandidatePolicy {
     /// Every interval `[s, e)` with `0 ≤ s < e ≤ T`, per processor
     /// (`O(p·T²)` candidates).
@@ -56,6 +56,44 @@ pub enum CandidatePolicy {
     /// Single-slot intervals only (`p·T` candidates). With affine costs this
     /// degenerates to per-slot set cover — useful as an ablation.
     SingleSlots,
+}
+
+impl std::fmt::Display for CandidatePolicy {
+    /// The textual form accepted back by [`CandidatePolicy::from_str`]
+    /// (`all`, `single`, `maxlen:K`) — used by the CLI and the wire
+    /// protocol.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CandidatePolicy::All => write!(f, "all"),
+            CandidatePolicy::SingleSlots => write!(f, "single"),
+            CandidatePolicy::MaxLength(k) => write!(f, "maxlen:{k}"),
+        }
+    }
+}
+
+impl std::str::FromStr for CandidatePolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "all" => Ok(CandidatePolicy::All),
+            "single" => Ok(CandidatePolicy::SingleSlots),
+            other => match other.strip_prefix("maxlen:") {
+                Some(k) => {
+                    let k: u32 = k
+                        .parse()
+                        .map_err(|e| format!("bad maxlen in policy '{other}': {e}"))?;
+                    if k == 0 {
+                        return Err("maxlen policy requires a positive length".into());
+                    }
+                    Ok(CandidatePolicy::MaxLength(k))
+                }
+                None => Err(format!(
+                    "unknown candidate policy '{other}' (expected all, single, or maxlen:K)"
+                )),
+            },
+        }
+    }
 }
 
 /// Enumerates candidate intervals for `inst` under `policy`, pricing each via
@@ -155,6 +193,24 @@ mod tests {
         for iv in &c {
             assert_eq!(iv.cost, 2.0 + iv.len() as f64);
         }
+    }
+
+    #[test]
+    fn policy_parse_display_round_trip() {
+        for p in [
+            CandidatePolicy::All,
+            CandidatePolicy::SingleSlots,
+            CandidatePolicy::MaxLength(7),
+        ] {
+            assert_eq!(p.to_string().parse::<CandidatePolicy>().unwrap(), p);
+        }
+        assert_eq!(
+            "all".parse::<CandidatePolicy>().unwrap(),
+            CandidatePolicy::All
+        );
+        assert!("maxlen:0".parse::<CandidatePolicy>().is_err());
+        assert!("maxlen:x".parse::<CandidatePolicy>().is_err());
+        assert!("bogus".parse::<CandidatePolicy>().is_err());
     }
 
     #[test]

@@ -75,7 +75,7 @@ pub use cost::{
     AffineCost, ConvexCost, EnergyCost, PerProcessorAffine, TableCost, TimeVaryingCost,
     UnavailableSlots,
 };
-pub use model::{Instance, Job, Schedule, ScheduleError, SlotRef, SolveOptions};
+pub use model::{Instance, InstanceError, Job, Schedule, ScheduleError, SlotRef, SolveOptions};
 pub use objective::ScheduleObjective;
 pub use prize_collecting::{prize_collecting, prize_collecting_exact};
 pub use schedule_all::schedule_all;

@@ -76,28 +76,46 @@ impl Instance {
     ///
     /// # Panics
     /// Panics if any allowed slot is out of range or a job value is not
-    /// strictly positive and finite.
+    /// strictly positive and finite. Untrusted inputs (deserialized wire
+    /// requests, files) should be checked with [`Instance::validate`]
+    /// instead.
     pub fn new(num_processors: u32, horizon: u32, jobs: Vec<Job>) -> Self {
-        for (i, j) in jobs.iter().enumerate() {
-            assert!(
-                j.value > 0.0 && j.value.is_finite(),
-                "job {i} has invalid value {}",
-                j.value
-            );
-            for s in &j.allowed {
-                assert!(
-                    s.proc < num_processors && s.time < horizon,
-                    "job {i} references out-of-range slot ({}, {})",
-                    s.proc,
-                    s.time
-                );
-            }
-        }
-        Self {
+        let inst = Self {
             num_processors,
             horizon,
             jobs,
+        };
+        if let Err(e) = inst.validate() {
+            panic!("{e}");
         }
+        inst
+    }
+
+    /// Checks the structural invariants [`Instance::new`] asserts: every job
+    /// value strictly positive and finite, every allowed slot in range.
+    ///
+    /// Serde deserialization constructs instances field-by-field without
+    /// running [`Instance::new`], so anything arriving over a file or the
+    /// wire must pass through this check before it reaches a solver (which
+    /// indexes arrays by slot id and would otherwise panic).
+    pub fn validate(&self) -> Result<(), InstanceError> {
+        for (i, j) in self.jobs.iter().enumerate() {
+            if !(j.value > 0.0 && j.value.is_finite()) {
+                return Err(InstanceError::InvalidValue {
+                    job: i as u32,
+                    value: j.value,
+                });
+            }
+            for s in &j.allowed {
+                if s.proc >= self.num_processors || s.time >= self.horizon {
+                    return Err(InstanceError::OutOfRangeSlot {
+                        job: i as u32,
+                        slot: *s,
+                    });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Number of jobs `n`.
@@ -175,6 +193,42 @@ pub struct Schedule {
     /// Number of scheduled jobs.
     pub scheduled_count: usize,
 }
+
+/// Structural problems detected by [`Instance::validate`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum InstanceError {
+    /// A job value is not strictly positive and finite.
+    InvalidValue {
+        /// Offending job index.
+        job: u32,
+        /// The rejected value.
+        value: f64,
+    },
+    /// An allowed slot lies outside `processors × horizon`.
+    OutOfRangeSlot {
+        /// Offending job index.
+        job: u32,
+        /// The rejected slot reference.
+        slot: SlotRef,
+    },
+}
+
+impl std::fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstanceError::InvalidValue { job, value } => {
+                write!(f, "job {job} has invalid value {value}")
+            }
+            InstanceError::OutOfRangeSlot { job, slot } => write!(
+                f,
+                "job {job} references out-of-range slot ({}, {})",
+                slot.proc, slot.time
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InstanceError {}
 
 /// Why a solve failed.
 #[derive(Clone, Debug, PartialEq)]
@@ -339,6 +393,44 @@ mod tests {
                 allowed: vec![],
             }],
         );
+    }
+
+    #[test]
+    fn validate_reports_structural_errors_without_panicking() {
+        let ok = tiny_instance();
+        assert_eq!(ok.validate(), Ok(()));
+
+        // construct field-by-field, as serde deserialization does
+        let bad_slot = Instance {
+            num_processors: 1,
+            horizon: 2,
+            jobs: vec![Job::unit(vec![SlotRef { proc: 0, time: 5 }])],
+        };
+        assert_eq!(
+            bad_slot.validate(),
+            Err(InstanceError::OutOfRangeSlot {
+                job: 0,
+                slot: SlotRef { proc: 0, time: 5 }
+            })
+        );
+        assert!(bad_slot
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("out-of-range slot"));
+
+        let bad_value = Instance {
+            num_processors: 1,
+            horizon: 2,
+            jobs: vec![Job {
+                value: f64::NAN,
+                allowed: vec![],
+            }],
+        };
+        assert!(matches!(
+            bad_value.validate(),
+            Err(InstanceError::InvalidValue { job: 0, .. })
+        ));
     }
 
     #[test]

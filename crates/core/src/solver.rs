@@ -23,9 +23,16 @@
 //! parameter (a target value `Z`, an `ε` schedule) re-prices nothing. Callers
 //! that build candidate intervals themselves — generators, experiments,
 //! ablations — inject them with [`Solver::with_candidates`].
+//!
+//! Solvers are `Send` and cheap to [`Clone`]: enumerated families live in an
+//! [`Arc`], so a worker pool can enumerate once and hand every worker its
+//! own solver (or share one family via
+//! [`Solver::with_shared_candidates`] / [`Solver::shared_candidates`])
+//! without copying interval data.
 
 use std::borrow::Cow;
 use std::cell::OnceCell;
+use std::sync::Arc;
 
 use crate::candidates::{enumerate_candidates, CandidateInterval, CandidatePolicy};
 use crate::cost::EnergyCost;
@@ -34,12 +41,31 @@ use crate::prize_collecting::{prize_collecting, prize_collecting_exact};
 use crate::schedule_all::schedule_all;
 
 /// Where the solver's candidate awake intervals come from.
+#[derive(Clone, Copy)]
 enum CandidateSource<'a> {
     /// Enumerate under a policy, pricing via the cost oracle (the default).
     Enumerate(&'a dyn EnergyCost, CandidatePolicy),
     /// A caller-supplied family, stored directly in the cache at
     /// construction time (no second copy lives here).
     Explicit,
+}
+
+/// A candidate family as held by the cache: borrowed from the caller, or
+/// owned behind an [`Arc`] so clones of the solver (and external caches)
+/// share one allocation.
+#[derive(Clone)]
+enum Family<'a> {
+    Borrowed(&'a [CandidateInterval]),
+    Shared(Arc<[CandidateInterval]>),
+}
+
+impl Family<'_> {
+    fn as_slice(&self) -> &[CandidateInterval] {
+        match self {
+            Family::Borrowed(s) => s,
+            Family::Shared(a) => a,
+        }
+    }
 }
 
 /// Builder-style front end over the Theorem 2.2.1 / 2.3.1 / 2.3.3 solvers.
@@ -52,7 +78,20 @@ pub struct Solver<'a> {
     instance: &'a Instance,
     source: CandidateSource<'a>,
     options: SolveOptions,
-    cache: OnceCell<Cow<'a, [CandidateInterval]>>,
+    cache: OnceCell<Family<'a>>,
+}
+
+impl Clone for Solver<'_> {
+    /// Cheap: copies references and options, and shares (never copies) an
+    /// already-enumerated candidate family via its `Arc`.
+    fn clone(&self) -> Self {
+        Self {
+            instance: self.instance,
+            source: self.source,
+            options: self.options,
+            cache: self.cache.clone(),
+        }
+    }
 }
 
 impl<'a> Solver<'a> {
@@ -75,8 +114,28 @@ impl<'a> Solver<'a> {
         instance: &'a Instance,
         candidates: impl Into<Cow<'a, [CandidateInterval]>>,
     ) -> Self {
+        let family = match candidates.into() {
+            Cow::Borrowed(s) => Family::Borrowed(s),
+            Cow::Owned(v) => Family::Shared(Arc::from(v)),
+        };
+        Self::from_family(instance, family)
+    }
+
+    /// Solver over `instance` using a pre-built candidate family behind an
+    /// [`Arc`] — the zero-copy path for worker pools that cache enumerated
+    /// families across requests (see [`Solver::shared_candidates`]).
+    pub fn with_shared_candidates(
+        instance: &'a Instance,
+        candidates: Arc<[CandidateInterval]>,
+    ) -> Self {
+        Self::from_family(instance, Family::Shared(candidates))
+    }
+
+    fn from_family(instance: &'a Instance, family: Family<'a>) -> Self {
         let cache = OnceCell::new();
-        cache.set(candidates.into()).expect("fresh cell");
+        if cache.set(family).is_err() {
+            unreachable!("fresh cell");
+        }
         Self {
             instance,
             source: CandidateSource::Explicit,
@@ -118,11 +177,27 @@ impl<'a> Solver<'a> {
     /// The candidate interval family this solver optimizes over (enumerated
     /// on first use, then cached for every subsequent solve).
     pub fn candidates(&self) -> &[CandidateInterval] {
+        self.family().as_slice()
+    }
+
+    /// The candidate family behind an [`Arc`], enumerating first if needed —
+    /// the handle a worker pool stores to reuse one enumeration across many
+    /// requests ([`Solver::with_shared_candidates`] accepts it back without
+    /// copying). A family borrowed via [`Solver::with_candidates`] is copied
+    /// into a fresh `Arc` once here.
+    pub fn shared_candidates(&self) -> Arc<[CandidateInterval]> {
+        match self.family() {
+            Family::Borrowed(s) => Arc::from(*s),
+            Family::Shared(a) => Arc::clone(a),
+        }
+    }
+
+    fn family(&self) -> &Family<'a> {
         self.cache.get_or_init(|| match &self.source {
-            CandidateSource::Enumerate(cost, policy) => {
-                Cow::Owned(enumerate_candidates(self.instance, *cost, *policy))
-            }
-            // the cell is seeded in with_candidates, so get_or_init never
+            CandidateSource::Enumerate(cost, policy) => Family::Shared(Arc::from(
+                enumerate_candidates(self.instance, *cost, *policy),
+            )),
+            // the cell is seeded at construction, so get_or_init never
             // reaches this arm for explicit families
             CandidateSource::Explicit => unreachable!("explicit cache seeded at construction"),
         })
@@ -246,6 +321,35 @@ mod tests {
         // policy() must not clobber an explicit family
         let solver = solver.policy(CandidatePolicy::All);
         assert_eq!(solver.candidates().len(), 1);
+    }
+
+    #[test]
+    fn clone_shares_enumerated_family_and_is_send() {
+        fn assert_send<T: Send>(_: &T) {}
+        let inst = inst();
+        let cost = AffineCost::new(10.0, 1.0);
+        let solver = Solver::new(&inst, &cost);
+        assert_send(&solver);
+        let family = solver.shared_candidates();
+        let clone = solver.clone();
+        // the clone reuses the same allocation, not a re-enumeration
+        assert_eq!(family.as_ptr(), clone.candidates().as_ptr());
+        assert_eq!(
+            solver.schedule_all().unwrap().total_cost,
+            clone.schedule_all().unwrap().total_cost
+        );
+    }
+
+    #[test]
+    fn shared_candidates_round_trip_without_copy() {
+        let inst = inst();
+        let cost = AffineCost::new(10.0, 1.0);
+        let family = Solver::new(&inst, &cost).shared_candidates();
+        let solver = Solver::with_shared_candidates(&inst, Arc::clone(&family));
+        assert_eq!(family.as_ptr(), solver.candidates().as_ptr());
+        let direct = Solver::new(&inst, &cost).schedule_all().unwrap();
+        let shared = solver.schedule_all().unwrap();
+        assert_eq!(direct.total_cost, shared.total_cost);
     }
 
     #[test]

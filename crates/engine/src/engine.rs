@@ -1,0 +1,600 @@
+//! The sharded solving engine: a fixed pool of worker threads pulling
+//! [`SolveRequest`]s off one bounded queue.
+//!
+//! # Design
+//!
+//! * **Sharding** — workers share a single `std::sync::mpsc` queue behind a
+//!   mutex (work stealing by contention: whichever worker is idle takes the
+//!   next request). The queue is bounded ([`EngineConfig::queue_depth`]), so
+//!   a fast producer blocks in [`Engine::submit`] instead of buffering
+//!   unboundedly — backpressure propagates all the way to a TCP client's
+//!   socket.
+//! * **Candidate reuse** — enumeration is the per-request cost that does not
+//!   depend on the jobs, only on `(processors, horizon, cost, policy)`.
+//!   Each worker keeps a small keyed cache of enumerated families
+//!   (`Arc<[CandidateInterval]>`, shared with the solver without copying via
+//!   [`Solver::with_shared_candidates`]), so a stream of requests over the
+//!   same grid skips enumeration entirely — [`SolveMetrics::cache_hit`]
+//!   reports this per response.
+//! * **Ordering** — [`Engine::submit`] returns a [`Ticket`] per request;
+//!   [`Engine::solve_batch`] / [`Engine::process_lines`] collect tickets in
+//!   submission order, so batch output order always matches input order no
+//!   matter which worker finished first.
+
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use sched_core::{AffineCost, CandidateInterval, CandidatePolicy, Solver};
+
+use crate::protocol::{
+    parse_line, ErrorKind, SolveMetrics, SolveMode, SolveRequest, SolveResponse, WireError,
+    WireRequest, PROTOCOL_VERSION,
+};
+
+/// Sizing knobs for [`Engine::new`].
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Worker threads. `0` means "one per available core".
+    pub workers: usize,
+    /// Bounded request-queue depth. `0` means `2 × workers`.
+    pub queue_depth: usize,
+    /// Per-worker candidate-cache capacity (distinct
+    /// grid/cost/policy keys); the cache is cleared when full.
+    pub cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            queue_depth: 0,
+            cache_capacity: 64,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Config with an explicit worker count (other knobs defaulted).
+    pub fn with_workers(workers: usize) -> Self {
+        Self {
+            workers,
+            ..Self::default()
+        }
+    }
+
+    fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
+    }
+}
+
+/// Claim on one submitted request's response.
+pub struct Ticket {
+    rx: mpsc::Receiver<SolveResponse>,
+    id: u64,
+}
+
+impl Ticket {
+    /// Blocks until the engine answers. Never panics: a dead worker yields a
+    /// structured [`ErrorKind::Internal`] response.
+    pub fn wait(self) -> SolveResponse {
+        self.rx.recv().unwrap_or_else(|_| {
+            SolveResponse::failure(
+                self.id,
+                WireError::new(ErrorKind::Internal, "engine worker dropped the request"),
+            )
+        })
+    }
+}
+
+struct Job {
+    req: Box<SolveRequest>,
+    reply: mpsc::SyncSender<SolveResponse>,
+}
+
+/// The worker pool. Dropping the engine (or calling [`Engine::shutdown`])
+/// closes the queue and joins every worker after it drains in-flight work.
+pub struct Engine {
+    tx: Option<mpsc::SyncSender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+    workers: usize,
+}
+
+impl Engine {
+    /// Spawns the worker pool.
+    pub fn new(config: EngineConfig) -> Self {
+        let workers = config.resolved_workers();
+        let depth = if config.queue_depth > 0 {
+            config.queue_depth
+        } else {
+            workers * 2
+        };
+        let (tx, rx) = mpsc::sync_channel::<Job>(depth);
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers)
+            .map(|worker_id| {
+                let rx = Arc::clone(&rx);
+                let cache_capacity = config.cache_capacity.max(1);
+                std::thread::Builder::new()
+                    .name(format!("sched-engine-worker-{worker_id}"))
+                    .spawn(move || worker_loop(worker_id as u32, cache_capacity, &rx))
+                    .expect("spawn engine worker")
+            })
+            .collect();
+        Self {
+            tx: Some(tx),
+            handles,
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Enqueues one request, blocking while the bounded queue is full
+    /// (backpressure). The returned [`Ticket`] resolves to the response.
+    pub fn submit(&self, req: SolveRequest) -> Ticket {
+        let id = req.id;
+        let (reply, rx) = mpsc::sync_channel(1);
+        let job = Job {
+            req: Box::new(req),
+            reply,
+        };
+        self.tx
+            .as_ref()
+            .expect("engine queue open until drop")
+            .send(job)
+            .expect("engine workers alive until drop");
+        Ticket { rx, id }
+    }
+
+    /// Solves a batch concurrently; the output order matches the input
+    /// order.
+    pub fn solve_batch(
+        &self,
+        requests: impl IntoIterator<Item = SolveRequest>,
+    ) -> Vec<SolveResponse> {
+        // Submission interleaves with solving: the bounded queue blocks this
+        // thread whenever the pool is saturated.
+        let tickets: Vec<Ticket> = requests.into_iter().map(|r| self.submit(r)).collect();
+        tickets.into_iter().map(Ticket::wait).collect()
+    }
+
+    /// Processes raw JSONL lines: solve lines are dispatched to the pool,
+    /// malformed lines become structured [`ErrorKind::Parse`] failures, and
+    /// control lines are rejected (they only make sense on a server
+    /// connection). Blank lines are skipped. One response per non-blank
+    /// line, in input order.
+    pub fn process_lines<'l>(
+        &self,
+        lines: impl IntoIterator<Item = &'l str>,
+    ) -> Vec<SolveResponse> {
+        enum Pending {
+            Ready(Box<SolveResponse>),
+            InFlight(Ticket),
+        }
+        let pending: Vec<Pending> = lines
+            .into_iter()
+            .enumerate()
+            .filter(|(_, line)| !line.trim().is_empty())
+            .map(|(lineno, line)| match parse_line(line) {
+                Ok(WireRequest::Solve(req)) => Pending::InFlight(self.submit(*req)),
+                Ok(WireRequest::Control(ctl)) => Pending::Ready(Box::new(SolveResponse::failure(
+                    0,
+                    WireError::new(
+                        ErrorKind::BadRequest,
+                        format!(
+                            "control request '{}' is only valid on a serve connection",
+                            ctl.control
+                        ),
+                    ),
+                ))),
+                Err(mut e) => {
+                    e.message = format!("line {}: {}", lineno + 1, e.message);
+                    Pending::Ready(Box::new(SolveResponse::failure(0, e)))
+                }
+            })
+            .collect();
+        pending
+            .into_iter()
+            .map(|p| match p {
+                Pending::Ready(r) => *r,
+                Pending::InFlight(t) => t.wait(),
+            })
+            .collect()
+    }
+
+    /// Closes the queue and joins every worker (also performed on drop).
+    pub fn shutdown(self) {}
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.tx.take(); // close the queue: workers exit once drained
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Candidate-cache key: everything enumeration depends on. Note the job set
+/// is *not* part of the key — enumeration walks the processor × horizon
+/// grid only.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct CacheKey {
+    processors: u32,
+    horizon: u32,
+    restart_bits: u64,
+    rate_bits: u64,
+    policy: PolicyKey,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum PolicyKey {
+    All,
+    Single,
+    MaxLen(u32),
+}
+
+impl From<CandidatePolicy> for PolicyKey {
+    fn from(p: CandidatePolicy) -> Self {
+        match p {
+            CandidatePolicy::All => PolicyKey::All,
+            CandidatePolicy::SingleSlots => PolicyKey::Single,
+            CandidatePolicy::MaxLength(k) => PolicyKey::MaxLen(k),
+        }
+    }
+}
+
+type CandidateCache = HashMap<CacheKey, Arc<[CandidateInterval]>>;
+
+fn worker_loop(worker_id: u32, cache_capacity: usize, rx: &Mutex<mpsc::Receiver<Job>>) {
+    let mut cache = CandidateCache::new();
+    loop {
+        // Hold the lock only while dequeuing; solving runs unlocked so the
+        // pool processes requests concurrently.
+        let job = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => break, // a sibling worker panicked while dequeuing
+        };
+        match job {
+            Ok(job) => {
+                let response = serve_request(worker_id, cache_capacity, &mut cache, &job.req);
+                let _ = job.reply.send(response); // receiver may have hung up
+            }
+            Err(_) => break, // queue closed: engine is shutting down
+        }
+    }
+}
+
+/// What a validated request asks the solver to do.
+struct Plan {
+    policy: CandidatePolicy,
+    lazy: bool,
+    parallel: bool,
+    goal: Goal,
+}
+
+enum Goal {
+    All,
+    Prize { target: f64, epsilon: f64 },
+    PrizeExact { target: f64 },
+}
+
+fn plan(req: &SolveRequest) -> Result<Plan, WireError> {
+    if req.version != PROTOCOL_VERSION {
+        return Err(WireError::new(
+            ErrorKind::UnsupportedVersion,
+            format!(
+                "protocol version {} not supported (expected {PROTOCOL_VERSION})",
+                req.version
+            ),
+        ));
+    }
+    req.instance
+        .validate()
+        .map_err(|e| WireError::new(ErrorKind::InvalidInstance, e.to_string()))?;
+    // AffineCost::new asserts these; reject over the wire instead of
+    // letting a bad request panic (and kill) a worker thread.
+    if !(req.restart.is_finite() && req.rate.is_finite() && req.restart >= 0.0 && req.rate >= 0.0) {
+        return Err(WireError::new(
+            ErrorKind::BadRequest,
+            format!(
+                "restart/rate must be finite and non-negative (got {}, {})",
+                req.restart, req.rate
+            ),
+        ));
+    }
+    if req.restart + req.rate <= 0.0 {
+        return Err(WireError::new(
+            ErrorKind::BadRequest,
+            "restart and rate cannot both be zero: awake intervals must cost something",
+        ));
+    }
+    let policy = match &req.policy {
+        None => CandidatePolicy::All,
+        Some(s) => s
+            .parse()
+            .map_err(|e| WireError::new(ErrorKind::BadRequest, e))?,
+    };
+    let need_target = || {
+        req.target
+            .filter(|t| t.is_finite() && *t > 0.0)
+            .ok_or_else(|| {
+                WireError::new(
+                    ErrorKind::BadRequest,
+                    "prize-collecting modes require a finite positive `target`",
+                )
+            })
+    };
+    let goal = match req.mode {
+        SolveMode::ScheduleAll => Goal::All,
+        SolveMode::PrizeCollecting => {
+            let epsilon = req.epsilon.unwrap_or(0.1);
+            if !(epsilon > 0.0 && epsilon < 1.0) {
+                return Err(WireError::new(
+                    ErrorKind::BadRequest,
+                    format!("epsilon {epsilon} outside (0, 1)"),
+                ));
+            }
+            Goal::Prize {
+                target: need_target()?,
+                epsilon,
+            }
+        }
+        SolveMode::PrizeCollectingExact => Goal::PrizeExact {
+            target: need_target()?,
+        },
+    };
+    Ok(Plan {
+        policy,
+        lazy: req.lazy.unwrap_or(true),
+        parallel: req.parallel.unwrap_or(false),
+        goal,
+    })
+}
+
+fn serve_request(
+    worker_id: u32,
+    cache_capacity: usize,
+    cache: &mut CandidateCache,
+    req: &SolveRequest,
+) -> SolveResponse {
+    let plan = match plan(req) {
+        Ok(p) => p,
+        Err(e) => return SolveResponse::failure(req.id, e),
+    };
+
+    let key = CacheKey {
+        processors: req.instance.num_processors,
+        horizon: req.instance.horizon,
+        restart_bits: req.restart.to_bits(),
+        rate_bits: req.rate.to_bits(),
+        policy: plan.policy.into(),
+    };
+    let (family, cache_hit) = match cache.get(&key) {
+        Some(family) => (Arc::clone(family), true),
+        None => {
+            // plan() has vetted the parameters, so this cannot assert
+            let cost = AffineCost::new(req.restart, req.rate);
+            let family = Solver::new(&req.instance, &cost)
+                .policy(plan.policy)
+                .shared_candidates();
+            if cache.len() >= cache_capacity {
+                cache.clear(); // simplest bound; capacity is generous
+            }
+            cache.insert(key, Arc::clone(&family));
+            (family, false)
+        }
+    };
+
+    let solver = Solver::with_shared_candidates(&req.instance, Arc::clone(&family))
+        .lazy(plan.lazy)
+        .parallel(plan.parallel);
+    let t0 = Instant::now();
+    let outcome = match plan.goal {
+        Goal::All => solver.schedule_all(),
+        Goal::Prize { target, epsilon } => solver.prize_collecting(target, epsilon),
+        Goal::PrizeExact { target } => solver.prize_collecting_exact(target),
+    };
+    let solve_micros = t0.elapsed().as_micros() as u64;
+
+    match outcome {
+        Ok(schedule) => SolveResponse::success(
+            req.id,
+            schedule,
+            SolveMetrics {
+                solve_micros,
+                candidates: family.len() as u64,
+                worker: worker_id,
+                cache_hit,
+            },
+        ),
+        Err(e) => {
+            SolveResponse::failure(req.id, WireError::new(ErrorKind::Infeasible, e.to_string()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sched_core::{Instance, Job, SlotRef};
+
+    fn inst(t: u32) -> Instance {
+        Instance::new(
+            1,
+            t,
+            vec![
+                Job::unit(vec![SlotRef::new(0, 0)]),
+                Job::unit(vec![SlotRef::new(0, t - 1)]),
+            ],
+        )
+    }
+
+    #[test]
+    fn batch_preserves_input_order_and_matches_direct_solves() {
+        let engine = Engine::new(EngineConfig::with_workers(4));
+        let requests: Vec<SolveRequest> = (0..24)
+            .map(|i| SolveRequest::schedule_all(1000 + i, inst(4 + (i % 5) as u32), 10.0, 1.0))
+            .collect();
+        let responses = engine.solve_batch(requests.clone());
+        assert_eq!(responses.len(), 24);
+        for (req, resp) in requests.iter().zip(&responses) {
+            assert_eq!(resp.id, req.id, "order not preserved");
+            assert!(resp.ok, "unexpected failure: {:?}", resp.error);
+            let cost = AffineCost::new(req.restart, req.rate);
+            let direct = Solver::new(&req.instance, &cost).schedule_all().unwrap();
+            let got = resp.schedule.as_ref().unwrap();
+            assert_eq!(got.total_cost, direct.total_cost, "cost mismatch");
+        }
+    }
+
+    #[test]
+    fn candidate_cache_hits_across_requests_on_same_grid() {
+        let engine = Engine::new(EngineConfig::with_workers(1));
+        let reqs: Vec<SolveRequest> = (0..6)
+            .map(|i| SolveRequest::schedule_all(i, inst(6), 3.0, 1.0))
+            .collect();
+        let responses = engine.solve_batch(reqs);
+        let hits: Vec<bool> = responses
+            .iter()
+            .map(|r| r.metrics.unwrap().cache_hit)
+            .collect();
+        assert!(!hits[0], "first request must enumerate");
+        assert!(
+            hits[1..].iter().all(|&h| h),
+            "single worker must reuse the family: {hits:?}"
+        );
+    }
+
+    #[test]
+    fn structured_errors_for_bad_requests() {
+        let engine = Engine::new(EngineConfig::with_workers(2));
+
+        let mut wrong_version = SolveRequest::schedule_all(1, inst(4), 3.0, 1.0);
+        wrong_version.version = 99;
+        let mut missing_target = SolveRequest::schedule_all(2, inst(4), 3.0, 1.0);
+        missing_target.mode = SolveMode::PrizeCollecting;
+        let mut bad_policy = SolveRequest::schedule_all(3, inst(4), 3.0, 1.0);
+        bad_policy.policy = Some("bogus".into());
+        let mut bad_instance = SolveRequest::schedule_all(4, inst(4), 3.0, 1.0);
+        bad_instance.instance.jobs[0].allowed[0].time = 99;
+        let infeasible = SolveRequest::prize_collecting_exact(5, inst(4), 3.0, 1.0, 50.0);
+
+        let responses = engine.solve_batch(vec![
+            wrong_version,
+            missing_target,
+            bad_policy,
+            bad_instance,
+            infeasible,
+        ]);
+        let kinds: Vec<ErrorKind> = responses
+            .iter()
+            .map(|r| r.error.as_ref().expect("all must fail").kind)
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ErrorKind::UnsupportedVersion,
+                ErrorKind::BadRequest,
+                ErrorKind::BadRequest,
+                ErrorKind::InvalidInstance,
+                ErrorKind::Infeasible,
+            ]
+        );
+        assert!(responses.iter().all(|r| !r.ok));
+    }
+
+    #[test]
+    fn degenerate_cost_parameters_cannot_kill_workers() {
+        // Regression: restart=rate=0 (or NaN) used to trip AffineCost::new's
+        // assert inside a worker thread, killing it permanently.
+        let engine = Engine::new(EngineConfig::with_workers(1));
+        let mut zero = SolveRequest::schedule_all(1, inst(4), 0.0, 0.0);
+        zero.rate = 0.0;
+        let mut nan = SolveRequest::schedule_all(2, inst(4), f64::NAN, 1.0);
+        nan.restart = f64::NAN;
+        let mut negative = SolveRequest::schedule_all(3, inst(4), -1.0, 1.0);
+        negative.restart = -1.0;
+        let fine = SolveRequest::schedule_all(4, inst(4), 3.0, 1.0);
+
+        let responses = engine.solve_batch(vec![zero, nan, negative, fine]);
+        for r in &responses[..3] {
+            assert_eq!(r.error.as_ref().unwrap().kind, ErrorKind::BadRequest);
+        }
+        // the single worker survived the bad requests and still solves
+        assert!(responses[3].ok, "{:?}", responses[3].error);
+    }
+
+    #[test]
+    fn process_lines_interleaves_parse_errors_in_order() {
+        let engine = Engine::new(EngineConfig::with_workers(2));
+        let good =
+            serde_json::to_string(&SolveRequest::schedule_all(7, inst(4), 3.0, 1.0)).unwrap();
+        let lines = [
+            good.as_str(),
+            "{\"truncated\":",
+            "",
+            good.as_str(),
+            "{\"version\":1,\"control\":\"shutdown\"}",
+        ];
+        let responses = engine.process_lines(lines);
+        assert_eq!(responses.len(), 4); // blank line skipped
+        assert!(responses[0].ok);
+        assert_eq!(responses[1].error.as_ref().unwrap().kind, ErrorKind::Parse);
+        assert!(responses[1]
+            .error
+            .as_ref()
+            .unwrap()
+            .message
+            .contains("line 2"));
+        assert!(responses[2].ok);
+        assert_eq!(
+            responses[3].error.as_ref().unwrap().kind,
+            ErrorKind::BadRequest
+        );
+    }
+
+    #[test]
+    fn all_three_modes_solve_through_the_pool() {
+        let engine = Engine::new(EngineConfig::with_workers(3));
+        let instance = Instance::new(
+            1,
+            4,
+            vec![Job::window(2.0, 0, 0, 2), Job::window(3.0, 0, 2, 4)],
+        );
+        let responses = engine.solve_batch(vec![
+            SolveRequest::schedule_all(1, instance.clone(), 1.0, 1.0),
+            SolveRequest::prize_collecting(2, instance.clone(), 1.0, 1.0, 3.0, Some(0.25)),
+            SolveRequest::prize_collecting_exact(3, instance.clone(), 1.0, 1.0, 5.0),
+        ]);
+        assert!(responses.iter().all(|r| r.ok), "{responses:?}");
+        assert!(responses[1].schedule.as_ref().unwrap().scheduled_value >= 0.75 * 3.0 - 1e-9);
+        assert!(responses[2].schedule.as_ref().unwrap().scheduled_value >= 5.0 - 1e-9);
+    }
+
+    #[test]
+    fn tiny_queue_applies_backpressure_without_deadlock() {
+        let engine = Engine::new(EngineConfig {
+            workers: 2,
+            queue_depth: 1,
+            cache_capacity: 4,
+        });
+        let responses = engine.solve_batch(
+            (0..40).map(|i| SolveRequest::schedule_all(i, inst(3 + (i % 4) as u32), 2.0, 1.0)),
+        );
+        assert_eq!(responses.len(), 40);
+        assert!(responses.iter().all(|r| r.ok));
+        let ids: Vec<u64> = responses.iter().map(|r| r.id).collect();
+        assert_eq!(ids, (0..40).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,70 @@
+//! # sched-engine — a sharded, multi-threaded batch-solving engine
+//!
+//! `sched-core` solves one instance per call. This crate turns that library
+//! into a *service*: a long-lived [`Engine`] that accepts a stream of
+//! [`SolveRequest`]s, shards them across a fixed pool of worker threads,
+//! reuses enumerated candidate families across requests, and reports
+//! per-request [`SolveMetrics`]. It backs the `power-sched batch` and
+//! `power-sched serve` CLI modes.
+//!
+//! ```text
+//!                     ┌──────────────────────────────────────────────┐
+//!   JSONL lines ──►   │                 Engine                       │
+//!   (file, stdin,     │  bounded queue ──┬── worker 0 ── Solver +    │
+//!    TCP socket)      │  (backpressure)  ├── worker 1    candidate   │
+//!                     │                  └── worker N    cache (Arc) │
+//!                     └──────────────┬───────────────────────────────┘
+//!   JSONL responses ◄── tickets, resolved in submission order
+//! ```
+//!
+//! ## Wire protocol (JSONL, versioned)
+//!
+//! One JSON object per line; one response line per request line, in request
+//! order — see [`protocol`] for the schema and [`PROTOCOL_VERSION`] for
+//! versioning. A minimal request:
+//!
+//! ```json
+//! {"version":1,"id":1,"mode":"ScheduleAll",
+//!  "instance":{"num_processors":1,"horizon":4,
+//!              "jobs":[{"value":1,"allowed":[{"proc":0,"time":0}]}]},
+//!  "restart":3,"rate":1}
+//! ```
+//!
+//! ## In-process use
+//!
+//! ```
+//! use sched_core::{Instance, Job, SlotRef};
+//! use sched_engine::{Engine, EngineConfig, SolveRequest};
+//!
+//! let engine = Engine::new(EngineConfig::with_workers(2));
+//! let inst = Instance::new(1, 4, vec![Job::unit(vec![SlotRef::new(0, 0)])]);
+//! let responses = engine.solve_batch(vec![
+//!     SolveRequest::schedule_all(1, inst, 10.0, 1.0),
+//! ]);
+//! assert!(responses[0].ok);
+//! assert_eq!(responses[0].schedule.as_ref().unwrap().scheduled_count, 1);
+//! ```
+//!
+//! ## Guarantees
+//!
+//! * **Determinism** — worker scheduling never affects results: each request
+//!   is solved by one worker with the same deterministic greedy the library
+//!   exposes, so batch output is bit-identical to sequential [`Solver`]
+//!   calls (asserted by integration tests).
+//! * **Order** — [`Engine::solve_batch`] and the server's per-connection
+//!   writer resolve tickets in submission order.
+//! * **Backpressure** — the request queue is bounded; producers block
+//!   instead of buffering unboundedly.
+//!
+//! [`Solver`]: sched_core::Solver
+
+pub mod engine;
+pub mod protocol;
+pub mod server;
+
+pub use engine::{Engine, EngineConfig, Ticket};
+pub use protocol::{
+    parse_line, ControlRequest, ErrorKind, SolveMetrics, SolveMode, SolveRequest, SolveResponse,
+    WireError, WireRequest, PROTOCOL_VERSION,
+};
+pub use server::serve;

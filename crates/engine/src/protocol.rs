@@ -1,0 +1,346 @@
+//! The JSONL wire protocol: one JSON object per line, one response line per
+//! request line, in request order.
+//!
+//! Two request shapes share a connection or batch file:
+//!
+//! * **solve requests** ([`SolveRequest`]) name a protocol `version`, a
+//!   caller-chosen `id` (echoed back), a [`SolveMode`], the [`Instance`],
+//!   and the affine cost parameters `restart`/`rate`. Optional fields —
+//!   `policy` (`"all"` | `"single"` | `"maxlen:K"`), `target`/`epsilon` for
+//!   the prize-collecting modes, `lazy`/`parallel` solver toggles — may be
+//!   omitted entirely;
+//! * **control requests** ([`ControlRequest`]) carry a `control` verb:
+//!   `"ping"` (liveness probe) or `"shutdown"` (drain and stop a server).
+//!
+//! Every response is a [`SolveResponse`]: `ok` plus either a [`Schedule`]
+//! and [`SolveMetrics`], or a structured [`WireError`] (`kind` + `message`).
+//! Control requests are acknowledged with a schedule-less `ok` response
+//! whose id echoes nothing (`0`).
+//!
+//! The protocol is versioned via [`PROTOCOL_VERSION`]; requests with an
+//! unknown version are rejected with [`ErrorKind::UnsupportedVersion`]
+//! rather than misinterpreted.
+
+use sched_core::{Instance, Schedule};
+use serde::{Deserialize, Serialize};
+
+/// Version stamped on every request and response. Bump on any incompatible
+/// change to the wire structs.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Which solver goal method a request invokes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SolveMode {
+    /// Theorem 2.2.1: schedule every job.
+    ScheduleAll,
+    /// Theorem 2.3.1: schedule value `≥ (1−epsilon)·target`.
+    PrizeCollecting,
+    /// Theorem 2.3.3: schedule value `≥ target` exactly.
+    PrizeCollectingExact,
+}
+
+/// One solve request line.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SolveRequest {
+    /// Protocol version; must equal [`PROTOCOL_VERSION`].
+    pub version: u32,
+    /// Caller-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// Solver goal method.
+    pub mode: SolveMode,
+    /// The scheduling instance (validated engine-side before solving).
+    pub instance: Instance,
+    /// Affine cost: fixed wake-up cost `α`.
+    pub restart: f64,
+    /// Affine cost: energy per awake slot.
+    pub rate: f64,
+    /// Candidate policy (`"all"` | `"single"` | `"maxlen:K"`); `None` = all.
+    pub policy: Option<String>,
+    /// Target value `Z` — required by the prize-collecting modes.
+    pub target: Option<f64>,
+    /// `ε ∈ (0, 1)` for [`SolveMode::PrizeCollecting`]; default `0.1`.
+    pub epsilon: Option<f64>,
+    /// Lazy-greedy toggle; `None` = solver default (on).
+    pub lazy: Option<bool>,
+    /// Parallel full-scan toggle; `None` = solver default (off).
+    pub parallel: Option<bool>,
+}
+
+impl SolveRequest {
+    /// A [`SolveMode::ScheduleAll`] request with every optional field unset.
+    pub fn schedule_all(id: u64, instance: Instance, restart: f64, rate: f64) -> Self {
+        Self {
+            version: PROTOCOL_VERSION,
+            id,
+            mode: SolveMode::ScheduleAll,
+            instance,
+            restart,
+            rate,
+            policy: None,
+            target: None,
+            epsilon: None,
+            lazy: None,
+            parallel: None,
+        }
+    }
+
+    /// A [`SolveMode::PrizeCollecting`] request (`epsilon` defaults to 0.1
+    /// engine-side when `None`).
+    pub fn prize_collecting(
+        id: u64,
+        instance: Instance,
+        restart: f64,
+        rate: f64,
+        target: f64,
+        epsilon: Option<f64>,
+    ) -> Self {
+        Self {
+            mode: SolveMode::PrizeCollecting,
+            target: Some(target),
+            epsilon,
+            ..Self::schedule_all(id, instance, restart, rate)
+        }
+    }
+
+    /// A [`SolveMode::PrizeCollectingExact`] request.
+    pub fn prize_collecting_exact(
+        id: u64,
+        instance: Instance,
+        restart: f64,
+        rate: f64,
+        target: f64,
+    ) -> Self {
+        Self {
+            mode: SolveMode::PrizeCollectingExact,
+            target: Some(target),
+            ..Self::schedule_all(id, instance, restart, rate)
+        }
+    }
+}
+
+/// One control request line (server-level verbs).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ControlRequest {
+    /// Protocol version; must equal [`PROTOCOL_VERSION`].
+    pub version: u32,
+    /// `"ping"` or `"shutdown"`.
+    pub control: String,
+}
+
+/// Machine-readable failure category of a [`WireError`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorKind {
+    /// The line was not a well-formed request object.
+    Parse,
+    /// The request's protocol version is not supported.
+    UnsupportedVersion,
+    /// The request is well-formed but semantically invalid (bad policy,
+    /// missing target, ε out of range, unknown control verb, …).
+    BadRequest,
+    /// The instance failed [`Instance::validate`].
+    InvalidInstance,
+    /// The solver proved the request infeasible (or the target exceeds the
+    /// total instance value).
+    Infeasible,
+    /// The engine could not complete the request (worker failure).
+    Internal,
+}
+
+/// Structured error carried by failed responses.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WireError {
+    /// Failure category.
+    pub kind: ErrorKind,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl WireError {
+    /// Convenience constructor.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> Self {
+        Self {
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}: {}", self.kind, self.message)
+    }
+}
+
+/// Per-request engine measurements, reported on success.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SolveMetrics {
+    /// Wall-clock time of the solve call itself, microseconds.
+    pub solve_micros: u64,
+    /// Candidate intervals the solver optimized over.
+    pub candidates: u64,
+    /// Worker index that served the request.
+    pub worker: u32,
+    /// Whether the candidate family came from the worker's cross-request
+    /// cache (enumeration skipped).
+    pub cache_hit: bool,
+}
+
+/// One response line.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SolveResponse {
+    /// Protocol version of the responder.
+    pub version: u32,
+    /// Echo of the request id (`0` for control acks and unparseable lines).
+    pub id: u64,
+    /// Whether the request was served.
+    pub ok: bool,
+    /// The computed schedule, on success.
+    pub schedule: Option<Schedule>,
+    /// The failure, when `ok` is false.
+    pub error: Option<WireError>,
+    /// Engine measurements, on success.
+    pub metrics: Option<SolveMetrics>,
+}
+
+impl SolveResponse {
+    /// Successful response.
+    pub fn success(id: u64, schedule: Schedule, metrics: SolveMetrics) -> Self {
+        Self {
+            version: PROTOCOL_VERSION,
+            id,
+            ok: true,
+            schedule: Some(schedule),
+            error: None,
+            metrics: Some(metrics),
+        }
+    }
+
+    /// Failed response.
+    pub fn failure(id: u64, error: WireError) -> Self {
+        Self {
+            version: PROTOCOL_VERSION,
+            id,
+            ok: false,
+            schedule: None,
+            error: Some(error),
+            metrics: None,
+        }
+    }
+
+    /// Acknowledgement of a control request.
+    pub fn control_ack() -> Self {
+        Self {
+            version: PROTOCOL_VERSION,
+            id: 0,
+            ok: true,
+            schedule: None,
+            error: None,
+            metrics: None,
+        }
+    }
+}
+
+/// A parsed request line: solve work or a control verb.
+#[derive(Clone, Debug)]
+pub enum WireRequest {
+    /// A solve request (boxed: the instance dominates the size).
+    Solve(Box<SolveRequest>),
+    /// A control request.
+    Control(ControlRequest),
+}
+
+/// Parses one JSONL line into a [`WireRequest`].
+///
+/// Control objects are recognized first (they carry a `control` key a solve
+/// request never has); anything else must parse as a [`SolveRequest`]. A
+/// control request from an unknown protocol version is rejected here with
+/// [`ErrorKind::UnsupportedVersion`] — its verb must never be acted on.
+/// (Solve requests get the same version check engine-side, before solving.)
+/// Otherwise the returned error is [`ErrorKind::Parse`] with the
+/// solve-parse detail.
+pub fn parse_line(line: &str) -> Result<WireRequest, WireError> {
+    if let Ok(ctl) = serde_json::from_str::<ControlRequest>(line) {
+        if ctl.version != PROTOCOL_VERSION {
+            return Err(WireError::new(
+                ErrorKind::UnsupportedVersion,
+                format!(
+                    "control protocol version {} not supported (expected {PROTOCOL_VERSION})",
+                    ctl.version
+                ),
+            ));
+        }
+        return Ok(WireRequest::Control(ctl));
+    }
+    match serde_json::from_str::<SolveRequest>(line) {
+        Ok(req) => Ok(WireRequest::Solve(Box::new(req))),
+        Err(e) => Err(WireError::new(
+            ErrorKind::Parse,
+            format!("malformed request line: {e}"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sched_core::{Job, SlotRef};
+
+    fn tiny() -> Instance {
+        Instance::new(1, 4, vec![Job::unit(vec![SlotRef::new(0, 1)])])
+    }
+
+    #[test]
+    fn request_round_trips_through_json() {
+        let req = SolveRequest::prize_collecting(42, tiny(), 3.0, 1.0, 1.0, Some(0.25));
+        let json = serde_json::to_string(&req).unwrap();
+        let back: SolveRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.id, 42);
+        assert_eq!(back.mode, SolveMode::PrizeCollecting);
+        assert_eq!(back.target, Some(1.0));
+        assert_eq!(back.epsilon, Some(0.25));
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+
+    #[test]
+    fn optional_fields_may_be_omitted() {
+        let line = r#"{"version":1,"id":7,"mode":"ScheduleAll","instance":{"num_processors":1,"horizon":2,"jobs":[{"value":1,"allowed":[{"proc":0,"time":0}]}]},"restart":3,"rate":1}"#;
+        let req = match parse_line(line).unwrap() {
+            WireRequest::Solve(r) => r,
+            other => panic!("expected solve, got {other:?}"),
+        };
+        assert_eq!(req.id, 7);
+        assert!(req.policy.is_none() && req.target.is_none() && req.lazy.is_none());
+    }
+
+    #[test]
+    fn control_lines_are_recognized_first() {
+        match parse_line(r#"{"version":1,"control":"shutdown"}"#).unwrap() {
+            WireRequest::Control(c) => assert_eq!(c.control, "shutdown"),
+            other => panic!("expected control, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn version_mismatched_control_is_rejected_not_acted_on() {
+        let err = parse_line(r#"{"version":99,"control":"shutdown"}"#).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::UnsupportedVersion);
+    }
+
+    #[test]
+    fn malformed_lines_yield_parse_errors() {
+        let err = parse_line("{\"version\":1,").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Parse);
+        let err = parse_line("not json at all").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Parse);
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let resp = SolveResponse::failure(9, WireError::new(ErrorKind::BadRequest, "nope"));
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: SolveResponse = serde_json::from_str(&json).unwrap();
+        assert!(!back.ok);
+        assert_eq!(back.error.as_ref().unwrap().kind, ErrorKind::BadRequest);
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+}

@@ -1,0 +1,166 @@
+//! A `std::net` TCP server speaking the JSONL wire protocol.
+//!
+//! One OS thread per connection pair: a **reader** parses request lines and
+//! submits them to the shared [`Engine`] (the bounded queue makes a
+//! saturated pool push back on the socket), while the connection's **writer**
+//! resolves tickets *in request order* and streams response lines back. That
+//! keeps each connection pipelined — a client may write its whole batch
+//! before reading anything — without ever reordering its responses.
+//!
+//! Control verbs: `{"version":1,"control":"ping"}` is acknowledged in-line;
+//! `"shutdown"` acknowledges, then stops the accept loop and lets in-flight
+//! connections drain before [`serve`] returns (graceful shutdown).
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+
+use crate::engine::{Engine, EngineConfig, Ticket};
+use crate::protocol::{parse_line, ErrorKind, SolveResponse, WireError, WireRequest};
+
+/// Runs the serve loop on an already-bound listener until a client sends a
+/// `shutdown` control request. Returns once every accepted connection has
+/// been drained and the engine's workers have been joined. Connections that
+/// are idle at shutdown time have their read side cut (already-submitted
+/// work still gets its responses), so one parked client cannot keep the
+/// process alive.
+pub fn serve(listener: TcpListener, config: EngineConfig) -> std::io::Result<()> {
+    let local = listener.local_addr()?;
+    let engine = Arc::new(Engine::new(config));
+    let shutdown = Arc::new(AtomicBool::new(false));
+    // Read-halves of *live* connections keyed by id, for unblocking parked
+    // readers at shutdown. Each handler removes its own entry when it ends,
+    // so a long-lived server does not leak one duplicated fd per served
+    // connection.
+    let streams: Arc<Mutex<Vec<(u64, TcpStream)>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut connections = Vec::new();
+    let mut next_conn_id = 0u64;
+    let mut consecutive_accept_errors = 0u32;
+
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break; // the wake-up connection (or a late client) ends accept
+        }
+        let stream = match stream {
+            Ok(s) => {
+                consecutive_accept_errors = 0;
+                s
+            }
+            Err(e) => {
+                // Transient accept failures (EMFILE, aborted handshakes)
+                // must not kill the server; back off briefly and retry. A
+                // persistently failing listener is fatal after ~2 s.
+                consecutive_accept_errors += 1;
+                if consecutive_accept_errors > 100 {
+                    return Err(e);
+                }
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                continue;
+            }
+        };
+        let conn_id = next_conn_id;
+        next_conn_id += 1;
+        if let (Ok(clone), Ok(mut registry)) = (stream.try_clone(), streams.lock()) {
+            registry.push((conn_id, clone));
+        } // a clone failure only costs shutdown-unparking for this conn
+        let engine = Arc::clone(&engine);
+        let shutdown = Arc::clone(&shutdown);
+        let streams = Arc::clone(&streams);
+        connections.push(std::thread::spawn(move || {
+            // Connection errors (resets, half-closed sockets) only end that
+            // connection; the server keeps serving others.
+            let _ = handle_connection(stream, &engine, &shutdown, local);
+            if let Ok(mut registry) = streams.lock() {
+                registry.retain(|(id, _)| *id != conn_id);
+            }
+        }));
+    }
+
+    // Unpark readers blocked on idle sockets; their writers then drain any
+    // in-flight responses and the connection threads end.
+    if let Ok(registry) = streams.lock() {
+        for (_, s) in registry.iter() {
+            let _ = s.shutdown(Shutdown::Read);
+        }
+    }
+    for conn in connections {
+        let _ = conn.join();
+    }
+    Ok(())
+}
+
+/// Outcome of parsing one line on a connection, in arrival order.
+enum Pending {
+    /// Response already known (parse error, control ack).
+    Ready(Box<SolveResponse>),
+    /// Solve dispatched to the engine.
+    InFlight(Ticket),
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    engine: &Engine,
+    shutdown: &AtomicBool,
+    local: SocketAddr,
+) -> std::io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    // Bounded: when a pipelining client stops reading responses, the writer
+    // stalls on the socket, this queue fills, the reader blocks here and
+    // stops consuming requests — backpressure reaches the client's send
+    // buffer instead of responses piling up in server memory.
+    let (tx, rx) = mpsc::sync_channel::<Pending>(64);
+
+    std::thread::scope(|scope| {
+        scope.spawn(move || {
+            for line in reader.lines() {
+                let Ok(line) = line else { break };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let mut stop = false;
+                let pending = match parse_line(&line) {
+                    Ok(WireRequest::Solve(req)) => Pending::InFlight(engine.submit(*req)),
+                    Ok(WireRequest::Control(ctl)) => match ctl.control.as_str() {
+                        "ping" => Pending::Ready(Box::new(SolveResponse::control_ack())),
+                        "shutdown" => {
+                            shutdown.store(true, Ordering::SeqCst);
+                            // Wake the accept loop so it observes the flag.
+                            let _ = TcpStream::connect(local);
+                            stop = true;
+                            Pending::Ready(Box::new(SolveResponse::control_ack()))
+                        }
+                        other => Pending::Ready(Box::new(SolveResponse::failure(
+                            0,
+                            WireError::new(
+                                ErrorKind::BadRequest,
+                                format!("unknown control verb '{other}'"),
+                            ),
+                        ))),
+                    },
+                    Err(e) => Pending::Ready(Box::new(SolveResponse::failure(0, e))),
+                };
+                if tx.send(pending).is_err() {
+                    break; // writer gone (client stopped reading)
+                }
+                if stop {
+                    break; // no requests are read after a shutdown verb
+                }
+            }
+            // tx drops here: the writer drains what remains, then ends.
+        });
+
+        for pending in rx {
+            let response = match pending {
+                Pending::Ready(r) => *r,
+                Pending::InFlight(ticket) => ticket.wait(),
+            };
+            let line = serde_json::to_string(&response)
+                .unwrap_or_else(|e| format!("{{\"version\":1,\"id\":0,\"ok\":false,\"error\":{{\"kind\":\"Internal\",\"message\":\"serialize: {e}\"}}}}"));
+            writeln!(writer, "{line}")?;
+            writer.flush()?;
+        }
+        Ok(())
+    })
+}

@@ -1,0 +1,152 @@
+//! Property-based round-trip tests for the JSONL wire protocol: random
+//! `SolveRequest`s and `SolveResponse`s must survive
+//! serialize → parse → serialize with byte-identical JSON (the stub
+//! serializer is deterministic, so string equality is the strongest
+//! round-trip check available without `PartialEq` on every wire struct).
+
+use proptest::prelude::*;
+use sched_core::{CandidateInterval, Instance, Job, Schedule, SlotRef};
+use sched_engine::protocol::{
+    parse_line, ErrorKind, SolveMetrics, SolveMode, SolveRequest, SolveResponse, WireError,
+    WireRequest, PROTOCOL_VERSION,
+};
+
+/// Strategy: a structurally valid instance on a random grid (slots in range
+/// by construction; protocol round-trips do not require feasibility).
+fn instance_strategy() -> impl Strategy<Value = Instance> {
+    (1u32..4, 2u32..9).prop_flat_map(|(p, t)| {
+        let jobs = proptest::collection::vec(
+            (1u32..8, proptest::collection::vec((0..p, 0..t), 0..6)),
+            0..5,
+        );
+        (Just(p), Just(t), jobs).prop_map(|(p, t, jobs)| Instance {
+            num_processors: p,
+            horizon: t,
+            jobs: jobs
+                .into_iter()
+                .map(|(v, slots)| Job {
+                    value: f64::from(v) * 0.5,
+                    allowed: slots
+                        .into_iter()
+                        .map(|(proc, time)| SlotRef { proc, time })
+                        .collect(),
+                })
+                .collect(),
+        })
+    })
+}
+
+fn request_strategy() -> impl Strategy<Value = SolveRequest> {
+    (
+        instance_strategy(),
+        (0u64..10_000, 0u32..3, 1u32..20, 0u32..4),
+        (
+            any::<bool>(),
+            any::<bool>(),
+            any::<bool>(),
+            1u32..10,
+            1u32..9,
+        ),
+    )
+        .prop_map(
+            |(instance, (id, mode, restart, policy), (set_opts, lazy, parallel, target, eps))| {
+                let mode = match mode {
+                    0 => SolveMode::ScheduleAll,
+                    1 => SolveMode::PrizeCollecting,
+                    _ => SolveMode::PrizeCollectingExact,
+                };
+                SolveRequest {
+                    version: PROTOCOL_VERSION,
+                    id,
+                    mode,
+                    instance,
+                    restart: f64::from(restart),
+                    rate: 1.0,
+                    policy: match policy {
+                        0 => None,
+                        1 => Some("all".into()),
+                        2 => Some("single".into()),
+                        _ => Some("maxlen:3".into()),
+                    },
+                    target: (mode != SolveMode::ScheduleAll).then(|| f64::from(target) * 0.5),
+                    epsilon: (mode == SolveMode::PrizeCollecting).then(|| f64::from(eps) / 10.0),
+                    lazy: set_opts.then_some(lazy),
+                    parallel: set_opts.then_some(parallel),
+                }
+            },
+        )
+}
+
+fn schedule_strategy() -> impl Strategy<Value = Schedule> {
+    (
+        proptest::collection::vec((0u32..3, 0u32..5, 1u32..5, 1u32..30), 0..4),
+        proptest::collection::vec((any::<bool>(), 0u32..3, 0u32..9), 0..5),
+    )
+        .prop_map(|(awake, assignments)| {
+            let awake: Vec<CandidateInterval> = awake
+                .into_iter()
+                .map(|(proc, start, len, cost)| CandidateInterval {
+                    proc,
+                    start,
+                    end: start + len,
+                    cost: f64::from(cost) * 0.25,
+                })
+                .collect();
+            let total_cost = awake.iter().map(|iv| iv.cost).sum();
+            let assignments: Vec<Option<SlotRef>> = assignments
+                .into_iter()
+                .map(|(some, proc, time)| some.then_some(SlotRef { proc, time }))
+                .collect();
+            let scheduled_count = assignments.iter().flatten().count();
+            Schedule {
+                awake,
+                assignments,
+                total_cost,
+                scheduled_value: scheduled_count as f64,
+                scheduled_count,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn solve_request_round_trips(req in request_strategy()) {
+        let json = serde_json::to_string(&req).unwrap();
+        let back: SolveRequest = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(serde_json::to_string(&back).unwrap(), json);
+        // and the line parser agrees it is a solve request
+        match parse_line(&json) {
+            Ok(WireRequest::Solve(parsed)) => {
+                prop_assert_eq!(parsed.id, req.id);
+                prop_assert_eq!(parsed.mode, req.mode);
+            }
+            other => return Err(TestCaseError::fail(format!("expected solve, got {other:?}"))),
+        }
+    }
+
+    #[test]
+    fn solve_response_round_trips(
+        schedule in schedule_strategy(),
+        id in 0u64..10_000,
+        ok in any::<bool>(),
+        (micros, cands, worker, hit) in (0u64..1_000_000, 0u64..5_000, 0u32..8, any::<bool>()),
+    ) {
+        let resp = if ok {
+            SolveResponse::success(id, schedule, SolveMetrics {
+                solve_micros: micros,
+                candidates: cands,
+                worker,
+                cache_hit: hit,
+            })
+        } else {
+            SolveResponse::failure(id, WireError::new(ErrorKind::Infeasible, "nope"))
+        };
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: SolveResponse = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(serde_json::to_string(&back).unwrap(), json);
+        prop_assert_eq!(back.ok, resp.ok);
+        prop_assert_eq!(back.id, resp.id);
+    }
+}

@@ -4,19 +4,28 @@
 //! power-sched generate --seed 7 --processors 2 --horizon 16 --jobs 12 --out inst.json
 //! power-sched solve inst.json --restart 3 --rate 1 [--target 25.5] [--out sched.json]
 //! power-sched validate inst.json sched.json
+//! power-sched batch requests.jsonl [--workers N] [--out responses.jsonl]
+//! power-sched batch requests.jsonl --connect HOST:PORT [--shutdown]
+//! power-sched serve --addr 127.0.0.1:7171 [--workers N]
 //! ```
 //!
 //! Instances and schedules are serialized with serde as plain JSON, so they
-//! round-trip through scripts and other tooling. The solver uses the affine
-//! cost model from the CLI flags; richer cost models are a library-level
-//! concern (they are closures/oracles, not data).
+//! round-trip through scripts and other tooling. `batch` and `serve` speak
+//! the versioned JSONL wire protocol of the `sched-engine` crate: one
+//! request object per line, one response line per request, in input order.
+//! `batch --connect` turns the same subcommand into a TCP client, which is
+//! how scripts drive (and gracefully shut down, via `--shutdown`) a running
+//! `serve` instance.
 
+use power_scheduling::engine::{serve, Engine, EngineConfig};
 use power_scheduling::prelude::*;
 use power_scheduling::scheduling::model::validate_schedule;
 use power_scheduling::scheduling::simulate::simulate;
 use power_scheduling::workloads::planted::PlantedCostModel;
 use power_scheduling::workloads::{planted_instance, PlantedConfig};
 use rand::SeedableRng;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{TcpListener, TcpStream};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -25,12 +34,17 @@ fn main() -> ExitCode {
         Some("generate") => cmd_generate(&args[1..]),
         Some("solve") => cmd_solve(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
+        Some("batch") => cmd_batch(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         _ => {
             eprintln!(
-                "usage: power-sched <generate|solve|validate> ...\n\
+                "usage: power-sched <generate|solve|validate|batch|serve> ...\n\
                  \n  generate --seed S --processors P --horizon T --jobs N [--values V] --out FILE\
                  \n  solve INSTANCE.json [--restart A] [--rate R] [--target Z] [--policy all|single|maxlen:K] [--out FILE]\
-                 \n  validate INSTANCE.json SCHEDULE.json"
+                 \n  validate INSTANCE.json SCHEDULE.json\
+                 \n  batch [REQUESTS.jsonl|-] [--workers N] [--queue D] [--out FILE]\
+                 \n  batch [REQUESTS.jsonl|-] --connect HOST:PORT [--shutdown] [--out FILE]\
+                 \n  serve --addr HOST:PORT [--workers N] [--queue D]"
             );
             return ExitCode::from(2);
         }
@@ -89,33 +103,27 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn parse_policy(s: &str) -> Result<CandidatePolicy, String> {
-    match s {
-        "all" => Ok(CandidatePolicy::All),
-        "single" => Ok(CandidatePolicy::SingleSlots),
-        other => match other.strip_prefix("maxlen:") {
-            Some(k) => Ok(CandidatePolicy::MaxLength(
-                k.parse().map_err(|e| format!("bad maxlen: {e}"))?,
-            )),
-            None => Err(format!("unknown policy '{other}'")),
-        },
-    }
-}
-
 fn cmd_solve(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("missing INSTANCE.json")?;
     let restart: f64 =
         flag(args, "--restart").map_or(Ok(3.0), |v| v.parse().map_err(|e| format!("{e}")))?;
     let rate: f64 =
         flag(args, "--rate").map_or(Ok(1.0), |v| v.parse().map_err(|e| format!("{e}")))?;
-    let policy = parse_policy(&flag(args, "--policy").unwrap_or_else(|| "all".into()))?;
+    let policy: CandidatePolicy = flag(args, "--policy")
+        .unwrap_or_else(|| "all".into())
+        .parse()?;
     let target: Option<f64> = match flag(args, "--target") {
         Some(v) => Some(v.parse().map_err(|e| format!("{e}"))?),
         None => None,
     };
 
     let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
-    let inst: Instance = serde_json::from_str(&text).map_err(|e| e.to_string())?;
+    let inst: Instance =
+        serde_json::from_str(&text).map_err(|e| format!("{path} is not a valid instance: {e}"))?;
+    // Deserialization builds the struct without running Instance::new's
+    // checks; validate before the solver indexes slots by id.
+    inst.validate()
+        .map_err(|e| format!("{path} is not a valid instance: {e}"))?;
     let cost = AffineCost::new(restart, rate);
     let solver = Solver::new(&inst, &cost).policy(policy);
 
@@ -143,6 +151,153 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Reads the JSONL request text: a file path, or stdin for `-`/no operand.
+fn read_requests(args: &[String]) -> Result<String, String> {
+    match args.first().map(String::as_str) {
+        None | Some("-") => {
+            let mut text = String::new();
+            std::io::stdin()
+                .read_to_string(&mut text)
+                .map_err(|e| format!("reading stdin: {e}"))?;
+            Ok(text)
+        }
+        Some(path) if path.starts_with("--") => Err(format!(
+            "batch expects the requests file before flags, found '{path}'"
+        )),
+        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}")),
+    }
+}
+
+/// Writes response lines to `--out FILE`, or stdout for `-`/no flag.
+fn write_responses(args: &[String], lines: &[String]) -> Result<(), String> {
+    let body = if lines.is_empty() {
+        String::new()
+    } else {
+        format!("{}\n", lines.join("\n"))
+    };
+    match flag(args, "--out") {
+        None => {
+            print!("{body}");
+            Ok(())
+        }
+        Some(ref out) if out == "-" => {
+            print!("{body}");
+            Ok(())
+        }
+        Some(out) => {
+            std::fs::write(&out, body).map_err(|e| format!("writing {out}: {e}"))?;
+            eprintln!("wrote {} responses to {out}", lines.len());
+            Ok(())
+        }
+    }
+}
+
+fn engine_config(args: &[String]) -> Result<EngineConfig, String> {
+    let mut cfg = EngineConfig::default();
+    if let Some(w) = flag(args, "--workers") {
+        cfg.workers = w.parse().map_err(|e| format!("bad --workers: {e}"))?;
+    }
+    if let Some(q) = flag(args, "--queue") {
+        cfg.queue_depth = q.parse().map_err(|e| format!("bad --queue: {e}"))?;
+    }
+    Ok(cfg)
+}
+
+fn cmd_batch(args: &[String]) -> Result<(), String> {
+    let text = read_requests(args)?;
+    let out_lines = match flag(args, "--connect") {
+        Some(addr) => batch_over_tcp(&text, &addr, args.iter().any(|a| a == "--shutdown"))?,
+        None => {
+            let engine = Engine::new(engine_config(args)?);
+            let responses = engine.process_lines(text.lines());
+            let (ok, failed) = responses.iter().fold((0, 0), |(ok, failed), r| {
+                if r.ok {
+                    (ok + 1, failed)
+                } else {
+                    (ok, failed + 1)
+                }
+            });
+            eprintln!(
+                "batch: {ok} solved, {failed} failed on {} workers",
+                engine.workers()
+            );
+            responses
+                .iter()
+                .map(|r| serde_json::to_string(r).map_err(|e| e.to_string()))
+                .collect::<Result<Vec<_>, _>>()?
+        }
+    };
+    write_responses(args, &out_lines)
+}
+
+/// Client mode: stream the request lines to a `power-sched serve` instance
+/// and collect one response line per non-blank request line (plus the
+/// shutdown acknowledgement when `--shutdown` is set).
+fn batch_over_tcp(text: &str, addr: &str, shutdown: bool) -> Result<Vec<String>, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let mut writer = BufWriter::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let reader = BufReader::new(stream);
+
+    let mut expected = text.lines().filter(|l| !l.trim().is_empty()).count();
+    if shutdown {
+        expected += 1;
+    }
+    if expected == 0 {
+        // Nothing to send means nothing to wait for; entering the read loop
+        // would block forever (neither side would ever write).
+        return Ok(Vec::new());
+    }
+    std::thread::scope(|scope| -> Result<Vec<String>, String> {
+        // Writer runs concurrently so a large pipelined batch cannot
+        // deadlock against the server's responses.
+        let sender = scope.spawn(move || -> Result<(), String> {
+            for line in text.lines().filter(|l| !l.trim().is_empty()) {
+                writeln!(writer, "{line}").map_err(|e| format!("sending request: {e}"))?;
+            }
+            if shutdown {
+                writeln!(
+                    writer,
+                    "{{\"version\":{PROTOCOL_VERSION},\"control\":\"shutdown\"}}"
+                )
+                .map_err(|e| format!("sending shutdown: {e}"))?;
+            }
+            writer.flush().map_err(|e| format!("sending requests: {e}"))
+        });
+
+        let mut out = Vec::with_capacity(expected);
+        for line in reader.lines() {
+            let line = line.map_err(|e| format!("reading response: {e}"))?;
+            out.push(line);
+            if out.len() == expected {
+                break;
+            }
+        }
+        sender
+            .join()
+            .map_err(|_| "request sender panicked".to_string())??;
+        if out.len() < expected {
+            return Err(format!(
+                "server closed the connection after {} of {expected} responses",
+                out.len()
+            ));
+        }
+        Ok(out)
+    })
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let addr = flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:0".into());
+    let cfg = engine_config(args)?;
+    let listener = TcpListener::bind(&addr).map_err(|e| format!("binding {addr}: {e}"))?;
+    let local = listener.local_addr().map_err(|e| e.to_string())?;
+    // Scripts wait for this exact line before connecting.
+    println!("power-sched serve: listening on {local}");
+    std::io::stdout().flush().ok();
+    serve(listener, cfg).map_err(|e| format!("serve loop: {e}"))?;
+    println!("power-sched serve: shutdown complete");
+    Ok(())
+}
+
 fn cmd_validate(args: &[String]) -> Result<(), String> {
     let [inst_path, sched_path] = args else {
         return Err("usage: validate INSTANCE.json SCHEDULE.json".into());
@@ -150,9 +305,18 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
     let inst: Instance =
         serde_json::from_str(&std::fs::read_to_string(inst_path).map_err(|e| e.to_string())?)
             .map_err(|e| e.to_string())?;
+    inst.validate()
+        .map_err(|e| format!("{inst_path} is not a valid instance: {e}"))?;
     let sched: Schedule =
         serde_json::from_str(&std::fs::read_to_string(sched_path).map_err(|e| e.to_string())?)
             .map_err(|e| e.to_string())?;
+    if sched.assignments.len() != inst.num_jobs() {
+        return Err(format!(
+            "schedule has {} assignments but the instance has {} jobs",
+            sched.assignments.len(),
+            inst.num_jobs()
+        ));
+    }
     let violations = validate_schedule(&inst, &sched);
     if violations.is_empty() {
         println!("schedule is valid");

@@ -54,6 +54,15 @@ pub mod scheduling {
     pub use sched_core::*;
 }
 
+/// The batch-solving engine and JSONL wire protocol (re-export of the
+/// `sched-engine` crate): worker-pool [`Engine`](engine::Engine),
+/// [`SolveRequest`](engine::SolveRequest)/[`SolveResponse`](engine::SolveResponse),
+/// and the TCP [`serve`](engine::serve) loop behind `power-sched batch` /
+/// `power-sched serve`.
+pub mod engine {
+    pub use sched_engine::*;
+}
+
 /// Submodular functions and budgeted maximization (re-export).
 pub mod submodular {
     pub use ::submodular::*;
@@ -86,6 +95,9 @@ pub mod workloads {
 
 /// One-stop imports for applications.
 pub mod prelude {
+    pub use crate::engine::{
+        Engine, EngineConfig, SolveMode, SolveRequest, SolveResponse, PROTOCOL_VERSION,
+    };
     pub use crate::scheduling::{
         enumerate_candidates, prize_collecting, prize_collecting_exact, schedule_all, AffineCost,
         CandidateInterval, CandidatePolicy, ConvexCost, EnergyCost, Instance, Job,

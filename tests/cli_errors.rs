@@ -1,0 +1,121 @@
+//! Regression tests for CLI error handling: malformed JSON and invalid
+//! instances must produce structured errors — never a panic — with a
+//! nonzero exit for `solve` and in-band error responses for `batch`.
+
+use power_scheduling::engine::{ErrorKind, SolveResponse};
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_power-sched"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("power-sched-errors-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn assert_clean_failure(out: &Output) {
+    assert!(!out.status.success(), "expected a nonzero exit");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("error:"),
+        "expected a structured error line, got: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "CLI must not panic on bad input: {stderr}"
+    );
+}
+
+#[test]
+fn solve_rejects_truncated_json_without_panicking() {
+    let dir = temp_dir("truncated");
+    let path = dir.join("trunc.json");
+    // a real instance file chopped mid-string
+    std::fs::write(&path, r#"{"num_processors":2,"horizon":8,"jobs":[{"va"#).unwrap();
+    let out = bin()
+        .args(["solve", path.to_str().unwrap()])
+        .output()
+        .expect("spawn solve");
+    assert_clean_failure(&out);
+    assert!(String::from_utf8_lossy(&out.stderr).contains("not a valid instance"));
+}
+
+#[test]
+fn solve_rejects_out_of_range_slots_without_panicking() {
+    let dir = temp_dir("oob");
+    let path = dir.join("oob.json");
+    // parses fine, but job 0 points outside the grid — would panic deep in
+    // the matching reduction if solved unchecked
+    std::fs::write(
+        &path,
+        r#"{"num_processors":1,"horizon":2,"jobs":[{"value":1,"allowed":[{"proc":0,"time":9}]}]}"#,
+    )
+    .unwrap();
+    let out = bin()
+        .args(["solve", path.to_str().unwrap()])
+        .output()
+        .expect("spawn solve");
+    assert_clean_failure(&out);
+    assert!(String::from_utf8_lossy(&out.stderr).contains("out-of-range slot"));
+}
+
+#[test]
+fn solve_rejects_non_positive_values_without_panicking() {
+    let dir = temp_dir("negval");
+    let path = dir.join("neg.json");
+    std::fs::write(
+        &path,
+        r#"{"num_processors":1,"horizon":2,"jobs":[{"value":-1,"allowed":[]}]}"#,
+    )
+    .unwrap();
+    let out = bin()
+        .args(["solve", path.to_str().unwrap()])
+        .output()
+        .expect("spawn solve");
+    assert_clean_failure(&out);
+    assert!(String::from_utf8_lossy(&out.stderr).contains("invalid value"));
+}
+
+#[test]
+fn batch_turns_bad_lines_into_structured_responses() {
+    let dir = temp_dir("batch");
+    let input = dir.join("reqs.jsonl");
+    let good = r#"{"version":1,"id":5,"mode":"ScheduleAll","instance":{"num_processors":1,"horizon":4,"jobs":[{"value":1,"allowed":[{"proc":0,"time":1}]}]},"restart":3,"rate":1}"#;
+    let truncated = r#"{"version":1,"id":6,"mode":"ScheduleAll","inst"#;
+    let bad_instance = r#"{"version":1,"id":7,"mode":"ScheduleAll","instance":{"num_processors":1,"horizon":2,"jobs":[{"value":1,"allowed":[{"proc":4,"time":0}]}]},"restart":3,"rate":1}"#;
+    std::fs::write(&input, format!("{good}\n{truncated}\n{bad_instance}\n")).unwrap();
+
+    let out = bin()
+        .args(["batch", input.to_str().unwrap(), "--workers", "2"])
+        .output()
+        .expect("spawn batch");
+    assert!(
+        out.status.success(),
+        "batch reports per-line errors in-band: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(!String::from_utf8_lossy(&out.stderr).contains("panicked"));
+
+    let responses: Vec<SolveResponse> = String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("each line is a SolveResponse"))
+        .collect();
+    assert_eq!(responses.len(), 3);
+
+    assert!(responses[0].ok);
+    assert_eq!(responses[0].id, 5);
+
+    let parse_err = responses[1].error.as_ref().expect("truncated line fails");
+    assert_eq!(parse_err.kind, ErrorKind::Parse);
+    assert!(parse_err.message.contains("line 2"));
+
+    let inst_err = responses[2].error.as_ref().expect("bad instance fails");
+    assert_eq!(inst_err.kind, ErrorKind::InvalidInstance);
+    assert_eq!(
+        responses[2].id, 7,
+        "id is still echoed for invalid instances"
+    );
+}

@@ -1,0 +1,234 @@
+//! End-to-end tests of `power-sched batch`: mixed-mode JSONL workloads
+//! through the real binary, checking that responses come back in input
+//! order and that every cost is bit-identical to a direct sequential
+//! `Solver` call — the engine's sharding must never change results.
+
+use power_scheduling::engine::{SolveMode, SolveRequest, SolveResponse};
+use power_scheduling::prelude::*;
+use power_scheduling::workloads::planted::PlantedCostModel;
+use power_scheduling::workloads::{planted_instance, PlantedConfig};
+use rand::SeedableRng;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("power-sched-batch-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// A deterministic mixed-mode workload over planted (feasible) instances,
+/// cycling through solve modes, grids, and candidate policies.
+fn mixed_requests(n: usize, seed: u64) -> Vec<SolveRequest> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let horizon = 8 + (i % 3) as u32 * 2;
+            let planted = planted_instance(
+                &PlantedConfig {
+                    num_processors: 1 + (i % 2) as u32,
+                    horizon,
+                    target_jobs: 5 + i % 4,
+                    decoy_prob: 0.25,
+                    max_value: 3,
+                    cost_model: PlantedCostModel::Affine { restart: 4.0 },
+                    policy: CandidatePolicy::All,
+                },
+                &mut rng,
+            );
+            let inst = planted.instance;
+            let total = inst.total_value();
+            let mut req = match i % 3 {
+                0 => SolveRequest::schedule_all(i as u64, inst, 4.0, 1.0),
+                1 => SolveRequest::prize_collecting(
+                    i as u64,
+                    inst,
+                    4.0,
+                    1.0,
+                    (total * 0.5).max(1.0),
+                    Some(0.25),
+                ),
+                _ => SolveRequest::prize_collecting_exact(
+                    i as u64,
+                    inst,
+                    4.0,
+                    1.0,
+                    (total * 0.4).max(1.0),
+                ),
+            };
+            if i % 5 == 0 {
+                req.policy = Some("maxlen:6".into());
+            }
+            req
+        })
+        .collect()
+}
+
+/// What the engine is specified to compute for `req`: a plain sequential
+/// `Solver` call with the same policy/options.
+fn direct_solve(req: &SolveRequest) -> Result<Schedule, ScheduleError> {
+    let cost = AffineCost::new(req.restart, req.rate);
+    let policy: CandidatePolicy = req
+        .policy
+        .as_deref()
+        .unwrap_or("all")
+        .parse()
+        .expect("test policies are valid");
+    let solver = Solver::new(&req.instance, &cost).policy(policy);
+    match req.mode {
+        SolveMode::ScheduleAll => solver.schedule_all(),
+        SolveMode::PrizeCollecting => {
+            solver.prize_collecting(req.target.unwrap(), req.epsilon.unwrap_or(0.1))
+        }
+        SolveMode::PrizeCollectingExact => solver.prize_collecting_exact(req.target.unwrap()),
+    }
+}
+
+fn run_batch(input: &Path, out: &Path, workers: u32) -> Vec<SolveResponse> {
+    let output = Command::new(env!("CARGO_BIN_EXE_power-sched"))
+        .args([
+            "batch",
+            input.to_str().unwrap(),
+            "--workers",
+            &workers.to_string(),
+            "--out",
+            out.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn power-sched batch");
+    assert!(
+        output.status.success(),
+        "batch failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    std::fs::read_to_string(out)
+        .expect("read responses")
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("every output line is a SolveResponse"))
+        .collect()
+}
+
+fn write_requests(dir: &Path, name: &str, requests: &[SolveRequest]) -> PathBuf {
+    let path = dir.join(name);
+    let body: String = requests
+        .iter()
+        .map(|r| serde_json::to_string(r).unwrap() + "\n")
+        .collect();
+    std::fs::write(&path, body).expect("write requests");
+    path
+}
+
+#[test]
+fn fifty_mixed_requests_in_order_matching_direct_solver_calls() {
+    let dir = temp_dir("fifty");
+    let requests = mixed_requests(50, 0xBA7C4);
+    let input = write_requests(&dir, "reqs.jsonl", &requests);
+    let responses = run_batch(&input, &dir.join("resp.jsonl"), 4);
+
+    assert_eq!(responses.len(), 50);
+    for (req, resp) in requests.iter().zip(&responses) {
+        assert_eq!(resp.id, req.id, "responses must arrive in input order");
+        match direct_solve(req) {
+            Ok(direct) => {
+                assert!(
+                    resp.ok,
+                    "request {} unexpectedly failed: {:?}",
+                    req.id, resp.error
+                );
+                let got = resp.schedule.as_ref().unwrap();
+                assert_eq!(
+                    got.total_cost.to_bits(),
+                    direct.total_cost.to_bits(),
+                    "request {}: engine cost {} != direct cost {}",
+                    req.id,
+                    got.total_cost,
+                    direct.total_cost
+                );
+                assert_eq!(got.scheduled_count, direct.scheduled_count);
+            }
+            Err(_) => assert!(
+                !resp.ok,
+                "request {} must fail like the direct call",
+                req.id
+            ),
+        }
+        let metrics = resp.metrics.expect("success responses carry metrics");
+        assert!(u64::from(metrics.worker) < 4);
+    }
+}
+
+/// The acceptance workload: 200 mixed-mode requests; 1-worker and 4-worker
+/// runs must produce bit-identical costs, both equal to sequential solves.
+#[test]
+fn two_hundred_requests_bit_identical_across_worker_counts() {
+    let dir = temp_dir("acceptance");
+    let requests = mixed_requests(200, 0xACCE5);
+    let input = write_requests(&dir, "reqs.jsonl", &requests);
+
+    let one = run_batch(&input, &dir.join("resp1.jsonl"), 1);
+    let four = run_batch(&input, &dir.join("resp4.jsonl"), 4);
+    assert_eq!(one.len(), 200);
+    assert_eq!(four.len(), 200);
+
+    for ((req, r1), r4) in requests.iter().zip(&one).zip(&four) {
+        assert_eq!(r1.id, req.id);
+        assert_eq!(r4.id, req.id);
+        assert_eq!(
+            r1.ok, r4.ok,
+            "request {}: ok diverged across worker counts",
+            req.id
+        );
+        if let (Some(s1), Some(s4)) = (&r1.schedule, &r4.schedule) {
+            assert_eq!(
+                s1.total_cost.to_bits(),
+                s4.total_cost.to_bits(),
+                "request {}: cost diverged across worker counts",
+                req.id
+            );
+            let direct = direct_solve(req).expect("solvable in the 1-worker run");
+            assert_eq!(s1.total_cost.to_bits(), direct.total_cost.to_bits());
+        }
+    }
+}
+
+#[test]
+fn batch_reads_stdin_and_reports_parallel_option_requests() {
+    use std::io::Write;
+    let requests = {
+        let mut reqs = mixed_requests(6, 0x57D1);
+        for r in &mut reqs {
+            r.parallel = Some(true); // exercise SolveOptions.parallel through the pool
+        }
+        reqs
+    };
+    let mut child = Command::new(env!("CARGO_BIN_EXE_power-sched"))
+        .args(["batch", "-", "--workers", "2"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn power-sched batch -");
+    {
+        let stdin = child.stdin.as_mut().unwrap();
+        for r in &requests {
+            writeln!(stdin, "{}", serde_json::to_string(r).unwrap()).unwrap();
+        }
+    }
+    let output = child.wait_with_output().expect("batch over stdin");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let responses: Vec<SolveResponse> = stdout
+        .lines()
+        .map(|l| serde_json::from_str(l).unwrap())
+        .collect();
+    assert_eq!(responses.len(), 6);
+    for (req, resp) in requests.iter().zip(&responses) {
+        assert!(resp.ok, "{:?}", resp.error);
+        let direct = direct_solve(req).unwrap();
+        assert_eq!(
+            resp.schedule.as_ref().unwrap().total_cost.to_bits(),
+            direct.total_cost.to_bits(),
+            "parallel scans must not change results"
+        );
+    }
+}

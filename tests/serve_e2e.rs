@@ -1,0 +1,235 @@
+//! End-to-end tests of `power-sched serve`: a real server process on an
+//! ephemeral port, driven over TCP — pipelined solve requests, a malformed
+//! line, `ping`, and a graceful `shutdown` that must end the process with
+//! exit code 0.
+
+use power_scheduling::engine::{ErrorKind, SolveRequest, SolveResponse, PROTOCOL_VERSION};
+use power_scheduling::prelude::*;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+struct ServerGuard {
+    child: Child,
+    addr: String,
+}
+
+impl ServerGuard {
+    fn spawn(workers: u32) -> Self {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_power-sched"))
+            .args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--workers",
+                &workers.to_string(),
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn power-sched serve");
+        let stdout = child.stdout.as_mut().expect("piped stdout");
+        let mut first_line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut first_line)
+            .expect("read listen banner");
+        let addr = first_line
+            .trim()
+            .rsplit(' ')
+            .next()
+            .expect("banner ends with the address")
+            .to_string();
+        assert!(
+            first_line.contains("listening on"),
+            "unexpected banner: {first_line}"
+        );
+        Self { child, addr }
+    }
+
+    /// Waits (bounded) for the server to exit and returns its status.
+    fn wait_for_exit(&mut self) -> std::process::ExitStatus {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            if let Some(status) = self.child.try_wait().expect("try_wait") {
+                return status;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "server did not shut down within 30s"
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+}
+
+impl Drop for ServerGuard {
+    fn drop(&mut self) {
+        let _ = self.child.kill(); // no-op when already exited cleanly
+        let _ = self.child.wait();
+    }
+}
+
+fn request(id: u64, time: u32) -> SolveRequest {
+    let inst = Instance::new(1, 4, vec![Job::unit(vec![SlotRef::new(0, time % 4)])]);
+    SolveRequest::schedule_all(id, inst, 3.0, 1.0)
+}
+
+#[test]
+fn pipelined_requests_ping_and_graceful_shutdown_over_raw_tcp() {
+    let mut server = ServerGuard::spawn(2);
+    let stream = TcpStream::connect(&server.addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+
+    // Pipeline everything before reading anything: 10 solves, one malformed
+    // line, a ping, then shutdown.
+    let mut batch = String::new();
+    for i in 0..10u64 {
+        batch.push_str(&serde_json::to_string(&request(i, i as u32)).unwrap());
+        batch.push('\n');
+    }
+    batch.push_str("{\"oops\":\n");
+    batch.push_str(&format!(
+        "{{\"version\":{PROTOCOL_VERSION},\"control\":\"ping\"}}\n"
+    ));
+    batch.push_str(&format!(
+        "{{\"version\":{PROTOCOL_VERSION},\"control\":\"shutdown\"}}\n"
+    ));
+    writer.write_all(batch.as_bytes()).unwrap();
+    writer.flush().unwrap();
+
+    let mut responses = Vec::new();
+    for _ in 0..13 {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read response line");
+        assert!(!line.is_empty(), "server closed early");
+        responses.push(serde_json::from_str::<SolveResponse>(line.trim()).unwrap());
+    }
+
+    for (i, resp) in responses[..10].iter().enumerate() {
+        assert!(resp.ok, "solve {i} failed: {:?}", resp.error);
+        assert_eq!(resp.id, i as u64, "per-connection responses stay in order");
+        assert!(resp.schedule.is_some());
+    }
+    assert_eq!(
+        responses[10]
+            .error
+            .as_ref()
+            .expect("malformed line fails")
+            .kind,
+        ErrorKind::Parse
+    );
+    assert!(responses[11].ok, "ping must be acknowledged");
+    assert!(responses[12].ok, "shutdown must be acknowledged");
+
+    let status = server.wait_for_exit();
+    assert!(
+        status.success(),
+        "graceful shutdown must exit 0: {status:?}"
+    );
+}
+
+#[test]
+fn shutdown_is_not_blocked_by_an_idle_connection() {
+    // Regression: serve() used to join every connection thread, so a client
+    // that connected and then went silent kept the server alive forever
+    // after another client's shutdown request.
+    let mut server = ServerGuard::spawn(1);
+    let idle = TcpStream::connect(&server.addr).expect("idle client connects");
+
+    let shutter = TcpStream::connect(&server.addr).expect("shutter connects");
+    let mut writer = shutter.try_clone().unwrap();
+    writeln!(
+        writer,
+        "{{\"version\":{PROTOCOL_VERSION},\"control\":\"shutdown\"}}"
+    )
+    .unwrap();
+    writer.flush().unwrap();
+    let mut ack = String::new();
+    BufReader::new(shutter).read_line(&mut ack).unwrap();
+    assert!(
+        serde_json::from_str::<SolveResponse>(ack.trim())
+            .unwrap()
+            .ok
+    );
+
+    let status = server.wait_for_exit();
+    assert!(status.success(), "idle connection must not block shutdown");
+    drop(idle);
+}
+
+#[test]
+fn empty_connect_batch_returns_immediately_instead_of_hanging() {
+    // Regression: with zero non-blank request lines and no --shutdown the
+    // client used to park in its response loop forever.
+    let mut server = ServerGuard::spawn(1);
+    let dir = std::env::temp_dir().join(format!("power-sched-empty-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let empty = dir.join("empty.jsonl");
+    std::fs::write(&empty, "\n  \n").unwrap();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_power-sched"))
+        .args(["batch", empty.to_str().unwrap(), "--connect", &server.addr])
+        .output()
+        .expect("spawn batch --connect on empty input");
+    assert!(out.status.success());
+    assert!(out.stdout.is_empty(), "no requests, no responses");
+
+    // the server is still alive and serviceable afterwards
+    let out = Command::new(env!("CARGO_BIN_EXE_power-sched"))
+        .args(["batch", "-", "--connect", &server.addr, "--shutdown"])
+        .stdin(Stdio::null())
+        .output()
+        .expect("shutdown client");
+    assert!(out.status.success());
+    let status = server.wait_for_exit();
+    assert!(status.success());
+}
+
+#[test]
+fn batch_connect_drives_a_server_and_shuts_it_down() {
+    let mut server = ServerGuard::spawn(2);
+    let dir = std::env::temp_dir().join(format!("power-sched-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let reqs = dir.join("reqs.jsonl");
+    let body: String = (0..10u64)
+        .map(|i| serde_json::to_string(&request(i, i as u32)).unwrap() + "\n")
+        .collect();
+    std::fs::write(&reqs, body).unwrap();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_power-sched"))
+        .args([
+            "batch",
+            reqs.to_str().unwrap(),
+            "--connect",
+            &server.addr,
+            "--shutdown",
+        ])
+        .output()
+        .expect("spawn batch --connect");
+    assert!(
+        out.status.success(),
+        "client failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let responses: Vec<SolveResponse> = String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(|l| serde_json::from_str(l).unwrap())
+        .collect();
+    assert_eq!(responses.len(), 11, "10 solves + shutdown ack");
+    assert!(responses.iter().all(|r| r.ok));
+    assert_eq!(
+        responses[..10].iter().map(|r| r.id).collect::<Vec<_>>(),
+        (0..10).collect::<Vec<_>>()
+    );
+
+    let status = server.wait_for_exit();
+    assert!(
+        status.success(),
+        "graceful shutdown must exit 0: {status:?}"
+    );
+}

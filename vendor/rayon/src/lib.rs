@@ -1,97 +1,215 @@
-//! Offline, API-compatible subset of `rayon`.
+//! Offline, API-compatible subset of `rayon` that **really fans out** over
+//! `std::thread::scope`.
 //!
 //! The build environment has no access to crates.io, so the workspace vendors
 //! the adapters it actually calls: `into_par_iter`, `map`, `map_init`,
-//! `reduce`, `sum`, and `collect`. Everything executes **sequentially** —
-//! callers only rely on rayon for throughput, never for semantics, and every
-//! parallel reduction in the workspace is associative and order-insensitive,
-//! so the sequential fallback is observationally equivalent (and
-//! deterministic). Swapping the real rayon back in is a one-line manifest
-//! change.
+//! `filter`, `reduce`, `sum`, `count`, and `collect`. Unlike the original
+//! sequential shim, the transforming adapters now split their input into one
+//! chunk per worker thread and execute the chunks concurrently under
+//! `std::thread::scope`, preserving input order in the output. Closure bounds
+//! (`Fn + Sync + Send`) mirror upstream rayon, so swapping the real rayon
+//! back in remains a one-line manifest change.
+//!
+//! Differences from upstream that callers may observe:
+//!
+//! * adapters are **eager** (each `map` materializes its results) rather than
+//!   lazy — fine for this workspace, whose pipelines end in a reduction or a
+//!   `collect` anyway;
+//! * `map_init` creates exactly one scratch value per worker chunk (upstream
+//!   re-initializes per split, which is also per-worker in practice);
+//! * the worker count is `RAYON_NUM_THREADS` when set and positive, else
+//!   [`std::thread::available_parallelism`]; there is no global thread pool —
+//!   scoped threads are spawned per adapter call, which keeps the stub
+//!   dependency-free at the price of some per-call overhead.
+//!
+//! Every parallel reduction in the workspace is associative and
+//! order-insensitive, and chunking preserves item order, so results are
+//! deterministic and identical to the sequential path.
 
 pub mod prelude {
     pub use super::{IntoParallelIterator, ParIter};
 }
 
-/// Conversion into a (sequentially executing) "parallel" iterator.
+/// Worker threads to fan out across: `RAYON_NUM_THREADS` (when set and
+/// positive, mirroring the real rayon's env knob), else the machine's
+/// available parallelism.
+fn num_threads() -> usize {
+    parse_thread_env(std::env::var("RAYON_NUM_THREADS").ok().as_deref())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Pure parsing of the `RAYON_NUM_THREADS` value (testable without touching
+/// the process environment, which is not thread-safe to mutate).
+fn parse_thread_env(value: Option<&str>) -> Option<usize> {
+    value
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+/// [`fan_out_n`] with the ambient worker count.
+fn fan_out<T, U, F>(items: Vec<T>, per_chunk: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(Vec<T>) -> Vec<U> + Sync,
+{
+    fan_out_n(num_threads(), items, per_chunk)
+}
+
+/// Splits `items` into one contiguous chunk per worker, runs `per_chunk` on
+/// each chunk in a scoped thread, and concatenates the results in input
+/// order. Falls back to inline execution for a single worker or a single
+/// chunk. Panics in workers are propagated to the caller.
+fn fan_out_n<T, U, F>(threads: usize, items: Vec<T>, per_chunk: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(Vec<T>) -> Vec<U> + Sync,
+{
+    let workers = threads.min(items.len());
+    if workers <= 1 {
+        return per_chunk(items);
+    }
+    let chunk_len = items.len().div_ceil(workers);
+    let mut chunks = Vec::with_capacity(workers);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let per_chunk = &per_chunk;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || per_chunk(chunk)))
+            .collect();
+        let mut out = Vec::new();
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    })
+}
+
+/// Conversion into a parallel iterator.
 pub trait IntoParallelIterator {
     /// Item type.
     type Item;
-    /// Underlying sequential iterator.
-    type Iter: Iterator<Item = Self::Item>;
 
     /// Mirrors `rayon::iter::IntoParallelIterator::into_par_iter`.
-    fn into_par_iter(self) -> ParIter<Self::Iter>;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
 }
 
 impl<I: IntoIterator> IntoParallelIterator for I {
     type Item = I::Item;
-    type Iter = I::IntoIter;
 
-    fn into_par_iter(self) -> ParIter<Self::Iter> {
-        ParIter(self.into_iter())
+    fn into_par_iter(self) -> ParIter<I::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
     }
 }
 
-/// Sequential stand-in for rayon's `ParallelIterator`.
-pub struct ParIter<I>(I);
+/// Stand-in for rayon's `ParallelIterator`: an order-preserving, eagerly
+/// evaluated pipeline whose transforming adapters fan out over scoped
+/// threads.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
 
-impl<I: Iterator> ParIter<I> {
+impl<T: Send> ParIter<T> {
     /// Mirrors `ParallelIterator::map`.
-    pub fn map<U, F>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+    pub fn map<U, F>(self, f: F) -> ParIter<U>
     where
-        F: FnMut(I::Item) -> U,
+        U: Send,
+        F: Fn(T) -> U + Sync + Send,
     {
-        ParIter(self.0.map(f))
+        ParIter {
+            items: fan_out(self.items, |chunk| chunk.into_iter().map(&f).collect()),
+        }
     }
 
-    /// Mirrors `ParallelIterator::map_init`: one scratch value per worker —
-    /// here, a single scratch value for the whole (sequential) pass.
-    pub fn map_init<T, U, INIT, F>(self, init: INIT, mut f: F) -> ParIter<impl Iterator<Item = U>>
+    /// Mirrors `ParallelIterator::map_init`: one scratch value per worker
+    /// chunk.
+    pub fn map_init<S, U, INIT, F>(self, init: INIT, f: F) -> ParIter<U>
     where
-        INIT: FnOnce() -> T,
-        F: FnMut(&mut T, I::Item) -> U,
+        U: Send,
+        INIT: Fn() -> S + Sync + Send,
+        F: Fn(&mut S, T) -> U + Sync + Send,
     {
-        let mut scratch = init();
-        ParIter(self.0.map(move |x| f(&mut scratch, x)))
+        self.map_init_n(num_threads(), init, f)
+    }
+
+    /// [`ParIter::map_init`] with an explicit worker count (kept separate so
+    /// tests can pin the fan-out without mutating the environment).
+    fn map_init_n<S, U, INIT, F>(self, threads: usize, init: INIT, f: F) -> ParIter<U>
+    where
+        U: Send,
+        INIT: Fn() -> S + Sync + Send,
+        F: Fn(&mut S, T) -> U + Sync + Send,
+    {
+        ParIter {
+            items: fan_out_n(threads, self.items, |chunk| {
+                let mut scratch = init();
+                chunk.into_iter().map(|x| f(&mut scratch, x)).collect()
+            }),
+        }
     }
 
     /// Mirrors `ParallelIterator::filter`.
-    pub fn filter<F>(self, f: F) -> ParIter<std::iter::Filter<I, F>>
+    pub fn filter<F>(self, f: F) -> ParIter<T>
     where
-        F: FnMut(&I::Item) -> bool,
+        F: Fn(&T) -> bool + Sync + Send,
     {
-        ParIter(self.0.filter(f))
+        ParIter {
+            items: fan_out(self.items, |chunk| chunk.into_iter().filter(&f).collect()),
+        }
     }
 
-    /// Mirrors rayon's `reduce(identity, op)` (not `Iterator::reduce`).
-    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    /// Mirrors rayon's `reduce(identity, op)` (not `Iterator::reduce`): folds
+    /// each worker chunk, then folds the per-chunk results.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
     where
-        ID: Fn() -> I::Item,
-        OP: Fn(I::Item, I::Item) -> I::Item,
+        ID: Fn() -> T + Sync + Send,
+        OP: Fn(T, T) -> T + Sync + Send,
     {
-        self.0.fold(identity(), op)
+        fan_out(self.items, |chunk| {
+            vec![chunk.into_iter().fold(identity(), &op)]
+        })
+        .into_iter()
+        .reduce(&op)
+        .unwrap_or_else(identity)
     }
 
-    /// Mirrors `ParallelIterator::sum`.
+    /// Mirrors `ParallelIterator::sum`: per-chunk partial sums, then a sum of
+    /// partials.
     pub fn sum<S>(self) -> S
     where
-        S: std::iter::Sum<I::Item>,
+        S: Send + std::iter::Sum<T> + std::iter::Sum<S>,
     {
-        self.0.sum()
+        fan_out(self.items, |chunk| vec![chunk.into_iter().sum::<S>()])
+            .into_iter()
+            .sum()
     }
 
     /// Mirrors `ParallelIterator::count`.
     pub fn count(self) -> usize {
-        self.0.count()
+        self.items.len()
     }
 
-    /// Mirrors `ParallelIterator::collect` (via `FromIterator`).
+    /// Mirrors `ParallelIterator::collect` (via `FromIterator`), preserving
+    /// input order.
     pub fn collect<C>(self) -> C
     where
-        C: FromIterator<I::Item>,
+        C: FromIterator<T>,
     {
-        self.0.collect()
+        self.items.into_iter().collect()
     }
 }
 
@@ -109,18 +227,35 @@ mod tests {
     }
 
     #[test]
-    fn map_init_shares_scratch() {
-        let out: Vec<u64> = (0..5u64)
+    fn map_init_scratch_is_per_worker() {
+        // Pin 4 workers (64 items → 4 chunks of 16) and tag every output
+        // with (scratch id, per-scratch sequence number). Exactly one
+        // scratch per chunk means: 4 init calls, 4 distinct ids in chunk
+        // order, and each chunk's sequence runs 1..=16.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inits = AtomicUsize::new(0);
+        let out: Vec<(usize, u64)> = (0..64u64)
             .into_par_iter()
-            .map_init(
-                || 10u64,
-                |acc, x| {
-                    *acc += x;
-                    *acc
+            .map_init_n(
+                4,
+                || (inits.fetch_add(1, Ordering::SeqCst), 0u64),
+                |(id, seq), _x| {
+                    *seq += 1;
+                    (*id, *seq)
                 },
             )
             .collect();
-        assert_eq!(out, vec![10, 11, 13, 16, 20]);
+        assert_eq!(inits.load(Ordering::SeqCst), 4, "one init per worker chunk");
+        assert_eq!(out.len(), 64);
+        let distinct_ids: std::collections::HashSet<usize> =
+            out.iter().map(|(id, _)| *id).collect();
+        assert_eq!(distinct_ids.len(), 4, "four distinct scratch values");
+        // Items stay in chunk-major input order with a fresh sequence per
+        // chunk: a shared scratch would run 1..=64 under a single id, and
+        // per-item re-initialization would never get past seq 1.
+        for (i, (id, seq)) in out.iter().enumerate() {
+            assert_eq!(*seq, (i as u64 % 16) + 1, "output {i} (scratch {id})");
+        }
     }
 
     #[test]
@@ -128,5 +263,47 @@ mod tests {
         let s: f64 = vec![1.0, 2.5].into_par_iter().sum();
         assert_eq!(s, 3.5);
         assert_eq!((0..7).into_par_iter().filter(|x| x % 2 == 0).count(), 4);
+    }
+
+    #[test]
+    fn order_preserved_across_chunks() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fans_out_across_real_threads() {
+        // Pin 4 workers (works even on single-core machines) and observe
+        // that chunks really execute on more than one thread. The worker
+        // count is passed explicitly — mutating RAYON_NUM_THREADS here
+        // would race sibling tests reading the environment.
+        let ids: std::collections::HashSet<std::thread::ThreadId> =
+            super::fan_out_n(4, (0..64usize).collect(), |chunk: Vec<usize>| {
+                chunk.iter().map(|_| std::thread::current().id()).collect()
+            })
+            .into_iter()
+            .collect();
+        assert!(
+            ids.len() > 1,
+            "expected fan-out across threads, saw only {ids:?}"
+        );
+    }
+
+    #[test]
+    fn thread_env_parsing_is_pure() {
+        assert_eq!(super::parse_thread_env(None), None);
+        assert_eq!(super::parse_thread_env(Some("4")), Some(4));
+        assert_eq!(super::parse_thread_env(Some(" 2 ")), Some(2));
+        assert_eq!(super::parse_thread_env(Some("0")), None, "0 means default");
+        assert_eq!(super::parse_thread_env(Some("lots")), None);
+    }
+
+    #[test]
+    fn empty_input_hits_identity() {
+        let total = Vec::<u64>::new()
+            .into_par_iter()
+            .map(|x| x)
+            .reduce(|| 7, |a, b| a + b);
+        assert_eq!(total, 7);
     }
 }

@@ -6,12 +6,24 @@
 //! * non-generic structs with named fields → JSON objects;
 //! * non-generic enums whose variants all carry no data → JSON strings.
 //!
+//! Fields whose declared type is spelled `Option<...>` mirror upstream
+//! serde's default handling: a missing JSON key deserializes as `None`
+//! (present keys, including explicit `null`, go through `Option`'s own
+//! `Deserialize`). All other fields are required.
+//!
 //! Anything else produces a `compile_error!` naming the limitation.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+struct Field {
+    name: String,
+    /// Declared type is literally `Option<...>` — missing keys become
+    /// `None` instead of a "missing field" error.
+    optional: bool,
+}
+
 enum Item {
-    Struct { name: String, fields: Vec<String> },
+    Struct { name: String, fields: Vec<Field> },
     Enum { name: String, variants: Vec<String> },
 }
 
@@ -100,7 +112,7 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
     }
 }
 
-fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
     let tokens: Vec<TokenTree> = body.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
@@ -109,7 +121,7 @@ fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
         if i >= tokens.len() {
             break;
         }
-        let field = match &tokens[i] {
+        let name = match &tokens[i] {
             TokenTree::Ident(id) => id.to_string(),
             other => return Err(format!("serde stub: expected field name, found {other:?}")),
         };
@@ -118,6 +130,10 @@ fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
             other => return Err(format!("serde stub: expected `:`, found {other:?}")),
         }
+        // `Option<...>` fields tolerate missing JSON keys (upstream serde's
+        // default behavior); detection is syntactic, on the spelled type.
+        let optional =
+            matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "Option");
         // Skip the type: consume until a top-level `,` (angle-bracket aware).
         let mut angle_depth = 0i32;
         while i < tokens.len() {
@@ -132,7 +148,7 @@ fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
             }
             i += 1;
         }
-        fields.push(field);
+        fields.push(Field { name, optional });
     }
     Ok(fields)
 }
@@ -176,6 +192,7 @@ fn gen_serialize(item: &Item) -> String {
             let pairs: String = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "(::std::string::String::from({f:?}), \
                          ::serde::Serialize::to_value(&self.{f})),"
@@ -212,7 +229,23 @@ fn gen_deserialize(item: &Item) -> String {
         Item::Struct { name, fields } => {
             let inits: String = fields
                 .iter()
-                .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.field({f:?})?)?,"))
+                .map(|f| {
+                    let (f, optional) = (&f.name, f.optional);
+                    if optional {
+                        // Missing key => None; present keys (incl. null) go
+                        // through Option's own Deserialize.
+                        format!(
+                            "{f}: match v.field({f:?}) {{\n\
+                                 ::core::result::Result::Ok(x) => \
+                                     ::serde::Deserialize::from_value(x)?,\n\
+                                 ::core::result::Result::Err(_) => \
+                                     ::core::option::Option::None,\n\
+                             }},"
+                        )
+                    } else {
+                        format!("{f}: ::serde::Deserialize::from_value(v.field({f:?})?)?,")
+                    }
+                })
                 .collect();
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\
