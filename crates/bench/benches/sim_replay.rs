@@ -1,0 +1,66 @@
+//! `bench_sim_replay` — traces/sec through the `sched-sim` online replay
+//! harness: each policy over a fixed 12-trace mixed fleet (Poisson bursts,
+//! diurnal, deadline cliffs at the CLI-default size), at 1 and 4 fleet
+//! workers. The offline reference (the expensive part at small sizes) is
+//! part of the measured regime, as it is for every `power-sched replay`
+//! invocation; the resolve rows additionally exercise the shared
+//! `sched-engine` pool behind suffix re-solves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use sched_core::trace::ArrivalTrace;
+use sched_sim::{replay_fleet, FleetOptions, OfflineRef, PolicyKind};
+use workloads::{generate_trace, ArrivalConfig, TraceKind};
+
+/// Deterministic mixed fleet: 4 traces per generator at the CLI-default
+/// size (seeds chosen clear of the rare resolve deferral drops, so every
+/// row measures completed replays).
+fn fleet() -> Vec<ArrivalTrace> {
+    let kinds = [
+        TraceKind::PoissonBursts,
+        TraceKind::Diurnal,
+        TraceKind::DeadlineCliffs,
+    ];
+    let mut traces = Vec::new();
+    for (i, kind) in kinds.iter().enumerate() {
+        for seed in 0..4u64 {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1000 * i as u64 + seed);
+            traces.push(generate_trace(*kind, &ArrivalConfig::default(), &mut rng));
+        }
+    }
+    traces
+}
+
+fn bench_sim_replay(c: &mut Criterion) {
+    let traces = fleet();
+    let mut g = c.benchmark_group("sim_replay");
+    g.sample_size(10);
+    for policy in ["greedy", "hiring", "resolve:4"] {
+        let kind: PolicyKind = policy.parse().unwrap();
+        for &workers in &[1usize, 4] {
+            g.bench_with_input(BenchmarkId::new(policy, workers), &traces, |b, traces| {
+                b.iter(|| {
+                    let reports = replay_fleet(
+                        traces,
+                        &kind,
+                        &FleetOptions {
+                            workers,
+                            offline: OfflineRef::Auto,
+                        },
+                    );
+                    let mut ratio_sum = 0.0;
+                    for r in &reports {
+                        let r = r.as_ref().expect("replay failed");
+                        assert!(r.ratio >= 1.0 - 1e-9, "ratio {} < 1", r.ratio);
+                        ratio_sum += r.ratio;
+                    }
+                    ratio_sum
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim_replay);
+criterion_main!(benches);

@@ -58,6 +58,8 @@
 //! * [`objective`] — the matching-rank [`submodular::BudgetedObjective`]
 //!   adapter driving the greedy;
 //! * [`solver`] — the [`Solver`] builder tying everything together;
+//! * [`trace`] — timed arrival traces (release times) for the online replay
+//!   harness in the `sched-sim` crate;
 //! * [`mod@schedule_all`], [`mod@prize_collecting`] — the two headline
 //!   algorithms.
 
@@ -69,6 +71,7 @@ pub mod prize_collecting;
 pub mod schedule_all;
 pub mod simulate;
 pub mod solver;
+pub mod trace;
 
 pub use candidates::{enumerate_candidates, CandidateInterval, CandidatePolicy};
 pub use cost::{
@@ -81,3 +84,4 @@ pub use prize_collecting::{prize_collecting, prize_collecting_exact};
 pub use schedule_all::schedule_all;
 pub use simulate::{simulate, PowerTrace, SlotState};
 pub use solver::Solver;
+pub use trace::{ArrivalTrace, TimedJob, TraceError};

@@ -71,6 +71,55 @@ impl PowerTrace {
     }
 }
 
+impl std::fmt::Display for PowerTrace {
+    /// Compact per-processor timeline: maximal runs of each machine state,
+    /// run-length encoded (`4S 2B 1I 3S` = 4 sleep, 2 busy, 1 idle, 3 sleep
+    /// slots), followed by the restart count and utilization. One line per
+    /// processor — the narration format of `power-sched replay --verbose`
+    /// and the examples.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (p, row) in self.states.iter().enumerate() {
+            write!(f, "p{p}:")?;
+            let mut run: Option<(SlotState, usize)> = None;
+            for &s in row.iter() {
+                match &mut run {
+                    Some((state, n)) if *state == s => *n += 1,
+                    _ => {
+                        if let Some((state, n)) = run.take() {
+                            write!(f, " {n}{}", state_letter(state))?;
+                        }
+                        run = Some((s, 1));
+                    }
+                }
+            }
+            if let Some((state, n)) = run {
+                write!(f, " {n}{}", state_letter(state))?;
+            }
+            write!(
+                f,
+                "  ({} restart{}, {} awake, {} busy",
+                self.restarts[p],
+                if self.restarts[p] == 1 { "" } else { "s" },
+                self.awake_slots[p],
+                self.busy_slots[p],
+            )?;
+            match self.utilization(p as u32) {
+                Some(u) => writeln!(f, ", {:.0}% utilized)", 100.0 * u)?,
+                None => writeln!(f, ")")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+fn state_letter(s: SlotState) -> char {
+    match s {
+        SlotState::Sleep => 'S',
+        SlotState::Idle => 'I',
+        SlotState::Busy => 'B',
+    }
+}
+
 /// Replays `schedule` against `inst`.
 ///
 /// Overlapping awake intervals on one processor are merged for state
@@ -161,6 +210,32 @@ mod tests {
         let (inst, s) = solved();
         let r = simulate(&inst, &s).render();
         assert_eq!(r.trim_end(), "p0: #..#S");
+    }
+
+    #[test]
+    fn display_run_length_encodes() {
+        let (inst, s) = solved();
+        let line = simulate(&inst, &s).to_string();
+        // busy at 0 and 3, idle between, asleep at 4
+        assert_eq!(
+            line.trim_end(),
+            "p0: 1B 2I 1B 1S  (1 restart, 4 awake, 2 busy, 50% utilized)"
+        );
+
+        let empty = simulate(
+            &Instance::new(1, 3, vec![]),
+            &Schedule {
+                awake: vec![],
+                assignments: vec![],
+                total_cost: 0.0,
+                scheduled_value: 0.0,
+                scheduled_count: 0,
+            },
+        );
+        assert_eq!(
+            empty.to_string().trim_end(),
+            "p0: 3S  (0 restarts, 0 awake, 0 busy)"
+        );
     }
 
     #[test]

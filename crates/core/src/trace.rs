@@ -1,0 +1,274 @@
+//! Timed arrival traces — the online face of the scheduling model.
+//!
+//! An [`ArrivalTrace`] is an [`Instance`] whose jobs additionally carry a
+//! *release time*: the slot at which the job becomes known to an online
+//! scheduler. Nothing about a job (its value, its allowed slots) may be
+//! observed before its release; stripping the release times yields the
+//! offline instance an omniscient solver would see
+//! ([`ArrivalTrace::to_instance`]), which is how the replay harness computes
+//! offline reference costs.
+//!
+//! Traces are self-contained JSON documents: they carry the affine cost
+//! parameters (`restart`, `rate`) alongside the jobs, so a trace file fully
+//! determines both the workload and the energy accounting.
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::{Instance, InstanceError, Job, SlotRef};
+
+/// A unit-time job with a release time.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TimedJob {
+    /// Slot at which the job is revealed. The job may only run at slots with
+    /// `time >= release`.
+    pub release: u32,
+    /// Job value (strictly positive, finite).
+    pub value: f64,
+    /// Valid (processor, time) pairs, all at or after `release`.
+    pub allowed: Vec<SlotRef>,
+}
+
+impl TimedJob {
+    /// Job released at `release`, allowed anywhere in `[start, end)` on
+    /// processor `proc`.
+    pub fn window(value: f64, release: u32, proc: u32, start: u32, end: u32) -> Self {
+        Self {
+            release,
+            value,
+            allowed: (start.max(release)..end)
+                .map(|t| SlotRef::new(proc, t))
+                .collect(),
+        }
+    }
+
+    /// Latest allowed time, or `None` for an empty allowed set.
+    pub fn deadline(&self) -> Option<u32> {
+        self.allowed.iter().map(|s| s.time).max()
+    }
+}
+
+/// A timed arrival trace: an online scheduling workload plus its affine cost
+/// model.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ArrivalTrace {
+    /// Human-readable label carried into replay reports.
+    pub name: String,
+    /// Number of processors `p`.
+    pub num_processors: u32,
+    /// Number of time slots `T`.
+    pub horizon: u32,
+    /// Fixed wake-up cost `α` of the affine energy model.
+    pub restart: f64,
+    /// Energy per awake slot.
+    pub rate: f64,
+    /// The jobs, in any order (the simulator indexes by release time).
+    pub jobs: Vec<TimedJob>,
+}
+
+/// Structural problems detected by [`ArrivalTrace::validate`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceError {
+    /// The underlying instance is invalid (bad value or out-of-range slot).
+    Instance(InstanceError),
+    /// A job's release time is at or past the horizon.
+    ReleaseAfterHorizon {
+        /// Offending job index.
+        job: u32,
+        /// The rejected release time.
+        release: u32,
+    },
+    /// A job lists an allowed slot before its own release.
+    SlotBeforeRelease {
+        /// Offending job index.
+        job: u32,
+        /// The offending slot.
+        slot: SlotRef,
+    },
+    /// A job has no allowed slot at all (it could never be scheduled).
+    EmptyWindow {
+        /// Offending job index.
+        job: u32,
+    },
+    /// The cost parameters are not finite and non-negative with a positive
+    /// sum.
+    InvalidCost {
+        /// Restart cost as given.
+        restart: f64,
+        /// Rate as given.
+        rate: f64,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Instance(e) => write!(f, "{e}"),
+            TraceError::ReleaseAfterHorizon { job, release } => {
+                write!(f, "job {job} released at {release}, at or past the horizon")
+            }
+            TraceError::SlotBeforeRelease { job, slot } => write!(
+                f,
+                "job {job} allows slot ({}, {}) before its release",
+                slot.proc, slot.time
+            ),
+            TraceError::EmptyWindow { job } => write!(f, "job {job} has no allowed slot"),
+            TraceError::InvalidCost { restart, rate } => write!(
+                f,
+                "cost parameters must be finite, non-negative, and not both zero \
+                 (got restart {restart}, rate {rate})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl ArrivalTrace {
+    /// Checks structural invariants: a valid underlying instance, every
+    /// release before the horizon, every allowed slot at or after its job's
+    /// release, no empty windows, and usable affine cost parameters.
+    ///
+    /// Serde builds traces field-by-field, so anything arriving from a file
+    /// must pass through this check before it reaches the simulator.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        if !(self.restart.is_finite()
+            && self.rate.is_finite()
+            && self.restart >= 0.0
+            && self.rate >= 0.0
+            && self.restart + self.rate > 0.0)
+        {
+            return Err(TraceError::InvalidCost {
+                restart: self.restart,
+                rate: self.rate,
+            });
+        }
+        self.to_instance()
+            .validate()
+            .map_err(TraceError::Instance)?;
+        for (i, j) in self.jobs.iter().enumerate() {
+            if j.release >= self.horizon {
+                return Err(TraceError::ReleaseAfterHorizon {
+                    job: i as u32,
+                    release: j.release,
+                });
+            }
+            if j.allowed.is_empty() {
+                return Err(TraceError::EmptyWindow { job: i as u32 });
+            }
+            if let Some(slot) = j.allowed.iter().find(|s| s.time < j.release) {
+                return Err(TraceError::SlotBeforeRelease {
+                    job: i as u32,
+                    slot: *slot,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The offline instance an omniscient solver sees: release times
+    /// dropped, job order preserved (job `i` here is job `i` in the trace).
+    pub fn to_instance(&self) -> Instance {
+        Instance {
+            num_processors: self.num_processors,
+            horizon: self.horizon,
+            jobs: self
+                .jobs
+                .iter()
+                .map(|j| Job {
+                    value: j.value,
+                    allowed: j.allowed.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Sum of all job values.
+    pub fn total_value(&self) -> f64 {
+        self.jobs.iter().map(|j| j.value).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> ArrivalTrace {
+        ArrivalTrace {
+            name: "t".into(),
+            num_processors: 2,
+            horizon: 8,
+            restart: 3.0,
+            rate: 1.0,
+            jobs: vec![
+                TimedJob::window(1.0, 0, 0, 0, 3),
+                TimedJob::window(2.0, 2, 1, 2, 6),
+            ],
+        }
+    }
+
+    #[test]
+    fn valid_trace_round_trips_to_instance() {
+        let t = trace();
+        assert_eq!(t.validate(), Ok(()));
+        let inst = t.to_instance();
+        assert_eq!(inst.num_jobs(), 2);
+        assert_eq!(inst.jobs[1].allowed, t.jobs[1].allowed);
+        assert_eq!(t.total_value(), 3.0);
+        assert_eq!(t.jobs[0].deadline(), Some(2));
+    }
+
+    #[test]
+    fn window_clamps_start_to_release() {
+        let j = TimedJob::window(1.0, 3, 0, 1, 6);
+        assert!(j.allowed.iter().all(|s| s.time >= 3));
+        assert_eq!(j.allowed.len(), 3);
+    }
+
+    #[test]
+    fn validate_rejects_structural_errors() {
+        let mut t = trace();
+        t.jobs[0].release = 8;
+        assert!(matches!(
+            t.validate(),
+            Err(TraceError::ReleaseAfterHorizon { job: 0, release: 8 })
+        ));
+
+        let mut t = trace();
+        t.jobs[1].allowed.push(SlotRef::new(0, 0)); // before release 2
+        assert!(matches!(
+            t.validate(),
+            Err(TraceError::SlotBeforeRelease { job: 1, .. })
+        ));
+
+        let mut t = trace();
+        t.jobs[0].allowed.clear();
+        assert!(matches!(
+            t.validate(),
+            Err(TraceError::EmptyWindow { job: 0 })
+        ));
+
+        let mut t = trace();
+        t.jobs[0].value = -1.0;
+        assert!(matches!(t.validate(), Err(TraceError::Instance(_))));
+
+        let mut t = trace();
+        t.restart = 0.0;
+        t.rate = 0.0;
+        assert!(matches!(t.validate(), Err(TraceError::InvalidCost { .. })));
+
+        let mut t = trace();
+        t.jobs[0].allowed[0].time = 99;
+        assert!(matches!(t.validate(), Err(TraceError::Instance(_))));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = trace();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: ArrivalTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.validate(), Ok(()));
+        assert_eq!(back.jobs.len(), 2);
+        assert_eq!(back.restart, 3.0);
+        assert_eq!(back.name, "t");
+    }
+}

@@ -1,0 +1,188 @@
+//! Deterministic parallel replay of trace fleets.
+//!
+//! [`replay_fleet`] replays every trace through a fresh instance of the
+//! selected policy, fanning the traces across `workers` threads. Each
+//! replay is a pure deterministic function of its trace and the policy
+//! configuration, and results are returned in input order — so the output
+//! is **bit-identical at any worker count** (the property the acceptance
+//! tests pin down).
+//!
+//! For [`PolicyKind::Resolve`] the fleet shares one [`sched_engine::Engine`]
+//! across all replays: every suffix re-solve of every trace goes through the
+//! same worker pool, whose per-worker candidate caches are keyed by
+//! (grid × cost × policy) — a fleet of traces on one grid enumerates
+//! candidate intervals a handful of times instead of once per re-solve.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use sched_core::trace::ArrivalTrace;
+use sched_engine::{Engine, EngineConfig};
+
+use crate::policy::PolicyKind;
+use crate::replay::SimError;
+use crate::report::{replay_with_report, OfflineRef, ReplayReport};
+
+/// Fleet configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct FleetOptions {
+    /// Replay threads (and, for `resolve`, engine workers). `0` means one
+    /// per available core.
+    pub workers: usize,
+    /// Offline reference selection.
+    pub offline: OfflineRef,
+}
+
+impl Default for FleetOptions {
+    fn default() -> Self {
+        Self {
+            workers: 1,
+            offline: OfflineRef::Auto,
+        }
+    }
+}
+
+/// Replays every trace under a fresh `kind` policy; one result per trace,
+/// in input order, bit-identical at any worker count.
+pub fn replay_fleet(
+    traces: &[ArrivalTrace],
+    kind: &PolicyKind,
+    options: &FleetOptions,
+) -> Vec<Result<ReplayReport, SimError>> {
+    let workers = if options.workers > 0 {
+        options.workers
+    } else {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    };
+    let engine = match kind {
+        PolicyKind::Resolve { .. } => {
+            Some(Arc::new(Engine::new(EngineConfig::with_workers(workers))))
+        }
+        _ => None,
+    };
+
+    let mut results: Vec<Option<Result<ReplayReport, SimError>>> = Vec::new();
+    results.resize_with(traces.len(), || None);
+    if traces.is_empty() {
+        return Vec::new();
+    }
+
+    if workers <= 1 {
+        for (i, trace) in traces.iter().enumerate() {
+            let mut policy = kind.build(engine.as_ref());
+            results[i] = Some(
+                replay_with_report(trace, policy.as_mut(), options.offline)
+                    .map(|(report, _)| report),
+            );
+        }
+    } else {
+        // Work stealing over a shared index counter; each slot of `results`
+        // is written by exactly one worker, then reassembled in order.
+        let next = AtomicUsize::new(0);
+        let slots: Vec<std::sync::Mutex<Option<Result<ReplayReport, SimError>>>> = (0..traces
+            .len())
+            .map(|_| std::sync::Mutex::new(None))
+            .collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers.min(traces.len()) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= traces.len() {
+                        break;
+                    }
+                    let mut policy = kind.build(engine.as_ref());
+                    let result = replay_with_report(&traces[i], policy.as_mut(), options.offline)
+                        .map(|(report, _)| report);
+                    *slots[i].lock().unwrap() = Some(result);
+                });
+            }
+        });
+        for (i, slot) in slots.into_iter().enumerate() {
+            results[i] = slot.into_inner().unwrap();
+        }
+    }
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every trace replayed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sched_core::trace::TimedJob;
+
+    /// Small enough (2·28 = 56 candidates) that the auto reference is the
+    /// exact optimum, making the `ratio >= 1` assertions theorems.
+    fn fleet(n: usize) -> Vec<ArrivalTrace> {
+        (0..n)
+            .map(|i| ArrivalTrace {
+                name: format!("t{i}"),
+                num_processors: 2,
+                horizon: 7,
+                restart: 3.0,
+                rate: 1.0,
+                jobs: (0..4)
+                    .map(|j| {
+                        let release = ((i + j) % 4) as u32;
+                        TimedJob::window(1.0, release, (j % 2) as u32, release, release + 3)
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fleet_results_bit_identical_across_worker_counts() {
+        let traces = fleet(7);
+        for kind in ["greedy", "hiring", "resolve:3"] {
+            let kind: PolicyKind = kind.parse().unwrap();
+            let base = replay_fleet(
+                &traces,
+                &kind,
+                &FleetOptions {
+                    workers: 1,
+                    offline: OfflineRef::Auto,
+                },
+            );
+            for workers in [2, 4] {
+                let other = replay_fleet(
+                    &traces,
+                    &kind,
+                    &FleetOptions {
+                        workers,
+                        offline: OfflineRef::Auto,
+                    },
+                );
+                let a: Vec<String> = base
+                    .iter()
+                    .map(|r| serde_json::to_string(r.as_ref().unwrap()).unwrap())
+                    .collect();
+                let b: Vec<String> = other
+                    .iter()
+                    .map(|r| serde_json::to_string(r.as_ref().unwrap()).unwrap())
+                    .collect();
+                assert_eq!(a, b, "{kind} differs at {workers} workers");
+            }
+        }
+    }
+
+    #[test]
+    fn resolve_fleet_shares_an_engine() {
+        let traces = fleet(5);
+        let kind = PolicyKind::Resolve { period: 3 };
+        let reports = replay_fleet(&traces, &kind, &FleetOptions::default());
+        for r in reports {
+            let r = r.unwrap();
+            assert_eq!(r.dropped, 0);
+            assert!(r.ratio >= 1.0 - 1e-9, "ratio {}", r.ratio);
+            assert!(r.events >= 1);
+        }
+    }
+
+    #[test]
+    fn empty_fleet_is_fine() {
+        assert!(replay_fleet(&[], &PolicyKind::Greedy, &FleetOptions::default()).is_empty());
+    }
+}

@@ -1,0 +1,676 @@
+//! Online scheduling policies and the decision interface they implement.
+//!
+//! A [`Policy`] is called once per time slot with a [`SlotView`] — the
+//! causality-restricted window onto the trace (only released jobs are
+//! visible) — and answers with a [`SlotDecision`]: which processors to keep
+//! awake during the slot and which pending jobs to run on them. The
+//! simulator in [`crate::replay`] validates every decision, so a policy
+//! cannot cheat (run an unreleased job, double-book a slot, run a job on a
+//! sleeping processor).
+//!
+//! Three policies ship with the crate, spanning the design space the paper's
+//! online chapter motivates:
+//!
+//! * [`GreedyWake`] — wake on demand, sleep when idle: runs every runnable
+//!   pending job at its first opportunity (least-slack first) and never pays
+//!   for an idle slot. Maximum restarts, zero idle energy.
+//! * [`ThresholdHiring`] — secretary-style: serves eagerly while *observing*
+//!   demand for a prefix of the horizon, then uses Dynkin's threshold rule
+//!   (via [`secretary::classic_secretary`]) to commit to a hold-awake
+//!   regime: once hired, awake processors are kept awake through idle gaps
+//!   up to the restart/rate break-even point (the ski-rental rule for sleep
+//!   states).
+//! * [`PeriodicResolve`] — every `k` slots (and whenever a newly revealed
+//!   job would expire before the next checkpoint), re-solves the revealed
+//!   suffix through the offline [`sched_core::Solver`] and follows that
+//!   plan; optionally shares a [`sched_engine::Engine`] worker pool so
+//!   fleets of traces reuse one candidate-enumeration cache.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use sched_core::{AffineCost, CandidateInterval, Instance, Job, SlotRef, Solver, TimedJob};
+use sched_engine::{Engine, SolveRequest};
+use secretary::classic_secretary;
+
+/// What a policy may see at one time slot: the clock, the trace geometry,
+/// the *released* jobs, and yesterday's machine state. Constructed by the
+/// simulator; policies cannot reach unreleased jobs through it.
+pub struct SlotView<'a> {
+    /// Current slot.
+    pub now: u32,
+    /// Number of processors.
+    pub num_processors: u32,
+    /// Horizon `T`.
+    pub horizon: u32,
+    /// Restart cost of the trace's affine model.
+    pub restart: f64,
+    /// Per-slot rate of the trace's affine model.
+    pub rate: f64,
+    pub(crate) jobs: &'a [TimedJob],
+    pub(crate) pending: &'a [usize],
+    pub(crate) awake_prev: &'a [bool],
+}
+
+impl SlotView<'_> {
+    /// Ids of released, unscheduled, unexpired jobs (ascending).
+    pub fn pending(&self) -> &[usize] {
+        self.pending
+    }
+
+    /// The job data for a *released* job id.
+    ///
+    /// # Panics
+    /// Panics if the job has not been released yet — the causality guard.
+    pub fn job(&self, id: usize) -> &TimedJob {
+        let j = &self.jobs[id];
+        assert!(
+            j.release <= self.now,
+            "policy peeked at job {id} before its release ({} > {})",
+            j.release,
+            self.now
+        );
+        j
+    }
+
+    /// Was `proc` awake during the previous slot?
+    pub fn was_awake(&self, proc: u32) -> bool {
+        self.awake_prev[proc as usize]
+    }
+
+    /// Processors on which `id` may run *right now* (sorted, deduped).
+    pub fn runnable_procs(&self, id: usize) -> Vec<u32> {
+        let mut procs: Vec<u32> = self
+            .job(id)
+            .allowed
+            .iter()
+            .filter(|s| s.time == self.now)
+            .map(|s| s.proc)
+            .collect();
+        procs.sort_unstable();
+        procs.dedup();
+        procs
+    }
+
+    /// Number of allowed slots strictly after `now` — the job's remaining
+    /// opportunities if it is not run in this slot.
+    pub fn slack(&self, id: usize) -> usize {
+        self.job(id)
+            .allowed
+            .iter()
+            .filter(|s| s.time > self.now)
+            .count()
+    }
+}
+
+/// A policy's answer for one slot.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SlotDecision {
+    /// Processors awake during this slot (sorted, deduped by the policy;
+    /// the simulator validates).
+    pub awake: Vec<u32>,
+    /// `(job id, processor)` assignments executing in this slot. Every
+    /// processor must appear in `awake` and at most once in `run`.
+    pub run: Vec<(usize, u32)>,
+}
+
+/// An online scheduling policy: one decision per slot, under causality.
+pub trait Policy: Send {
+    /// Display name carried into reports.
+    fn name(&self) -> String;
+
+    /// Decides the current slot.
+    fn decide(&mut self, view: &SlotView<'_>) -> SlotDecision;
+
+    /// Policy-specific event count (re-solves, hiring commitments, …);
+    /// reported as `events` in replay reports.
+    fn events(&self) -> u64 {
+        0
+    }
+}
+
+/// Least-slack-first eager assignment: the shared work-horse of the
+/// policies. Orders pending jobs by `(slack, id)` and places each on a free
+/// allowed processor, preferring processors already woken this slot, then
+/// processors awake in the previous slot, then the lowest index. With
+/// `forced_only` set, only jobs out of slack (their last opportunity is this
+/// slot) are placed — the deadline-rescue pass.
+pub fn greedy_decision(view: &SlotView<'_>, forced_only: bool) -> SlotDecision {
+    let mut order: Vec<usize> = view.pending().to_vec();
+    order.sort_by_key(|&id| (view.slack(id), id));
+    let mut used = vec![false; view.num_processors as usize];
+    let mut decision = SlotDecision::default();
+    for id in order {
+        if forced_only && view.slack(id) > 0 {
+            continue;
+        }
+        let pick = view
+            .runnable_procs(id)
+            .into_iter()
+            .filter(|&p| !used[p as usize])
+            .min_by_key(|&p| (!decision.awake.contains(&p), !view.was_awake(p), p));
+        if let Some(p) = pick {
+            used[p as usize] = true;
+            if !decision.awake.contains(&p) {
+                decision.awake.push(p);
+            }
+            decision.run.push((id, p));
+        }
+    }
+    decision.awake.sort_unstable();
+    decision
+}
+
+/// Wake on demand, sleep when idle: every runnable pending job runs at its
+/// first opportunity; a processor is awake exactly when it executes a job.
+/// The maximal-restart / zero-idle corner of the design space.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GreedyWake;
+
+impl Policy for GreedyWake {
+    fn name(&self) -> String {
+        "greedy".into()
+    }
+
+    fn decide(&mut self, view: &SlotView<'_>) -> SlotDecision {
+        greedy_decision(view, false)
+    }
+}
+
+/// Secretary-style threshold hiring.
+///
+/// For the first `observe_frac` of the horizon the policy serves jobs
+/// eagerly (like [`GreedyWake`]) while recording the per-slot demand — the
+/// total value of pending jobs runnable in that slot. After the observation
+/// phase it applies Dynkin's rule through
+/// [`secretary::classic_secretary`]: the first slot whose demand strictly
+/// beats everything observed triggers the *hiring commitment*. From then on
+/// the policy holds awake processors through idle gaps of up to
+/// `ceil(restart / rate)` slots (the ski-rental break-even: holding longer
+/// than that would cost more than a fresh restart), re-entering the hold
+/// regime whenever demand beats the observed threshold again.
+pub struct ThresholdHiring {
+    observe_frac: f64,
+    demand: Vec<f64>,
+    hired: bool,
+    commits: u64,
+    idle_streak: Vec<u32>,
+}
+
+impl ThresholdHiring {
+    /// The canonical observation fraction `1/e`.
+    pub const INV_E: f64 = 0.36787944117144233;
+
+    /// `observe_frac` is clamped to `[0, 0.9]`.
+    pub fn new(observe_frac: f64) -> Self {
+        Self {
+            observe_frac: observe_frac.clamp(0.0, 0.9),
+            demand: Vec::new(),
+            hired: false,
+            commits: 0,
+            idle_streak: Vec::new(),
+        }
+    }
+
+    fn cutoff(&self, horizon: u32) -> usize {
+        (horizon as f64 * self.observe_frac).floor() as usize
+    }
+}
+
+impl Default for ThresholdHiring {
+    fn default() -> Self {
+        Self::new(Self::INV_E)
+    }
+}
+
+impl Policy for ThresholdHiring {
+    fn name(&self) -> String {
+        format!("hiring:{:.3}", self.observe_frac)
+    }
+
+    fn decide(&mut self, view: &SlotView<'_>) -> SlotDecision {
+        let t = view.now as usize;
+        let cutoff = self.cutoff(view.horizon);
+        self.idle_streak.resize(view.num_processors as usize, 0);
+        let demand_now: f64 = view
+            .pending()
+            .iter()
+            .filter(|&&id| !view.runnable_procs(id).is_empty())
+            .map(|&id| view.job(id).value)
+            .sum();
+        self.demand.push(demand_now);
+
+        let mut decision = greedy_decision(view, false);
+
+        if t >= cutoff && !self.hired {
+            // Dynkin's rule on the demand stream revealed so far. The
+            // fraction is chosen so classic_secretary's internal cutoff is
+            // exactly ours; Some(t) means this very slot is the first whose
+            // demand strictly beats the whole observation phase.
+            let frac = (cutoff as f64 + 0.5) / (t + 1) as f64;
+            if classic_secretary(&self.demand, frac) == Some(t) {
+                self.hired = true;
+                self.commits += 1;
+            }
+        }
+
+        if self.hired {
+            // Hold-awake regime: keep yesterday's awake processors awake
+            // through idle gaps shorter than the restart break-even.
+            let break_even = if view.rate > 0.0 {
+                (view.restart / view.rate).ceil() as u32
+            } else {
+                view.horizon
+            };
+            for p in 0..view.num_processors {
+                let running = decision.awake.contains(&p);
+                if running {
+                    self.idle_streak[p as usize] = 0;
+                } else if view.was_awake(p) && self.idle_streak[p as usize] < break_even {
+                    self.idle_streak[p as usize] += 1;
+                    decision.awake.push(p);
+                }
+            }
+            decision.awake.sort_unstable();
+        }
+        decision
+    }
+
+    fn events(&self) -> u64 {
+        self.commits
+    }
+}
+
+/// How [`PeriodicResolve`] runs its suffix solves.
+enum Resolver {
+    /// Inline [`Solver`] call on the policy's thread.
+    Inline,
+    /// Shared [`sched_engine::Engine`] worker pool: fleets of traces on the
+    /// same grid reuse one per-worker candidate-enumeration cache.
+    Engine(Arc<Engine>),
+}
+
+/// Re-solve the revealed suffix every `period` slots through the offline
+/// solver stack, then follow the plan.
+///
+/// At each checkpoint (and early, whenever a newly revealed job would expire
+/// before the next checkpoint) the policy builds an [`Instance`] from all
+/// pending jobs with their remaining windows and solves `schedule_all` over
+/// the full grid — either inline or through a shared [`Engine`]. The
+/// resulting schedule *is* the plan: awake intervals (clamped to the
+/// present) and per-job slot assignments, followed verbatim until the next
+/// re-solve. A forced-job rescue pass backstops arrivals the plan missed,
+/// and an infeasible suffix degrades to eager greedy for one slot.
+///
+/// Unlike the eager policies, plan-following *defers* jobs toward cheap
+/// merged intervals — so an adversarial late arrival can collide with a
+/// deferred job in a way no re-solve can repair (the early slots the
+/// offline optimum would have used are already in the past). Such losses
+/// are intrinsic to deferral, are counted in
+/// [`ReplayOutcome::dropped`](crate::replay::ReplayOutcome::dropped), and
+/// show up as `fallbacks` here.
+pub struct PeriodicResolve {
+    period: u32,
+    resolver: Resolver,
+    next_resolve: u32,
+    plan_awake: Vec<CandidateInterval>,
+    plan_assign: HashMap<usize, SlotRef>,
+    /// Set when the last re-solve found the suffix infeasible; until the
+    /// next checkpoint the policy serves eagerly instead of following a
+    /// (nonexistent) plan.
+    degraded: bool,
+    resolves: u64,
+    fallbacks: u64,
+}
+
+/// Ids for engine-mode solve requests; global so concurrent fleet replays
+/// sharing one engine never collide (ids are only used for diagnostics).
+static RESOLVE_REQUEST_IDS: AtomicU64 = AtomicU64::new(0);
+
+impl PeriodicResolve {
+    /// Re-solve every `period` slots (`period >= 1`), solving inline.
+    pub fn new(period: u32) -> Self {
+        Self {
+            period: period.max(1),
+            resolver: Resolver::Inline,
+            next_resolve: 0,
+            plan_awake: Vec::new(),
+            plan_assign: HashMap::new(),
+            degraded: false,
+            resolves: 0,
+            fallbacks: 0,
+        }
+    }
+
+    /// Same policy, but suffix solves go through `engine`'s worker pool.
+    pub fn with_engine(period: u32, engine: Arc<Engine>) -> Self {
+        Self {
+            resolver: Resolver::Engine(engine),
+            ..Self::new(period)
+        }
+    }
+
+    /// Number of suffix re-solves performed so far.
+    pub fn resolves(&self) -> u64 {
+        self.resolves
+    }
+
+    /// Number of slots that fell back to eager greedy (infeasible suffix).
+    pub fn fallbacks(&self) -> u64 {
+        self.fallbacks
+    }
+
+    fn resolve(&mut self, view: &SlotView<'_>) {
+        self.plan_awake.clear();
+        self.plan_assign.clear();
+        self.degraded = false;
+        self.next_resolve = view.now + self.period;
+        if view.pending().is_empty() {
+            return;
+        }
+        self.resolves += 1;
+
+        let ids: Vec<usize> = view.pending().to_vec();
+        let jobs: Vec<Job> = ids
+            .iter()
+            .map(|&id| {
+                let j = view.job(id);
+                Job {
+                    value: j.value,
+                    allowed: j
+                        .allowed
+                        .iter()
+                        .copied()
+                        .filter(|s| s.time >= view.now)
+                        .collect(),
+                }
+            })
+            .collect();
+        let inst = Instance {
+            num_processors: view.num_processors,
+            horizon: view.horizon,
+            jobs,
+        };
+
+        let solved = match &self.resolver {
+            Resolver::Inline => {
+                let cost = AffineCost::new(view.restart, view.rate);
+                Solver::new(&inst, &cost).schedule_all().ok()
+            }
+            Resolver::Engine(engine) => {
+                let id = RESOLVE_REQUEST_IDS.fetch_add(1, Ordering::Relaxed);
+                let req = SolveRequest::schedule_all(id, inst, view.restart, view.rate);
+                engine.submit(req).wait().schedule
+            }
+        };
+        let Some(schedule) = solved else {
+            // Infeasible suffix: serve eagerly until the next slot's retry.
+            self.degraded = true;
+            self.next_resolve = view.now + 1;
+            self.fallbacks += 1;
+            return;
+        };
+
+        for iv in &schedule.awake {
+            let mut iv = *iv;
+            iv.start = iv.start.max(view.now);
+            if iv.start < iv.end {
+                self.plan_awake.push(iv);
+            }
+        }
+        for (i, asg) in schedule.assignments.iter().enumerate() {
+            if let Some(slot) = asg {
+                self.plan_assign.insert(ids[i], *slot);
+            }
+        }
+    }
+}
+
+impl Policy for PeriodicResolve {
+    fn name(&self) -> String {
+        format!("resolve:{}", self.period)
+    }
+
+    fn decide(&mut self, view: &SlotView<'_>) -> SlotDecision {
+        let unplanned_expires = view.pending().iter().any(|&id| {
+            !self.plan_assign.contains_key(&id)
+                && view
+                    .job(id)
+                    .deadline()
+                    .is_some_and(|d| d < self.next_resolve)
+        });
+        if view.now >= self.next_resolve || unplanned_expires {
+            self.resolve(view);
+        }
+
+        if self.degraded {
+            // Last re-solve found the suffix infeasible: serve eagerly.
+            return greedy_decision(view, false);
+        }
+
+        let mut used = vec![false; view.num_processors as usize];
+        let mut decision = SlotDecision::default();
+        for &id in view.pending() {
+            if let Some(slot) = self.plan_assign.get(&id) {
+                if slot.time == view.now && !used[slot.proc as usize] {
+                    used[slot.proc as usize] = true;
+                    decision.run.push((id, slot.proc));
+                }
+            }
+        }
+        for p in 0..view.num_processors {
+            let planned_awake = self.plan_awake.iter().any(|iv| iv.covers(p, view.now));
+            if planned_awake || used[p as usize] {
+                decision.awake.push(p);
+            }
+        }
+
+        // Rescue pass: forced jobs the plan missed (released after the last
+        // re-solve, at their final opportunity) are placed on free allowed
+        // processors rather than dropped.
+        let mut rescue: Vec<usize> = view
+            .pending()
+            .iter()
+            .copied()
+            .filter(|id| {
+                !self.plan_assign.contains_key(id)
+                    && view.slack(*id) == 0
+                    && !decision.run.iter().any(|(j, _)| j == id)
+            })
+            .collect();
+        rescue.sort_unstable();
+        for id in rescue {
+            let pick = view
+                .runnable_procs(id)
+                .into_iter()
+                .find(|&p| !used[p as usize]);
+            if let Some(p) = pick {
+                used[p as usize] = true;
+                if !decision.awake.contains(&p) {
+                    decision.awake.push(p);
+                }
+                decision.run.push((id, p));
+            }
+        }
+        decision.awake.sort_unstable();
+        decision
+    }
+
+    fn events(&self) -> u64 {
+        self.resolves
+    }
+}
+
+/// Parseable policy selector — the `--policy` flag of `power-sched replay`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PolicyKind {
+    /// [`GreedyWake`].
+    Greedy,
+    /// [`ThresholdHiring`] with the given observation fraction.
+    Hiring {
+        /// Fraction of the horizon observed before hiring.
+        observe_frac: f64,
+    },
+    /// [`PeriodicResolve`] with the given re-solve period.
+    Resolve {
+        /// Slots between suffix re-solves.
+        period: u32,
+    },
+}
+
+impl PolicyKind {
+    /// Instantiates the policy. When `engine` is given and the kind is
+    /// [`PolicyKind::Resolve`], suffix solves go through the shared pool.
+    pub fn build(&self, engine: Option<&Arc<Engine>>) -> Box<dyn Policy> {
+        match *self {
+            PolicyKind::Greedy => Box::new(GreedyWake),
+            PolicyKind::Hiring { observe_frac } => Box::new(ThresholdHiring::new(observe_frac)),
+            PolicyKind::Resolve { period } => match engine {
+                Some(e) => Box::new(PeriodicResolve::with_engine(period, Arc::clone(e))),
+                None => Box::new(PeriodicResolve::new(period)),
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolicyKind::Greedy => write!(f, "greedy"),
+            PolicyKind::Hiring { observe_frac } => write!(f, "hiring:{observe_frac:.3}"),
+            PolicyKind::Resolve { period } => write!(f, "resolve:{period}"),
+        }
+    }
+}
+
+impl std::str::FromStr for PolicyKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "greedy" => Ok(PolicyKind::Greedy),
+            "hiring" => Ok(PolicyKind::Hiring {
+                observe_frac: ThresholdHiring::INV_E,
+            }),
+            "resolve" => Ok(PolicyKind::Resolve { period: 4 }),
+            other => {
+                if let Some(f) = other.strip_prefix("hiring:") {
+                    let observe_frac: f64 = f
+                        .parse()
+                        .map_err(|e| format!("bad observe fraction in '{other}': {e}"))?;
+                    if !(0.0..=0.9).contains(&observe_frac) {
+                        return Err(format!("observe fraction {observe_frac} outside [0, 0.9]"));
+                    }
+                    Ok(PolicyKind::Hiring { observe_frac })
+                } else if let Some(k) = other.strip_prefix("resolve:") {
+                    let period: u32 = k
+                        .parse()
+                        .map_err(|e| format!("bad period in '{other}': {e}"))?;
+                    if period == 0 {
+                        return Err("resolve period must be positive".into());
+                    }
+                    Ok(PolicyKind::Resolve { period })
+                } else {
+                    Err(format!(
+                        "unknown policy '{other}' (expected greedy, hiring[:F], or resolve[:K])"
+                    ))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_kind_parse_and_display() {
+        assert_eq!("greedy".parse::<PolicyKind>().unwrap(), PolicyKind::Greedy);
+        assert_eq!(
+            "resolve:8".parse::<PolicyKind>().unwrap(),
+            PolicyKind::Resolve { period: 8 }
+        );
+        assert_eq!(
+            "hiring:0.5".parse::<PolicyKind>().unwrap(),
+            PolicyKind::Hiring { observe_frac: 0.5 }
+        );
+        assert!(matches!(
+            "hiring".parse::<PolicyKind>().unwrap(),
+            PolicyKind::Hiring { .. }
+        ));
+        assert!(matches!(
+            "resolve".parse::<PolicyKind>().unwrap(),
+            PolicyKind::Resolve { period: 4 }
+        ));
+        for bad in ["", "bogus", "resolve:0", "resolve:x", "hiring:2.0"] {
+            assert!(bad.parse::<PolicyKind>().is_err(), "{bad} should not parse");
+        }
+        assert_eq!(PolicyKind::Resolve { period: 4 }.to_string(), "resolve:4");
+        assert_eq!(PolicyKind::Greedy.to_string(), "greedy");
+    }
+
+    #[test]
+    fn greedy_decision_prefers_already_awake_processors() {
+        let jobs = vec![
+            TimedJob::window(1.0, 0, 0, 0, 4),
+            TimedJob::window(1.0, 0, 1, 0, 4),
+        ];
+        let pending = vec![0usize, 1];
+        let awake_prev = vec![false, true];
+        let view = SlotView {
+            now: 0,
+            num_processors: 2,
+            horizon: 4,
+            restart: 3.0,
+            rate: 1.0,
+            jobs: &jobs,
+            pending: &pending,
+            awake_prev: &awake_prev,
+        };
+        // each job is single-processor here, so both procs get used
+        let d = greedy_decision(&view, false);
+        assert_eq!(d.awake, vec![0, 1]);
+        assert_eq!(d.run.len(), 2);
+
+        // a two-processor job prefers the previously awake processor
+        let jobs = vec![TimedJob {
+            release: 0,
+            value: 1.0,
+            allowed: vec![SlotRef::new(0, 0), SlotRef::new(1, 0)],
+        }];
+        let pending = vec![0usize];
+        let view = SlotView {
+            now: 0,
+            num_processors: 2,
+            horizon: 4,
+            restart: 3.0,
+            rate: 1.0,
+            jobs: &jobs,
+            pending: &pending,
+            awake_prev: &awake_prev,
+        };
+        let d = greedy_decision(&view, false);
+        assert_eq!(d.run, vec![(0, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "before its release")]
+    fn view_enforces_causality() {
+        let jobs = vec![TimedJob::window(1.0, 5, 0, 5, 8)];
+        let pending: Vec<usize> = vec![];
+        let awake_prev = vec![false];
+        let view = SlotView {
+            now: 2,
+            num_processors: 1,
+            horizon: 8,
+            restart: 1.0,
+            rate: 1.0,
+            jobs: &jobs,
+            pending: &pending,
+            awake_prev: &awake_prev,
+        };
+        let _ = view.job(0);
+    }
+}

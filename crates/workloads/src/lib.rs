@@ -10,17 +10,24 @@
 //! * [`market`] — sinusoidal day/night energy-price curves with noise, for
 //!   the time-varying-cost scenario the paper motivates;
 //! * [`secretary_streams`] — random utility functions (coverage, directed
-//!   cut, additive with heavy tails) for the Chapter 3 experiments.
+//!   cut, additive with heavy tails) for the Chapter 3 experiments;
+//! * [`arrivals`] — timed arrival traces (Poisson bursts, diurnal load,
+//!   adversarial deadline cliffs) for the `sched-sim` online replay
+//!   harness.
 //!
 //! All generators take explicit RNGs so every experiment is reproducible
 //! from its printed seed.
 
+pub mod arrivals;
 pub mod market;
 pub mod online_hiring;
 pub mod planted;
 pub mod secretary_streams;
 pub mod setcover_hard;
 
+pub use arrivals::{
+    deadline_cliffs, diurnal, generate_trace, poisson_bursts, ArrivalConfig, TraceKind,
+};
 pub use market::market_prices;
 pub use online_hiring::ProcessorRankFn;
 pub use planted::{planted_instance, PlantedConfig, PlantedInstance};

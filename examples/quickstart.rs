@@ -52,6 +52,15 @@ fn main() {
     }
     println!("\ntotal energy cost: {:.2}", schedule.total_cost);
 
+    // Replay the schedule slot by slot: the PowerTrace Display shows each
+    // processor's machine states as run-length-encoded S/I/B (sleep, idle,
+    // busy) runs with restart and utilization accounting.
+    println!("\nmachine-state timeline:");
+    print!(
+        "{}",
+        power_scheduling::scheduling::simulate::simulate(&inst, &schedule)
+    );
+
     // Validation is available as a library call:
     let violations = power_scheduling::scheduling::model::validate_schedule(&inst, &schedule);
     assert!(violations.is_empty(), "schedule invalid: {violations:?}");

@@ -2,11 +2,15 @@
 //!
 //! ```text
 //! power-sched generate --seed 7 --processors 2 --horizon 16 --jobs 12 --out inst.json
+//! power-sched generate --trace poisson --seed 7 --horizon 24 --jobs 12 --out trace.json
 //! power-sched solve inst.json --restart 3 --rate 1 [--target 25.5] [--out sched.json]
 //! power-sched validate inst.json sched.json
 //! power-sched batch requests.jsonl [--workers N] [--out responses.jsonl]
 //! power-sched batch requests.jsonl --connect HOST:PORT [--shutdown]
 //! power-sched serve --addr 127.0.0.1:7171 [--workers N]
+//! power-sched replay trace.json --policy resolve:4 [--offline auto] [--verbose]
+//! power-sched replay traces/ --policy greedy --workers 4 --out reports.jsonl
+//! power-sched replay --gen cliffs --count 4 --seed 7 --policy hiring
 //! ```
 //!
 //! Instances and schedules are serialized with serde as plain JSON, so they
@@ -15,14 +19,20 @@
 //! request object per line, one response line per request, in input order.
 //! `batch --connect` turns the same subcommand into a TCP client, which is
 //! how scripts drive (and gracefully shut down, via `--shutdown`) a running
-//! `serve` instance.
+//! `serve` instance. `replay` drives the `sched-sim` online simulator: it
+//! replays timed arrival traces (files, a directory, or generated on the
+//! fly with `--gen`) through an online policy and reports one JSON line per
+//! trace — online cost, offline reference cost, and the empirical
+//! competitive ratio — plus an aggregate table on stderr.
 
 use power_scheduling::engine::{serve, Engine, EngineConfig};
 use power_scheduling::prelude::*;
 use power_scheduling::scheduling::model::validate_schedule;
 use power_scheduling::scheduling::simulate::simulate;
 use power_scheduling::workloads::planted::PlantedCostModel;
-use power_scheduling::workloads::{planted_instance, PlantedConfig};
+use power_scheduling::workloads::{
+    generate_trace, planted_instance, ArrivalConfig, PlantedConfig, TraceKind,
+};
 use rand::SeedableRng;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -36,15 +46,21 @@ fn main() -> ExitCode {
         Some("validate") => cmd_validate(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
         _ => {
             eprintln!(
-                "usage: power-sched <generate|solve|validate|batch|serve> ...\n\
+                "usage: power-sched <generate|solve|validate|batch|serve|replay> ...\n\
                  \n  generate --seed S --processors P --horizon T --jobs N [--values V] --out FILE\
+                 \n  generate --trace poisson|diurnal|cliffs --seed S [--processors P --horizon T --jobs N\
+                 \n           --restart A --rate R --slack K --values V] --out FILE\
                  \n  solve INSTANCE.json [--restart A] [--rate R] [--target Z] [--policy all|single|maxlen:K] [--out FILE]\
                  \n  validate INSTANCE.json SCHEDULE.json\
                  \n  batch [REQUESTS.jsonl|-] [--workers N] [--queue D] [--out FILE]\
                  \n  batch [REQUESTS.jsonl|-] --connect HOST:PORT [--shutdown] [--out FILE]\
-                 \n  serve --addr HOST:PORT [--workers N] [--queue D]"
+                 \n  serve --addr HOST:PORT [--workers N] [--queue D]\
+                 \n  replay [TRACE.json|DIR] [--gen poisson|diurnal|cliffs --count N --seed S ...]\
+                 \n         [--policy greedy|hiring[:F]|resolve[:K]] [--offline auto|greedy|exact]\
+                 \n         [--workers N] [--out FILE] [--verbose]"
             );
             return ExitCode::from(2);
         }
@@ -64,6 +80,48 @@ fn flag(args: &[String], name: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
+fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match flag(args, name) {
+        Some(v) => v.parse().map_err(|e| format!("bad {name}: {e}")),
+        None => Ok(default),
+    }
+}
+
+/// Parses the shared arrival-trace sizing flags. Unset flags fall back to
+/// [`ArrivalConfig::default`], so `generate --trace` and `replay --gen`
+/// describe the same workload by default.
+fn arrival_config(args: &[String]) -> Result<ArrivalConfig, String> {
+    let d = ArrivalConfig::default();
+    let cfg = ArrivalConfig {
+        num_processors: parse_flag(args, "--processors", d.num_processors)?,
+        horizon: parse_flag(args, "--horizon", d.horizon)?,
+        target_jobs: parse_flag(args, "--jobs", d.target_jobs)?,
+        restart: parse_flag(args, "--restart", d.restart)?,
+        rate: parse_flag(args, "--rate", d.rate)?,
+        max_value: parse_flag(args, "--values", d.max_value)?,
+        slack: parse_flag(args, "--slack", d.slack)?,
+    };
+    if cfg.num_processors == 0 || cfg.horizon == 0 {
+        return Err("--processors and --horizon must be positive".into());
+    }
+    if !(cfg.restart.is_finite()
+        && cfg.rate.is_finite()
+        && cfg.restart >= 0.0
+        && cfg.rate >= 0.0
+        && cfg.restart + cfg.rate > 0.0)
+    {
+        return Err(format!(
+            "--restart/--rate must be finite, non-negative, and not both zero \
+             (got {}, {})",
+            cfg.restart, cfg.rate
+        ));
+    }
+    Ok(cfg)
+}
+
 fn cmd_generate(args: &[String]) -> Result<(), String> {
     let seed: u64 =
         flag(args, "--seed").map_or(Ok(0), |v| v.parse().map_err(|e| format!("{e}")))?;
@@ -76,6 +134,31 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     let values: u32 =
         flag(args, "--values").map_or(Ok(1), |v| v.parse().map_err(|e| format!("{e}")))?;
     let out = flag(args, "--out").ok_or("--out FILE is required")?;
+
+    if let Some(kind) = flag(args, "--trace") {
+        let kind: TraceKind = kind.parse()?;
+        let cfg = arrival_config(args)?;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut trace = generate_trace(kind, &cfg, &mut rng);
+        trace.name = format!("{}-s{seed}", trace.name);
+        // Never write a trace the replay subcommand would reject.
+        trace
+            .validate()
+            .map_err(|e| format!("generated trace is invalid: {e}"))?;
+        let json = serde_json::to_string_pretty(&trace).map_err(|e| e.to_string())?;
+        std::fs::write(&out, json).map_err(|e| e.to_string())?;
+        println!(
+            "wrote {} ({}: {} jobs, {} processors, horizon {}, restart {}, rate {})",
+            out,
+            trace.name,
+            trace.jobs.len(),
+            trace.num_processors,
+            trace.horizon,
+            trace.restart,
+            trace.rate
+        );
+        return Ok(());
+    }
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let p = planted_instance(
@@ -295,6 +378,148 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     std::io::stdout().flush().ok();
     serve(listener, cfg).map_err(|e| format!("serve loop: {e}"))?;
     println!("power-sched serve: shutdown complete");
+    Ok(())
+}
+
+/// Loads the replay workload: positional trace file / directory operands,
+/// plus `--gen KIND --count N` generated traces.
+fn replay_traces(args: &[String]) -> Result<Vec<ArrivalTrace>, String> {
+    let mut traces: Vec<ArrivalTrace> = Vec::new();
+
+    // Positional operands may appear anywhere among the flags; every flag
+    // of `replay` except --verbose consumes one value operand.
+    let mut operands: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i].starts_with("--") {
+            i += if args[i] == "--verbose" { 1 } else { 2 };
+        } else {
+            operands.push(&args[i]);
+            i += 1;
+        }
+    }
+    let mut paths: Vec<std::path::PathBuf> = Vec::new();
+    for a in operands {
+        let path = std::path::Path::new(a);
+        if path.is_dir() {
+            let mut entries: Vec<std::path::PathBuf> = std::fs::read_dir(path)
+                .map_err(|e| format!("reading {a}: {e}"))?
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|x| x == "json"))
+                .collect();
+            entries.sort(); // deterministic replay order
+            paths.extend(entries);
+        } else {
+            paths.push(path.to_path_buf());
+        }
+    }
+    for path in paths {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let mut trace: ArrivalTrace = serde_json::from_str(&text)
+            .map_err(|e| format!("{} is not a valid trace: {e}", path.display()))?;
+        trace
+            .validate()
+            .map_err(|e| format!("{} is not a valid trace: {e}", path.display()))?;
+        if trace.name.is_empty() {
+            trace.name = path.file_stem().map_or_else(
+                || path.display().to_string(),
+                |s| s.to_string_lossy().into(),
+            );
+        }
+        traces.push(trace);
+    }
+
+    if let Some(kind) = flag(args, "--gen") {
+        let kind: TraceKind = kind.parse()?;
+        let count: usize = parse_flag(args, "--count", 2)?;
+        let seed: u64 = parse_flag(args, "--seed", 0)?;
+        let cfg = arrival_config(args)?;
+        for i in 0..count {
+            let trace_seed = seed.wrapping_add(i as u64);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(trace_seed);
+            let mut trace = generate_trace(kind, &cfg, &mut rng);
+            trace.name = format!("{}-s{trace_seed}", trace.name);
+            traces.push(trace);
+        }
+    }
+
+    if traces.is_empty() {
+        return Err("replay needs trace files, a directory, or --gen KIND".into());
+    }
+    Ok(traces)
+}
+
+fn cmd_replay(args: &[String]) -> Result<(), String> {
+    let traces = replay_traces(args)?;
+    let policy: PolicyKind = flag(args, "--policy")
+        .unwrap_or_else(|| "greedy".into())
+        .parse()?;
+    let offline: OfflineRef = flag(args, "--offline")
+        .unwrap_or_else(|| "auto".into())
+        .parse()?;
+    let workers: usize = parse_flag(args, "--workers", 1)?;
+    let verbose = args.iter().any(|a| a == "--verbose");
+
+    let reports: Vec<ReplayReport> = if verbose {
+        // Sequential so each report can be narrated with its machine-state
+        // timeline; the reports themselves are identical to the parallel
+        // path (replay is deterministic).
+        let mut out = Vec::with_capacity(traces.len());
+        for trace in &traces {
+            let mut p = policy.build(None);
+            let (report, outcome) = replay_with_report(trace, p.as_mut(), offline)
+                .map_err(|e| format!("replaying {}: {e}", trace.name))?;
+            eprintln!("{} [{}]:", trace.name, report.policy);
+            eprint!("{}", outcome.power);
+            out.push(report);
+        }
+        out
+    } else {
+        replay_fleet(&traces, &policy, &FleetOptions { workers, offline })
+            .into_iter()
+            .zip(&traces)
+            .map(|(r, t)| r.map_err(|e| format!("replaying {}: {e}", t.name)))
+            .collect::<Result<Vec<_>, _>>()?
+    };
+
+    let lines: Vec<String> = reports
+        .iter()
+        .map(|r| serde_json::to_string(r).map_err(|e| e.to_string()))
+        .collect::<Result<Vec<_>, _>>()?;
+    write_responses(args, &lines)?;
+
+    let mut table = bench::Table::new(&[
+        "trace", "policy", "jobs", "sched", "drop", "online", "offline", "ref", "ratio",
+        "restarts", "util", "events",
+    ]);
+    for r in &reports {
+        table.row(vec![
+            r.trace.clone(),
+            r.policy.clone(),
+            r.jobs.to_string(),
+            r.scheduled.to_string(),
+            r.dropped.to_string(),
+            format!("{:.2}", r.online_cost),
+            format!("{:.2}", r.offline_cost),
+            r.offline_ref.clone(),
+            format!("{:.3}", r.ratio),
+            r.restarts.to_string(),
+            format!("{:.2}", r.utilization),
+            r.events.to_string(),
+        ]);
+    }
+    eprint!("{}", table.render());
+    let worst = reports
+        .iter()
+        .map(|r| r.ratio)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let mean = reports.iter().map(|r| r.ratio).sum::<f64>() / reports.len() as f64;
+    eprintln!(
+        "replay: {} trace{} under {policy}: mean ratio {mean:.3}, worst {worst:.3}",
+        reports.len(),
+        if reports.len() == 1 { "" } else { "s" },
+    );
     Ok(())
 }
 

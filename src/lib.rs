@@ -63,6 +63,16 @@ pub mod engine {
     pub use sched_engine::*;
 }
 
+/// The discrete-event online scheduling simulator (re-export of the
+/// `sched-sim` crate): the [`Policy`](sim::Policy) trait, the
+/// [`GreedyWake`](sim::GreedyWake) / [`ThresholdHiring`](sim::ThresholdHiring) /
+/// [`PeriodicResolve`](sim::PeriodicResolve) policies, the causality-enforcing
+/// replay loop, and the competitive-ratio harness behind `power-sched
+/// replay`.
+pub mod sim {
+    pub use sched_sim::*;
+}
+
 /// Submodular functions and budgeted maximization (re-export).
 pub mod submodular {
     pub use ::submodular::*;
@@ -100,9 +110,13 @@ pub mod prelude {
     };
     pub use crate::scheduling::{
         enumerate_candidates, prize_collecting, prize_collecting_exact, schedule_all, AffineCost,
-        CandidateInterval, CandidatePolicy, ConvexCost, EnergyCost, Instance, Job,
+        ArrivalTrace, CandidateInterval, CandidatePolicy, ConvexCost, EnergyCost, Instance, Job,
         PerProcessorAffine, Schedule, ScheduleError, SlotRef, SolveOptions, Solver,
-        TimeVaryingCost,
+        TimeVaryingCost, TimedJob,
+    };
+    pub use crate::sim::{
+        replay_fleet, replay_with_report, FleetOptions, OfflineRef, Policy, PolicyKind,
+        ReplayReport,
     };
     pub use crate::submodular::{budgeted_greedy, BitSet, GreedyConfig, SetFn};
 }

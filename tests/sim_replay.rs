@@ -1,0 +1,132 @@
+//! Integration and property tests for the `sched-sim` online replay
+//! harness: competitive ratios against the offline reference, and
+//! bit-determinism of fleet replay at any worker count.
+
+use power_scheduling::prelude::*;
+use power_scheduling::sim::OfflineRef;
+use power_scheduling::workloads::{generate_trace, ArrivalConfig, TraceKind};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+const KINDS: [TraceKind; 3] = [
+    TraceKind::PoissonBursts,
+    TraceKind::Diurnal,
+    TraceKind::DeadlineCliffs,
+];
+
+const POLICIES: [&str; 3] = ["greedy", "hiring", "resolve:3"];
+
+/// Small enough that the auto offline reference is the *exact* optimum
+/// (2 · 6·7/2 = 42 candidate intervals), making `ratio >= 1` a theorem
+/// whenever the policy schedules every job.
+fn small_cfg() -> ArrivalConfig {
+    ArrivalConfig {
+        num_processors: 2,
+        horizon: 6,
+        target_jobs: 5,
+        restart: 3.0,
+        rate: 1.0,
+        max_value: 2,
+        slack: 2,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For every generated trace and every policy: whenever the policy
+    /// completes the trace, its online cost is bounded below by the offline
+    /// optimum — empirical competitive ratio >= 1. The eager policies
+    /// (greedy, hiring) must *always* complete planted traces; the
+    /// plan-following resolve policy may rarely lose a job to deferral
+    /// (see `PeriodicResolve` docs), which must then be reported.
+    #[test]
+    fn online_cost_dominates_offline_opt(seed in 0u64..10_000, kind_ix in 0usize..3, policy_ix in 0usize..3) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let trace = generate_trace(KINDS[kind_ix], &small_cfg(), &mut rng);
+        let kind: PolicyKind = POLICIES[policy_ix].parse().unwrap();
+        let (report, _) =
+            replay_with_report(&trace, kind.build(None).as_mut(), OfflineRef::Auto).unwrap();
+        prop_assert_eq!(report.offline_ref.as_str(), "exact", "reference must be exact OPT");
+        prop_assert_eq!(report.scheduled + report.dropped, report.jobs, "accounting");
+        if !matches!(kind, PolicyKind::Resolve { .. }) {
+            prop_assert_eq!(report.dropped, 0, "eager policy dropped on a planted trace");
+        }
+        if report.dropped == 0 {
+            // The completed online schedule is itself a feasible offline
+            // schedule, so with an exact reference this is a theorem.
+            prop_assert!(
+                report.ratio >= 1.0 - 1e-9,
+                "policy {} beat OPT on {}: online {} < offline {}",
+                report.policy, report.trace, report.online_cost, report.offline_cost
+            );
+        }
+    }
+
+    /// Replay is bit-deterministic: the same seed produces byte-identical
+    /// report JSON no matter how many fleet workers replay it.
+    #[test]
+    fn fleet_replay_bit_deterministic_at_any_worker_count(seed in 0u64..10_000, policy_ix in 0usize..3) {
+        let traces: Vec<_> = KINDS
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_add(i as u64));
+                generate_trace(k, &small_cfg(), &mut rng)
+            })
+            .collect();
+        let kind: PolicyKind = POLICIES[policy_ix].parse().unwrap();
+        let render = |workers: usize| -> Vec<String> {
+            replay_fleet(&traces, &kind, &FleetOptions { workers, offline: OfflineRef::Auto })
+                .into_iter()
+                .map(|r| serde_json::to_string(&r.unwrap()).unwrap())
+                .collect()
+        };
+        let one = render(1);
+        prop_assert_eq!(&one, &render(2), "2 workers diverged from 1");
+        prop_assert_eq!(&one, &render(5), "5 workers diverged from 1");
+    }
+}
+
+/// The generated-trace smoke matrix the CI step mirrors: 3 policies × the
+/// 3 generators at CLI-default sizes (offline reference may be greedy
+/// there) — ratios stay >= 1 and nothing drops.
+#[test]
+fn cli_default_sizes_ratio_at_least_one() {
+    for kind in KINDS {
+        for policy in POLICIES {
+            for seed in [0u64, 7, 42] {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                let trace = generate_trace(kind, &ArrivalConfig::default(), &mut rng);
+                let kind_p: PolicyKind = policy.parse().unwrap();
+                let (report, _) =
+                    replay_with_report(&trace, kind_p.build(None).as_mut(), OfflineRef::Auto)
+                        .unwrap();
+                assert_eq!(report.dropped, 0, "{kind} {policy} seed {seed}");
+                assert!(
+                    report.ratio >= 1.0 - 1e-9,
+                    "{kind} {policy} seed {seed}: ratio {} (online {}, offline {} via {})",
+                    report.ratio,
+                    report.online_cost,
+                    report.offline_cost,
+                    report.offline_ref
+                );
+            }
+        }
+    }
+}
+
+/// The facade prelude exposes the whole replay surface.
+#[test]
+fn prelude_replay_surface() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let trace = generate_trace(TraceKind::PoissonBursts, &small_cfg(), &mut rng);
+    let reports = replay_fleet(
+        &[trace],
+        &PolicyKind::Resolve { period: 2 },
+        &FleetOptions::default(),
+    );
+    let report: &ReplayReport = reports[0].as_ref().unwrap();
+    assert!(report.events >= 1, "periodic resolve never re-solved");
+    assert!(report.ratio >= 1.0 - 1e-9);
+}

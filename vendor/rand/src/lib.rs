@@ -114,6 +114,102 @@ macro_rules! impl_float_sample {
 
 impl_float_sample!(f32, f64);
 
+/// Distribution sampling (the slice of `rand_distr`'s surface the workspace
+/// uses: exponential inter-arrival times and Poisson counts for the timed
+/// arrival-trace generators).
+pub mod distributions {
+    use super::{unit_f64, RngCore};
+
+    /// Types that can draw samples of `T` from an [`RngCore`].
+    pub trait Distribution<T> {
+        /// Draws one sample.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Error from constructing a distribution with a bad parameter.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct ParamError(&'static str);
+
+    impl std::fmt::Display for ParamError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(self.0)
+        }
+    }
+
+    impl std::error::Error for ParamError {}
+
+    /// Exponential distribution `Exp(λ)` — inter-arrival times of a Poisson
+    /// process with rate `λ` (mean `1/λ`). Sampled by inversion:
+    /// `-ln(1 - u) / λ` with `u` uniform in `[0, 1)`, so the sample stream
+    /// is a deterministic function of the RNG stream (seedable and
+    /// reproducible, which is all the trace generators need).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Exp {
+        lambda: f64,
+    }
+
+    impl Exp {
+        /// Rate must be finite and strictly positive.
+        pub fn new(lambda: f64) -> Result<Self, ParamError> {
+            if lambda > 0.0 && lambda.is_finite() {
+                Ok(Self { lambda })
+            } else {
+                Err(ParamError("Exp rate must be finite and > 0"))
+            }
+        }
+    }
+
+    impl Distribution<f64> for Exp {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            let u = unit_f64(rng.next_u64()); // in [0, 1): ln(1-u) is finite
+            -(1.0 - u).ln() / self.lambda
+        }
+    }
+
+    /// Poisson distribution with mean `λ`, via Knuth's product-of-uniforms
+    /// method (expected `λ + 1` RNG draws per sample — fine for the modest
+    /// rates the burst generators use; the loop is additionally capped at
+    /// `10·λ + 100` iterations so a pathological RNG cannot hang it).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Poisson {
+        lambda: f64,
+    }
+
+    impl Poisson {
+        /// Mean must be finite and strictly positive.
+        pub fn new(lambda: f64) -> Result<Self, ParamError> {
+            if lambda > 0.0 && lambda.is_finite() {
+                Ok(Self { lambda })
+            } else {
+                Err(ParamError("Poisson mean must be finite and > 0"))
+            }
+        }
+    }
+
+    impl Distribution<u64> for Poisson {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            let limit = (-self.lambda).exp();
+            let cap = (10.0 * self.lambda) as u64 + 100;
+            let mut product = unit_f64(rng.next_u64());
+            let mut count = 0u64;
+            while product > limit && count < cap {
+                count += 1;
+                product *= unit_f64(rng.next_u64());
+            }
+            count
+        }
+    }
+
+    impl Distribution<f64> for Poisson {
+        /// Upstream `rand_distr` returns floats from `Poisson`; mirror that
+        /// for drop-in compatibility.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            let n: u64 = Distribution::<u64>::sample(self, rng);
+            n as f64
+        }
+    }
+}
+
 /// Concrete generators.
 pub mod rngs {
     use super::{RngCore, SeedableRng};
@@ -202,6 +298,49 @@ mod tests {
         assert!(y < 3.0, "got {y}");
         let z: f32 = rng.gen_range(-5.0f32..-4.0f32);
         assert!((-5.0..-4.0).contains(&z), "got {z}");
+    }
+
+    #[test]
+    fn exponential_mean_and_determinism() {
+        use crate::distributions::{Distribution, Exp};
+        let exp = Exp::new(2.0).unwrap();
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut sum = 0.0;
+        for _ in 0..20_000 {
+            let x: f64 = exp.sample(&mut a);
+            assert_eq!(x, exp.sample(&mut b), "not deterministic per seed");
+            assert!(x >= 0.0 && x.is_finite());
+            sum += x;
+        }
+        let mean = sum / 20_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "Exp(2) mean {mean} far from 0.5");
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn poisson_mean_and_determinism() {
+        use crate::distributions::{Distribution, Poisson};
+        let poi = Poisson::new(3.0).unwrap();
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut sum = 0u64;
+        for _ in 0..20_000 {
+            let n: u64 = poi.sample(&mut a);
+            let m: u64 = poi.sample(&mut b);
+            assert_eq!(n, m, "not deterministic per seed");
+            sum += n;
+        }
+        let mean = sum as f64 / 20_000.0;
+        assert!(
+            (mean - 3.0).abs() < 0.1,
+            "Poisson(3) mean {mean} far from 3"
+        );
+        // float surface mirrors rand_distr
+        let f: f64 = poi.sample(&mut a);
+        assert_eq!(f, f.trunc());
+        assert!(Poisson::new(-1.0).is_err());
     }
 
     #[test]
