@@ -4,9 +4,12 @@
 //!
 //! Every experiment takes an explicit seed and a `quick` flag (smaller
 //! sweeps for CI); binaries under `src/bin/` are thin wrappers. Criterion
-//! performance benches live in `benches/`.
+//! performance benches live in `benches/`, and the machine-readable perf
+//! harness (`perf_harness`, `power-sched perf`, `BENCH_solver.json`) in
+//! [`perf`].
 
 pub mod experiments;
+pub mod perf;
 pub mod table;
 
 pub use table::Table;

@@ -1,0 +1,506 @@
+//! The machine-readable perf harness behind `perf_harness` and
+//! `power-sched perf` — the repo's performance trajectory.
+//!
+//! Runs pinned, deterministic workloads through the three hot paths
+//! (direct solve, engine batch, online replay) and emits a stable JSON
+//! report (`BENCH_solver.json` schema `bench-solver/v1`):
+//!
+//! ```json
+//! {
+//!   "schema": "bench-solver/v1",
+//!   "mode": "full",
+//!   "workloads": [
+//!     {"name": "solve_schedule_all_n64_p4_t32", "path": "fast",
+//!      "ops": 20, "ns_per_op": 450000.0, "ops_per_sec": 2200.0,
+//!      "peak_candidates": 2112},
+//!     ...
+//!   ],
+//!   "speedups": [{"workload": "solve_schedule_all_n64_p4_t32",
+//!                 "fast_over_naive": 2.3}, ...]
+//! }
+//! ```
+//!
+//! * `path` is `"fast"` (the production bitset/arena solve path), `"naive"`
+//!   (the retained seed implementation in `sched_core::naive`, proven
+//!   bit-identical by the equivalence proptests), or `"n/a"` for workloads
+//!   without a naive twin (engine, replay).
+//! * `ops_per_sec` is the headline throughput (solves/sec, requests/sec, or
+//!   traces/sec); `ns_per_op` its inverse; `peak_candidates` the largest
+//!   candidate family any solve in the workload optimized over.
+//! * `speedups` pairs each fast row with its naive twin — the
+//!   machine-portable form of the hot-path speedup claim.
+//!
+//! Timing is best-of-`rounds` wall clock over whole workload passes (the
+//! same convention as the vendored criterion), so one noisy scheduler tick
+//! cannot poison a row. `--baseline FILE` compares a fresh run against a
+//! committed report and fails on regression beyond the given tolerance —
+//! the CI perf gate.
+
+use std::time::Instant;
+
+use rand::SeedableRng;
+use sched_core::naive::naive_schedule_all;
+use sched_core::{schedule_all, CandidatePolicy, SolveOptions};
+use sched_engine::{Engine, EngineConfig, SolveRequest};
+use sched_sim::{replay_fleet, FleetOptions, OfflineRef, PolicyKind};
+use serde::{Deserialize, Serialize};
+use workloads::planted::PlantedCostModel;
+use workloads::{generate_trace, planted_instance, ArrivalConfig, PlantedConfig, TraceKind};
+
+use crate::Table;
+
+/// Report schema identifier; bump when the JSON layout changes.
+pub const SCHEMA: &str = "bench-solver/v1";
+
+/// One measured workload row.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WorkloadResult {
+    /// Workload identifier (stable across runs).
+    pub name: String,
+    /// `fast`, `naive`, or `n/a` (no naive twin).
+    pub path: String,
+    /// Operations (solves / requests / traces) per timed pass.
+    pub ops: u64,
+    /// Nanoseconds per operation (best pass).
+    pub ns_per_op: f64,
+    /// Operations per second (best pass).
+    pub ops_per_sec: f64,
+    /// Largest candidate family any solve optimized over.
+    pub peak_candidates: u64,
+}
+
+/// One fast-vs-naive pairing.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Speedup {
+    /// Workload the pair belongs to.
+    pub workload: String,
+    /// `fast.ops_per_sec / naive.ops_per_sec`.
+    pub fast_over_naive: f64,
+}
+
+/// The full report (`BENCH_solver.json`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// Always [`SCHEMA`].
+    pub schema: String,
+    /// `quick` (CI gate) or `full`.
+    pub mode: String,
+    /// Measured rows.
+    pub workloads: Vec<WorkloadResult>,
+    /// Fast-vs-naive pairings.
+    pub speedups: Vec<Speedup>,
+}
+
+/// Harness sizing.
+#[derive(Clone, Copy, Debug)]
+pub struct PerfOptions {
+    /// Smaller instances and fewer passes — the CI configuration.
+    pub quick: bool,
+}
+
+fn time_best<F: FnMut()>(rounds: usize, mut pass: F) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        pass();
+        best = best.min(t0.elapsed().as_nanos() as u64);
+    }
+    best
+}
+
+fn row(name: &str, path: &str, ops: u64, total_ns: u64, peak_candidates: u64) -> WorkloadResult {
+    let ns_per_op = total_ns as f64 / ops as f64;
+    WorkloadResult {
+        name: name.into(),
+        path: path.into(),
+        ops,
+        ns_per_op,
+        ops_per_sec: 1e9 / ns_per_op,
+        peak_candidates,
+    }
+}
+
+/// Runs every workload and assembles the report.
+pub fn run(opts: PerfOptions) -> PerfReport {
+    let rounds = if opts.quick { 3 } else { 7 };
+    // pass size stays identical across modes so per-op throughput is
+    // comparable between a quick CI run and the committed full baseline
+    let mut workloads = Vec::new();
+    let mut speedups = Vec::new();
+
+    // --- direct solve workloads: fast vs naive on identical instances ---
+    // quick mode runs the *same* shapes with fewer passes, so every row
+    // keeps its name and stays comparable against a committed full-mode
+    // baseline (ops_per_sec is per-solve, independent of the pass size)
+    let solve_shapes: &[(usize, u32, u32, u64)] =
+        &[(24, 2, 16, 11), (64, 4, 32, 11), (128, 4, 48, 11)];
+    for &(n, p, t, seed) in solve_shapes {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let inst = planted_instance(
+            &PlantedConfig {
+                num_processors: p,
+                horizon: t,
+                target_jobs: n,
+                decoy_prob: 0.3,
+                max_value: 1,
+                cost_model: PlantedCostModel::Affine { restart: 3.0 },
+                policy: CandidatePolicy::All,
+            },
+            &mut rng,
+        );
+        let name = format!("solve_schedule_all_n{n}_p{p}_t{t}");
+        let solves: u64 = 20;
+        let opts_solve = SolveOptions::default();
+        let peak = inst.candidates.len() as u64;
+
+        // interleave fast and naive passes so clock drift, thermal state,
+        // and scheduler noise hit both paths alike
+        let (mut fast_ns, mut naive_ns) = (u64::MAX, u64::MAX);
+        for _ in 0..rounds {
+            let t0 = Instant::now();
+            for _ in 0..solves {
+                std::hint::black_box(
+                    schedule_all(&inst.instance, &inst.candidates, &opts_solve).unwrap(),
+                );
+            }
+            fast_ns = fast_ns.min(t0.elapsed().as_nanos() as u64);
+            let t0 = Instant::now();
+            for _ in 0..solves {
+                std::hint::black_box(
+                    naive_schedule_all(&inst.instance, &inst.candidates, &opts_solve).unwrap(),
+                );
+            }
+            naive_ns = naive_ns.min(t0.elapsed().as_nanos() as u64);
+        }
+        let fast = row(&name, "fast", solves, fast_ns, peak);
+        let naive = row(&name, "naive", solves, naive_ns, peak);
+        speedups.push(Speedup {
+            workload: name.clone(),
+            fast_over_naive: fast.ops_per_sec / naive.ops_per_sec,
+        });
+        workloads.push(fast);
+        workloads.push(naive);
+    }
+
+    // --- engine batch workload: the `bench_engine_throughput` shape ---
+    let requests = engine_workload(64);
+    let peak = requests
+        .iter()
+        .map(|r| {
+            let p = r.instance.num_processors as u64;
+            let t = r.instance.horizon as u64;
+            p * t * (t + 1) / 2
+        })
+        .max()
+        .unwrap_or(0);
+    for &workers in &[1usize, 4] {
+        let name = format!("engine_mixed{}_w{workers}", requests.len());
+        let ns = time_best(rounds, || {
+            let engine = Engine::new(EngineConfig::with_workers(workers));
+            let responses = engine.solve_batch(requests.iter().cloned());
+            assert!(responses.iter().all(|r| r.ok), "engine workload failed");
+        });
+        workloads.push(row(&name, "n/a", requests.len() as u64, ns, peak));
+    }
+
+    // --- online replay workload: trace replays through the simulator ---
+    let cfg = ArrivalConfig::default();
+    let count = 8;
+    let traces: Vec<_> = (0..count)
+        .map(|i| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(100 + i);
+            generate_trace(TraceKind::PoissonBursts, &cfg, &mut rng)
+        })
+        .collect();
+    let peak = traces
+        .iter()
+        .map(|tr| {
+            let p = tr.num_processors as u64;
+            let t = tr.horizon as u64;
+            p * t * (t + 1) / 2
+        })
+        .max()
+        .unwrap_or(0);
+    let fleet = FleetOptions {
+        workers: 1,
+        offline: OfflineRef::Greedy,
+    };
+    let name = format!("replay_poisson_x{count}_greedy");
+    let ns = time_best(rounds, || {
+        let reports = replay_fleet(&traces, &PolicyKind::Greedy, &fleet);
+        assert!(reports.iter().all(|r| r.is_ok()), "replay workload failed");
+    });
+    workloads.push(row(&name, "n/a", count, ns, peak));
+
+    PerfReport {
+        schema: SCHEMA.into(),
+        mode: if opts.quick { "quick" } else { "full" }.into(),
+        workloads,
+        speedups,
+    }
+}
+
+/// The deterministic mixed-mode engine workload (the shape
+/// `bench_engine_throughput` uses, sized by `count`).
+fn engine_workload(count: usize) -> Vec<SolveRequest> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xE16);
+    (0..count)
+        .map(|i| {
+            let planted = planted_instance(
+                &PlantedConfig {
+                    num_processors: 2,
+                    horizon: 24,
+                    target_jobs: 16 + i % 8,
+                    decoy_prob: 0.3,
+                    max_value: 3,
+                    cost_model: PlantedCostModel::Affine { restart: 4.0 },
+                    policy: CandidatePolicy::All,
+                },
+                &mut rng,
+            );
+            let inst = planted.instance;
+            let total = inst.total_value();
+            match i % 3 {
+                0 => SolveRequest::schedule_all(i as u64, inst, 4.0, 1.0),
+                1 => SolveRequest::prize_collecting(
+                    i as u64,
+                    inst,
+                    4.0,
+                    1.0,
+                    (total * 0.5).max(1.0),
+                    Some(0.25),
+                ),
+                _ => SolveRequest::prize_collecting_exact(
+                    i as u64,
+                    inst,
+                    4.0,
+                    1.0,
+                    (total * 0.4).max(1.0),
+                ),
+            }
+        })
+        .collect()
+}
+
+/// Renders the report as the human table printed to stderr.
+pub fn render_table(report: &PerfReport) -> String {
+    let mut table = Table::new(&["workload", "path", "ops", "ns/op", "ops/sec", "peak cands"]);
+    for w in &report.workloads {
+        table.row(vec![
+            w.name.clone(),
+            w.path.clone(),
+            w.ops.to_string(),
+            format!("{:.0}", w.ns_per_op),
+            format!("{:.1}", w.ops_per_sec),
+            w.peak_candidates.to_string(),
+        ]);
+    }
+    let mut out = table.render();
+    for s in &report.speedups {
+        out.push_str(&format!(
+            "speedup {}: fast is {:.2}x naive\n",
+            s.workload, s.fast_over_naive
+        ));
+    }
+    out
+}
+
+/// Compares a fresh run against a committed baseline. Returns the list of
+/// regressions: fast-over-naive speedups that decayed below
+/// `baseline · (1 − tolerance)`, plus — unless `relative_only` is set —
+/// workloads whose absolute throughput fell below the same floor.
+///
+/// The speedup ratios are machine-portable (both paths ran on the same
+/// machine in the same process), so they are what CI gates on; absolute
+/// `ops_per_sec` comparisons are only meaningful when fresh run and
+/// baseline come from comparable hardware. Workloads present in only one
+/// report are ignored (schemas must match, though).
+pub fn compare(
+    fresh: &PerfReport,
+    baseline: &PerfReport,
+    tolerance: f64,
+    relative_only: bool,
+) -> Vec<String> {
+    let mut problems = Vec::new();
+    if fresh.schema != baseline.schema {
+        problems.push(format!(
+            "schema mismatch: fresh {} vs baseline {}",
+            fresh.schema, baseline.schema
+        ));
+        return problems;
+    }
+    for b in &baseline.workloads {
+        if relative_only {
+            break;
+        }
+        let Some(f) = fresh
+            .workloads
+            .iter()
+            .find(|f| f.name == b.name && f.path == b.path)
+        else {
+            continue;
+        };
+        let floor = b.ops_per_sec * (1.0 - tolerance);
+        if f.ops_per_sec < floor {
+            problems.push(format!(
+                "{} [{}]: {:.1} ops/sec < floor {:.1} (baseline {:.1}, tolerance {:.0}%)",
+                b.name,
+                b.path,
+                f.ops_per_sec,
+                floor,
+                b.ops_per_sec,
+                tolerance * 100.0
+            ));
+        }
+    }
+    for b in &baseline.speedups {
+        let Some(f) = fresh.speedups.iter().find(|f| f.workload == b.workload) else {
+            continue;
+        };
+        let floor = b.fast_over_naive * (1.0 - tolerance);
+        if f.fast_over_naive < floor {
+            problems.push(format!(
+                "{} speedup: {:.2}x < floor {:.2}x (baseline {:.2}x)",
+                b.workload, f.fast_over_naive, floor, b.fast_over_naive
+            ));
+        }
+    }
+    problems
+}
+
+/// Shared CLI driver for `perf_harness` and `power-sched perf`.
+///
+/// Flags: `--quick`, `--out FILE` (default stdout), `--baseline FILE`
+/// (enables the regression gate), `--tolerance F` (default 0.25),
+/// `--relative-only` (gate only on the machine-portable fast-over-naive
+/// speedups — the CI configuration, where runner hardware differs from
+/// the machine that recorded the baseline).
+pub fn cli(args: &[String]) -> Result<(), String> {
+    let quick = args.iter().any(|a| a == "--quick");
+    let relative_only = args.iter().any(|a| a == "--relative-only");
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let tolerance: f64 = match flag("--tolerance") {
+        Some(v) => v.parse().map_err(|e| format!("bad --tolerance: {e}"))?,
+        None => 0.25,
+    };
+    if !(0.0..1.0).contains(&tolerance) {
+        return Err(format!("--tolerance must be in [0, 1), got {tolerance}"));
+    }
+
+    let report = run(PerfOptions { quick });
+    eprint!("{}", render_table(&report));
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    match flag("--out") {
+        Some(out) => {
+            std::fs::write(&out, format!("{json}\n")).map_err(|e| format!("writing {out}: {e}"))?;
+            eprintln!("wrote {out}");
+        }
+        None => println!("{json}"),
+    }
+
+    if let Some(path) = flag("--baseline") {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("reading baseline {path}: {e}"))?;
+        let baseline: PerfReport =
+            serde_json::from_str(&text).map_err(|e| format!("{path} is not a perf report: {e}"))?;
+        let problems = compare(&report, &baseline, tolerance, relative_only);
+        if !problems.is_empty() {
+            return Err(format!(
+                "perf regression against {path}:\n  {}",
+                problems.join("\n  ")
+            ));
+        }
+        eprintln!(
+            "perf gate: no regression against {path} (tolerance {:.0}%)",
+            tolerance * 100.0
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report(ops_per_sec: f64, speedup: f64) -> PerfReport {
+        PerfReport {
+            schema: SCHEMA.into(),
+            mode: "quick".into(),
+            workloads: vec![WorkloadResult {
+                name: "w".into(),
+                path: "fast".into(),
+                ops: 1,
+                ns_per_op: 1e9 / ops_per_sec,
+                ops_per_sec,
+                peak_candidates: 10,
+            }],
+            speedups: vec![Speedup {
+                workload: "w".into(),
+                fast_over_naive: speedup,
+            }],
+        }
+    }
+
+    #[test]
+    fn compare_flags_regressions_within_tolerance() {
+        let base = tiny_report(1000.0, 2.5);
+        assert!(compare(&tiny_report(800.0, 2.5), &base, 0.25, false).is_empty());
+        assert_eq!(
+            compare(&tiny_report(700.0, 2.5), &base, 0.25, false).len(),
+            1
+        );
+        assert_eq!(
+            compare(&tiny_report(1000.0, 1.5), &base, 0.25, false).len(),
+            1
+        );
+        // missing workloads are ignored, schema mismatch is fatal
+        let mut other = tiny_report(100.0, 1.0);
+        other.workloads[0].name = "other".into();
+        other.speedups[0].workload = "other".into();
+        assert!(compare(&other, &base, 0.25, false).is_empty());
+        let mut bad = tiny_report(1000.0, 2.5);
+        bad.schema = "bench-solver/v0".into();
+        assert_eq!(compare(&bad, &base, 0.25, false).len(), 1);
+    }
+
+    #[test]
+    fn relative_only_ignores_absolute_throughput() {
+        // a 10x slower machine with the speedup intact passes; a decayed
+        // speedup still fails
+        let base = tiny_report(1000.0, 2.5);
+        assert!(compare(&tiny_report(100.0, 2.5), &base, 0.25, true).is_empty());
+        assert_eq!(
+            compare(&tiny_report(100.0, 1.5), &base, 0.25, true).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn report_serde_round_trip() {
+        let r = tiny_report(123.0, 2.0);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: PerfReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.schema, SCHEMA);
+        assert_eq!(back.workloads.len(), 1);
+        assert_eq!(back.workloads[0].ops_per_sec, 123.0);
+        assert_eq!(back.speedups[0].fast_over_naive, 2.0);
+    }
+
+    #[test]
+    fn quick_run_produces_expected_rows() {
+        let report = run(PerfOptions { quick: true });
+        assert_eq!(report.schema, SCHEMA);
+        assert_eq!(report.mode, "quick");
+        // 3 solve shapes × 2 paths + 2 engine rows + 1 replay row
+        assert_eq!(report.workloads.len(), 9);
+        assert_eq!(report.speedups.len(), 3);
+        for w in &report.workloads {
+            assert!(w.ops_per_sec > 0.0, "{}", w.name);
+            assert!(w.ns_per_op > 0.0, "{}", w.name);
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! `u64`-word bitsets over dense slot ids — the hot-path occupancy
+//! representation.
+//!
+//! The solve hot path repeatedly asks set questions about slots: "is this
+//! slot interesting (adjacent to any job)?", "which slots of this processor
+//! are awake?", "does this interval overlap a blocked slot?". A [`SlotSet`]
+//! packs those answers 64 per machine word so membership tests are one
+//! shift + mask, whole-interval marking is a handful of masked word stores,
+//! and population counts compile to `popcnt`.
+//!
+//! `submodular::BitSet` is the same word layout for the greedy's explicit
+//! set systems; this type adds the interval operations ([`SlotSet::set_range`],
+//! [`SlotSet::any_in_range`]) the slot grid needs. A masking fix in one
+//! should be mirrored in the other.
+
+/// A fixed-capacity bitset over ids `0..len`, packed into `u64` words.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SlotSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl SlotSet {
+    /// Empty set over the universe `0..len`.
+    pub fn new(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Universe size this set was created with.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Is `i` in the set?
+    #[inline]
+    pub fn contains(&self, i: u32) -> bool {
+        debug_assert!(
+            (i as usize) < self.len,
+            "id {i} outside universe {}",
+            self.len
+        );
+        self.words[(i / 64) as usize] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Inserts `i`; returns `true` when it was not already present.
+    #[inline]
+    pub fn insert(&mut self, i: u32) -> bool {
+        debug_assert!(
+            (i as usize) < self.len,
+            "id {i} outside universe {}",
+            self.len
+        );
+        let w = &mut self.words[(i / 64) as usize];
+        let mask = 1u64 << (i % 64);
+        let fresh = *w & mask == 0;
+        *w |= mask;
+        fresh
+    }
+
+    /// Removes `i`; returns `true` when it was present.
+    #[inline]
+    pub fn remove(&mut self, i: u32) -> bool {
+        debug_assert!(
+            (i as usize) < self.len,
+            "id {i} outside universe {}",
+            self.len
+        );
+        let w = &mut self.words[(i / 64) as usize];
+        let mask = 1u64 << (i % 64);
+        let present = *w & mask != 0;
+        *w &= !mask;
+        present
+    }
+
+    /// Clears every bit (capacity unchanged).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Sets every bit in `[start, end)` with masked whole-word stores.
+    pub fn set_range(&mut self, start: u32, end: u32) {
+        debug_assert!(end as usize <= self.len, "range end {end} outside universe");
+        if start >= end {
+            return;
+        }
+        let (ws, we) = ((start / 64) as usize, ((end - 1) / 64) as usize);
+        let lo_mask = !0u64 << (start % 64);
+        let hi_mask = !0u64 >> (63 - (end - 1) % 64);
+        if ws == we {
+            self.words[ws] |= lo_mask & hi_mask;
+        } else {
+            self.words[ws] |= lo_mask;
+            for w in &mut self.words[ws + 1..we] {
+                *w = !0;
+            }
+            self.words[we] |= hi_mask;
+        }
+    }
+
+    /// Is any bit of `[start, end)` set? Masked whole-word tests.
+    pub fn any_in_range(&self, start: u32, end: u32) -> bool {
+        debug_assert!(end as usize <= self.len, "range end {end} outside universe");
+        if start >= end {
+            return false;
+        }
+        let (ws, we) = ((start / 64) as usize, ((end - 1) / 64) as usize);
+        let lo_mask = !0u64 << (start % 64);
+        let hi_mask = !0u64 >> (63 - (end - 1) % 64);
+        if ws == we {
+            return self.words[ws] & lo_mask & hi_mask != 0;
+        }
+        self.words[ws] & lo_mask != 0
+            || self.words[ws + 1..we].iter().any(|&w| w != 0)
+            || self.words[we] & hi_mask != 0
+    }
+
+    /// Union with `other` (must share the universe size).
+    pub fn union_with(&mut self, other: &SlotSet) {
+        assert_eq!(self.len, other.len, "bitset universe mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Iterates the set ids in increasing order (`trailing_zeros` walk).
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            std::iter::successors((word != 0).then_some(word), |w| {
+                let next = w & (w - 1); // drop lowest set bit
+                (next != 0).then_some(next)
+            })
+            .map(move |w| wi as u32 * 64 + w.trailing_zeros())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = SlotSet::new(130);
+        assert!(s.is_empty());
+        assert!(s.insert(0));
+        assert!(!s.insert(0));
+        assert!(s.insert(129));
+        assert!(s.contains(0) && s.contains(129) && !s.contains(64));
+        assert_eq!(s.count(), 2);
+        assert!(s.remove(0));
+        assert!(!s.remove(0));
+        assert_eq!(s.count(), 1);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    /// Horizons straddling the u64 word size: 63, 64, 65 — the boundary
+    /// cases where a lane mask must not leak into (or miss) the next word.
+    #[test]
+    fn word_boundary_horizons() {
+        for horizon in [63u32, 64, 65] {
+            let mut s = SlotSet::new(horizon as usize);
+            s.set_range(0, horizon);
+            assert_eq!(s.count(), horizon as usize, "horizon {horizon}");
+            for t in 0..horizon {
+                assert!(s.contains(t), "horizon {horizon}, slot {t}");
+            }
+            assert_eq!(s.iter().count(), horizon as usize);
+
+            // last slot alone: the highest valid bit, possibly first of word 2
+            let mut last = SlotSet::new(horizon as usize);
+            last.set_range(horizon - 1, horizon);
+            assert_eq!(last.count(), 1, "horizon {horizon}");
+            assert!(last.contains(horizon - 1));
+            assert!(last.any_in_range(0, horizon));
+            assert!(!last.any_in_range(0, horizon - 1));
+            assert_eq!(last.iter().collect::<Vec<_>>(), vec![horizon - 1]);
+        }
+    }
+
+    #[test]
+    fn set_range_spanning_words() {
+        let mut s = SlotSet::new(200);
+        s.set_range(60, 140);
+        assert_eq!(s.count(), 80);
+        assert!(!s.contains(59) && s.contains(60) && s.contains(139) && !s.contains(140));
+        assert!(s.any_in_range(0, 61));
+        assert!(!s.any_in_range(0, 60));
+        assert!(s.any_in_range(139, 200));
+        assert!(!s.any_in_range(140, 200));
+        assert!(!s.any_in_range(70, 70), "empty range");
+    }
+
+    #[test]
+    fn set_range_within_one_word() {
+        let mut s = SlotSet::new(64);
+        s.set_range(3, 7);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 4, 5, 6]);
+        assert!(s.any_in_range(6, 64));
+        assert!(!s.any_in_range(7, 64));
+    }
+
+    #[test]
+    fn union_and_iter_order() {
+        let mut a = SlotSet::new(100);
+        a.insert(2);
+        a.insert(65);
+        let mut b = SlotSet::new(100);
+        b.insert(64);
+        b.insert(99);
+        a.union_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![2, 64, 65, 99]);
+    }
+
+    #[test]
+    fn matches_naive_reference_on_random_ops() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        for _ in 0..30 {
+            let n = rng.gen_range(1..=150usize);
+            let mut fast = SlotSet::new(n);
+            let mut naive = vec![false; n];
+            for _ in 0..60 {
+                match rng.gen_range(0..4) {
+                    0 => {
+                        let i = rng.gen_range(0..n as u32);
+                        assert_eq!(fast.insert(i), !naive[i as usize]);
+                        naive[i as usize] = true;
+                    }
+                    1 => {
+                        let i = rng.gen_range(0..n as u32);
+                        assert_eq!(fast.remove(i), naive[i as usize]);
+                        naive[i as usize] = false;
+                    }
+                    2 => {
+                        let s = rng.gen_range(0..=n as u32);
+                        let e = rng.gen_range(s..=n as u32);
+                        fast.set_range(s, e);
+                        naive[s as usize..e as usize].fill(true);
+                    }
+                    _ => {
+                        let s = rng.gen_range(0..=n as u32);
+                        let e = rng.gen_range(s..=n as u32);
+                        let want = naive[s as usize..e as usize].iter().any(|&b| b);
+                        assert_eq!(fast.any_in_range(s, e), want);
+                    }
+                }
+            }
+            assert_eq!(fast.count(), naive.iter().filter(|&&b| b).count());
+            let ids: Vec<u32> = fast.iter().collect();
+            let want: Vec<u32> = (0..n as u32).filter(|&i| naive[i as usize]).collect();
+            assert_eq!(ids, want);
+        }
+    }
+}

@@ -80,14 +80,26 @@ impl EnergyCost for PerProcessorAffine {
 
 /// Time-varying per-slot prices with a restart cost: models energy markets
 /// (day/night tariffs) and per-slot unavailability (infinite price).
+///
+/// Internally both tables live in single arena-backed row-major buffers
+/// (CSR offsets per processor) so an interval query is two subtractions and
+/// one compare — O(1), no per-row pointer chase, no per-slot scan:
+///
+/// * `prefix[off_p + t] = Σ_{u<t} price[p][u]` (finite prices only);
+/// * `next_blocked[off_p + t]` = the earliest slot `≥ t` with an infinite
+///   price (`u32::MAX` when none), so "does `[start, end)` overlap a blocked
+///   slot" is just `next_blocked[off_p + start] < end`.
 #[derive(Clone, Debug)]
 pub struct TimeVaryingCost {
     restart: f64,
-    /// Prefix sums of prices per processor: `prefix[p][t] = Σ_{u<t} price[p][u]`.
-    /// Infinite prices are tracked separately so prefix sums stay finite.
-    prefix: Vec<Vec<f64>>,
-    /// `blocked[p][t]`: slot has infinite price.
-    blocked: Vec<Vec<bool>>,
+    /// Row-major prefix-sum arena; processor `p` occupies
+    /// `row_off[p]..row_off[p + 1]` (row length `T_p + 1`).
+    prefix: Vec<f64>,
+    /// Row-major next-blocked-slot arena, aligned with `prefix`.
+    next_blocked: Vec<u32>,
+    /// CSR row offsets into the two arenas, one entry per processor plus a
+    /// final sentinel.
+    row_off: Vec<u32>,
 }
 
 impl TimeVaryingCost {
@@ -95,30 +107,38 @@ impl TimeVaryingCost {
     /// `t`; `f64::INFINITY` marks the slot unavailable.
     pub fn new(restart: f64, prices: Vec<Vec<f64>>) -> Self {
         assert!(restart >= 0.0);
-        let mut prefix = Vec::with_capacity(prices.len());
-        let mut blocked = Vec::with_capacity(prices.len());
+        let total: usize = prices.iter().map(|r| r.len() + 1).sum();
+        let mut prefix = Vec::with_capacity(total);
+        let mut next_blocked = Vec::with_capacity(total);
+        let mut row_off = Vec::with_capacity(prices.len() + 1);
+        row_off.push(0);
         for row in &prices {
-            let mut pre = Vec::with_capacity(row.len() + 1);
-            let mut blk = Vec::with_capacity(row.len());
-            pre.push(0.0);
+            let base = prefix.len();
             let mut acc = 0.0;
+            prefix.push(0.0);
             for &p in row {
                 assert!(p >= 0.0, "negative price");
-                if p.is_infinite() {
-                    blk.push(true);
-                } else {
-                    blk.push(false);
+                if !p.is_infinite() {
                     acc += p;
                 }
-                pre.push(acc);
+                prefix.push(acc);
             }
-            prefix.push(pre);
-            blocked.push(blk);
+            // fill next_blocked back-to-front: sentinel past the row end
+            next_blocked.resize(base + row.len() + 1, u32::MAX);
+            for (t, &p) in row.iter().enumerate().rev() {
+                if p.is_infinite() {
+                    next_blocked[base + t] = t as u32;
+                } else {
+                    next_blocked[base + t] = next_blocked[base + t + 1];
+                }
+            }
+            row_off.push(prefix.len() as u32);
         }
         Self {
             restart,
             prefix,
-            blocked,
+            next_blocked,
+            row_off,
         }
     }
 }
@@ -126,14 +146,17 @@ impl TimeVaryingCost {
 impl EnergyCost for TimeVaryingCost {
     fn cost(&self, proc: u32, start: u32, end: u32) -> f64 {
         debug_assert!(start < end);
-        let p = proc as usize;
-        if self.blocked[p][start as usize..end as usize]
-            .iter()
-            .any(|&b| b)
-        {
+        let base = self.row_off[proc as usize] as usize;
+        let row_len = self.row_off[proc as usize + 1] as usize - base;
+        assert!(
+            (end as usize) < row_len,
+            "interval [{start},{end}) outside the {}-slot price row of processor {proc}",
+            row_len - 1
+        );
+        if self.next_blocked[base + start as usize] < end {
             return f64::INFINITY;
         }
-        self.restart + self.prefix[p][end as usize] - self.prefix[p][start as usize]
+        self.restart + self.prefix[base + end as usize] - self.prefix[base + start as usize]
     }
 }
 
@@ -198,11 +221,20 @@ impl EnergyCost for TableCost {
 
 /// Wrapper marking some (processor, slot) pairs unavailable: any interval
 /// overlapping one costs `∞` regardless of the inner model.
+///
+/// Like [`TimeVaryingCost`], the blocked structure is a flat row-major
+/// `next_blocked` arena: the overlap test is one O(1) lookup instead of a
+/// per-query binary search over a sorted slot list. Each processor's row
+/// only extends to its last blocked slot; queries past the row end trivially
+/// see no blocked slot.
 #[derive(Clone, Debug)]
 pub struct UnavailableSlots<C> {
     inner: C,
-    /// `blocked[p]` = sorted slot list.
-    blocked: Vec<Vec<u32>>,
+    /// Row-major "earliest blocked slot ≥ t" arena; processor `p` occupies
+    /// `row_off[p]..row_off[p + 1]`.
+    next_blocked: Vec<u32>,
+    /// CSR row offsets, one per processor plus a final sentinel.
+    row_off: Vec<u32>,
 }
 
 impl<C: EnergyCost> UnavailableSlots<C> {
@@ -212,20 +244,43 @@ impl<C: EnergyCost> UnavailableSlots<C> {
         for &(p, t) in blocked_pairs {
             blocked[p as usize].push(t);
         }
+        let mut next_blocked = Vec::new();
+        let mut row_off = Vec::with_capacity(num_processors as usize + 1);
+        row_off.push(0);
         for b in blocked.iter_mut() {
             b.sort_unstable();
             b.dedup();
+            // row spans 0..=max blocked slot; next_blocked walks backwards
+            if let Some(&max) = b.last() {
+                let base = next_blocked.len();
+                next_blocked.resize(base + max as usize + 1, u32::MAX);
+                let mut next = u32::MAX;
+                let mut it = b.iter().rev().peekable();
+                for t in (0..=max).rev() {
+                    if it.peek() == Some(&&t) {
+                        next = t;
+                        it.next();
+                    }
+                    next_blocked[base + t as usize] = next;
+                }
+            }
+            row_off.push(next_blocked.len() as u32);
         }
-        Self { inner, blocked }
+        Self {
+            inner,
+            next_blocked,
+            row_off,
+        }
     }
 }
 
 impl<C: EnergyCost> EnergyCost for UnavailableSlots<C> {
     fn cost(&self, proc: u32, start: u32, end: u32) -> f64 {
-        let b = &self.blocked[proc as usize];
-        // any blocked slot in [start, end)?
-        let idx = b.partition_point(|&t| t < start);
-        if idx < b.len() && b[idx] < end {
+        let base = self.row_off[proc as usize] as usize;
+        let row_len = self.row_off[proc as usize + 1] as usize - base;
+        // any blocked slot in [start, end)? O(1): the row's next-blocked
+        // pointer at `start` (slots past the row end are never blocked).
+        if (start as usize) < row_len && self.next_blocked[base + start as usize] < end {
             return f64::INFINITY;
         }
         self.inner.cost(proc, start, end)
@@ -265,6 +320,20 @@ mod tests {
         assert!(c.cost(0, 0, 2).is_infinite());
         assert!(c.cost(0, 1, 2).is_infinite());
         assert_eq!(c.cost(0, 2, 3), 1.5);
+    }
+
+    #[test]
+    fn time_varying_ragged_rows_stay_independent() {
+        // rows of different lengths share one arena; offsets must not bleed
+        let c = TimeVaryingCost::new(
+            1.0,
+            vec![vec![1.0, 2.0], vec![5.0, f64::INFINITY, 7.0, 9.0]],
+        );
+        assert_eq!(c.cost(0, 0, 2), 4.0);
+        assert_eq!(c.cost(1, 0, 1), 6.0);
+        assert!(c.cost(1, 0, 2).is_infinite());
+        assert!(c.cost(1, 1, 3).is_infinite());
+        assert_eq!(c.cost(1, 2, 4), 17.0);
     }
 
     #[test]

@@ -53,19 +53,28 @@
 //! # Crate layout
 //!
 //! * [`model`] — instances, jobs, schedules, and schedule validation;
-//! * [`cost`] — the energy-cost oracle and a library of cost models;
+//! * [`cost`] — the energy-cost oracle and a library of cost models (flat
+//!   arena-backed prefix tables with O(1) interval queries);
 //! * [`candidates`] — awake-interval candidate generation policies;
+//! * [`bitset`] — `u64`-word slot bitsets used throughout the hot path;
 //! * [`objective`] — the matching-rank [`submodular::BudgetedObjective`]
-//!   adapter driving the greedy;
-//! * [`solver`] — the [`Solver`] builder tying everything together;
+//!   adapter driving the greedy (flat CSR slot lists, nested-prefix run
+//!   scans, component-memoized gains);
+//! * [`naive`] — the retained pre-overhaul solve path, kept as the
+//!   bit-identical reference for the equivalence proptests and the perf
+//!   harness;
+//! * [`solver`] — the [`Solver`] builder tying everything together (caches
+//!   both the candidate family and the reduction across goal calls);
 //! * [`trace`] — timed arrival traces (release times) for the online replay
 //!   harness in the `sched-sim` crate;
 //! * [`mod@schedule_all`], [`mod@prize_collecting`] — the two headline
 //!   algorithms.
 
+pub mod bitset;
 pub mod candidates;
 pub mod cost;
 pub mod model;
+pub mod naive;
 pub mod objective;
 pub mod prize_collecting;
 pub mod schedule_all;
@@ -73,15 +82,18 @@ pub mod simulate;
 pub mod solver;
 pub mod trace;
 
+pub use bitset::SlotSet;
 pub use candidates::{enumerate_candidates, CandidateInterval, CandidatePolicy};
 pub use cost::{
     AffineCost, ConvexCost, EnergyCost, PerProcessorAffine, TableCost, TimeVaryingCost,
     UnavailableSlots,
 };
 pub use model::{Instance, InstanceError, Job, Schedule, ScheduleError, SlotRef, SolveOptions};
-pub use objective::ScheduleObjective;
-pub use prize_collecting::{prize_collecting, prize_collecting_exact};
-pub use schedule_all::schedule_all;
+pub use objective::{ScheduleObjective, ScheduleReduction};
+pub use prize_collecting::{
+    prize_collecting, prize_collecting_exact, prize_collecting_exact_with, prize_collecting_with,
+};
+pub use schedule_all::{schedule_all, schedule_all_with};
 pub use simulate::{simulate, PowerTrace, SlotState};
 pub use solver::Solver;
 pub use trace::{ArrivalTrace, TimedJob, TraceError};

@@ -7,27 +7,80 @@
 //! ([`ScheduleReduction`]) and adapts the incremental
 //! [`bmatch::MatchingOracle`] to the [`BudgetedObjective`] interface consumed
 //! by the Lemma 2.1.2 greedy.
+//!
+//! # Hot-path layout
+//!
+//! The reduction is built for the greedy's access pattern, not for
+//! readability of the intermediate state:
+//!
+//! * **Flat CSR slot lists** — per-candidate slot ids live in one row-major
+//!   arena (`slot_arena` + `slot_off`), not `Vec<Vec<u32>>`: one allocation,
+//!   contiguous iteration, no per-candidate pointer chase.
+//! * **Interesting-slot bitset** — slots adjacent to at least one job are
+//!   precomputed into a [`SlotSet`] once, so filtering a candidate's slots is
+//!   a bit test instead of a CSR degree lookup per (candidate × slot).
+//! * **Prefix runs** — enumerated families arrive grouped by (processor,
+//!   start) with increasing end, so consecutive candidates' slot lists are
+//!   nested prefixes. [`ScheduleReduction::runs`] records those maximal
+//!   chains; a full candidate scan then evaluates each chain with **one**
+//!   incremental [`bmatch::MatchingOracle::gain_prefixes`] pass (`O(L)` slot
+//!   augmentations for `L` nested candidates instead of `O(L²)`), emitting
+//!   bit-identical gains.
+//! * **Component-memoized gains** — slots are partitioned into connected
+//!   components of the slot–job graph. The matching-rank utility decomposes
+//!   over components, so a candidate's exact gain can only change when a
+//!   commit touches one of *its* components. [`ScheduleObjective`] version-
+//!   stamps components on mutation and replays cached gains for untouched
+//!   ones — sound, and bit-identical by construction.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use bmatch::{BipartiteGraph, BipartiteGraphBuilder, GainScratch, MatchingOracle};
 use submodular::BudgetedObjective;
 
+use crate::bitset::SlotSet;
 use crate::candidates::CandidateInterval;
 use crate::model::{Instance, Schedule, SlotRef};
 
-/// The slot–job bipartite graph plus per-candidate slot lists.
+/// Distinguishes objectives so a reused scratch never replays memoized gains
+/// computed against a different objective.
+static OBJECTIVE_TOKENS: AtomicU64 = AtomicU64::new(1);
+
+/// The slot–job bipartite graph plus per-candidate slot lists in flat CSR
+/// form (see the [module docs](self) for the layout rationale).
 ///
-/// Built once per solve; borrowed by [`ScheduleObjective`].
+/// Built once per solve (or once per [`crate::Solver`], which caches it
+/// across goal calls); borrowed by [`ScheduleObjective`].
 #[derive(Clone, Debug)]
 pub struct ScheduleReduction {
     /// `X` = dense slot ids (`proc · horizon + time`), `Y` = jobs.
     pub graph: BipartiteGraph,
-    /// For each candidate interval: the slot ids it contributes that have at
-    /// least one adjacent job (degree-0 slots can never change the matching,
-    /// so they are omitted from gain evaluation — the interval's *cost* still
-    /// covers them).
-    pub slot_lists: Vec<Vec<u32>>,
-    /// Candidate costs, aligned with `slot_lists`.
-    pub costs: Vec<f64>,
+    /// All *interesting* slot ids (degree > 0) in increasing dense order —
+    /// the single shared arena every candidate's slot list is a window of.
+    /// Degree-0 slots can never change the matching, so they are omitted
+    /// from gain evaluation; an interval's *cost* still covers them.
+    islots: Vec<u32>,
+    /// Per-candidate window `[off, off + len)` into `islots`. Nested
+    /// candidates share storage: `[s, e′)` with `e′ > e` has the same `off`
+    /// and a larger `len`, so no per-candidate slot copying happens at all.
+    slot_win: Vec<(u32, u32)>,
+    /// Candidate costs.
+    costs: Vec<f64>,
+    /// Run index of each candidate.
+    run_of: Vec<u32>,
+    /// Maximal candidate ranges `[lo, hi)` whose slot lists form nested
+    /// prefixes (same processor and start, increasing end).
+    runs: Vec<(u32, u32)>,
+    /// Row-major arena of per-run connected-component ids, in first-slot
+    /// order and deduped — every candidate's component set is a **prefix**
+    /// of its run's sequence (its window is a prefix of the run's longest).
+    run_comp_arena: Vec<u32>,
+    /// CSR offsets into `run_comp_arena`, one per run plus a sentinel.
+    run_comp_off: Vec<u32>,
+    /// Per-candidate prefix length into its run's component sequence.
+    comp_len: Vec<u32>,
+    /// Number of distinct connected components.
+    num_comps: u32,
 }
 
 impl ScheduleReduction {
@@ -41,21 +94,195 @@ impl ScheduleReduction {
         }
         let graph = b.build();
 
-        let slot_lists = candidates
-            .iter()
-            .map(|iv| {
-                (iv.start..iv.end)
-                    .map(|t| inst.slot_id(SlotRef::new(iv.proc, t)))
-                    .filter(|&sid| graph.deg_x(sid) > 0)
-                    .collect()
-            })
-            .collect();
+        // interesting slots (degree > 0), tested once per dense slot id
+        let nx = graph.nx() as usize;
+        let mut interesting = SlotSet::new(nx);
+        for x in 0..graph.nx() {
+            if graph.deg_x(x) > 0 {
+                interesting.insert(x);
+            }
+        }
+        let islots: Vec<u32> = interesting.iter().collect();
+
+        // connected components of the slot–job graph, via union-find over
+        // each job's adjacent slots
+        let mut uf: Vec<u32> = (0..graph.nx()).collect();
+        fn find(uf: &mut [u32], x: u32) -> u32 {
+            let mut r = x;
+            while uf[r as usize] != r {
+                r = uf[r as usize];
+            }
+            let mut c = x;
+            while uf[c as usize] != r {
+                let next = uf[c as usize];
+                uf[c as usize] = r;
+                c = next;
+            }
+            r
+        }
+        for y in 0..graph.ny() {
+            let adj = graph.adj_y(y);
+            if let Some(&first) = adj.first() {
+                let root = find(&mut uf, first);
+                for &x in &adj[1..] {
+                    let r = find(&mut uf, x);
+                    uf[r as usize] = root;
+                }
+            }
+        }
+        // densify component ids over interesting slots
+        let mut comp_of_slot = vec![u32::MAX; nx];
+        let mut num_comps = 0u32;
+        let mut dense = vec![u32::MAX; nx];
+        for &x in &islots {
+            let root = find(&mut uf, x);
+            if dense[root as usize] == u32::MAX {
+                dense[root as usize] = num_comps;
+                num_comps += 1;
+            }
+            comp_of_slot[x as usize] = dense[root as usize];
+        }
+
+        // maximal nested-prefix runs over the candidate order
+        let mut runs: Vec<(u32, u32)> = Vec::new();
+        let mut run_of = Vec::with_capacity(candidates.len());
+        let mut lo = 0usize;
+        for i in 1..=candidates.len() {
+            let chained = i < candidates.len() && {
+                let (a, b) = (&candidates[i - 1], &candidates[i]);
+                a.proc == b.proc && a.start == b.start && a.end < b.end
+            };
+            if !chained {
+                for _ in lo..i {
+                    run_of.push(runs.len() as u32);
+                }
+                runs.push((lo as u32, i as u32));
+                lo = i;
+            }
+        }
+
+        // per-candidate windows into `islots`, walked incrementally per run
+        // (ends increase, so the window only ever grows), plus per-run
+        // component sequences in first-slot order (epoch-deduped) with each
+        // candidate recording its prefix length into the sequence
+        let mut slot_win = Vec::with_capacity(candidates.len());
+        let mut comp_len = Vec::with_capacity(candidates.len());
+        let mut run_comp_arena = Vec::new();
+        let mut run_comp_off = Vec::with_capacity(runs.len() + 1);
+        run_comp_off.push(0);
+        let mut comp_seen = vec![u32::MAX; num_comps as usize];
+        for (run_idx, &(rlo, rhi)) in runs.iter().enumerate() {
+            let run_base = run_comp_arena.len();
+            let first = &candidates[rlo as usize];
+            let base_id = inst.slot_id(SlotRef::new(first.proc, first.start));
+            let off = islots.partition_point(|&s| s < base_id);
+            let mut cursor = off;
+            for cand in &candidates[rlo as usize..rhi as usize] {
+                let end_id = inst.slot_id(SlotRef::new(cand.proc, 0)) + cand.end;
+                while cursor < islots.len() && islots[cursor] < end_id {
+                    let c = comp_of_slot[islots[cursor] as usize];
+                    if comp_seen[c as usize] != run_idx as u32 {
+                        comp_seen[c as usize] = run_idx as u32;
+                        run_comp_arena.push(c);
+                    }
+                    cursor += 1;
+                }
+                slot_win.push((off as u32, (cursor - off) as u32));
+                comp_len.push((run_comp_arena.len() - run_base) as u32);
+            }
+            run_comp_off.push(run_comp_arena.len() as u32);
+        }
         let costs = candidates.iter().map(|iv| iv.cost).collect();
 
         Self {
             graph,
-            slot_lists,
+            islots,
+            slot_win,
             costs,
+            run_of,
+            runs,
+            run_comp_arena,
+            run_comp_off,
+            comp_len,
+            num_comps,
+        }
+    }
+
+    /// Number of candidates in the reduction.
+    #[inline]
+    pub fn num_candidates(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// The (job-adjacent) slot ids contributed by candidate `i`.
+    #[inline]
+    pub fn slots_of(&self, i: usize) -> &[u32] {
+        let (off, len) = self.slot_win[i];
+        &self.islots[off as usize..(off + len) as usize]
+    }
+
+    /// Cost of candidate `i`.
+    #[inline]
+    pub fn cost_of(&self, i: usize) -> f64 {
+        self.costs[i]
+    }
+
+    /// Connected-component ids touched by any candidate of run `r`.
+    #[inline]
+    fn comps_of_run(&self, r: usize) -> &[u32] {
+        &self.run_comp_arena[self.run_comp_off[r] as usize..self.run_comp_off[r + 1] as usize]
+    }
+
+    /// Connected-component ids candidate `i`'s slots touch — the length-
+    /// `comp_len[i]` prefix of its run's component sequence.
+    #[inline]
+    fn comps_of(&self, i: usize) -> &[u32] {
+        let base = self.run_comp_off[self.run_of[i] as usize] as usize;
+        &self.run_comp_arena[base..base + self.comp_len[i] as usize]
+    }
+
+    /// Maximal nested-prefix candidate ranges (see the module docs).
+    #[inline]
+    pub fn runs(&self) -> &[(u32, u32)] {
+        &self.runs
+    }
+}
+
+/// Per-thread scratch for [`ScheduleObjective`]: overlay matching workspace
+/// plus the component-version gain memo.
+pub struct ObjectiveScratch {
+    gain: GainScratch,
+    /// Objective token the memo below was filled against.
+    memo_token: u64,
+    /// Version at which candidate `i` was last evaluated (0 = never).
+    memo_eval: Vec<u64>,
+    /// Cached raw gain of candidate `i` (valid iff `memo_eval[i]` covers
+    /// the candidate's latest component stamp).
+    memo_val: Vec<f64>,
+    /// Cumulative-gain buffer for prefix scans.
+    cum: Vec<f64>,
+}
+
+impl Default for ObjectiveScratch {
+    fn default() -> Self {
+        Self {
+            gain: GainScratch::new(),
+            memo_token: 0,
+            memo_eval: Vec::new(),
+            memo_val: Vec::new(),
+            cum: Vec::new(),
+        }
+    }
+}
+
+impl ObjectiveScratch {
+    fn ensure(&mut self, token: u64, m: usize) {
+        if self.memo_token != token || self.memo_val.len() != m {
+            self.memo_token = token;
+            self.memo_eval.clear();
+            self.memo_eval.resize(m, 0);
+            self.memo_val.clear();
+            self.memo_val.resize(m, 0.0);
         }
     }
 }
@@ -65,22 +292,32 @@ impl ScheduleReduction {
 pub struct ScheduleObjective<'r> {
     red: &'r ScheduleReduction,
     oracle: MatchingOracle<'r>,
+    /// Identity of this objective, for scratch-memo safety.
+    token: u64,
+    /// Global commit version; starts at 1, bumped on every mutating commit.
+    version: u64,
+    /// Per-component version of the last mutating commit that touched it.
+    comp_version: Vec<u64>,
 }
 
 impl<'r> ScheduleObjective<'r> {
     /// Cardinality utility (Lemma 2.2.2): every job counts 1.
     pub fn new_cardinality(red: &'r ScheduleReduction) -> Self {
-        Self {
-            red,
-            oracle: MatchingOracle::new_cardinality(&red.graph),
-        }
+        Self::with_oracle(red, MatchingOracle::new_cardinality(&red.graph))
     }
 
     /// Weighted utility (Lemma 2.3.2): job `j` counts `values[j] > 0`.
     pub fn new_weighted(red: &'r ScheduleReduction, values: Vec<f64>) -> Self {
+        Self::with_oracle(red, MatchingOracle::new(&red.graph, values))
+    }
+
+    fn with_oracle(red: &'r ScheduleReduction, oracle: MatchingOracle<'r>) -> Self {
         Self {
             red,
-            oracle: MatchingOracle::new(&red.graph, values),
+            oracle,
+            token: OBJECTIVE_TOKENS.fetch_add(1, Ordering::Relaxed),
+            version: 1,
+            comp_version: vec![0; red.num_comps as usize],
         }
     }
 
@@ -88,6 +325,51 @@ impl<'r> ScheduleObjective<'r> {
     /// Hall-violator certificates).
     pub fn oracle(&self) -> &MatchingOracle<'r> {
         &self.oracle
+    }
+
+    /// Latest version stamped on any component of the whole run `r` — an
+    /// upper bound on every member's own stamp.
+    #[inline]
+    fn stamp_of_run(&self, r: usize) -> u64 {
+        self.red
+            .comps_of_run(r)
+            .iter()
+            .map(|&c| self.comp_version[c as usize])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Latest version stamped on any of candidate `i`'s own components: a
+    /// memo entry evaluated at version `≥` this is still exact.
+    #[inline]
+    fn stamp_of(&self, i: usize) -> u64 {
+        self.red
+            .comps_of(i)
+            .iter()
+            .map(|&c| self.comp_version[c as usize])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Re-evaluates every candidate of run `r` with one incremental overlay
+    /// pass over the run's longest member and memoizes the results. Batch
+    /// refresh pays double: a full scan gets each run in `O(L)` instead of
+    /// `O(L²)` slot augmentations, and a single stale lazy-heap entry
+    /// refreshes all its run-mates (the likeliest next pops) for the price
+    /// of one pass.
+    fn refresh_run(&self, r: usize, scratch: &mut ObjectiveScratch) {
+        let (lo, hi) = self.red.runs()[r];
+        let (lo, hi) = (lo as usize, hi as usize);
+        let slots = self.red.slots_of(hi - 1);
+        let mut cum = std::mem::take(&mut scratch.cum);
+        self.oracle
+            .gain_prefixes(slots, &mut scratch.gain, &mut cum);
+        for j in lo..hi {
+            let len = self.red.slots_of(j).len();
+            scratch.memo_val[j] = if len == 0 { 0.0 } else { cum[len - 1] };
+            scratch.memo_eval[j] = self.version;
+        }
+        scratch.cum = cum;
     }
 
     /// Extracts the schedule corresponding to the chosen candidate indices
@@ -119,14 +401,14 @@ impl<'r> ScheduleObjective<'r> {
 }
 
 impl BudgetedObjective for ScheduleObjective<'_> {
-    type Scratch = GainScratch;
+    type Scratch = ObjectiveScratch;
 
     fn num_subsets(&self) -> usize {
-        self.red.slot_lists.len()
+        self.red.num_candidates()
     }
 
     fn cost(&self, i: usize) -> f64 {
-        self.red.costs[i]
+        self.red.cost_of(i)
     }
 
     fn current(&self) -> f64 {
@@ -134,11 +416,63 @@ impl BudgetedObjective for ScheduleObjective<'_> {
     }
 
     fn gain(&self, i: usize, scratch: &mut Self::Scratch) -> f64 {
-        self.oracle.gain_of(&self.red.slot_lists[i], scratch)
+        scratch.ensure(self.token, self.red.num_candidates());
+        if scratch.memo_eval[i] == 0 || scratch.memo_eval[i] < self.stamp_of(i) {
+            self.refresh_run(self.red.run_of[i] as usize, scratch);
+        }
+        scratch.memo_val[i]
     }
 
     fn commit(&mut self, i: usize) -> f64 {
-        self.oracle.commit(&self.red.slot_lists[i])
+        let before = self.oracle.revision();
+        let gain = self.oracle.commit(self.red.slots_of(i));
+        if self.oracle.revision() != before {
+            // the matching mutated: gains of candidates sharing a component
+            // may have changed; everyone else's memo stays exact (the
+            // matching rank decomposes over components, and zero-mutation
+            // growth of S provably never moves any gain — see
+            // `MatchingOracle::revision`)
+            self.version += 1;
+            for &c in self.red.comps_of(i) {
+                self.comp_version[c as usize] = self.version;
+            }
+        }
+        gain
+    }
+
+    fn scan_gains(&self, parallel: bool, scratch: &mut Self::Scratch, out: &mut Vec<f64>) {
+        let m = self.red.num_candidates();
+        out.clear();
+        out.resize(m, 0.0);
+        if parallel {
+            use rayon::prelude::*;
+            let runs = self.red.runs();
+            let chunks: Vec<Vec<f64>> = (0..runs.len())
+                .into_par_iter()
+                .map_init(ObjectiveScratch::default, |s, r| {
+                    s.ensure(self.token, m);
+                    self.refresh_run(r, s);
+                    let (lo, hi) = (runs[r].0 as usize, runs[r].1 as usize);
+                    s.memo_val[lo..hi].to_vec()
+                })
+                .collect();
+            for (&(lo, hi), chunk) in runs.iter().zip(chunks) {
+                out[lo as usize..hi as usize].copy_from_slice(&chunk);
+            }
+        } else {
+            scratch.ensure(self.token, m);
+            for r in 0..self.red.runs().len() {
+                let (lo, hi) = self.red.runs()[r];
+                let (lo, hi) = (lo as usize, hi as usize);
+                // conservative whole-run fast path: if every member's memo
+                // covers even the run-wide stamp, replay without a pass
+                let stamp = self.stamp_of_run(r);
+                if !(lo..hi).all(|j| scratch.memo_eval[j] != 0 && scratch.memo_eval[j] >= stamp) {
+                    self.refresh_run(r, scratch);
+                }
+                out[lo..hi].copy_from_slice(&scratch.memo_val[lo..hi]);
+            }
+        }
     }
 }
 
@@ -165,8 +499,16 @@ mod tests {
         let red = ScheduleReduction::build(&inst, &cands);
         assert_eq!(red.graph.nx(), 4);
         assert_eq!(red.graph.ny(), 2);
-        assert_eq!(red.slot_lists.len(), cands.len());
-        assert_eq!(red.costs.len(), cands.len());
+        assert_eq!(red.num_candidates(), cands.len());
+        // enumerated families group by start: one run per (proc, start)
+        assert_eq!(red.runs().len(), 4);
+        assert_eq!(
+            red.runs()
+                .iter()
+                .map(|&(l, h)| (h - l) as usize)
+                .sum::<usize>(),
+            cands.len()
+        );
     }
 
     #[test]
@@ -180,7 +522,95 @@ mod tests {
             cost: 4.0,
         }];
         let red = ScheduleReduction::build(&inst, &cands);
-        assert_eq!(red.slot_lists[0], vec![0]);
+        assert_eq!(red.slots_of(0), &[0]);
+    }
+
+    #[test]
+    fn scan_gains_matches_individual_gains() {
+        let inst = Instance::new(
+            2,
+            6,
+            vec![
+                Job::window(1.0, 0, 0, 3),
+                Job::window(1.0, 0, 2, 5),
+                Job::window(1.0, 1, 1, 4),
+                Job::window(1.0, 1, 3, 6),
+            ],
+        );
+        let cands = enumerate_candidates(&inst, &AffineCost::new(2.0, 1.0), CandidatePolicy::All);
+        let red = ScheduleReduction::build(&inst, &cands);
+        let mut obj = ScheduleObjective::new_cardinality(&red);
+        // also after a few commits, so the overlay starts from a non-empty
+        // matching
+        for round in 0..3 {
+            let mut scanned = Vec::new();
+            let mut scratch = ObjectiveScratch::default();
+            obj.scan_gains(false, &mut scratch, &mut scanned);
+            let mut fresh = ObjectiveScratch::default();
+            for (i, &scan) in scanned.iter().enumerate() {
+                assert_eq!(
+                    scan,
+                    obj.gain(i, &mut fresh),
+                    "round {round}, candidate {i}"
+                );
+            }
+            let mut par = Vec::new();
+            obj.scan_gains(true, &mut ObjectiveScratch::default(), &mut par);
+            assert_eq!(par, scanned, "parallel scan diverged at round {round}");
+            obj.commit(round * 7 % cands.len());
+        }
+    }
+
+    #[test]
+    fn memo_replays_only_untouched_components() {
+        // two processors with disjoint job sets => two components
+        let inst = Instance::new(
+            2,
+            4,
+            vec![Job::window(1.0, 0, 0, 2), Job::window(1.0, 1, 2, 4)],
+        );
+        let cands = enumerate_candidates(&inst, &AffineCost::new(1.0, 1.0), CandidatePolicy::All);
+        let red = ScheduleReduction::build(&inst, &cands);
+        assert_eq!(red.num_comps, 2);
+        let mut obj = ScheduleObjective::new_cardinality(&red);
+        let mut scratch = ObjectiveScratch::default();
+        let on_p1 = (0..cands.len()).find(|&i| cands[i].proc == 1).unwrap();
+        let on_p0 = (0..cands.len()).find(|&i| cands[i].proc == 0).unwrap();
+        let run_p0 = red.run_of[on_p0] as usize;
+        let run_p1 = red.run_of[on_p1] as usize;
+        let g0_before = obj.gain(on_p0, &mut scratch);
+        let g1_before = obj.gain(on_p1, &mut scratch);
+        // commit on processor 0: processor 1 candidates keep their memo
+        obj.commit(on_p0);
+        let _ = (run_p0, run_p1);
+        assert!(
+            scratch.memo_eval[on_p1] >= obj.stamp_of(on_p1),
+            "p1 memo valid"
+        );
+        assert!(
+            scratch.memo_eval[on_p0] < obj.stamp_of(on_p0),
+            "p0 memo stale"
+        );
+        assert_eq!(obj.gain(on_p1, &mut scratch), g1_before);
+        // and the replayed value matches a fresh evaluation
+        let mut fresh = ObjectiveScratch::default();
+        assert_eq!(obj.gain(on_p1, &mut fresh), g1_before);
+        let _ = (g0_before, g1_before);
+    }
+
+    #[test]
+    fn scratch_memo_is_not_replayed_across_objectives() {
+        let inst = two_job_instance();
+        let cands = enumerate_candidates(&inst, &AffineCost::new(1.0, 1.0), CandidatePolicy::All);
+        let red = ScheduleReduction::build(&inst, &cands);
+        let mut scratch = ObjectiveScratch::default();
+        let mut a = ScheduleObjective::new_cardinality(&red);
+        let g = a.gain(0, &mut scratch);
+        a.commit(0);
+        // same scratch against a *fresh* objective: must re-evaluate, not
+        // replay a memo stamped by the old objective's versions
+        let b = ScheduleObjective::new_cardinality(&red);
+        assert_eq!(b.gain(0, &mut scratch), g);
     }
 
     #[test]

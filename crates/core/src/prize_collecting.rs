@@ -24,6 +24,10 @@ use crate::objective::{ScheduleObjective, ScheduleReduction};
 /// Errors when even the relaxed goal is unreachable with the supplied
 /// candidates (certificate included), or when `target` exceeds the total
 /// value present in the instance.
+///
+/// Builds the bipartite reduction internally; repeated solves should go
+/// through [`crate::Solver`], which caches it and calls
+/// [`prize_collecting_with`].
 pub fn prize_collecting(
     inst: &Instance,
     candidates: &[CandidateInterval],
@@ -38,10 +42,30 @@ pub fn prize_collecting(
     if target <= 0.0 {
         return Ok(empty_schedule(inst));
     }
-
     let red = ScheduleReduction::build(inst, candidates);
+    prize_collecting_with(inst, &red, candidates, target, epsilon, opts)
+}
+
+/// [`prize_collecting`] over a prebuilt [`ScheduleReduction`] (which must
+/// have been built for exactly this `inst` + `candidates` pair).
+pub fn prize_collecting_with(
+    inst: &Instance,
+    red: &ScheduleReduction,
+    candidates: &[CandidateInterval],
+    target: f64,
+    epsilon: f64,
+    opts: &SolveOptions,
+) -> Result<Schedule, ScheduleError> {
+    let total = inst.total_value();
+    if target > total {
+        return Err(ScheduleError::TargetExceedsTotalValue { target, total });
+    }
+    if target <= 0.0 {
+        return Ok(empty_schedule(inst));
+    }
+
     let values: Vec<f64> = inst.jobs.iter().map(|j| j.value).collect();
-    let mut obj = ScheduleObjective::new_weighted(&red, values);
+    let mut obj = ScheduleObjective::new_weighted(red, values);
 
     let cfg = GreedyConfig {
         target,
@@ -75,6 +99,26 @@ pub fn prize_collecting_exact(
     if target <= 0.0 {
         return Ok(empty_schedule(inst));
     }
+    let red = ScheduleReduction::build(inst, candidates);
+    prize_collecting_exact_with(inst, &red, candidates, target, opts)
+}
+
+/// [`prize_collecting_exact`] over a prebuilt [`ScheduleReduction`] (which
+/// must have been built for exactly this `inst` + `candidates` pair).
+pub fn prize_collecting_exact_with(
+    inst: &Instance,
+    red: &ScheduleReduction,
+    candidates: &[CandidateInterval],
+    target: f64,
+    opts: &SolveOptions,
+) -> Result<Schedule, ScheduleError> {
+    let total = inst.total_value();
+    if target > total {
+        return Err(ScheduleError::TargetExceedsTotalValue { target, total });
+    }
+    if target <= 0.0 {
+        return Ok(empty_schedule(inst));
+    }
 
     let (v_min, v_max) = inst
         .value_range()
@@ -85,9 +129,8 @@ pub fn prize_collecting_exact(
     // 1 for the degenerate n = 1 case.
     let eps = (v_min / (n * v_max)).min(0.5);
 
-    let red = ScheduleReduction::build(inst, candidates);
     let values: Vec<f64> = inst.jobs.iter().map(|j| j.value).collect();
-    let mut obj = ScheduleObjective::new_weighted(&red, values);
+    let mut obj = ScheduleObjective::new_weighted(red, values);
 
     let cfg = GreedyConfig {
         target,
@@ -109,13 +152,18 @@ pub fn prize_collecting_exact(
     // positive gain. Any positive gain of the weighted rank is ≥ v_min ≥ the
     // residual, so mathematically one round suffices; the loop is defensive.
     let mut scratch = <ScheduleObjective<'_> as BudgetedObjective>::Scratch::default();
+    let mut in_chosen = vec![false; obj.num_subsets()];
+    for &i in &chosen {
+        in_chosen[i] = true;
+    }
+    let mut gains: Vec<f64> = Vec::new();
     while obj.current() < target {
+        obj.scan_gains(opts.parallel, &mut scratch, &mut gains);
         let mut best: Option<(f64, usize)> = None;
-        for i in 0..obj.num_subsets() {
-            if chosen.contains(&i) {
+        for (i, &g) in gains.iter().enumerate() {
+            if in_chosen[i] {
                 continue;
             }
-            let g = obj.gain(i, &mut scratch);
             if g > 0.0 {
                 let c = obj.cost(i);
                 if best.is_none_or(|(bc, _)| c < bc) {
@@ -132,6 +180,7 @@ pub fn prize_collecting_exact(
         };
         obj.commit(idx);
         chosen.push(idx);
+        in_chosen[idx] = true;
     }
 
     Ok(obj.extract_schedule(inst, candidates, &chosen))

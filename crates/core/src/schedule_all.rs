@@ -22,20 +22,34 @@ use crate::objective::{ScheduleObjective, ScheduleReduction};
 /// certificate — when no sub-family of `candidates` can host all jobs.
 /// (Feasibility is always relative to the candidate family; pass
 /// [`crate::candidates::CandidatePolicy::All`] for the unrestricted problem.)
+///
+/// Builds the bipartite reduction internally; callers that solve the same
+/// instance + family repeatedly (or mix goal methods) should go through
+/// [`crate::Solver`], which builds the reduction once and passes it to
+/// [`schedule_all_with`].
 pub fn schedule_all(
     inst: &Instance,
     candidates: &[CandidateInterval],
     opts: &SolveOptions,
 ) -> Result<Schedule, ScheduleError> {
+    if inst.num_jobs() == 0 {
+        return Ok(empty_schedule());
+    }
+    let red = ScheduleReduction::build(inst, candidates);
+    schedule_all_with(inst, &red, candidates, opts)
+}
+
+/// [`schedule_all`] over a prebuilt [`ScheduleReduction`] (which must have
+/// been built for exactly this `inst` + `candidates` pair).
+pub fn schedule_all_with(
+    inst: &Instance,
+    red: &ScheduleReduction,
+    candidates: &[CandidateInterval],
+    opts: &SolveOptions,
+) -> Result<Schedule, ScheduleError> {
     let n = inst.num_jobs();
     if n == 0 {
-        return Ok(Schedule {
-            awake: Vec::new(),
-            assignments: Vec::new(),
-            total_cost: 0.0,
-            scheduled_value: 0.0,
-            scheduled_count: 0,
-        });
+        return Ok(empty_schedule());
     }
 
     // Jobs with no allowed slots are trivially infeasible.
@@ -51,8 +65,7 @@ pub fn schedule_all(
         });
     }
 
-    let red = ScheduleReduction::build(inst, candidates);
-    let mut obj = ScheduleObjective::new_cardinality(&red);
+    let mut obj = ScheduleObjective::new_cardinality(red);
 
     let x = n as f64;
     let eps = 1.0 / (x + 1.0);
@@ -75,6 +88,16 @@ pub fn schedule_all(
     debug_assert_eq!(out.utility, x, "integral utility must hit n exactly");
 
     Ok(obj.extract_schedule(inst, candidates, &out.chosen))
+}
+
+fn empty_schedule() -> Schedule {
+    Schedule {
+        awake: Vec::new(),
+        assignments: Vec::new(),
+        total_cost: 0.0,
+        scheduled_value: 0.0,
+        scheduled_count: 0,
+    }
 }
 
 #[cfg(test)]

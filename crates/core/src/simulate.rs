@@ -9,6 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::bitset::SlotSet;
 use crate::model::{Instance, Schedule};
 
 /// Machine state of one processor in one slot.
@@ -129,32 +130,47 @@ fn state_letter(s: SlotState) -> char {
 pub fn simulate(inst: &Instance, schedule: &Schedule) -> PowerTrace {
     let p = inst.num_processors as usize;
     let t = inst.horizon as usize;
-    let mut states = vec![vec![SlotState::Sleep; t]; p];
 
-    for iv in &schedule.awake {
-        for time in iv.start..iv.end {
-            let s = &mut states[iv.proc as usize][time as usize];
-            if *s == SlotState::Sleep {
-                *s = SlotState::Idle;
-            }
-        }
-    }
-    for asg in schedule.assignments.iter().flatten() {
-        states[asg.proc as usize][asg.time as usize] = SlotState::Busy;
-    }
-
+    // Merge awake intervals into per-processor slot bitsets first: marking an
+    // interval is a handful of masked word stores, and the awake count is a
+    // popcount — the per-slot state rows are materialized once at the end.
+    let mut awake = vec![SlotSet::new(t); p];
     let mut restarts = vec![0usize; p];
     for iv in &schedule.awake {
+        awake[iv.proc as usize].set_range(iv.start, iv.end);
         restarts[iv.proc as usize] += 1;
     }
-    let awake_slots: Vec<usize> = states
+    let mut busy = vec![SlotSet::new(t); p];
+    for asg in schedule.assignments.iter().flatten() {
+        busy[asg.proc as usize].insert(asg.time);
+    }
+
+    let states: Vec<Vec<SlotState>> = awake
         .iter()
-        .map(|row| row.iter().filter(|&&s| s != SlotState::Sleep).count())
+        .zip(&busy)
+        .map(|(aw, bz)| {
+            let mut row = vec![SlotState::Sleep; t];
+            for s in aw.iter() {
+                row[s as usize] = SlotState::Idle;
+            }
+            for s in bz.iter() {
+                row[s as usize] = SlotState::Busy;
+            }
+            row
+        })
         .collect();
-    let busy_slots: Vec<usize> = states
-        .iter()
-        .map(|row| row.iter().filter(|&&s| s == SlotState::Busy).count())
+    // a (structurally invalid) busy slot outside every awake interval still
+    // renders as Busy, so the awake count is over the union — exactly the
+    // "state != Sleep" count of the per-slot representation
+    let awake_slots: Vec<usize> = awake
+        .iter_mut()
+        .zip(&busy)
+        .map(|(aw, bz)| {
+            aw.union_with(bz);
+            aw.count()
+        })
         .collect();
+    let busy_slots: Vec<usize> = busy.iter().map(SlotSet::count).collect();
 
     PowerTrace {
         states,

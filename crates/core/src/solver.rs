@@ -37,8 +37,9 @@ use std::sync::Arc;
 use crate::candidates::{enumerate_candidates, CandidateInterval, CandidatePolicy};
 use crate::cost::EnergyCost;
 use crate::model::{Instance, Schedule, ScheduleError, SolveOptions};
-use crate::prize_collecting::{prize_collecting, prize_collecting_exact};
-use crate::schedule_all::schedule_all;
+use crate::objective::ScheduleReduction;
+use crate::prize_collecting::{prize_collecting_exact_with, prize_collecting_with};
+use crate::schedule_all::schedule_all_with;
 
 /// Where the solver's candidate awake intervals come from.
 #[derive(Clone, Copy)]
@@ -79,17 +80,22 @@ pub struct Solver<'a> {
     source: CandidateSource<'a>,
     options: SolveOptions,
     cache: OnceCell<Family<'a>>,
+    /// Bipartite reduction over the cached family, built lazily on the first
+    /// goal call and shared by every subsequent one (and by clones).
+    reduction: OnceCell<Arc<ScheduleReduction>>,
 }
 
 impl Clone for Solver<'_> {
     /// Cheap: copies references and options, and shares (never copies) an
-    /// already-enumerated candidate family via its `Arc`.
+    /// already-enumerated candidate family via its `Arc` — likewise the
+    /// already-built reduction.
     fn clone(&self) -> Self {
         Self {
             instance: self.instance,
             source: self.source,
             options: self.options,
             cache: self.cache.clone(),
+            reduction: self.reduction.clone(),
         }
     }
 }
@@ -103,6 +109,7 @@ impl<'a> Solver<'a> {
             source: CandidateSource::Enumerate(cost, CandidatePolicy::All),
             options: SolveOptions::default(),
             cache: OnceCell::new(),
+            reduction: OnceCell::new(),
         }
     }
 
@@ -141,17 +148,19 @@ impl<'a> Solver<'a> {
             source: CandidateSource::Explicit,
             options: SolveOptions::default(),
             cache,
+            reduction: OnceCell::new(),
         }
     }
 
     /// Sets the candidate enumeration policy.
     ///
-    /// Resets the cached enumeration; no effect on the interval family of a
-    /// [`Solver::with_candidates`] solver.
+    /// Resets the cached enumeration (and the reduction built over it); no
+    /// effect on the interval family of a [`Solver::with_candidates`] solver.
     pub fn policy(mut self, policy: CandidatePolicy) -> Self {
         if let CandidateSource::Enumerate(cost, _) = self.source {
             self.source = CandidateSource::Enumerate(cost, policy);
             self.cache = OnceCell::new();
+            self.reduction = OnceCell::new();
         }
         self
     }
@@ -213,17 +222,31 @@ impl<'a> Solver<'a> {
         self.options
     }
 
+    /// The bipartite reduction over the cached candidate family, built on
+    /// first use and shared by every goal method (and by clones): sweeping a
+    /// target or an `ε` schedule re-reduces nothing.
+    pub fn reduction(&self) -> &ScheduleReduction {
+        self.reduction
+            .get_or_init(|| Arc::new(ScheduleReduction::build(self.instance, self.candidates())))
+    }
+
     /// Theorem 2.2.1: schedules **every** job at cost within `O(log n)` of
     /// the cheapest all-jobs schedule.
     pub fn schedule_all(&self) -> Result<Schedule, ScheduleError> {
-        schedule_all(self.instance, self.candidates(), &self.options)
+        schedule_all_with(
+            self.instance,
+            self.reduction(),
+            self.candidates(),
+            &self.options,
+        )
     }
 
     /// Theorem 2.3.1: schedules value `≥ (1−epsilon)·target` at cost within
     /// `O(log 1/epsilon)` of any schedule achieving `target`.
     pub fn prize_collecting(&self, target: f64, epsilon: f64) -> Result<Schedule, ScheduleError> {
-        prize_collecting(
+        prize_collecting_with(
             self.instance,
+            self.reduction(),
             self.candidates(),
             target,
             epsilon,
@@ -234,7 +257,13 @@ impl<'a> Solver<'a> {
     /// Theorem 2.3.3: schedules value `≥ target` exactly, at cost
     /// `O((log n + log Δ)·B)` where `Δ` is the job-value spread.
     pub fn prize_collecting_exact(&self, target: f64) -> Result<Schedule, ScheduleError> {
-        prize_collecting_exact(self.instance, self.candidates(), target, &self.options)
+        prize_collecting_exact_with(
+            self.instance,
+            self.reduction(),
+            self.candidates(),
+            target,
+            &self.options,
+        )
     }
 }
 
@@ -243,6 +272,7 @@ mod tests {
     use super::*;
     use crate::cost::AffineCost;
     use crate::model::{validate_schedule, Job, SlotRef};
+    use crate::schedule_all::schedule_all;
 
     fn inst() -> Instance {
         Instance::new(

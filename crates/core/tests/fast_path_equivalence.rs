@@ -1,0 +1,213 @@
+//! The fast path's correctness contract: **bit-identical** schedules to the
+//! retained naive (seed) implementation.
+//!
+//! Every hot-path trick — flat CSR slot lists, nested-prefix run scans,
+//! component-memoized gains, the cached reduction inside `Solver` — claims
+//! to change *nothing* about what the greedy computes, only how fast it
+//! computes it. These proptests pin that claim across random instances and
+//! cost models, comparing full `Schedule` values (awake intervals with their
+//! exact `f64` costs, per-job assignments, totals) and error cases.
+
+use proptest::prelude::*;
+use sched_core::naive::{naive_prize_collecting, naive_prize_collecting_exact, naive_schedule_all};
+use sched_core::{
+    enumerate_candidates, prize_collecting, prize_collecting_exact, schedule_all, AffineCost,
+    CandidatePolicy, EnergyCost, Instance, Job, Schedule, ScheduleError, SlotRef, SolveOptions,
+    Solver, TimeVaryingCost, UnavailableSlots,
+};
+
+/// Strategy: a random instance as raw sizing + job windows + value seeds.
+#[allow(clippy::type_complexity)]
+fn instance_strategy() -> impl Strategy<Value = (u32, u32, Vec<(u32, u32, u32, u32)>)> {
+    (1u32..4, 3u32..16).prop_flat_map(|(p, t)| {
+        let jobs = proptest::collection::vec((0..p, 0..t, 1u32..6, 1u32..9), 1..14);
+        (Just(p), Just(t), jobs)
+    })
+}
+
+fn build_instance(p: u32, t: u32, jobs: &[(u32, u32, u32, u32)]) -> Instance {
+    let jobs = jobs
+        .iter()
+        .map(|&(proc, start, len, value)| {
+            let end = (start + len).min(t);
+            Job {
+                value: value as f64,
+                allowed: (start..end.max(start + 1).min(t))
+                    .map(|time| SlotRef::new(proc, time))
+                    .collect(),
+            }
+        })
+        .collect();
+    Instance::new(p, t, jobs)
+}
+
+/// Asserts two solve outcomes are bit-identical (schedules or errors).
+fn assert_identical(
+    fast: &Result<Schedule, ScheduleError>,
+    naive: &Result<Schedule, ScheduleError>,
+) -> Result<(), TestCaseError> {
+    match (fast, naive) {
+        (Ok(f), Ok(n)) => {
+            prop_assert_eq!(f.awake.len(), n.awake.len(), "awake interval count");
+            for (a, b) in f.awake.iter().zip(&n.awake) {
+                prop_assert_eq!(a.proc, b.proc);
+                prop_assert_eq!(a.start, b.start);
+                prop_assert_eq!(a.end, b.end);
+                prop_assert_eq!(a.cost.to_bits(), b.cost.to_bits(), "interval cost bits");
+            }
+            prop_assert_eq!(&f.assignments, &n.assignments, "assignments");
+            prop_assert_eq!(
+                f.total_cost.to_bits(),
+                n.total_cost.to_bits(),
+                "total cost bits"
+            );
+            prop_assert_eq!(
+                f.scheduled_value.to_bits(),
+                n.scheduled_value.to_bits(),
+                "scheduled value bits"
+            );
+            prop_assert_eq!(f.scheduled_count, n.scheduled_count);
+        }
+        (Err(ef), Err(en)) => prop_assert_eq!(ef, en, "error mismatch"),
+        (f, n) => prop_assert!(false, "outcome mismatch: fast {f:?} vs naive {n:?}"),
+    }
+    Ok(())
+}
+
+/// One cost model per `pick` value, exercising all three oracle layouts.
+fn cost_model(pick: u8, p: u32, t: u32) -> Box<dyn EnergyCost> {
+    match pick % 3 {
+        0 => Box::new(AffineCost::new(3.0, 1.0)),
+        1 => Box::new(TimeVaryingCost::new(
+            2.0,
+            (0..p)
+                .map(|proc| {
+                    (0..t)
+                        .map(|time| {
+                            if (proc + time) % 7 == 3 {
+                                f64::INFINITY
+                            } else {
+                                1.0 + ((proc + 2 * time) % 5) as f64
+                            }
+                        })
+                        .collect()
+                })
+                .collect(),
+        )),
+        _ => Box::new(UnavailableSlots::new(
+            AffineCost::new(1.5, 0.5),
+            p,
+            &(0..p)
+                .flat_map(|proc| {
+                    (0..t)
+                        .filter(move |time| (proc + time) % 6 == 1)
+                        .map(move |time| (proc, time))
+                })
+                .collect::<Vec<_>>(),
+        )),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn schedule_all_bit_identical((p, t, jobs) in instance_strategy(),
+                                  cost_pick in 0u8..3,
+                                  lazy in any::<bool>()) {
+        let inst = build_instance(p, t, &jobs);
+        let cost = cost_model(cost_pick, p, t);
+        let cands = enumerate_candidates(&inst, cost.as_ref(), CandidatePolicy::All);
+        let opts = SolveOptions { lazy, parallel: false };
+        let fast = schedule_all(&inst, &cands, &opts);
+        let naive = naive_schedule_all(&inst, &cands, &opts);
+        assert_identical(&fast, &naive)?;
+    }
+
+    #[test]
+    fn prize_collecting_bit_identical((p, t, jobs) in instance_strategy(),
+                                      cost_pick in 0u8..3,
+                                      lazy in any::<bool>(),
+                                      frac in 1u32..10) {
+        let inst = build_instance(p, t, &jobs);
+        let cost = cost_model(cost_pick, p, t);
+        let cands = enumerate_candidates(&inst, cost.as_ref(), CandidatePolicy::All);
+        let opts = SolveOptions { lazy, parallel: false };
+        let target = inst.total_value() * frac as f64 / 10.0;
+
+        let fast = prize_collecting(&inst, &cands, target, 0.25, &opts);
+        let naive = naive_prize_collecting(&inst, &cands, target, 0.25, &opts);
+        assert_identical(&fast, &naive)?;
+
+        let fast = prize_collecting_exact(&inst, &cands, target, &opts);
+        let naive = naive_prize_collecting_exact(&inst, &cands, target, &opts);
+        assert_identical(&fast, &naive)?;
+    }
+
+    #[test]
+    fn solver_goal_sequence_matches_naive((p, t, jobs) in instance_strategy(),
+                                          frac in 1u32..10) {
+        // the Solver reuses one cached reduction across goal calls; every
+        // call must still match a from-scratch naive solve
+        let inst = build_instance(p, t, &jobs);
+        let cost = AffineCost::new(2.0, 1.0);
+        let solver = Solver::new(&inst, &cost);
+        let cands = enumerate_candidates(&inst, &cost, CandidatePolicy::All);
+        let opts = SolveOptions::default();
+        let target = inst.total_value() * frac as f64 / 10.0;
+
+        assert_identical(&solver.schedule_all(), &naive_schedule_all(&inst, &cands, &opts))?;
+        assert_identical(
+            &solver.prize_collecting(target, 0.25),
+            &naive_prize_collecting(&inst, &cands, target, 0.25, &opts),
+        )?;
+        assert_identical(
+            &solver.prize_collecting_exact(target),
+            &naive_prize_collecting_exact(&inst, &cands, target, &opts),
+        )?;
+        // repeat the first goal: the memo-warmed second run must not drift
+        assert_identical(&solver.schedule_all(), &naive_schedule_all(&inst, &cands, &opts))?;
+    }
+
+    #[test]
+    fn parallel_scan_bit_identical((p, t, jobs) in instance_strategy(),
+                                   lazy in any::<bool>()) {
+        let inst = build_instance(p, t, &jobs);
+        let cost = AffineCost::new(3.0, 1.0);
+        let cands = enumerate_candidates(&inst, &cost, CandidatePolicy::All);
+        let seq = schedule_all(&inst, &cands, &SolveOptions { lazy, parallel: false });
+        let par = schedule_all(&inst, &cands, &SolveOptions { lazy, parallel: true });
+        assert_identical(&par, &seq)?;
+    }
+}
+
+/// Word-boundary horizons push dense slot ids across u64 word edges; the
+/// fast path must stay identical there too (fixed seeds, not proptest, so
+/// the exact horizons 63/64/65 are always exercised).
+#[test]
+fn word_boundary_horizons_bit_identical() {
+    for horizon in [63u32, 64, 65] {
+        let jobs: Vec<Job> = (0..12)
+            .map(|i| Job::window(1.0 + (i % 4) as f64, i % 2, i * 5 % horizon, horizon))
+            .collect();
+        let inst = Instance::new(2, horizon, jobs);
+        let cost = AffineCost::new(4.0, 1.0);
+        // MaxLength keeps the family size civilised at T=65
+        let cands = enumerate_candidates(&inst, &cost, CandidatePolicy::MaxLength(9));
+        let opts = SolveOptions::default();
+        let fast = schedule_all(&inst, &cands, &opts);
+        let naive = naive_schedule_all(&inst, &cands, &opts);
+        match (&fast, &naive) {
+            (Ok(f), Ok(n)) => {
+                assert_eq!(
+                    f.total_cost.to_bits(),
+                    n.total_cost.to_bits(),
+                    "T={horizon}"
+                );
+                assert_eq!(f.assignments, n.assignments, "T={horizon}");
+            }
+            (Err(ef), Err(en)) => assert_eq!(ef, en, "T={horizon}"),
+            other => panic!("outcome mismatch at T={horizon}: {other:?}"),
+        }
+    }
+}

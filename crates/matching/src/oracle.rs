@@ -100,7 +100,9 @@ impl MatchView for DirectView<'_> {
 /// Reads fall through to the committed arrays unless the entry was written in
 /// the current evaluation epoch; writes never touch the committed arrays.
 /// Reusing one `GainScratch` across evaluations costs O(touched entries) per
-/// evaluation instead of O(V).
+/// evaluation instead of O(V). Duplicate slots within one evaluation are
+/// detected with the same epoch trick (`added_ver`), so an evaluation costs
+/// O(|T|) bookkeeping instead of the O(|T|²) of a linear `contains` scan.
 #[derive(Clone, Debug, Default)]
 pub struct GainScratch {
     ep: u32,
@@ -109,7 +111,8 @@ pub struct GainScratch {
     my_ov: Vec<u32>,
     my_ver: Vec<u32>,
     bfs: BfsScratch,
-    added: Vec<u32>,
+    /// Per-slot tag: `== ep` when the slot was already added in this epoch.
+    added_ver: Vec<u32>,
 }
 
 impl GainScratch {
@@ -123,6 +126,7 @@ impl GainScratch {
         if self.mx_ver.len() != nx {
             self.mx_ov = vec![NONE; nx];
             self.mx_ver = vec![0; nx];
+            self.added_ver = vec![0; nx];
             self.ep = 0;
         }
         if self.my_ver.len() != ny {
@@ -137,6 +141,7 @@ impl GainScratch {
         if self.ep == u32::MAX {
             self.mx_ver.fill(0);
             self.my_ver.fill(0);
+            self.added_ver.fill(0);
             self.ep = 0;
         }
         self.ep += 1;
@@ -194,6 +199,7 @@ pub struct MatchingOracle<'g> {
     match_y: Vec<u32>,
     total: f64,
     n_allowed: usize,
+    revision: u64,
     bfs: BfsScratch,
 }
 
@@ -222,6 +228,7 @@ impl<'g> MatchingOracle<'g> {
             match_y: vec![NONE; g.ny() as usize],
             total: 0.0,
             n_allowed: 0,
+            revision: 0,
             bfs,
         }
     }
@@ -242,6 +249,21 @@ impl<'g> MatchingOracle<'g> {
     #[inline]
     pub fn total(&self) -> f64 {
         self.total
+    }
+
+    /// Counter bumped every time the committed matching actually mutates
+    /// (an [`MatchingOracle::add_slot`] that flips an alternating path, or a
+    /// [`MatchingOracle::reset`]).
+    ///
+    /// Zero-gain slot additions leave it unchanged **and leave every exact
+    /// marginal gain unchanged**: for `S' = S ∪ {v}` with `F(S') = F(S)`,
+    /// monotonicity gives `F(S'∪T) ≥ F(S∪T)` while submodularity gives
+    /// `F(S'∪T) − F(S') ≤ F(S∪T) − F(S)`; together they squeeze
+    /// `F(S'∪T) − F(S') = F(S∪T) − F(S)` exactly. Callers can therefore
+    /// memoize [`MatchingOracle::gain_of`] results keyed on this revision.
+    #[inline]
+    pub fn revision(&self) -> u64 {
+        self.revision
     }
 
     /// Per-job values.
@@ -303,6 +325,9 @@ impl<'g> MatchingOracle<'g> {
             match_y: &mut self.match_y,
         };
         let gain = best_augment(self.g, v, &mut view, &mut self.bfs, &self.values);
+        if gain > 0.0 {
+            self.revision += 1;
+        }
         self.total += gain;
         gain
     }
@@ -321,27 +346,54 @@ impl<'g> MatchingOracle<'g> {
     /// `T` are ignored. Takes `&self`: safe to call concurrently with one
     /// [`GainScratch`] per thread.
     pub fn gain_of(&self, slots: &[u32], scratch: &mut GainScratch) -> f64 {
+        self.overlay_scan(slots, scratch, |_, _| {})
+    }
+
+    /// Evaluates `F(S ∪ Pₖ) − F(S)` for **every prefix** `Pₖ` of `slots` in
+    /// one overlay pass, pushing the cumulative gain after each position into
+    /// `out` (so `out[k]` is the exact gain of the first `k + 1` slots).
+    ///
+    /// This is the batch form of [`MatchingOracle::gain_of`] for nested
+    /// candidate families (awake intervals sharing a start): evaluating all
+    /// `L` prefixes individually costs `O(L²)` slot augmentations, one scan
+    /// costs `O(L)`. Every emitted value is bit-identical to the
+    /// corresponding `gain_of` call, because the overlay after `k` slots is
+    /// exactly the state `gain_of(&slots[..=k])` would have reached.
+    pub fn gain_prefixes(&self, slots: &[u32], scratch: &mut GainScratch, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(slots.len());
+        self.overlay_scan(slots, scratch, |_, cum| out.push(cum));
+    }
+
+    /// Shared overlay walk: adds `slots` one by one to a copy-on-write view,
+    /// calling `emit(position, cumulative_gain)` after each position.
+    /// Returns the final cumulative gain.
+    fn overlay_scan(
+        &self,
+        slots: &[u32],
+        scratch: &mut GainScratch,
+        mut emit: impl FnMut(usize, f64),
+    ) -> f64 {
         let nx = self.g.nx() as usize;
         let ny = self.g.ny() as usize;
         scratch.ensure(nx, ny);
         let ep = scratch.next_epoch();
-        scratch.added.clear();
         let mut gain = 0.0;
-        for &v in slots {
-            if self.allowed[v as usize] || scratch.added.contains(&v) {
-                continue;
+        for (k, &v) in slots.iter().enumerate() {
+            if !self.allowed[v as usize] && scratch.added_ver[v as usize] != ep {
+                scratch.added_ver[v as usize] = ep;
+                let mut view = OverlayView {
+                    base_x: &self.match_x,
+                    base_y: &self.match_y,
+                    ep,
+                    mx_ov: &mut scratch.mx_ov,
+                    mx_ver: &mut scratch.mx_ver,
+                    my_ov: &mut scratch.my_ov,
+                    my_ver: &mut scratch.my_ver,
+                };
+                gain += best_augment(self.g, v, &mut view, &mut scratch.bfs, &self.values);
             }
-            scratch.added.push(v);
-            let mut view = OverlayView {
-                base_x: &self.match_x,
-                base_y: &self.match_y,
-                ep,
-                mx_ov: &mut scratch.mx_ov,
-                mx_ver: &mut scratch.mx_ver,
-                my_ov: &mut scratch.my_ov,
-                my_ver: &mut scratch.my_ver,
-            };
-            gain += best_augment(self.g, v, &mut view, &mut scratch.bfs, &self.values);
+            emit(k, gain);
         }
         gain
     }
@@ -353,6 +405,7 @@ impl<'g> MatchingOracle<'g> {
         self.match_y.fill(NONE);
         self.total = 0.0;
         self.n_allowed = 0;
+        self.revision += 1;
     }
 }
 
@@ -617,6 +670,51 @@ mod tests {
             let committed = o.commit(&cand);
             assert_eq!(g1, committed, "gain_of must equal the committed gain");
         }
+    }
+
+    #[test]
+    fn gain_prefixes_matches_individual_gain_of() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        for _ in 0..40 {
+            let nx = rng.gen_range(2..=14u32);
+            let ny = rng.gen_range(1..=10u32);
+            let g = random_graph(&mut rng, nx, ny, 0.3);
+            let values: Vec<f64> = (0..ny).map(|_| rng.gen_range(1..=9) as f64).collect();
+            let mut o = MatchingOracle::new(&g, values);
+            for v in 0..nx / 3 {
+                o.add_slot(v);
+            }
+            // slot list with duplicates and already-allowed entries mixed in
+            let slots: Vec<u32> = (0..nx + 4).map(|_| rng.gen_range(0..nx)).collect();
+            let mut scratch = GainScratch::new();
+            let mut cum = Vec::new();
+            o.gain_prefixes(&slots, &mut scratch, &mut cum);
+            assert_eq!(cum.len(), slots.len());
+            for k in 0..slots.len() {
+                let want = o.gain_of(&slots[..=k], &mut scratch);
+                assert_eq!(cum[k], want, "prefix {k} of {slots:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn revision_tracks_matching_mutations_only() {
+        // slot 0 has a job; slot 1 is isolated (degree 0, zero gain).
+        let g = BipartiteGraph::from_edges(2, 1, &[(0, 0)]);
+        let mut o = MatchingOracle::new_cardinality(&g);
+        let r0 = o.revision();
+        assert_eq!(o.add_slot(1), 0.0);
+        assert_eq!(o.revision(), r0, "zero-gain add must not bump revision");
+        assert_eq!(o.add_slot(0), 1.0);
+        assert_eq!(o.revision(), r0 + 1);
+        let mut s = GainScratch::new();
+        o.gain_of(&[0, 1], &mut s);
+        assert_eq!(o.revision(), r0 + 1, "gain_of must not bump revision");
+        o.reset();
+        assert!(
+            o.revision() > r0 + 1,
+            "reset must invalidate memoized gains"
+        );
     }
 
     #[test]

@@ -110,6 +110,12 @@ pub struct ReplayReport {
     /// Empirical competitive ratio (`online / offline`; `1.0` for an empty
     /// trace).
     pub ratio: f64,
+    /// Explicit `ratio ≥ 1` verdict (up to float slack). Scripts must
+    /// assert on this boolean: grepping the serialized `ratio` digits for a
+    /// leading `0` also matched any other field ordering that happened to
+    /// put a `0`-prefixed float after it, and silently inverted if serde
+    /// ever reordered fields.
+    pub ratio_ok: bool,
     /// Which offline solver produced the reference (`exact` or `greedy`).
     pub offline_ref: String,
     /// Total restarts paid (awake runs started).
@@ -138,6 +144,7 @@ impl ReplayReport {
         } else {
             1.0
         };
+        let ratio_ok = ratio >= 1.0 - 1e-9;
         ReplayReport {
             trace: trace.name.clone(),
             policy: outcome.policy.clone(),
@@ -147,6 +154,7 @@ impl ReplayReport {
             online_cost,
             offline_cost,
             ratio,
+            ratio_ok,
             offline_ref: offline_ref.into(),
             restarts: outcome.power.restarts.iter().sum(),
             awake_slots: outcome.power.awake_slots.iter().sum(),
@@ -213,6 +221,7 @@ mod tests {
                 report.online_cost,
                 report.offline_cost
             );
+            assert!(report.ratio_ok, "{kind}: ratio_ok must reflect ratio >= 1");
             assert_eq!(report.online_cost, outcome.online_cost());
             assert_eq!(report.offline_ref, "exact");
         }
@@ -244,6 +253,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(report.ratio, 1.0);
+        assert!(report.ratio_ok);
         assert_eq!(report.online_cost, 0.0);
         assert_eq!(report.offline_cost, 0.0);
     }
@@ -260,6 +270,7 @@ mod tests {
         let json = serde_json::to_string(&report).unwrap();
         let back: ReplayReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.ratio, report.ratio);
+        assert_eq!(back.ratio_ok, report.ratio_ok);
         assert_eq!(back.policy, report.policy);
         assert_eq!(back.offline_ref, report.offline_ref);
     }

@@ -60,6 +60,31 @@ pub trait BudgetedObjective: Sync {
 
     /// Commits subset `i`; returns the realized gain.
     fn commit(&mut self, i: usize) -> f64;
+
+    /// Evaluates the raw marginal gain of **every** subset against the
+    /// current solution, writing into `out` (cleared and resized to
+    /// [`BudgetedObjective::num_subsets`]).
+    ///
+    /// The default simply loops [`BudgetedObjective::gain`] (in parallel
+    /// with one scratch per thread when `parallel` is set). Objectives with
+    /// structure among their subsets override this: `sched-core`'s
+    /// scheduling objective evaluates each nested-prefix run of awake
+    /// intervals in a single incremental pass, which is where the greedy's
+    /// full-scan cost collapses from `O(m · |T|)` to `O(m)` oracle work.
+    /// Overrides must return bit-identical values to the default.
+    fn scan_gains(&self, parallel: bool, scratch: &mut Self::Scratch, out: &mut Vec<f64>) {
+        let m = self.num_subsets();
+        out.clear();
+        if parallel {
+            let gains: Vec<f64> = (0..m)
+                .into_par_iter()
+                .map_init(Self::Scratch::default, |s, i| self.gain(i, s))
+                .collect();
+            out.extend(gains);
+        } else {
+            out.extend((0..m).map(|i| self.gain(i, scratch)));
+        }
+    }
 }
 
 /// Configuration for [`budgeted_greedy`].
@@ -130,38 +155,6 @@ pub struct GreedyOutcome {
     pub trace: Vec<IterRecord>,
 }
 
-#[derive(PartialEq)]
-struct HeapEntry {
-    ratio: f64,
-    cost: f64,
-    idx: usize,
-    round: usize,
-}
-
-impl Eq for HeapEntry {}
-
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // max-heap by ratio; ties -> cheaper first, then lower index
-        self.ratio
-            .partial_cmp(&other.ratio)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| {
-                other
-                    .cost
-                    .partial_cmp(&self.cost)
-                    .unwrap_or(Ordering::Equal)
-            })
-            .then_with(|| other.idx.cmp(&self.idx))
-    }
-}
-
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
 /// Runs the Lemma 2.1.2 bicriteria greedy to utility `(1−ε)·target`.
 ///
 /// Returns with `reached_target == false` if the greedy stalls (no candidate
@@ -223,33 +216,19 @@ fn eager_loop<O: BudgetedObjective>(
     out: &mut GreedyOutcome,
 ) {
     let m = obj.num_subsets();
+    let mut scratch = O::Scratch::default();
+    let mut gains: Vec<f64> = Vec::new();
     while out.utility < goal {
         let cur = out.utility;
-        let pick = {
-            let obj_ref: &O = obj;
-            if cfg.parallel {
-                (0..m)
-                    .into_par_iter()
-                    .map_init(O::Scratch::default, |scratch, i| {
-                        let g = clamp_gain(obj_ref.gain(i, scratch), cur, cfg.target);
-                        (g / obj_ref.cost(i), g, i)
-                    })
-                    .reduce(
-                        || (f64::NEG_INFINITY, 0.0, usize::MAX),
-                        |a, b| better(a, b, obj_ref),
-                    )
-            } else {
-                let mut scratch = O::Scratch::default();
-                let mut best = (f64::NEG_INFINITY, 0.0, usize::MAX);
-                for i in 0..m {
-                    let g = clamp_gain(obj_ref.gain(i, &mut scratch), cur, cfg.target);
-                    best = better(best, (g / obj_ref.cost(i), g, i), obj_ref);
-                }
-                best
-            }
-        };
+        obj.scan_gains(cfg.parallel, &mut scratch, &mut gains);
+        let obj_ref: &O = obj;
+        let mut best = (f64::NEG_INFINITY, 0.0, usize::MAX);
+        for (i, &raw) in gains.iter().enumerate() {
+            let g = clamp_gain(raw, cur, cfg.target);
+            best = better(best, (g / obj_ref.cost(i), g, i), obj_ref);
+        }
         out.evaluations += m;
-        let (_, gain, idx) = pick;
+        let (_, gain, idx) = best;
         if idx == usize::MAX || gain <= 0.0 {
             break; // stalled
         }
@@ -292,6 +271,38 @@ fn better<O: BudgetedObjective>(
     }
 }
 
+#[derive(PartialEq)]
+struct HeapEntry {
+    ratio: f64,
+    cost: f64,
+    idx: usize,
+    round: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // max-heap by ratio; ties -> cheaper first, then lower index
+        self.ratio
+            .partial_cmp(&other.ratio)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| {
+                other
+                    .cost
+                    .partial_cmp(&self.cost)
+                    .unwrap_or(Ordering::Equal)
+            })
+            .then_with(|| other.idx.cmp(&self.idx))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 fn lazy_loop<O: BudgetedObjective>(
     obj: &mut O,
     cfg: GreedyConfig,
@@ -301,42 +312,29 @@ fn lazy_loop<O: BudgetedObjective>(
     let m = obj.num_subsets();
     let mut round = 0usize;
     let cur0 = out.utility;
+    let mut scratch = O::Scratch::default();
 
-    // Initial evaluation of every candidate (optionally parallel).
-    let initial: Vec<(f64, f64)> = {
-        let obj_ref: &O = obj;
-        if cfg.parallel {
-            (0..m)
-                .into_par_iter()
-                .map_init(O::Scratch::default, |scratch, i| {
-                    let g = clamp_gain(obj_ref.gain(i, scratch), cur0, cfg.target);
-                    (g / obj_ref.cost(i), obj_ref.cost(i))
-                })
-                .collect()
-        } else {
-            let mut scratch = O::Scratch::default();
-            (0..m)
-                .map(|i| {
-                    let g = clamp_gain(obj_ref.gain(i, &mut scratch), cur0, cfg.target);
-                    (g / obj_ref.cost(i), obj_ref.cost(i))
-                })
-                .collect()
-        }
-    };
+    // Initial evaluation of every candidate in one structured scan
+    // (optionally parallel) — on run-structured objectives this is O(m)
+    // oracle work instead of O(m · |T|).
+    let mut initial: Vec<f64> = Vec::new();
+    obj.scan_gains(cfg.parallel, &mut scratch, &mut initial);
     out.evaluations += m;
 
     let mut heap: BinaryHeap<HeapEntry> = initial
         .into_iter()
         .enumerate()
-        .map(|(idx, (ratio, cost))| HeapEntry {
-            ratio,
-            cost,
-            idx,
-            round: 0,
+        .map(|(idx, raw)| {
+            let cost = obj.cost(idx);
+            HeapEntry {
+                ratio: clamp_gain(raw, cur0, cfg.target) / cost,
+                cost,
+                idx,
+                round: 0,
+            }
         })
         .collect();
 
-    let mut scratch = O::Scratch::default();
     while out.utility < goal {
         let Some(top) = heap.pop() else { break };
         if top.ratio <= 0.0 {
@@ -347,15 +345,26 @@ fn lazy_loop<O: BudgetedObjective>(
             commit_pick(obj, cfg, top.idx, out);
             round += 1;
         } else {
-            // stale: re-evaluate against the current solution and re-insert
+            // stale: re-evaluate against the current solution (cheap for
+            // memo-clean candidates, one batched run pass otherwise)
             let g = clamp_gain(obj.gain(top.idx, &mut scratch), out.utility, cfg.target);
             out.evaluations += 1;
-            heap.push(HeapEntry {
-                ratio: g / top.cost,
-                cost: top.cost,
-                idx: top.idx,
-                round,
-            });
+            let ratio = g / top.cost;
+            // Every other entry's true ratio is bounded above by its stale
+            // heap key; if the refreshed ratio still strictly beats the next
+            // key, this candidate is the unique argmax — commit directly
+            // instead of cycling it through the heap.
+            if g > 0.0 && heap.peek().is_none_or(|next| ratio > next.ratio) {
+                commit_pick(obj, cfg, top.idx, out);
+                round += 1;
+            } else {
+                heap.push(HeapEntry {
+                    ratio,
+                    cost: top.cost,
+                    idx: top.idx,
+                    round,
+                });
+            }
         }
     }
     out.reached_target = out.utility >= goal;

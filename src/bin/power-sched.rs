@@ -11,6 +11,7 @@
 //! power-sched replay trace.json --policy resolve:4 [--offline auto] [--verbose]
 //! power-sched replay traces/ --policy greedy --workers 4 --out reports.jsonl
 //! power-sched replay --gen cliffs --count 4 --seed 7 --policy hiring
+//! power-sched perf [--quick] [--out BENCH_solver.json] [--baseline BENCH_solver.json]
 //! ```
 //!
 //! Instances and schedules are serialized with serde as plain JSON, so they
@@ -23,7 +24,10 @@
 //! replays timed arrival traces (files, a directory, or generated on the
 //! fly with `--gen`) through an online policy and reports one JSON line per
 //! trace — online cost, offline reference cost, and the empirical
-//! competitive ratio — plus an aggregate table on stderr.
+//! competitive ratio — plus an aggregate table on stderr. `perf` runs the
+//! pinned perf-harness workloads (`bench::perf`) and emits the
+//! `BENCH_solver.json` performance report, optionally gating against a
+//! committed baseline.
 
 use power_scheduling::engine::{serve, Engine, EngineConfig};
 use power_scheduling::prelude::*;
@@ -47,9 +51,10 @@ fn main() -> ExitCode {
         Some("batch") => cmd_batch(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
+        Some("perf") => bench::perf::cli(&args[1..]),
         _ => {
             eprintln!(
-                "usage: power-sched <generate|solve|validate|batch|serve|replay> ...\n\
+                "usage: power-sched <generate|solve|validate|batch|serve|replay|perf> ...\n\
                  \n  generate --seed S --processors P --horizon T --jobs N [--values V] --out FILE\
                  \n  generate --trace poisson|diurnal|cliffs --seed S [--processors P --horizon T --jobs N\
                  \n           --restart A --rate R --slack K --values V] --out FILE\
@@ -60,7 +65,8 @@ fn main() -> ExitCode {
                  \n  serve --addr HOST:PORT [--workers N] [--queue D]\
                  \n  replay [TRACE.json|DIR] [--gen poisson|diurnal|cliffs --count N --seed S ...]\
                  \n         [--policy greedy|hiring[:F]|resolve[:K]] [--offline auto|greedy|exact]\
-                 \n         [--workers N] [--out FILE] [--verbose]"
+                 \n         [--workers N] [--out FILE] [--verbose]\
+                 \n  perf [--quick] [--out FILE] [--baseline FILE] [--tolerance F]"
             );
             return ExitCode::from(2);
         }
