@@ -149,8 +149,8 @@ fn exact_min_cost(
 mod tests {
     use super::*;
     use sched_core::{
-        enumerate_candidates, schedule_all, AffineCost, CandidatePolicy, Instance, Job, SlotRef,
-        SolveOptions,
+        enumerate_candidates, schedule_all, AffineCost, CandidatePolicy, Instance, Job,
+        PowerProfile, ProfileCost, SlotRef, SolveOptions,
     };
 
     #[test]
@@ -175,6 +175,30 @@ mod tests {
         let cands = enumerate_candidates(&inst, &AffineCost::new(10.0, 1.0), CandidatePolicy::All);
         let r = exact_schedule_all(&inst, &cands, 1_000_000).unwrap();
         assert_eq!(r.cost, 14.0);
+    }
+
+    #[test]
+    fn heterogeneous_profiles_exact_picks_the_cheap_processor() {
+        // one job runnable on either processor at t=1; proc 1 is far
+        // cheaper, so the optimum is proc 1's single slot — and the greedy
+        // over the same profiled candidates can never beat exact
+        let inst = Instance::new(
+            2,
+            3,
+            vec![Job::unit(vec![SlotRef::new(0, 1), SlotRef::new(1, 1)])],
+        );
+        let fleet = [
+            PowerProfile::affine(9.0, 2.0),
+            PowerProfile::affine(1.0, 0.5),
+        ];
+        let cost = ProfileCost::new(&fleet);
+        let cands = enumerate_candidates(&inst, &cost, CandidatePolicy::All);
+        let r = exact_schedule_all(&inst, &cands, 1_000_000).unwrap();
+        assert_eq!(r.cost, 1.5);
+        assert!(cands[r.chosen[0]].proc == 1);
+        let greedy = schedule_all(&inst, &cands, &SolveOptions::default()).unwrap();
+        assert!(greedy.total_cost >= r.cost - 1e-12);
+        assert_eq!(greedy.total_cost, 1.5);
     }
 
     #[test]

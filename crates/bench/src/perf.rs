@@ -40,7 +40,9 @@ use std::time::Instant;
 
 use rand::SeedableRng;
 use sched_core::naive::naive_schedule_all;
-use sched_core::{schedule_all, CandidatePolicy, SolveOptions};
+use sched_core::{
+    enumerate_candidates, schedule_all, CandidatePolicy, PowerProfile, ProfileCost, SolveOptions,
+};
 use sched_engine::{Engine, EngineConfig, SolveRequest};
 use sched_sim::{replay_fleet, FleetOptions, OfflineRef, PolicyKind};
 use serde::{Deserialize, Serialize};
@@ -174,6 +176,58 @@ pub fn run(opts: PerfOptions) -> PerfReport {
         }
         let fast = row(&name, "fast", solves, fast_ns, peak);
         let naive = row(&name, "naive", solves, naive_ns, peak);
+        speedups.push(Speedup {
+            workload: name.clone(),
+            fast_over_naive: fast.ops_per_sec / naive.ops_per_sec,
+        });
+        workloads.push(fast);
+        workloads.push(naive);
+    }
+
+    // --- heterogeneous solve workload: per-processor profiles ---
+    // same planted shape as the n64 row, re-priced under a fixed
+    // heterogeneous fleet, so the gate catches a hot-path regression that
+    // only bites when per-processor costs differ
+    {
+        let (n, p, t, seed) = (64usize, 4u32, 32u32, 11u64);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let planted = planted_instance(
+            &PlantedConfig {
+                num_processors: p,
+                horizon: t,
+                target_jobs: n,
+                decoy_prob: 0.3,
+                max_value: 1,
+                cost_model: PlantedCostModel::Affine { restart: 3.0 },
+                policy: CandidatePolicy::All,
+            },
+            &mut rng,
+        );
+        let fleet: Vec<PowerProfile> = (0..p)
+            .map(|proc| PowerProfile::affine(2.0 + 1.5 * proc as f64, 0.75 + 0.5 * proc as f64))
+            .collect();
+        let cost = ProfileCost::new(&fleet);
+        let cands = enumerate_candidates(&planted.instance, &cost, CandidatePolicy::All);
+        let name = format!("solve_schedule_all_hetero_n{n}_p{p}_t{t}");
+        let solves: u64 = 20;
+        let opts_solve = SolveOptions::default();
+        let (mut fast_ns, mut naive_ns) = (u64::MAX, u64::MAX);
+        for _ in 0..rounds {
+            let t0 = Instant::now();
+            for _ in 0..solves {
+                std::hint::black_box(schedule_all(&planted.instance, &cands, &opts_solve).unwrap());
+            }
+            fast_ns = fast_ns.min(t0.elapsed().as_nanos() as u64);
+            let t0 = Instant::now();
+            for _ in 0..solves {
+                std::hint::black_box(
+                    naive_schedule_all(&planted.instance, &cands, &opts_solve).unwrap(),
+                );
+            }
+            naive_ns = naive_ns.min(t0.elapsed().as_nanos() as u64);
+        }
+        let fast = row(&name, "fast", solves, fast_ns, cands.len() as u64);
+        let naive = row(&name, "naive", solves, naive_ns, cands.len() as u64);
         speedups.push(Speedup {
             workload: name.clone(),
             fast_over_naive: fast.ops_per_sec / naive.ops_per_sec,
@@ -495,9 +549,14 @@ mod tests {
         let report = run(PerfOptions { quick: true });
         assert_eq!(report.schema, SCHEMA);
         assert_eq!(report.mode, "quick");
-        // 3 solve shapes × 2 paths + 2 engine rows + 1 replay row
-        assert_eq!(report.workloads.len(), 9);
-        assert_eq!(report.speedups.len(), 3);
+        // (3 solve shapes + 1 hetero shape) × 2 paths + 2 engine rows
+        // + 1 replay row
+        assert_eq!(report.workloads.len(), 11);
+        assert_eq!(report.speedups.len(), 4);
+        assert!(report
+            .workloads
+            .iter()
+            .any(|w| w.name.contains("hetero") && w.path == "fast"));
         for w in &report.workloads {
             assert!(w.ops_per_sec > 0.0, "{}", w.name);
             assert!(w.ns_per_op > 0.0, "{}", w.name);

@@ -92,11 +92,14 @@ impl SlotSet {
     }
 
     /// Sets every bit in `[start, end)` with masked whole-word stores.
+    /// Empty ranges (`start >= end`) are no-ops even on a zero-size
+    /// universe — the empty-range check must precede the bounds assert, or
+    /// `set_range(x, x)` panics in debug builds whenever `x > len`.
     pub fn set_range(&mut self, start: u32, end: u32) {
-        debug_assert!(end as usize <= self.len, "range end {end} outside universe");
         if start >= end {
             return;
         }
+        debug_assert!(end as usize <= self.len, "range end {end} outside universe");
         let (ws, we) = ((start / 64) as usize, ((end - 1) / 64) as usize);
         let lo_mask = !0u64 << (start % 64);
         let hi_mask = !0u64 >> (63 - (end - 1) % 64);
@@ -111,12 +114,36 @@ impl SlotSet {
         }
     }
 
-    /// Is any bit of `[start, end)` set? Masked whole-word tests.
-    pub fn any_in_range(&self, start: u32, end: u32) -> bool {
+    /// Clears every bit in `[start, end)` with masked whole-word stores —
+    /// the complement of [`SlotSet::set_range`], sharing its masking (and
+    /// its empty-range / word-boundary contract).
+    pub fn clear_range(&mut self, start: u32, end: u32) {
+        if start >= end {
+            return;
+        }
         debug_assert!(end as usize <= self.len, "range end {end} outside universe");
+        let (ws, we) = ((start / 64) as usize, ((end - 1) / 64) as usize);
+        let lo_mask = !0u64 << (start % 64);
+        let hi_mask = !0u64 >> (63 - (end - 1) % 64);
+        if ws == we {
+            self.words[ws] &= !(lo_mask & hi_mask);
+        } else {
+            self.words[ws] &= !lo_mask;
+            for w in &mut self.words[ws + 1..we] {
+                *w = 0;
+            }
+            self.words[we] &= !hi_mask;
+        }
+    }
+
+    /// Is any bit of `[start, end)` set? Masked whole-word tests. Empty
+    /// ranges answer `false` even outside the universe (see
+    /// [`SlotSet::set_range`]).
+    pub fn any_in_range(&self, start: u32, end: u32) -> bool {
         if start >= end {
             return false;
         }
+        debug_assert!(end as usize <= self.len, "range end {end} outside universe");
         let (ws, we) = ((start / 64) as usize, ((end - 1) / 64) as usize);
         let lo_mask = !0u64 << (start % 64);
         let hi_mask = !0u64 >> (63 - (end - 1) % 64);
@@ -212,6 +239,98 @@ mod tests {
         assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 4, 5, 6]);
         assert!(s.any_in_range(6, 64));
         assert!(!s.any_in_range(7, 64));
+    }
+
+    /// The degenerate cases the 63/64/65 tests skip: empty ranges anywhere
+    /// (including past the universe), a zero-size universe, and clears whose
+    /// boundaries land exactly on word edges.
+    #[test]
+    fn degenerate_ranges_and_zero_universe() {
+        // empty range at / past the universe edge must be a silent no-op,
+        // not a debug-assert panic
+        let mut s = SlotSet::new(64);
+        s.set_range(64, 64);
+        s.set_range(100, 100);
+        s.set_range(7, 3);
+        s.clear_range(64, 64);
+        s.clear_range(100, 100);
+        assert!(s.is_empty());
+        assert!(!s.any_in_range(64, 64));
+        assert!(!s.any_in_range(100, 100));
+        assert!(!s.any_in_range(9, 2));
+
+        // zero-size universe: every op on the (only) empty range works
+        let mut z = SlotSet::new(0);
+        assert_eq!(z.len(), 0);
+        assert!(z.is_empty());
+        z.set_range(0, 0);
+        z.clear_range(0, 0);
+        assert!(!z.any_in_range(0, 0));
+        assert_eq!(z.count(), 0);
+        assert_eq!(z.iter().count(), 0);
+        z.clear();
+        let other = SlotSet::new(0);
+        z.union_with(&other);
+        assert!(z.is_empty());
+    }
+
+    #[test]
+    fn clear_range_word_aligned_boundaries() {
+        // clears whose start/end sit exactly on 64-bit word edges: the
+        // masks must cover whole words without leaking into neighbours
+        let mut s = SlotSet::new(200);
+        s.set_range(0, 200);
+        s.clear_range(64, 128); // exactly word 1
+        assert_eq!(s.count(), 200 - 64);
+        assert!(s.contains(63) && !s.contains(64) && !s.contains(127) && s.contains(128));
+        s.set_range(0, 200);
+        s.clear_range(0, 64); // full first word
+        assert!(!s.contains(0) && !s.contains(63) && s.contains(64));
+        s.set_range(0, 200);
+        s.clear_range(128, 200); // word 2 boundary through a ragged tail
+        assert_eq!(s.count(), 128);
+        assert!(s.contains(127) && !s.contains(128) && !s.contains(199));
+
+        // horizons straddling the word size, cleared edge-to-edge
+        for horizon in [63u32, 64, 65] {
+            let mut s = SlotSet::new(horizon as usize);
+            s.set_range(0, horizon);
+            s.clear_range(0, horizon);
+            assert!(s.is_empty(), "horizon {horizon}");
+            s.set_range(0, horizon);
+            s.clear_range(horizon - 1, horizon); // highest bit alone
+            assert_eq!(s.count(), horizon as usize - 1, "horizon {horizon}");
+            assert!(!s.contains(horizon - 1));
+        }
+    }
+
+    #[test]
+    fn clear_range_matches_naive_reference() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for _ in 0..30 {
+            let n = rng.gen_range(1..=150usize);
+            let mut fast = SlotSet::new(n);
+            let mut naive = vec![false; n];
+            for _ in 0..60 {
+                let s = rng.gen_range(0..=n as u32);
+                let e = rng.gen_range(0..=n as u32);
+                if rng.gen_bool(0.5) {
+                    fast.set_range(s, e);
+                    if s < e {
+                        naive[s as usize..e as usize].fill(true);
+                    }
+                } else {
+                    fast.clear_range(s, e);
+                    if s < e {
+                        naive[s as usize..e as usize].fill(false);
+                    }
+                }
+            }
+            let ids: Vec<u32> = fast.iter().collect();
+            let want: Vec<u32> = (0..n as u32).filter(|&i| naive[i as usize]).collect();
+            assert_eq!(ids, want);
+        }
     }
 
     #[test]

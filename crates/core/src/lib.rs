@@ -55,6 +55,9 @@
 //! * [`model`] — instances, jobs, schedules, and schedule validation;
 //! * [`cost`] — the energy-cost oracle and a library of cost models (flat
 //!   arena-backed prefix tables with O(1) interval queries);
+//! * [`profile`] — per-processor power profiles: heterogeneous wake costs,
+//!   busy rates, and multi-level sleep-state ladders with the break-even
+//!   sleep-depth rule ([`ProfileCost`] is the heterogeneous oracle);
 //! * [`candidates`] — awake-interval candidate generation policies;
 //! * [`bitset`] — `u64`-word slot bitsets used throughout the hot path;
 //! * [`objective`] — the matching-rank [`submodular::BudgetedObjective`]
@@ -77,6 +80,7 @@ pub mod model;
 pub mod naive;
 pub mod objective;
 pub mod prize_collecting;
+pub mod profile;
 pub mod schedule_all;
 pub mod simulate;
 pub mod solver;
@@ -93,7 +97,11 @@ pub use objective::{ScheduleObjective, ScheduleReduction};
 pub use prize_collecting::{
     prize_collecting, prize_collecting_exact, prize_collecting_exact_with, prize_collecting_with,
 };
+pub use profile::{
+    fleet_or_default, validate_profiles, PowerProfile, ProfileCost, ProfileError, SleepChoice,
+    SleepState,
+};
 pub use schedule_all::{schedule_all, schedule_all_with};
-pub use simulate::{simulate, PowerTrace, SlotState};
+pub use simulate::{profile_energy, simulate, PowerTrace, ProfileEnergy, SlotState};
 pub use solver::Solver;
 pub use trace::{ArrivalTrace, TimedJob, TraceError};

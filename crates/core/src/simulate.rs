@@ -11,6 +11,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::bitset::SlotSet;
 use crate::model::{Instance, Schedule};
+use crate::profile::{PowerProfile, SleepChoice};
 
 /// Machine state of one processor in one slot.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -181,12 +182,117 @@ pub fn simulate(inst: &Instance, schedule: &Schedule) -> PowerTrace {
     }
 }
 
+/// One inter-run gap and the sleep depth the break-even rule parked it in.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GapChoice {
+    /// Processor the gap belongs to.
+    pub proc: u32,
+    /// First asleep slot (exclusive end of the previous awake run).
+    pub start: u32,
+    /// One past the last asleep slot (start of the next awake run).
+    pub end: u32,
+    /// Chosen sleep depth.
+    pub choice: SleepChoice,
+    /// Energy of bridging the gap at that depth.
+    pub cost: f64,
+}
+
+/// Deployed-energy accounting of a schedule under per-processor
+/// [`PowerProfile`]s — the ladder-aware refinement of the solver's
+/// interval-sum cost.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ProfileEnergy {
+    /// Per-processor awake draw (`busy_rate ×` merged awake slots).
+    pub awake_energy: Vec<f64>,
+    /// Per-processor wake costs: the full wake of the first run plus the
+    /// break-even gap cost of every inter-run gap.
+    pub wake_energy: Vec<f64>,
+    /// Every inter-run gap with its chosen sleep depth.
+    pub gaps: Vec<GapChoice>,
+    /// Total deployed energy. Never exceeds the schedule's interval-sum
+    /// `total_cost` when priced by the same fleet: merging overlapping
+    /// intervals drops duplicate wakes and every gap costs at most one full
+    /// wake.
+    pub total: f64,
+}
+
+/// Accounts the energy a fleet described by `profiles` actually spends
+/// executing `schedule`: awake intervals are merged into maximal runs, each
+/// awake slot draws `busy_rate`, the first run on a processor pays the full
+/// wake from off, and every inter-run gap is bridged at the break-even sleep
+/// depth ([`PowerProfile::best_sleep`]) — the same wake-vs-sleep comparison
+/// the solver makes between a spanning candidate and two separate ones,
+/// extended down the sleep ladder.
+///
+/// # Panics
+/// Panics if `profiles` does not hold exactly one profile per processor.
+pub fn profile_energy(
+    inst: &Instance,
+    schedule: &Schedule,
+    profiles: &[PowerProfile],
+) -> ProfileEnergy {
+    let p = inst.num_processors as usize;
+    assert_eq!(p, profiles.len(), "one profile per processor required");
+    let t = inst.horizon as usize;
+
+    let mut awake = vec![SlotSet::new(t); p];
+    for iv in &schedule.awake {
+        awake[iv.proc as usize].set_range(iv.start, iv.end);
+    }
+
+    let mut awake_energy = vec![0.0; p];
+    let mut wake_energy = vec![0.0; p];
+    let mut gaps = Vec::new();
+    for (proc, set) in awake.iter().enumerate() {
+        let profile = &profiles[proc];
+        awake_energy[proc] = profile.busy_rate * set.count() as f64;
+        // maximal awake runs, in time order
+        let mut runs: Vec<(u32, u32)> = Vec::new();
+        for s in set.iter() {
+            match runs.last_mut() {
+                Some((_, end)) if *end == s => *end = s + 1,
+                _ => runs.push((s, s + 1)),
+            }
+        }
+        // the first run pays the full off→on wake; each later one the
+        // break-even cost of the gap that precedes it
+        let mut prev_end: Option<u32> = None;
+        for &(start, end) in &runs {
+            match prev_end {
+                None => wake_energy[proc] += profile.wake_cost,
+                Some(e) => {
+                    let gap = start - e;
+                    let cost = profile.gap_cost(gap);
+                    wake_energy[proc] += cost;
+                    gaps.push(GapChoice {
+                        proc: proc as u32,
+                        start: e,
+                        end: start,
+                        choice: profile.best_sleep(gap),
+                        cost,
+                    });
+                }
+            }
+            prev_end = Some(end);
+        }
+    }
+
+    let total = awake_energy.iter().sum::<f64>() + wake_energy.iter().sum::<f64>();
+    ProfileEnergy {
+        awake_energy,
+        wake_energy,
+        gaps,
+        total,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::candidates::{enumerate_candidates, CandidatePolicy};
     use crate::cost::AffineCost;
     use crate::model::{Job, SlotRef, SolveOptions};
+    use crate::profile::SleepState;
     use crate::schedule_all::schedule_all;
 
     fn solved() -> (Instance, Schedule) {
@@ -271,6 +377,80 @@ mod tests {
             .all(|row| row.iter().all(|&x| x == SlotState::Sleep)));
         assert_eq!(trace.utilization(0), None);
         assert_eq!(trace.fleet_utilization(), None);
+    }
+
+    #[test]
+    fn profile_energy_applies_break_even_depths() {
+        // two runs [0,2) and [8,10) on one processor, gap of 6
+        let inst = Instance::new(1, 10, vec![]);
+        let profile = crate::profile::PowerProfile::with_ladder(
+            10.0,
+            1.0,
+            vec![SleepState {
+                idle_rate: 0.5,
+                wake_cost: 2.0,
+            }],
+        );
+        let schedule = Schedule {
+            awake: vec![
+                crate::candidates::CandidateInterval {
+                    proc: 0,
+                    start: 0,
+                    end: 2,
+                    cost: profile.interval_cost(2),
+                },
+                crate::candidates::CandidateInterval {
+                    proc: 0,
+                    start: 8,
+                    end: 10,
+                    cost: profile.interval_cost(2),
+                },
+            ],
+            assignments: vec![],
+            total_cost: 2.0 * profile.interval_cost(2),
+            scheduled_value: 0.0,
+            scheduled_count: 0,
+        };
+        let e = profile_energy(&inst, &schedule, std::slice::from_ref(&profile));
+        // awake draw 4·1; first wake 10; gap of 6 dozes at 0.5·6+2 = 5 < 10
+        assert_eq!(e.awake_energy[0], 4.0);
+        assert_eq!(e.wake_energy[0], 15.0);
+        assert_eq!(e.total, 19.0);
+        assert_eq!(
+            e.gaps,
+            vec![GapChoice {
+                proc: 0,
+                start: 2,
+                end: 8,
+                choice: SleepChoice::State(0),
+                cost: 5.0,
+            }]
+        );
+        // the refinement never exceeds the solver's interval-sum cost
+        assert!(e.total <= schedule.total_cost + 1e-12);
+    }
+
+    #[test]
+    fn profile_energy_matches_interval_sum_without_ladder() {
+        // solved schedules under an affine fleet: deployed energy equals the
+        // interval sum whenever chosen intervals are disjoint
+        let (inst, s) = solved();
+        let fleet = vec![crate::profile::PowerProfile::affine(10.0, 1.0)];
+        let e = profile_energy(&inst, &s, &fleet);
+        assert!((e.total - s.total_cost).abs() < 1e-9);
+        assert!(e.gaps.is_empty());
+
+        // empty schedule: zero everywhere
+        let empty = Schedule {
+            awake: vec![],
+            assignments: vec![],
+            total_cost: 0.0,
+            scheduled_value: 0.0,
+            scheduled_count: 0,
+        };
+        let e = profile_energy(&inst, &empty, &fleet);
+        assert_eq!(e.total, 0.0);
+        assert!(e.gaps.is_empty() && e.wake_energy[0] == 0.0);
     }
 
     #[test]

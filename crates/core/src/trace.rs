@@ -15,6 +15,9 @@
 use serde::{Deserialize, Serialize};
 
 use crate::model::{Instance, InstanceError, Job, SlotRef};
+use crate::profile::{
+    fleet_or_default, validate_profiles, PowerProfile, ProfileCost, ProfileError,
+};
 
 /// A unit-time job with a release time.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -57,12 +60,18 @@ pub struct ArrivalTrace {
     pub num_processors: u32,
     /// Number of time slots `T`.
     pub horizon: u32,
-    /// Fixed wake-up cost `α` of the affine energy model.
+    /// Fixed wake-up cost `α` of the affine energy model — the default
+    /// profile when [`ArrivalTrace::profiles`] is absent.
     pub restart: f64,
-    /// Energy per awake slot.
+    /// Energy per awake slot (same default role).
     pub rate: f64,
     /// The jobs, in any order (the simulator indexes by release time).
     pub jobs: Vec<TimedJob>,
+    /// Optional per-processor power profiles (heterogeneous wake costs and
+    /// sleep-state ladders). Absent = every processor runs the affine
+    /// `(restart, rate)` profile, which keeps pre-profile trace files
+    /// loading unchanged.
+    pub profiles: Option<Vec<PowerProfile>>,
 }
 
 /// Structural problems detected by [`ArrivalTrace::validate`].
@@ -97,6 +106,9 @@ pub enum TraceError {
         /// Rate as given.
         rate: f64,
     },
+    /// The explicit per-processor profiles are invalid (wrong count, bad
+    /// parameters, or a non-monotone sleep ladder).
+    InvalidProfiles(ProfileError),
 }
 
 impl std::fmt::Display for TraceError {
@@ -117,6 +129,7 @@ impl std::fmt::Display for TraceError {
                 "cost parameters must be finite, non-negative, and not both zero \
                  (got restart {restart}, rate {rate})"
             ),
+            TraceError::InvalidProfiles(e) => write!(f, "invalid power profiles: {e}"),
         }
     }
 }
@@ -141,6 +154,10 @@ impl ArrivalTrace {
                 restart: self.restart,
                 rate: self.rate,
             });
+        }
+        if let Some(profiles) = &self.profiles {
+            validate_profiles(profiles, self.num_processors)
+                .map_err(TraceError::InvalidProfiles)?;
         }
         self.to_instance()
             .validate()
@@ -186,6 +203,26 @@ impl ArrivalTrace {
     pub fn total_value(&self) -> f64 {
         self.jobs.iter().map(|j| j.value).sum()
     }
+
+    /// The per-processor profile fleet this trace prices energy with: the
+    /// explicit [`ArrivalTrace::profiles`] when present, otherwise the
+    /// affine `(restart, rate)` profile cloned across every processor.
+    pub fn fleet_profiles(&self) -> Vec<PowerProfile> {
+        fleet_or_default(
+            self.profiles.as_deref(),
+            self.num_processors,
+            self.restart,
+            self.rate,
+        )
+    }
+
+    /// The trace's energy-cost oracle ([`ProfileCost`]). For traces without
+    /// explicit profiles this prices intervals bit-identically to
+    /// `AffineCost::new(restart, rate)`, so pre-profile replays and offline
+    /// references are unchanged.
+    pub fn cost_model(&self) -> ProfileCost {
+        ProfileCost::new(&self.fleet_profiles())
+    }
 }
 
 #[cfg(test)]
@@ -203,6 +240,7 @@ mod tests {
                 TimedJob::window(1.0, 0, 0, 0, 3),
                 TimedJob::window(2.0, 2, 1, 2, 6),
             ],
+            profiles: None,
         }
     }
 

@@ -12,8 +12,8 @@ use proptest::prelude::*;
 use sched_core::naive::{naive_prize_collecting, naive_prize_collecting_exact, naive_schedule_all};
 use sched_core::{
     enumerate_candidates, prize_collecting, prize_collecting_exact, schedule_all, AffineCost,
-    CandidatePolicy, EnergyCost, Instance, Job, Schedule, ScheduleError, SlotRef, SolveOptions,
-    Solver, TimeVaryingCost, UnavailableSlots,
+    CandidatePolicy, EnergyCost, Instance, Job, PowerProfile, ProfileCost, Schedule, ScheduleError,
+    SlotRef, SolveOptions, Solver, TimeVaryingCost, UnavailableSlots,
 };
 
 /// Strategy: a random instance as raw sizing + job windows + value seeds.
@@ -74,10 +74,17 @@ fn assert_identical(
     Ok(())
 }
 
-/// One cost model per `pick` value, exercising all three oracle layouts.
+/// One cost model per `pick` value, exercising all four oracle layouts
+/// (uniform affine, time-varying arenas, unavailability wrappers, and
+/// heterogeneous per-processor profiles).
 fn cost_model(pick: u8, p: u32, t: u32) -> Box<dyn EnergyCost> {
-    match pick % 3 {
+    match pick % 4 {
         0 => Box::new(AffineCost::new(3.0, 1.0)),
+        3 => Box::new(ProfileCost::new(
+            &(0..p)
+                .map(|proc| PowerProfile::affine(2.0 + proc as f64, 0.5 + 0.75 * proc as f64))
+                .collect::<Vec<_>>(),
+        )),
         1 => Box::new(TimeVaryingCost::new(
             2.0,
             (0..p)
@@ -113,7 +120,7 @@ proptest! {
 
     #[test]
     fn schedule_all_bit_identical((p, t, jobs) in instance_strategy(),
-                                  cost_pick in 0u8..3,
+                                  cost_pick in 0u8..4,
                                   lazy in any::<bool>()) {
         let inst = build_instance(p, t, &jobs);
         let cost = cost_model(cost_pick, p, t);
@@ -126,7 +133,7 @@ proptest! {
 
     #[test]
     fn prize_collecting_bit_identical((p, t, jobs) in instance_strategy(),
-                                      cost_pick in 0u8..3,
+                                      cost_pick in 0u8..4,
                                       lazy in any::<bool>(),
                                       frac in 1u32..10) {
         let inst = build_instance(p, t, &jobs);
@@ -167,6 +174,46 @@ proptest! {
         )?;
         // repeat the first goal: the memo-warmed second run must not drift
         assert_identical(&solver.schedule_all(), &naive_schedule_all(&inst, &cands, &opts))?;
+    }
+
+    /// Heterogeneous instances: fully random per-processor profiles (wake,
+    /// busy rate, and sleep-ladder depth drawn per processor). The fast
+    /// path must stay bit-identical to naive on awake intervals,
+    /// assignments, and every f64 cost bit — heterogeneity enters solely
+    /// through candidate pricing, so nothing in the hot path may assume a
+    /// uniform fleet. Ladders are included deliberately: they must not leak
+    /// into interval pricing at all.
+    #[test]
+    fn heterogeneous_profiles_bit_identical(
+        (p, t, jobs) in instance_strategy(),
+        params in proptest::collection::vec((1u32..12, 1u32..8, 0u32..3), 4),
+        lazy in any::<bool>(),
+        frac in 1u32..10,
+    ) {
+        let inst = build_instance(p, t, &jobs);
+        let fleet: Vec<PowerProfile> = (0..p as usize)
+            .map(|proc| {
+                let (wake, busy, ladder) = params[proc];
+                PowerProfile::envelope_ladder(wake as f64 * 0.75, busy as f64 * 0.5, ladder)
+            })
+            .collect();
+        let cost = ProfileCost::new(&fleet);
+        let cands = enumerate_candidates(&inst, &cost, CandidatePolicy::All);
+        let opts = SolveOptions { lazy, parallel: false };
+
+        assert_identical(
+            &schedule_all(&inst, &cands, &opts),
+            &naive_schedule_all(&inst, &cands, &opts),
+        )?;
+        let target = inst.total_value() * frac as f64 / 10.0;
+        assert_identical(
+            &prize_collecting(&inst, &cands, target, 0.25, &opts),
+            &naive_prize_collecting(&inst, &cands, target, 0.25, &opts),
+        )?;
+        assert_identical(
+            &prize_collecting_exact(&inst, &cands, target, &opts),
+            &naive_prize_collecting_exact(&inst, &cands, target, &opts),
+        )?;
     }
 
     #[test]

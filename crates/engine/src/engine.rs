@@ -27,11 +27,14 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use sched_core::{AffineCost, CandidateInterval, CandidatePolicy, Solver};
+use sched_core::{
+    validate_profiles, AffineCost, CandidateInterval, CandidatePolicy, EnergyCost, ProfileCost,
+    Solver,
+};
 
 use crate::protocol::{
-    parse_line, ErrorKind, SolveMetrics, SolveMode, SolveRequest, SolveResponse, WireError,
-    WireRequest, PROTOCOL_VERSION,
+    parse_line, version_supported, ErrorKind, SolveMetrics, SolveMode, SolveRequest, SolveResponse,
+    WireError, WireRequest, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 
 /// Sizing knobs for [`Engine::new`].
@@ -227,13 +230,19 @@ impl Drop for Engine {
 
 /// Candidate-cache key: everything enumeration depends on. Note the job set
 /// is *not* part of the key — enumeration walks the processor × horizon
-/// grid only.
-#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+/// grid only. Heterogeneous requests key on the exact per-processor
+/// `(wake, busy)` parameter bits (full equality, not a hash fingerprint, so
+/// a collision can never serve another fleet's prices).
+#[derive(Clone, PartialEq, Eq, Hash)]
 struct CacheKey {
     processors: u32,
     horizon: u32,
     restart_bits: u64,
     rate_bits: u64,
+    /// Per-processor `(wake_cost, busy_rate)` bits for profiled requests
+    /// (sleep ladders never affect interval pricing, so they stay out of
+    /// the key); `None` for the affine default.
+    profile_bits: Option<Vec<(u64, u64)>>,
     policy: PolicyKey,
 }
 
@@ -290,11 +299,12 @@ enum Goal {
 }
 
 fn plan(req: &SolveRequest) -> Result<Plan, WireError> {
-    if req.version != PROTOCOL_VERSION {
+    if !version_supported(req.version) {
         return Err(WireError::new(
             ErrorKind::UnsupportedVersion,
             format!(
-                "protocol version {} not supported (expected {PROTOCOL_VERSION})",
+                "protocol version {} not supported \
+                 (expected {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION})",
                 req.version
             ),
         ));
@@ -302,22 +312,34 @@ fn plan(req: &SolveRequest) -> Result<Plan, WireError> {
     req.instance
         .validate()
         .map_err(|e| WireError::new(ErrorKind::InvalidInstance, e.to_string()))?;
-    // AffineCost::new asserts these; reject over the wire instead of
-    // letting a bad request panic (and kill) a worker thread.
-    if !(req.restart.is_finite() && req.rate.is_finite() && req.restart >= 0.0 && req.rate >= 0.0) {
-        return Err(WireError::new(
-            ErrorKind::BadRequest,
-            format!(
-                "restart/rate must be finite and non-negative (got {}, {})",
-                req.restart, req.rate
-            ),
-        ));
-    }
-    if req.restart + req.rate <= 0.0 {
-        return Err(WireError::new(
-            ErrorKind::BadRequest,
-            "restart and rate cannot both be zero: awake intervals must cost something",
-        ));
+    // The cost constructors assert their parameters; reject over the wire
+    // instead of letting a bad request panic (and kill) a worker thread.
+    match &req.profiles {
+        Some(profiles) => {
+            validate_profiles(profiles, req.instance.num_processors)
+                .map_err(|e| WireError::new(ErrorKind::BadRequest, e.to_string()))?;
+        }
+        None => {
+            if !(req.restart.is_finite()
+                && req.rate.is_finite()
+                && req.restart >= 0.0
+                && req.rate >= 0.0)
+            {
+                return Err(WireError::new(
+                    ErrorKind::BadRequest,
+                    format!(
+                        "restart/rate must be finite and non-negative (got {}, {})",
+                        req.restart, req.rate
+                    ),
+                ));
+            }
+            if req.restart + req.rate <= 0.0 {
+                return Err(WireError::new(
+                    ErrorKind::BadRequest,
+                    "restart and rate cannot both be zero: awake intervals must cost something",
+                ));
+            }
+        }
     }
     let policy = match &req.policy {
         None => CandidatePolicy::All,
@@ -373,19 +395,40 @@ fn serve_request(
         Err(e) => return SolveResponse::failure(req.id, e),
     };
 
+    // Profiled pricing ignores restart/rate entirely, so their bits are
+    // normalized out of the key — otherwise two clients sending the same
+    // fleet with different (ignored) affine fields would re-enumerate and
+    // double-occupy the bounded cache for one identical family.
     let key = CacheKey {
         processors: req.instance.num_processors,
         horizon: req.instance.horizon,
-        restart_bits: req.restart.to_bits(),
-        rate_bits: req.rate.to_bits(),
+        restart_bits: if req.profiles.is_some() {
+            0
+        } else {
+            req.restart.to_bits()
+        },
+        rate_bits: if req.profiles.is_some() {
+            0
+        } else {
+            req.rate.to_bits()
+        },
+        profile_bits: req.profiles.as_ref().map(|ps| {
+            ps.iter()
+                .map(|p| (p.wake_cost.to_bits(), p.busy_rate.to_bits()))
+                .collect()
+        }),
         policy: plan.policy.into(),
     };
     let (family, cache_hit) = match cache.get(&key) {
         Some(family) => (Arc::clone(family), true),
         None => {
-            // plan() has vetted the parameters, so this cannot assert
-            let cost = AffineCost::new(req.restart, req.rate);
-            let family = Solver::new(&req.instance, &cost)
+            // plan() has vetted the parameters, so neither constructor can
+            // assert
+            let cost: Box<dyn EnergyCost> = match &req.profiles {
+                Some(profiles) => Box::new(ProfileCost::new(profiles)),
+                None => Box::new(AffineCost::new(req.restart, req.rate)),
+            };
+            let family = Solver::new(&req.instance, cost.as_ref())
                 .policy(plan.policy)
                 .shared_candidates();
             if cache.len() >= cache_capacity {
@@ -533,6 +576,108 @@ mod tests {
         }
         // the single worker survived the bad requests and still solves
         assert!(responses[3].ok, "{:?}", responses[3].error);
+    }
+
+    #[test]
+    fn profiled_requests_solve_heterogeneously_and_cache_by_fleet() {
+        use sched_core::PowerProfile;
+        let engine = Engine::new(EngineConfig::with_workers(1));
+        // one job runnable on either processor; proc 1 is much cheaper
+        let instance = Instance::new(
+            2,
+            3,
+            vec![Job::unit(vec![SlotRef::new(0, 1), SlotRef::new(1, 1)])],
+        );
+        let cheap_p1 = vec![
+            PowerProfile::affine(9.0, 2.0),
+            PowerProfile::affine(1.0, 0.5),
+        ];
+        let cheap_p0 = vec![
+            PowerProfile::affine(1.0, 0.5),
+            PowerProfile::affine(9.0, 2.0),
+        ];
+        let responses = engine.solve_batch(vec![
+            SolveRequest::schedule_all_profiled(1, instance.clone(), cheap_p1.clone()),
+            SolveRequest::schedule_all_profiled(2, instance.clone(), cheap_p1.clone()),
+            SolveRequest::schedule_all_profiled(3, instance.clone(), cheap_p0),
+            SolveRequest::schedule_all(4, instance.clone(), 3.0, 1.0),
+        ]);
+        assert!(responses.iter().all(|r| r.ok), "{responses:?}");
+        let placed = |r: &SolveResponse| {
+            r.schedule.as_ref().unwrap().assignments[0]
+                .as_ref()
+                .unwrap()
+                .proc
+        };
+        assert_eq!(placed(&responses[0]), 1, "cheap processor must win");
+        assert_eq!(placed(&responses[2]), 0, "flipped fleet flips the pick");
+        assert_eq!(responses[0].schedule.as_ref().unwrap().total_cost, 1.5);
+        // identical fleets hit the cache; a different fleet must not
+        let hits: Vec<bool> = responses
+            .iter()
+            .map(|r| r.metrics.unwrap().cache_hit)
+            .collect();
+        assert_eq!(hits, vec![false, true, false, false]);
+        // matches a direct profiled solve
+        let cost = ProfileCost::new(&cheap_p1);
+        let direct = Solver::new(&instance, &cost).schedule_all().unwrap();
+        assert_eq!(
+            responses[0].schedule.as_ref().unwrap().total_cost,
+            direct.total_cost
+        );
+    }
+
+    #[test]
+    fn invalid_profiles_are_rejected_not_fatal() {
+        use sched_core::{PowerProfile, SleepState};
+        let engine = Engine::new(EngineConfig::with_workers(1));
+        // wrong count
+        let short = SolveRequest::schedule_all_profiled(
+            1,
+            Instance::new(2, 3, vec![Job::unit(vec![SlotRef::new(0, 0)])]),
+            vec![PowerProfile::affine(1.0, 1.0)],
+        );
+        // non-monotone ladder, built field-by-field as a hostile client would
+        let mut bad_ladder =
+            SolveRequest::schedule_all_profiled(2, inst(3), vec![PowerProfile::affine(4.0, 1.0)]);
+        bad_ladder.profiles.as_mut().unwrap()[0].sleep_states = vec![
+            SleepState {
+                idle_rate: 0.2,
+                wake_cost: 2.0,
+            },
+            SleepState {
+                idle_rate: 0.5,
+                wake_cost: 3.0,
+            },
+        ];
+        let fine = SolveRequest::schedule_all(3, inst(4), 3.0, 1.0);
+        let responses = engine.solve_batch(vec![short, bad_ladder, fine]);
+        assert_eq!(
+            responses[0].error.as_ref().unwrap().kind,
+            ErrorKind::BadRequest
+        );
+        assert!(responses[0]
+            .error
+            .as_ref()
+            .unwrap()
+            .message
+            .contains("mismatch"));
+        assert_eq!(
+            responses[1].error.as_ref().unwrap().kind,
+            ErrorKind::BadRequest
+        );
+        // the single worker survived both and still solves
+        assert!(responses[2].ok, "{:?}", responses[2].error);
+    }
+
+    #[test]
+    fn v1_requests_still_served() {
+        let engine = Engine::new(EngineConfig::with_workers(1));
+        let mut v1 = SolveRequest::schedule_all(7, inst(4), 3.0, 1.0);
+        v1.version = 1;
+        let responses = engine.solve_batch(vec![v1]);
+        assert!(responses[0].ok, "{:?}", responses[0].error);
+        assert_eq!(responses[0].version, PROTOCOL_VERSION);
     }
 
     #[test]

@@ -19,14 +19,29 @@
 //!
 //! The protocol is versioned via [`PROTOCOL_VERSION`]; requests with an
 //! unknown version are rejected with [`ErrorKind::UnsupportedVersion`]
-//! rather than misinterpreted.
+//! rather than misinterpreted. Version 2 added the optional per-processor
+//! `profiles` field (heterogeneous wake costs and sleep-state ladders);
+//! version 1 requests remain valid — a missing `profiles` field means the
+//! affine `(restart, rate)` default, so every v1 line parses and solves
+//! exactly as before ([`MIN_PROTOCOL_VERSION`] tracks the oldest accepted
+//! version).
 
-use sched_core::{Instance, Schedule};
+use sched_core::{Instance, PowerProfile, Schedule};
 use serde::{Deserialize, Serialize};
 
 /// Version stamped on every request and response. Bump on any incompatible
 /// change to the wire structs.
-pub const PROTOCOL_VERSION: u32 = 1;
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Oldest protocol version still accepted. v1 (no `profiles` field) is a
+/// strict subset of v2, so both are served.
+pub const MIN_PROTOCOL_VERSION: u32 = 1;
+
+/// Is `version` within the accepted window?
+#[inline]
+pub fn version_supported(version: u32) -> bool {
+    (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version)
+}
 
 /// Which solver goal method a request invokes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -50,10 +65,15 @@ pub struct SolveRequest {
     pub mode: SolveMode,
     /// The scheduling instance (validated engine-side before solving).
     pub instance: Instance,
-    /// Affine cost: fixed wake-up cost `α`.
+    /// Affine cost: fixed wake-up cost `α` (ignored when `profiles` is
+    /// present).
     pub restart: f64,
-    /// Affine cost: energy per awake slot.
+    /// Affine cost: energy per awake slot (ignored when `profiles` is
+    /// present).
     pub rate: f64,
+    /// Per-processor power profiles (protocol v2). `None` = the affine
+    /// `(restart, rate)` model on every processor — the v1 behavior.
+    pub profiles: Option<Vec<PowerProfile>>,
     /// Candidate policy (`"all"` | `"single"` | `"maxlen:K"`); `None` = all.
     pub policy: Option<String>,
     /// Target value `Z` — required by the prize-collecting modes.
@@ -76,11 +96,22 @@ impl SolveRequest {
             instance,
             restart,
             rate,
+            profiles: None,
             policy: None,
             target: None,
             epsilon: None,
             lazy: None,
             parallel: None,
+        }
+    }
+
+    /// A [`SolveMode::ScheduleAll`] request priced by explicit per-processor
+    /// profiles (the v2 heterogeneous form; `restart`/`rate` are stamped as
+    /// zeros and ignored).
+    pub fn schedule_all_profiled(id: u64, instance: Instance, profiles: Vec<PowerProfile>) -> Self {
+        Self {
+            profiles: Some(profiles),
+            ..Self::schedule_all(id, instance, 0.0, 0.0)
         }
     }
 
@@ -260,11 +291,12 @@ pub enum WireRequest {
 /// solve-parse detail.
 pub fn parse_line(line: &str) -> Result<WireRequest, WireError> {
     if let Ok(ctl) = serde_json::from_str::<ControlRequest>(line) {
-        if ctl.version != PROTOCOL_VERSION {
+        if !version_supported(ctl.version) {
             return Err(WireError::new(
                 ErrorKind::UnsupportedVersion,
                 format!(
-                    "control protocol version {} not supported (expected {PROTOCOL_VERSION})",
+                    "control protocol version {} not supported \
+                     (expected {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION})",
                     ctl.version
                 ),
             ));
@@ -310,6 +342,40 @@ mod tests {
         };
         assert_eq!(req.id, 7);
         assert!(req.policy.is_none() && req.target.is_none() && req.lazy.is_none());
+    }
+
+    #[test]
+    fn v1_lines_without_profiles_still_parse() {
+        // the exact shape every pre-profile client sends: version 1, no
+        // `profiles` key — must keep parsing as the affine default
+        let line = r#"{"version":1,"id":3,"mode":"ScheduleAll","instance":{"num_processors":1,"horizon":2,"jobs":[{"value":1,"allowed":[{"proc":0,"time":0}]}]},"restart":3,"rate":1}"#;
+        let req = match parse_line(line).unwrap() {
+            WireRequest::Solve(r) => r,
+            other => panic!("expected solve, got {other:?}"),
+        };
+        assert_eq!(req.version, 1);
+        assert!(req.profiles.is_none());
+        assert!(version_supported(1) && version_supported(PROTOCOL_VERSION));
+        assert!(!version_supported(0) && !version_supported(PROTOCOL_VERSION + 1));
+    }
+
+    #[test]
+    fn profiled_request_round_trips() {
+        use sched_core::{PowerProfile, SleepState};
+        let profiles = vec![PowerProfile::with_ladder(
+            8.0,
+            1.0,
+            vec![SleepState {
+                idle_rate: 0.25,
+                wake_cost: 2.0,
+            }],
+        )];
+        let req = SolveRequest::schedule_all_profiled(11, tiny(), profiles.clone());
+        assert_eq!(req.version, PROTOCOL_VERSION);
+        let json = serde_json::to_string(&req).unwrap();
+        let back: SolveRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.profiles, Some(profiles));
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
     }
 
     #[test]

@@ -47,9 +47,28 @@ fn request_strategy() -> impl Strategy<Value = SolveRequest> {
             1u32..10,
             1u32..9,
         ),
+        // optional heterogeneous fleet: per-request wake/busy scale and
+        // ladder depth (profiles are sized to the instance in prop_map)
+        (any::<bool>(), 1u32..8, 1u32..4, 0u32..3),
     )
         .prop_map(
-            |(instance, (id, mode, restart, policy), (set_opts, lazy, parallel, target, eps))| {
+            |(
+                instance,
+                (id, mode, restart, policy),
+                (set_opts, lazy, parallel, target, eps),
+                (profiled, wake, busy, ladder),
+            )| {
+                let profiles = profiled.then(|| {
+                    (0..instance.num_processors)
+                        .map(|p| {
+                            sched_core::PowerProfile::envelope_ladder(
+                                f64::from(wake + p),
+                                f64::from(busy) + 0.5 * f64::from(p),
+                                ladder,
+                            )
+                        })
+                        .collect()
+                });
                 let mode = match mode {
                     0 => SolveMode::ScheduleAll,
                     1 => SolveMode::PrizeCollecting,
@@ -62,6 +81,7 @@ fn request_strategy() -> impl Strategy<Value = SolveRequest> {
                     instance,
                     restart: f64::from(restart),
                     rate: 1.0,
+                    profiles,
                     policy: match policy {
                         0 => None,
                         1 => Some("all".into()),

@@ -129,6 +129,7 @@ mod tests {
                         TimedJob::window(1.0, release, (j % 2) as u32, release, release + 3)
                     })
                     .collect(),
+                profiles: None,
             })
             .collect()
     }

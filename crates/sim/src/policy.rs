@@ -30,7 +30,9 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use sched_core::{AffineCost, CandidateInterval, Instance, Job, SlotRef, Solver, TimedJob};
+use sched_core::{
+    CandidateInterval, Instance, Job, PowerProfile, ProfileCost, SlotRef, Solver, TimedJob,
+};
 use sched_engine::{Engine, SolveRequest};
 use secretary::classic_secretary;
 
@@ -44,13 +46,22 @@ pub struct SlotView<'a> {
     pub num_processors: u32,
     /// Horizon `T`.
     pub horizon: u32,
-    /// Restart cost of the trace's affine model.
+    /// Restart cost of the trace's affine model (the fleet-wide default;
+    /// heterogeneous fleets answer per processor via
+    /// [`SlotView::wake_cost`]).
     pub restart: f64,
-    /// Per-slot rate of the trace's affine model.
+    /// Per-slot rate of the trace's affine model (see
+    /// [`SlotView::busy_rate`]).
     pub rate: f64,
     pub(crate) jobs: &'a [TimedJob],
     pub(crate) pending: &'a [usize],
     pub(crate) awake_prev: &'a [bool],
+    /// One power profile per processor (the trace's, or the affine default
+    /// cloned fleet-wide).
+    pub(crate) profiles: &'a [PowerProfile],
+    /// Did the trace carry explicit profiles? (Engine-mode re-solves only
+    /// ship profiles over the wire when they are explicit.)
+    pub(crate) explicit_profiles: bool,
 }
 
 impl SlotView<'_> {
@@ -77,6 +88,29 @@ impl SlotView<'_> {
     /// Was `proc` awake during the previous slot?
     pub fn was_awake(&self, proc: u32) -> bool {
         self.awake_prev[proc as usize]
+    }
+
+    /// The power profile of one processor.
+    pub fn profile(&self, proc: u32) -> &PowerProfile {
+        &self.profiles[proc as usize]
+    }
+
+    /// Full wake cost of `proc` (per-processor under heterogeneous fleets).
+    pub fn wake_cost(&self, proc: u32) -> f64 {
+        self.profiles[proc as usize].wake_cost
+    }
+
+    /// Per-slot awake rate of `proc`.
+    pub fn busy_rate(&self, proc: u32) -> f64 {
+        self.profiles[proc as usize].busy_rate
+    }
+
+    /// Largest idle streak worth bridging awake on `proc` — the ski-rental
+    /// break-even against the cheapest sleep option (off, or any ladder
+    /// state), capped at the horizon. Equals `ceil(restart / rate)` for the
+    /// affine default profile.
+    pub fn hold_break_even(&self, proc: u32) -> u32 {
+        self.profiles[proc as usize].hold_break_even(self.horizon)
     }
 
     /// Processors on which `id` may run *right now* (sorted, deduped).
@@ -186,9 +220,11 @@ impl Policy for GreedyWake {
 /// phase it applies Dynkin's rule through
 /// [`secretary::classic_secretary`]: the first slot whose demand strictly
 /// beats everything observed triggers the *hiring commitment*. From then on
-/// the policy holds awake processors through idle gaps of up to
-/// `ceil(restart / rate)` slots (the ski-rental break-even: holding longer
-/// than that would cost more than a fresh restart), re-entering the hold
+/// the policy holds awake processors through idle gaps up to that
+/// processor's break-even against its cheapest sleep option
+/// ([`SlotView::hold_break_even`]: `min(wake/busy, min_k wake_k/(busy −
+/// idle_k))` over the sleep ladder — `ceil(restart / rate)`, the classical
+/// ski-rental bound, under the affine default), re-entering the hold
 /// regime whenever demand beats the observed threshold again.
 pub struct ThresholdHiring {
     observe_frac: f64,
@@ -257,17 +293,17 @@ impl Policy for ThresholdHiring {
 
         if self.hired {
             // Hold-awake regime: keep yesterday's awake processors awake
-            // through idle gaps shorter than the restart break-even.
-            let break_even = if view.rate > 0.0 {
-                (view.restart / view.rate).ceil() as u32
-            } else {
-                view.horizon
-            };
+            // through idle gaps shorter than that processor's break-even
+            // against its cheapest sleep option (per-processor under
+            // heterogeneous fleets; ceil(restart/rate) for the affine
+            // default).
             for p in 0..view.num_processors {
                 let running = decision.awake.contains(&p);
                 if running {
                     self.idle_streak[p as usize] = 0;
-                } else if view.was_awake(p) && self.idle_streak[p as usize] < break_even {
+                } else if view.was_awake(p)
+                    && self.idle_streak[p as usize] < view.hold_break_even(p)
+                {
                     self.idle_streak[p as usize] += 1;
                     decision.awake.push(p);
                 }
@@ -295,13 +331,18 @@ enum Resolver {
 /// solver stack, then follow the plan.
 ///
 /// At each checkpoint (and early, whenever a newly revealed job would expire
-/// before the next checkpoint) the policy builds an [`Instance`] from all
-/// pending jobs with their remaining windows and solves `schedule_all` over
-/// the full grid — either inline or through a shared [`Engine`]. The
-/// resulting schedule *is* the plan: awake intervals (clamped to the
-/// present) and per-job slot assignments, followed verbatim until the next
-/// re-solve. A forced-job rescue pass backstops arrivals the plan missed,
-/// and an infeasible suffix degrades to eager greedy for one slot.
+/// before the next checkpoint while still having a future slot to plan) the
+/// policy builds an [`Instance`] from all pending jobs with their remaining
+/// windows and solves `schedule_all` over the full grid — either inline or
+/// through a shared [`Engine`]. The resulting schedule *is* the plan: awake
+/// intervals (clamped to the present) and per-job slot assignments, followed
+/// verbatim until the next re-solve. A forced-job rescue pass backstops
+/// arrivals the plan missed — a job revealed at its very last opportunity
+/// is placed directly on a free allowed processor when a dry run proves the
+/// rescue will succeed (skipping a suffix re-solve it would not need), and
+/// triggers the full re-solve otherwise, since re-planning can move the
+/// occupying job to a later slot — and an infeasible suffix degrades to
+/// eager greedy for one slot.
 ///
 /// Unlike the eager policies, plan-following *defers* jobs toward cheap
 /// merged intervals — so an adversarial late arrival can collide with a
@@ -361,6 +402,56 @@ impl PeriodicResolve {
         self.fallbacks
     }
 
+    /// First-free-processor allocation of forced unplanned jobs (ascending
+    /// id): the single implementation behind both the rescue pass and its
+    /// predictive dry run in `decide` — they must agree exactly, or the dry
+    /// run could predict a rescue that then fails and silently drops a job
+    /// the skipped re-solve would have saved. `used` marks processors the
+    /// plan already occupies this slot. Returns the placements and whether
+    /// every forced job found a processor.
+    fn rescue_placements(
+        &self,
+        view: &SlotView<'_>,
+        mut used: Vec<bool>,
+    ) -> (Vec<(usize, u32)>, bool) {
+        let mut forced: Vec<usize> = view
+            .pending()
+            .iter()
+            .copied()
+            .filter(|id| !self.plan_assign.contains_key(id) && view.slack(*id) == 0)
+            .collect();
+        forced.sort_unstable();
+        let mut placed = Vec::new();
+        let mut complete = true;
+        for id in forced {
+            match view
+                .runnable_procs(id)
+                .into_iter()
+                .find(|&p| !used[p as usize])
+            {
+                Some(p) => {
+                    used[p as usize] = true;
+                    placed.push((id, p));
+                }
+                None => complete = false,
+            }
+        }
+        (placed, complete)
+    }
+
+    /// Processors occupied this slot by plan-assigned pending jobs.
+    fn plan_used_now(&self, view: &SlotView<'_>) -> Vec<bool> {
+        let mut used = vec![false; view.num_processors as usize];
+        for &id in view.pending() {
+            if let Some(slot) = self.plan_assign.get(&id) {
+                if slot.time == view.now {
+                    used[slot.proc as usize] = true;
+                }
+            }
+        }
+        used
+    }
+
     fn resolve(&mut self, view: &SlotView<'_>) {
         self.plan_awake.clear();
         self.plan_assign.clear();
@@ -395,12 +486,18 @@ impl PeriodicResolve {
 
         let solved = match &self.resolver {
             Resolver::Inline => {
-                let cost = AffineCost::new(view.restart, view.rate);
+                // Per-processor profile pricing; bit-identical to the affine
+                // (restart, rate) oracle when the trace has no explicit
+                // profiles.
+                let cost = ProfileCost::new(view.profiles);
                 Solver::new(&inst, &cost).schedule_all().ok()
             }
             Resolver::Engine(engine) => {
                 let id = RESOLVE_REQUEST_IDS.fetch_add(1, Ordering::Relaxed);
-                let req = SolveRequest::schedule_all(id, inst, view.restart, view.rate);
+                let mut req = SolveRequest::schedule_all(id, inst, view.restart, view.rate);
+                if view.explicit_profiles {
+                    req.profiles = Some(view.profiles.to_vec());
+                }
                 engine.submit(req).wait().schedule
             }
         };
@@ -433,14 +530,26 @@ impl Policy for PeriodicResolve {
     }
 
     fn decide(&mut self, view: &SlotView<'_>) -> SlotDecision {
-        let unplanned_expires = view.pending().iter().any(|&id| {
+        // An unplanned job that would expire before the next checkpoint
+        // triggers an early re-solve — except when its final opportunity is
+        // *this very slot* and a dry run shows the rescue pass below will
+        // place it on a processor the plan leaves free: then the rescue is
+        // guaranteed to serve it without the cost of a suffix re-solve.
+        // When the dry run fails (all its allowed processors are taken by
+        // planned jobs) the full re-solve still fires — a re-solve CAN save
+        // such a job by reshuffling the occupying plan entry to a later
+        // slot, so skipping it unconditionally would drop jobs the
+        // re-solve path serves.
+        let future_expiring = view.pending().iter().any(|&id| {
             !self.plan_assign.contains_key(&id)
                 && view
                     .job(id)
                     .deadline()
-                    .is_some_and(|d| d < self.next_resolve)
+                    .is_some_and(|d| d < self.next_resolve && d > view.now)
         });
-        if view.now >= self.next_resolve || unplanned_expires {
+        let rescue_would_fail =
+            !future_expiring && !self.rescue_placements(view, self.plan_used_now(view)).1;
+        if view.now >= self.next_resolve || future_expiring || rescue_would_fail {
             self.resolve(view);
         }
 
@@ -468,30 +577,13 @@ impl Policy for PeriodicResolve {
 
         // Rescue pass: forced jobs the plan missed (released after the last
         // re-solve, at their final opportunity) are placed on free allowed
-        // processors rather than dropped.
-        let mut rescue: Vec<usize> = view
-            .pending()
-            .iter()
-            .copied()
-            .filter(|id| {
-                !self.plan_assign.contains_key(id)
-                    && view.slack(*id) == 0
-                    && !decision.run.iter().any(|(j, _)| j == id)
-            })
-            .collect();
-        rescue.sort_unstable();
-        for id in rescue {
-            let pick = view
-                .runnable_procs(id)
-                .into_iter()
-                .find(|&p| !used[p as usize]);
-            if let Some(p) = pick {
-                used[p as usize] = true;
-                if !decision.awake.contains(&p) {
-                    decision.awake.push(p);
-                }
-                decision.run.push((id, p));
+        // processors rather than dropped — via the same allocation the dry
+        // run above predicted with.
+        for (id, p) in self.rescue_placements(view, used).0 {
+            if !decision.awake.contains(&p) {
+                decision.awake.push(p);
             }
+            decision.run.push((id, p));
         }
         decision.awake.sort_unstable();
         decision
@@ -619,6 +711,7 @@ mod tests {
         ];
         let pending = vec![0usize, 1];
         let awake_prev = vec![false, true];
+        let profiles = vec![PowerProfile::affine(3.0, 1.0); 2];
         let view = SlotView {
             now: 0,
             num_processors: 2,
@@ -628,6 +721,8 @@ mod tests {
             jobs: &jobs,
             pending: &pending,
             awake_prev: &awake_prev,
+            profiles: &profiles,
+            explicit_profiles: false,
         };
         // each job is single-processor here, so both procs get used
         let d = greedy_decision(&view, false);
@@ -650,6 +745,8 @@ mod tests {
             jobs: &jobs,
             pending: &pending,
             awake_prev: &awake_prev,
+            profiles: &profiles,
+            explicit_profiles: false,
         };
         let d = greedy_decision(&view, false);
         assert_eq!(d.run, vec![(0, 1)]);
@@ -661,6 +758,7 @@ mod tests {
         let jobs = vec![TimedJob::window(1.0, 5, 0, 5, 8)];
         let pending: Vec<usize> = vec![];
         let awake_prev = vec![false];
+        let profiles = vec![PowerProfile::affine(1.0, 1.0)];
         let view = SlotView {
             now: 2,
             num_processors: 1,
@@ -670,6 +768,8 @@ mod tests {
             jobs: &jobs,
             pending: &pending,
             awake_prev: &awake_prev,
+            profiles: &profiles,
+            explicit_profiles: false,
         };
         let _ = view.job(0);
     }

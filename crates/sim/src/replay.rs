@@ -15,7 +15,7 @@
 
 use sched_core::simulate::{simulate, PowerTrace};
 use sched_core::trace::{ArrivalTrace, TraceError};
-use sched_core::{AffineCost, CandidateInterval, EnergyCost, Schedule, SlotRef};
+use sched_core::{CandidateInterval, EnergyCost, PowerProfile, Schedule, SlotRef};
 
 use crate::policy::{Policy, SlotDecision, SlotView};
 
@@ -86,7 +86,11 @@ impl ReplayOutcome {
 pub fn replay(trace: &ArrivalTrace, policy: &mut dyn Policy) -> Result<ReplayOutcome, SimError> {
     trace.validate()?;
     let p = trace.num_processors as usize;
-    let cost = AffineCost::new(trace.restart, trace.rate);
+    // Awake runs are priced through the trace's per-processor profiles;
+    // without explicit profiles this is bit-identical to the affine
+    // (restart, rate) model replays always used.
+    let profiles: Vec<PowerProfile> = trace.fleet_profiles();
+    let cost = trace.cost_model();
 
     // Job ids ordered by (release, id): the released prefix grows with t.
     let mut order: Vec<usize> = (0..trace.jobs.len()).collect();
@@ -117,6 +121,8 @@ pub fn replay(trace: &ArrivalTrace, policy: &mut dyn Policy) -> Result<ReplayOut
                 jobs: &trace.jobs,
                 pending: &pending,
                 awake_prev: &awake_prev,
+                profiles: &profiles,
+                explicit_profiles: trace.profiles.is_some(),
             };
             policy.decide(&view)
         };
@@ -261,6 +267,7 @@ mod tests {
                 TimedJob::window(1.0, 0, 0, 0, 3),
                 TimedJob::window(1.0, 6, 0, 6, 9),
             ],
+            profiles: None,
         }
     }
 
@@ -318,6 +325,7 @@ mod tests {
             jobs: (0..5)
                 .map(|i| TimedJob::window(1.0 + i as f64, 2 * i, 0, 2 * i, 2 * i + 2))
                 .collect(),
+            profiles: None,
         };
         let greedy = replay(&trace, &mut GreedyWake).unwrap();
         let mut hiring_policy = ThresholdHiring::new(0.25);
@@ -418,6 +426,7 @@ mod tests {
                 TimedJob::window(1.0, 1, 0, 1, 2),
                 TimedJob::window(1.0, 1, 0, 1, 2),
             ],
+            profiles: None,
         };
         let out = replay(&trace, &mut GreedyWake).unwrap();
         assert_eq!(out.schedule.scheduled_count, 1);

@@ -12,7 +12,7 @@ use serde::{Deserialize, Serialize};
 
 use baselines::exact_schedule_all;
 use sched_core::trace::ArrivalTrace;
-use sched_core::{enumerate_candidates, AffineCost, CandidatePolicy, Solver};
+use sched_core::{enumerate_candidates, profile_energy, CandidatePolicy, Solver};
 
 use crate::policy::Policy;
 use crate::replay::{replay, ReplayOutcome, SimError};
@@ -63,7 +63,10 @@ pub fn offline_reference(
     if inst.num_jobs() == 0 {
         return Ok((0.0, "exact"));
     }
-    let cost = AffineCost::new(trace.restart, trace.rate);
+    // Per-processor profile pricing — identical to the affine model for
+    // traces without explicit profiles, so online and offline costs stay
+    // directly comparable either way.
+    let cost = trace.cost_model();
     let candidates = enumerate_candidates(&inst, &cost, CandidatePolicy::All);
 
     let try_exact = match which {
@@ -103,8 +106,20 @@ pub struct ReplayReport {
     pub scheduled: usize,
     /// Jobs whose windows expired unscheduled.
     pub dropped: usize,
+    /// Explicit "nothing was dropped" verdict. `PeriodicResolve`'s
+    /// documented deferral-drop hazard means a plan-following replay can
+    /// silently lose late arrivals; scripts and the competitive-ratio
+    /// assertions must gate on this boolean — the `ratio` of a lossy replay
+    /// compares an *incomplete* online schedule against the full offline
+    /// optimum and is meaningless (it can even sit below 1).
+    pub drop_free: bool,
     /// Online energy cost.
     pub online_cost: f64,
+    /// Deployed energy of the online schedule under the trace's power
+    /// profiles: maximal awake runs with every inter-run gap bridged at the
+    /// break-even sleep depth. Equals `online_cost` for ladder-free fleets;
+    /// never exceeds it.
+    pub deployed_cost: f64,
     /// Offline reference cost.
     pub offline_cost: f64,
     /// Empirical competitive ratio (`online / offline`; `1.0` for an empty
@@ -145,13 +160,21 @@ impl ReplayReport {
             1.0
         };
         let ratio_ok = ratio >= 1.0 - 1e-9;
+        let deployed_cost = profile_energy(
+            &trace.to_instance(),
+            &outcome.schedule,
+            &trace.fleet_profiles(),
+        )
+        .total;
         ReplayReport {
             trace: trace.name.clone(),
             policy: outcome.policy.clone(),
             jobs: trace.jobs.len(),
             scheduled: outcome.schedule.scheduled_count,
             dropped: outcome.dropped.len(),
+            drop_free: outcome.dropped.is_empty(),
             online_cost,
+            deployed_cost,
             offline_cost,
             ratio,
             ratio_ok,
@@ -184,6 +207,7 @@ mod tests {
     use super::*;
     use crate::policy::PolicyKind;
     use sched_core::trace::TimedJob;
+    use sched_core::SlotRef;
 
     fn trace() -> ArrivalTrace {
         ArrivalTrace {
@@ -197,6 +221,7 @@ mod tests {
                 TimedJob::window(1.0, 0, 0, 3, 5),
                 TimedJob::window(1.0, 5, 0, 5, 8),
             ],
+            profiles: None,
         }
     }
 
@@ -222,7 +247,16 @@ mod tests {
                 report.offline_cost
             );
             assert!(report.ratio_ok, "{kind}: ratio_ok must reflect ratio >= 1");
+            assert!(
+                report.drop_free,
+                "{kind}: drop_free must reflect dropped == 0"
+            );
             assert_eq!(report.online_cost, outcome.online_cost());
+            // ladder-free fleet: deployed energy is exactly the interval sum
+            assert!(
+                (report.deployed_cost - report.online_cost).abs() < 1e-9,
+                "{kind}"
+            );
             assert_eq!(report.offline_ref, "exact");
         }
     }
@@ -245,6 +279,7 @@ mod tests {
             restart: 1.0,
             rate: 1.0,
             jobs: vec![],
+            profiles: None,
         };
         let (report, _) = replay_with_report(
             &t,
@@ -268,11 +303,74 @@ mod tests {
         )
         .unwrap();
         let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"drop_free\":true"), "{json}");
         let back: ReplayReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.ratio, report.ratio);
         assert_eq!(back.ratio_ok, report.ratio_ok);
+        assert_eq!(back.drop_free, report.drop_free);
+        assert_eq!(back.deployed_cost, report.deployed_cost);
         assert_eq!(back.policy, report.policy);
         assert_eq!(back.offline_ref, report.offline_ref);
+    }
+
+    #[test]
+    fn deferral_loss_serializes_drop_free_false_and_can_undercut_opt() {
+        // The documented deferral-drop hazard, as a concrete trace where
+        // the loss is *intrinsic* to deferral: the expensive restart makes
+        // the t=0 re-solve merge X (allowed {1, 4}) and Z ({4, 5}) into the
+        // single interval [4,6), deferring X past its early slot. The
+        // adversary then releases Y at slot 4 — its only slot, which the
+        // plan already spent on X. No re-solve can repair this (X's slot 1
+        // is in the past; X, Y, Z now fight over slots {4, 5}), so the
+        // rescue dry-run correctly escalates to a re-solve, the re-solve
+        // reports the suffix infeasible, and exactly Y drops. The replay
+        // *completes* with one drop — and its ratio compares an incomplete
+        // schedule against the full offline optimum (which runs X@1 early),
+        // so it sits BELOW 1 here. `drop_free:false` is the
+        // machine-readable signal that such a ratio is meaningless.
+        let t = ArrivalTrace {
+            name: "deferral-cliff".into(),
+            num_processors: 1,
+            horizon: 6,
+            restart: 10.0,
+            rate: 1.0,
+            jobs: vec![
+                TimedJob {
+                    release: 0,
+                    value: 1.0,
+                    allowed: vec![SlotRef::new(0, 1), SlotRef::new(0, 4)],
+                },
+                TimedJob::window(1.0, 0, 0, 4, 6),
+                TimedJob {
+                    release: 4,
+                    value: 1.0,
+                    allowed: vec![SlotRef::new(0, 4)],
+                },
+            ],
+            profiles: None,
+        };
+        // offline-feasible: X@1, Y@4, Z@5 — one interval [1,6), OPT = 15
+        let (opt, kind) = offline_reference(&t, OfflineRef::Auto).unwrap();
+        assert_eq!(kind, "exact");
+        assert_eq!(opt, 15.0);
+        let (report, outcome) = replay_with_report(
+            &t,
+            PolicyKind::Resolve { period: 10 }.build(None).as_mut(),
+            OfflineRef::Auto,
+        )
+        .unwrap();
+        assert_eq!(report.dropped, 1, "deferral must cost exactly job Y");
+        assert!(!report.drop_free);
+        assert_eq!(outcome.dropped, vec![2]);
+        // the lossy online schedule ([4,6) = 12) undercuts the full OPT
+        assert!(
+            report.ratio < 1.0,
+            "lossy ratio {} should undercut OPT",
+            report.ratio
+        );
+        assert!(!report.ratio_ok);
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"drop_free\":false"), "{json}");
     }
 
     #[test]
@@ -287,6 +385,7 @@ mod tests {
                 TimedJob::window(1.0, 0, 0, 0, 1),
                 TimedJob::window(1.0, 0, 0, 0, 1),
             ],
+            profiles: None,
         };
         assert!(matches!(
             offline_reference(&t, OfflineRef::Auto),

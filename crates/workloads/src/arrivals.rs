@@ -207,6 +207,7 @@ pub fn poisson_bursts(cfg: &ArrivalConfig, rng: &mut impl Rng) -> ArrivalTrace {
         restart: cfg.restart,
         rate: cfg.rate,
         jobs,
+        profiles: None,
     }
 }
 
@@ -244,6 +245,7 @@ pub fn diurnal(cfg: &ArrivalConfig, rng: &mut impl Rng) -> ArrivalTrace {
         restart: cfg.restart,
         rate: cfg.rate,
         jobs,
+        profiles: None,
     }
 }
 
@@ -294,6 +296,7 @@ pub fn deadline_cliffs(cfg: &ArrivalConfig, rng: &mut impl Rng) -> ArrivalTrace 
         restart: cfg.restart,
         rate: cfg.rate,
         jobs,
+        profiles: None,
     }
 }
 

@@ -13,12 +13,16 @@
 //!   cut, additive with heavy tails) for the Chapter 3 experiments;
 //! * [`arrivals`] — timed arrival traces (Poisson bursts, diurnal load,
 //!   adversarial deadline cliffs) for the `sched-sim` online replay
-//!   harness.
+//!   harness;
+//! * [`hetero`] — heterogeneous-fleet power-profile generators (distinct
+//!   per-processor wake costs / busy rates, optional sleep-state ladders)
+//!   and profile-attached arrival traces.
 //!
 //! All generators take explicit RNGs so every experiment is reproducible
 //! from its printed seed.
 
 pub mod arrivals;
+pub mod hetero;
 pub mod market;
 pub mod online_hiring;
 pub mod planted;
@@ -28,6 +32,7 @@ pub mod setcover_hard;
 pub use arrivals::{
     deadline_cliffs, diurnal, generate_trace, poisson_bursts, ArrivalConfig, TraceKind,
 };
+pub use hetero::{hetero_profiles, hetero_trace};
 pub use market::market_prices;
 pub use online_hiring::ProcessorRankFn;
 pub use planted::{planted_instance, PlantedConfig, PlantedInstance};

@@ -3,7 +3,9 @@
 //! ```text
 //! power-sched generate --seed 7 --processors 2 --horizon 16 --jobs 12 --out inst.json
 //! power-sched generate --trace poisson --seed 7 --horizon 24 --jobs 12 --out trace.json
+//! power-sched generate --seed 7 --processors 3 --hetero 2 --out inst.json --profiles-out profs.json
 //! power-sched solve inst.json --restart 3 --rate 1 [--target 25.5] [--out sched.json]
+//! power-sched solve inst.json --profiles profs.json [--out sched.json]
 //! power-sched validate inst.json sched.json
 //! power-sched batch requests.jsonl [--workers N] [--out responses.jsonl]
 //! power-sched batch requests.jsonl --connect HOST:PORT [--shutdown]
@@ -33,9 +35,11 @@ use power_scheduling::engine::{serve, Engine, EngineConfig};
 use power_scheduling::prelude::*;
 use power_scheduling::scheduling::model::validate_schedule;
 use power_scheduling::scheduling::simulate::simulate;
+use power_scheduling::scheduling::{validate_profiles, PowerProfile, ProfileCost};
 use power_scheduling::workloads::planted::PlantedCostModel;
 use power_scheduling::workloads::{
-    generate_trace, planted_instance, ArrivalConfig, PlantedConfig, TraceKind,
+    generate_trace, hetero_profiles, hetero_trace, planted_instance, ArrivalConfig, PlantedConfig,
+    TraceKind,
 };
 use rand::SeedableRng;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
@@ -56,14 +60,16 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: power-sched <generate|solve|validate|batch|serve|replay|perf> ...\n\
                  \n  generate --seed S --processors P --horizon T --jobs N [--values V] --out FILE\
+                 \n           [--hetero LEVELS --profiles-out FILE]\
                  \n  generate --trace poisson|diurnal|cliffs --seed S [--processors P --horizon T --jobs N\
-                 \n           --restart A --rate R --slack K --values V] --out FILE\
-                 \n  solve INSTANCE.json [--restart A] [--rate R] [--target Z] [--policy all|single|maxlen:K] [--out FILE]\
+                 \n           --restart A --rate R --slack K --values V] [--hetero LEVELS] --out FILE\
+                 \n  solve INSTANCE.json [--restart A] [--rate R] [--profiles FILE] [--target Z]\
+                 \n        [--policy all|single|maxlen:K] [--out FILE]\
                  \n  validate INSTANCE.json SCHEDULE.json\
                  \n  batch [REQUESTS.jsonl|-] [--workers N] [--queue D] [--out FILE]\
                  \n  batch [REQUESTS.jsonl|-] --connect HOST:PORT [--shutdown] [--out FILE]\
                  \n  serve --addr HOST:PORT [--workers N] [--queue D]\
-                 \n  replay [TRACE.json|DIR] [--gen poisson|diurnal|cliffs --count N --seed S ...]\
+                 \n  replay [TRACE.json|DIR] [--gen poisson|diurnal|cliffs --count N --seed S --hetero LEVELS ...]\
                  \n         [--policy greedy|hiring[:F]|resolve[:K]] [--offline auto|greedy|exact]\
                  \n         [--workers N] [--out FILE] [--verbose]\
                  \n  perf [--quick] [--out FILE] [--baseline FILE] [--tolerance F]"
@@ -140,12 +146,22 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     let values: u32 =
         flag(args, "--values").map_or(Ok(1), |v| v.parse().map_err(|e| format!("{e}")))?;
     let out = flag(args, "--out").ok_or("--out FILE is required")?;
+    let hetero: Option<u32> = match flag(args, "--hetero") {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|e| format!("bad --hetero sleep-level count: {e}"))?,
+        ),
+        None => None,
+    };
 
     if let Some(kind) = flag(args, "--trace") {
         let kind: TraceKind = kind.parse()?;
         let cfg = arrival_config(args)?;
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let mut trace = generate_trace(kind, &cfg, &mut rng);
+        let mut trace = match hetero {
+            Some(levels) => hetero_trace(kind, &cfg, levels, &mut rng),
+            None => generate_trace(kind, &cfg, &mut rng),
+        };
         trace.name = format!("{}-s{seed}", trace.name);
         // Never write a trace the replay subcommand would reject.
         trace
@@ -166,6 +182,16 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
 
+    // resolve the full flag set before writing anything, so a missing
+    // --profiles-out cannot leave a stray instance file (and a misleading
+    // "wrote ..." line) behind a nonzero exit
+    let profiles_out = match hetero {
+        Some(_) => Some(
+            flag(args, "--profiles-out")
+                .ok_or("--hetero on an instance needs --profiles-out FILE for the fleet")?,
+        ),
+        None => None,
+    };
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let p = planted_instance(
         &PlantedConfig {
@@ -189,6 +215,17 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         p.instance.horizon,
         p.planted_cost
     );
+    if let (Some(levels), Some(profiles_out)) = (hetero, profiles_out) {
+        // profiles are drawn from the same seeded stream, after the
+        // instance, so (seed, sizing, levels) reproduces the pair
+        let fleet = hetero_profiles(processors, levels, &mut rng);
+        let json = serde_json::to_string_pretty(&fleet).map_err(|e| e.to_string())?;
+        std::fs::write(&profiles_out, json).map_err(|e| e.to_string())?;
+        println!(
+            "wrote {profiles_out} ({processors} heterogeneous profiles, {levels} sleep level{})",
+            if levels == 1 { "" } else { "s" }
+        );
+    }
     Ok(())
 }
 
@@ -213,8 +250,20 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
     // checks; validate before the solver indexes slots by id.
     inst.validate()
         .map_err(|e| format!("{path} is not a valid instance: {e}"))?;
-    let cost = AffineCost::new(restart, rate);
-    let solver = Solver::new(&inst, &cost).policy(policy);
+    // --profiles FILE switches pricing from the uniform affine model to an
+    // explicit per-processor fleet (validated before the oracle asserts).
+    let cost: Box<dyn EnergyCost> = match flag(args, "--profiles") {
+        Some(pp) => {
+            let text = std::fs::read_to_string(&pp).map_err(|e| format!("reading {pp}: {e}"))?;
+            let fleet: Vec<PowerProfile> = serde_json::from_str(&text)
+                .map_err(|e| format!("{pp} is not a valid profile fleet: {e}"))?;
+            validate_profiles(&fleet, inst.num_processors)
+                .map_err(|e| format!("{pp} does not fit {path}: {e}"))?;
+            Box::new(ProfileCost::new(&fleet))
+        }
+        None => Box::new(AffineCost::new(restart, rate)),
+    };
+    let solver = Solver::new(&inst, cost.as_ref()).policy(policy);
 
     let schedule = match target {
         Some(z) => solver.prize_collecting_exact(z),
@@ -440,11 +489,21 @@ fn replay_traces(args: &[String]) -> Result<Vec<ArrivalTrace>, String> {
         let kind: TraceKind = kind.parse()?;
         let count: usize = parse_flag(args, "--count", 2)?;
         let seed: u64 = parse_flag(args, "--seed", 0)?;
+        let hetero: Option<u32> = match flag(args, "--hetero") {
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|e| format!("bad --hetero sleep-level count: {e}"))?,
+            ),
+            None => None,
+        };
         let cfg = arrival_config(args)?;
         for i in 0..count {
             let trace_seed = seed.wrapping_add(i as u64);
             let mut rng = rand::rngs::StdRng::seed_from_u64(trace_seed);
-            let mut trace = generate_trace(kind, &cfg, &mut rng);
+            let mut trace = match hetero {
+                Some(levels) => hetero_trace(kind, &cfg, levels, &mut rng),
+                None => generate_trace(kind, &cfg, &mut rng),
+            };
             trace.name = format!("{}-s{trace_seed}", trace.name);
             traces.push(trace);
         }

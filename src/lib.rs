@@ -109,10 +109,11 @@ pub mod prelude {
         Engine, EngineConfig, SolveMode, SolveRequest, SolveResponse, PROTOCOL_VERSION,
     };
     pub use crate::scheduling::{
-        enumerate_candidates, prize_collecting, prize_collecting_exact, schedule_all, AffineCost,
-        ArrivalTrace, CandidateInterval, CandidatePolicy, ConvexCost, EnergyCost, Instance, Job,
-        PerProcessorAffine, Schedule, ScheduleError, SlotRef, SolveOptions, Solver,
-        TimeVaryingCost, TimedJob,
+        enumerate_candidates, prize_collecting, prize_collecting_exact, profile_energy,
+        schedule_all, validate_profiles, AffineCost, ArrivalTrace, CandidateInterval,
+        CandidatePolicy, ConvexCost, EnergyCost, Instance, Job, PerProcessorAffine, PowerProfile,
+        ProfileCost, Schedule, ScheduleError, SleepChoice, SleepState, SlotRef, SolveOptions,
+        Solver, TimeVaryingCost, TimedJob,
     };
     pub use crate::sim::{
         replay_fleet, replay_with_report, FleetOptions, OfflineRef, Policy, PolicyKind,

@@ -80,6 +80,138 @@ fn solve_rejects_non_positive_values_without_panicking() {
 }
 
 #[test]
+fn replay_rejects_malformed_policy_suffixes_without_panicking() {
+    // regression: every malformed --policy suffix must exit nonzero with a
+    // parse message, never a panic — including suffixes that parse as the
+    // right type but violate the policy's domain (resolve:0, hiring:2.0)
+    for bad in ["hiring:x", "resolve:0", "resolve:x", "hiring:2.0", "bogus"] {
+        let out = bin()
+            .args([
+                "replay", "--gen", "poisson", "--count", "1", "--seed", "1", "--policy", bad,
+            ])
+            .output()
+            .expect("spawn replay");
+        assert_clean_failure(&out);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("policy") || stderr.contains("period") || stderr.contains("fraction"),
+            "--policy {bad}: error must name the bad input, got: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn replay_rejects_malformed_hetero_and_offline_flags() {
+    for args in [
+        vec!["replay", "--gen", "poisson", "--hetero", "x"],
+        vec!["replay", "--gen", "poisson", "--offline", "sometimes"],
+        vec!["replay", "--gen", "nosuchkind"],
+    ] {
+        let out = bin().args(&args).output().expect("spawn replay");
+        assert_clean_failure(&out);
+    }
+}
+
+#[test]
+fn generate_hetero_without_profiles_out_writes_nothing() {
+    // the flag pair is validated before any file I/O: a failed invocation
+    // must not leave a stray instance file behind its nonzero exit
+    let dir = temp_dir("hetero-noout");
+    let inst = dir.join("inst.json");
+    let out = bin()
+        .args([
+            "generate",
+            "--seed",
+            "5",
+            "--processors",
+            "3",
+            "--hetero",
+            "2",
+            "--out",
+            inst.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn generate");
+    assert_clean_failure(&out);
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--profiles-out"));
+    assert!(
+        !inst.exists(),
+        "failed generate must not leave a partial instance file"
+    );
+}
+
+#[test]
+fn solve_rejects_bad_profile_fleets_without_panicking() {
+    let dir = temp_dir("profiles");
+    let inst = dir.join("inst.json");
+    std::fs::write(
+        &inst,
+        r#"{"num_processors":2,"horizon":4,"jobs":[{"value":1,"allowed":[{"proc":0,"time":1}]}]}"#,
+    )
+    .unwrap();
+
+    // count mismatch: one profile for two processors
+    let short = dir.join("short.json");
+    std::fs::write(
+        &short,
+        r#"[{"wake_cost":3,"busy_rate":1,"sleep_states":[]}]"#,
+    )
+    .unwrap();
+    let out = bin()
+        .args([
+            "solve",
+            inst.to_str().unwrap(),
+            "--profiles",
+            short.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn solve");
+    assert_clean_failure(&out);
+    assert!(String::from_utf8_lossy(&out.stderr).contains("mismatch"));
+
+    // non-monotone sleep ladder
+    let ladder = dir.join("ladder.json");
+    std::fs::write(
+        &ladder,
+        r#"[{"wake_cost":3,"busy_rate":1,"sleep_states":[{"idle_rate":0.2,"wake_cost":1},{"idle_rate":0.5,"wake_cost":2}]},{"wake_cost":3,"busy_rate":1,"sleep_states":[]}]"#,
+    )
+    .unwrap();
+    let out = bin()
+        .args([
+            "solve",
+            inst.to_str().unwrap(),
+            "--profiles",
+            ladder.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn solve");
+    assert_clean_failure(&out);
+    assert!(String::from_utf8_lossy(&out.stderr).contains("sleep state"));
+
+    // a valid fleet must keep working through the same path
+    let good = dir.join("good.json");
+    std::fs::write(
+        &good,
+        r#"[{"wake_cost":3,"busy_rate":1,"sleep_states":[]},{"wake_cost":5,"busy_rate":2,"sleep_states":[]}]"#,
+    )
+    .unwrap();
+    let out = bin()
+        .args([
+            "solve",
+            inst.to_str().unwrap(),
+            "--profiles",
+            good.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn solve");
+    assert!(
+        out.status.success(),
+        "valid profiles must solve: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
 fn batch_turns_bad_lines_into_structured_responses() {
     let dir = temp_dir("batch");
     let input = dir.join("reqs.jsonl");

@@ -166,14 +166,29 @@ pub mod distributions {
         }
     }
 
-    /// Poisson distribution with mean `λ`, via Knuth's product-of-uniforms
-    /// method (expected `λ + 1` RNG draws per sample — fine for the modest
-    /// rates the burst generators use; the loop is additionally capped at
-    /// `10·λ + 100` iterations so a pathological RNG cannot hang it).
+    /// Poisson distribution with mean `λ`.
+    ///
+    /// Small means use Knuth's product-of-uniforms method (expected `λ + 1`
+    /// RNG draws per sample). That method compares a running product of
+    /// uniforms against `exp(−λ)`, which **underflows to zero** near
+    /// `λ ≈ 745`: the comparison then never terminates normally and every
+    /// sample burns the full iteration cap while returning a meaningless
+    /// count. Above [`KNUTH_CUTOFF`] sampling therefore switches to the
+    /// log-domain inversion of the arrival process — `N` is the number of
+    /// unit-rate exponential inter-arrival gaps (`−ln(1−u)`, the same
+    /// inversion [`Exp`] uses) that fit in `[0, λ)` — which involves no
+    /// `exp(−λ)` at all and is exact for any mean. Both paths cap their
+    /// loops at `10·λ + 100` iterations so a pathological RNG cannot hang
+    /// the caller.
     #[derive(Clone, Copy, Debug)]
     pub struct Poisson {
         lambda: f64,
     }
+
+    /// Largest mean still sampled by Knuth's product method; far below the
+    /// `exp(−λ)` underflow point (~745) with margin. The cutoff only
+    /// changes which exact sampler runs, not the distribution.
+    const KNUTH_CUTOFF: f64 = 30.0;
 
     impl Poisson {
         /// Mean must be finite and strictly positive.
@@ -188,15 +203,30 @@ pub mod distributions {
 
     impl Distribution<u64> for Poisson {
         fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
-            let limit = (-self.lambda).exp();
             let cap = (10.0 * self.lambda) as u64 + 100;
-            let mut product = unit_f64(rng.next_u64());
-            let mut count = 0u64;
-            while product > limit && count < cap {
-                count += 1;
-                product *= unit_f64(rng.next_u64());
+            if self.lambda <= KNUTH_CUTOFF {
+                let limit = (-self.lambda).exp();
+                let mut product = unit_f64(rng.next_u64());
+                let mut count = 0u64;
+                while product > limit && count < cap {
+                    count += 1;
+                    product *= unit_f64(rng.next_u64());
+                }
+                count
+            } else {
+                // inversion fallback: count unit-rate exponential
+                // inter-arrival gaps fitting in [0, λ) — log-domain, so no
+                // exp(−λ) underflow for large means
+                let mut acc = 0.0f64;
+                let mut count = 0u64;
+                loop {
+                    acc += -(1.0 - unit_f64(rng.next_u64())).ln();
+                    if acc >= self.lambda || count >= cap {
+                        break count;
+                    }
+                    count += 1;
+                }
             }
-            count
         }
     }
 
@@ -341,6 +371,45 @@ mod tests {
         let f: f64 = poi.sample(&mut a);
         assert_eq!(f, f.trunc());
         assert!(Poisson::new(-1.0).is_err());
+    }
+
+    /// Regression for the large-λ hazard: Knuth's product method compares
+    /// against `exp(−λ)`, which underflows to 0 near λ ≈ 745 — before the
+    /// inversion fallback, every sample at λ ≥ 700-ish spun to the
+    /// iteration cap and returned garbage, so diurnal trace generation
+    /// could effectively hang. The fallback must terminate promptly and
+    /// keep the right mean and spread.
+    #[test]
+    fn poisson_large_lambda_inversion_fallback() {
+        use crate::distributions::{Distribution, Poisson};
+        for lambda in [700.0f64, 2000.0] {
+            let poi = Poisson::new(lambda).unwrap();
+            let mut a = StdRng::seed_from_u64(11);
+            let mut b = StdRng::seed_from_u64(11);
+            let n = 2_000;
+            let mut sum = 0u64;
+            let mut sum_sq = 0.0f64;
+            for _ in 0..n {
+                let x: u64 = poi.sample(&mut a);
+                assert_eq!(x, poi.sample(&mut b), "not deterministic per seed");
+                sum += x;
+                sum_sq += (x as f64) * (x as f64);
+            }
+            let mean = sum as f64 / n as f64;
+            // mean sits within 5 standard errors (σ = sqrt(λ))
+            let tol = 5.0 * lambda.sqrt() / (n as f64).sqrt();
+            assert!(
+                (mean - lambda).abs() < tol,
+                "Poisson({lambda}) mean {mean} off by more than {tol}"
+            );
+            // variance ≈ λ distinguishes a real Poisson from the capped
+            // garbage the underflowing Knuth loop returned (≈ 10λ, var ≈ 0)
+            let var = sum_sq / n as f64 - mean * mean;
+            assert!(
+                var > 0.5 * lambda && var < 2.0 * lambda,
+                "Poisson({lambda}) variance {var} not near λ"
+            );
+        }
     }
 
     #[test]
