@@ -44,7 +44,7 @@ use sched_core::{
     enumerate_candidates, schedule_all, CandidatePolicy, PowerProfile, ProfileCost, SolveOptions,
 };
 use sched_engine::{Engine, EngineConfig, SolveRequest};
-use sched_sim::{replay_fleet, FleetOptions, OfflineRef, PolicyKind};
+use sched_sim::{replay, replay_fleet, FleetOptions, OfflineRef, PolicyKind};
 use serde::{Deserialize, Serialize};
 use workloads::planted::PlantedCostModel;
 use workloads::{generate_trace, planted_instance, ArrivalConfig, PlantedConfig, TraceKind};
@@ -285,6 +285,77 @@ pub fn run(opts: PerfOptions) -> PerfReport {
         assert!(reports.iter().all(|r| r.is_ok()), "replay workload failed");
     });
     workloads.push(row(&name, "n/a", count, ns, peak));
+
+    // --- warm-start re-solve workloads: PeriodicResolve warm vs cold ---
+    // One pinned Poisson trace per period; both variants replay the whole
+    // trace and the row times the *re-solves only* (the policy's own
+    // per-re-solve wall clocks, summed), so the speedup isolates exactly
+    // what the warm handle accelerates. `fast` = warm-start on, `naive` =
+    // cold re-solves, mirroring the fast/naive pairing of the solve rows;
+    // the Speedup row is the warm-over-cold ratio the CI gate pins.
+    for &(period, seed) in &[(1u32, 1234u64), (4u32, 4321u64)] {
+        let cfg = ArrivalConfig {
+            num_processors: 2,
+            horizon: 192,
+            target_jobs: 28,
+            restart: 3.0,
+            rate: 1.0,
+            max_value: 1,
+            slack: 2,
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut trace = generate_trace(TraceKind::PoissonBursts, &cfg, &mut rng);
+        // Advance-notice arrivals: announce every job `LEAD` ticks before
+        // its window opens (releasing earlier only relaxes the instance, so
+        // the trace stays feasible). A k=1 re-solver then sees long quiet
+        // stretches where the pending set's windows are untouched — the
+        // memoized-solve fast path of the warm handle — interleaved with
+        // arrival/service ticks that exercise the delta path. This is the
+        // advance-reservation shape warm-starting targets: re-solve every
+        // tick, change rarely.
+        const LEAD: u32 = 24;
+        for job in &mut trace.jobs {
+            job.release = job.release.saturating_sub(LEAD);
+        }
+        let peak = {
+            let t = trace.horizon as u64;
+            trace.num_processors as u64 * t * (t + 1) / 2
+        };
+        let name = format!("resolve_warm_vs_cold_k{period}");
+        let run_once = |warm: bool| -> (u64, u64, u64) {
+            let mut policy = PolicyKind::Resolve { period, warm }.build(None);
+            let out = replay(&trace, policy.as_mut()).expect("pinned trace replays");
+            let rs = out
+                .resolve_stats
+                .expect("resolve policy reports per-re-solve timing");
+            (rs.count, rs.total_ns, out.schedule.total_cost.to_bits())
+        };
+        // interleave warm and cold passes so clock drift and scheduler
+        // noise hit both paths alike
+        let (mut warm_ns, mut cold_ns) = (u64::MAX, u64::MAX);
+        let (mut resolves, mut warm_bits, mut cold_bits) = (0, 0, 0);
+        for _ in 0..rounds {
+            let (count, ns, bits) = run_once(true);
+            warm_ns = warm_ns.min(ns);
+            (resolves, warm_bits) = (count, bits);
+            let (count, ns, bits) = run_once(false);
+            cold_ns = cold_ns.min(ns);
+            assert_eq!(count, resolves, "warm must not change the cadence");
+            cold_bits = bits;
+        }
+        assert_eq!(
+            warm_bits, cold_bits,
+            "warm replay diverged from cold on {name}"
+        );
+        let fast = row(&name, "fast", resolves, warm_ns, peak);
+        let naive = row(&name, "naive", resolves, cold_ns, peak);
+        speedups.push(Speedup {
+            workload: name.clone(),
+            fast_over_naive: fast.ops_per_sec / naive.ops_per_sec,
+        });
+        workloads.push(fast);
+        workloads.push(naive);
+    }
 
     PerfReport {
         schema: SCHEMA.into(),
@@ -549,10 +620,14 @@ mod tests {
         let report = run(PerfOptions { quick: true });
         assert_eq!(report.schema, SCHEMA);
         assert_eq!(report.mode, "quick");
-        // (3 solve shapes + 1 hetero shape) × 2 paths + 2 engine rows
-        // + 1 replay row
-        assert_eq!(report.workloads.len(), 11);
-        assert_eq!(report.speedups.len(), 4);
+        // (3 solve shapes + 1 hetero shape + 2 warm-vs-cold shapes) × 2
+        // paths + 2 engine rows + 1 replay row
+        assert_eq!(report.workloads.len(), 15);
+        assert_eq!(report.speedups.len(), 6);
+        assert!(report
+            .speedups
+            .iter()
+            .any(|s| s.workload == "resolve_warm_vs_cold_k1"));
         assert!(report
             .workloads
             .iter()

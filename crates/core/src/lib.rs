@@ -85,6 +85,7 @@ pub mod schedule_all;
 pub mod simulate;
 pub mod solver;
 pub mod trace;
+pub mod warm;
 
 pub use bitset::SlotSet;
 pub use candidates::{enumerate_candidates, CandidateInterval, CandidatePolicy};
@@ -105,3 +106,4 @@ pub use schedule_all::{schedule_all, schedule_all_with};
 pub use simulate::{profile_energy, simulate, PowerTrace, ProfileEnergy, SlotState};
 pub use solver::Solver;
 pub use trace::{ArrivalTrace, TimedJob, TraceError};
+pub use warm::{content_keys, WarmHandle, WarmStats};

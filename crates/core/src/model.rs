@@ -25,7 +25,11 @@ impl SlotRef {
 }
 
 /// A unit-time job: a positive value and the list of slots where it may run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// `PartialEq` is bitwise on the value (and order-sensitive on the slots):
+/// exactly the notion of equality the warm-start instance-identity fast path
+/// needs.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Job {
     /// Job value (used by the prize-collecting variants; 1.0 by convention
     /// for schedule-all instances). Must be strictly positive.
@@ -61,7 +65,7 @@ impl Job {
 }
 
 /// A scheduling instance (Definition 2 of the paper).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Instance {
     /// Number of processors `p`.
     pub num_processors: u32,

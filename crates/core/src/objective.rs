@@ -81,69 +81,27 @@ pub struct ScheduleReduction {
     comp_len: Vec<u32>,
     /// Number of distinct connected components.
     num_comps: u32,
+    /// Retained union-find / densification buffers for
+    /// [`ScheduleReduction::apply_delta`].
+    scratch: RebuildScratch,
+}
+
+/// Working buffers for the job-state rebuild, retained across deltas so a
+/// re-solve reuses the allocations of the previous one.
+#[derive(Clone, Debug, Default)]
+struct RebuildScratch {
+    uf: Vec<u32>,
+    comp_of_slot: Vec<u32>,
+    dense: Vec<u32>,
+    comp_seen: Vec<u32>,
 }
 
 impl ScheduleReduction {
     /// Builds the reduction for `inst` and the given candidate family.
     pub fn build(inst: &Instance, candidates: &[CandidateInterval]) -> Self {
-        let mut b = BipartiteGraphBuilder::new(inst.num_slots(), inst.num_jobs() as u32);
-        for (jid, job) in inst.jobs.iter().enumerate() {
-            for &s in &job.allowed {
-                b.add_edge(inst.slot_id(s), jid as u32);
-            }
-        }
-        let graph = b.build();
-
-        // interesting slots (degree > 0), tested once per dense slot id
-        let nx = graph.nx() as usize;
-        let mut interesting = SlotSet::new(nx);
-        for x in 0..graph.nx() {
-            if graph.deg_x(x) > 0 {
-                interesting.insert(x);
-            }
-        }
-        let islots: Vec<u32> = interesting.iter().collect();
-
-        // connected components of the slot–job graph, via union-find over
-        // each job's adjacent slots
-        let mut uf: Vec<u32> = (0..graph.nx()).collect();
-        fn find(uf: &mut [u32], x: u32) -> u32 {
-            let mut r = x;
-            while uf[r as usize] != r {
-                r = uf[r as usize];
-            }
-            let mut c = x;
-            while uf[c as usize] != r {
-                let next = uf[c as usize];
-                uf[c as usize] = r;
-                c = next;
-            }
-            r
-        }
-        for y in 0..graph.ny() {
-            let adj = graph.adj_y(y);
-            if let Some(&first) = adj.first() {
-                let root = find(&mut uf, first);
-                for &x in &adj[1..] {
-                    let r = find(&mut uf, x);
-                    uf[r as usize] = root;
-                }
-            }
-        }
-        // densify component ids over interesting slots
-        let mut comp_of_slot = vec![u32::MAX; nx];
-        let mut num_comps = 0u32;
-        let mut dense = vec![u32::MAX; nx];
-        for &x in &islots {
-            let root = find(&mut uf, x);
-            if dense[root as usize] == u32::MAX {
-                dense[root as usize] = num_comps;
-                num_comps += 1;
-            }
-            comp_of_slot[x as usize] = dense[root as usize];
-        }
-
-        // maximal nested-prefix runs over the candidate order
+        // Candidate-dependent state first: costs and the maximal
+        // nested-prefix runs over the candidate order. Both survive job
+        // deltas untouched — the candidate family is job-independent.
         let mut runs: Vec<(u32, u32)> = Vec::new();
         let mut run_of = Vec::with_capacity(candidates.len());
         let mut lo = 0usize;
@@ -160,19 +118,138 @@ impl ScheduleReduction {
                 lo = i;
             }
         }
+        let costs = candidates.iter().map(|iv| iv.cost).collect();
+
+        let mut red = Self {
+            graph: BipartiteGraphBuilder::new(0, 0).build(),
+            islots: Vec::new(),
+            slot_win: Vec::new(),
+            costs,
+            run_of,
+            runs,
+            run_comp_arena: Vec::new(),
+            run_comp_off: Vec::new(),
+            comp_len: Vec::new(),
+            num_comps: 0,
+            scratch: RebuildScratch::default(),
+        };
+        red.rebuild_job_state(inst, candidates);
+        red
+    }
+
+    /// Applies a job delta: rebuilds every job-dependent structure (graph,
+    /// interesting-slot arena, candidate windows, connected components) for
+    /// the new instance **in place**, reusing the retained allocations and
+    /// leaving the candidate-dependent rows (`costs`, `runs`, `run_of`)
+    /// untouched. Arrivals and expiries are implied by the new instance; the
+    /// caller (the warm handle) diffs instances to find what changed.
+    ///
+    /// The result is field-for-field identical to
+    /// `ScheduleReduction::build(inst, candidates)` — both paths run the same
+    /// rebuild — so correctness never depends on the delta being small.
+    ///
+    /// # Panics
+    /// Panics (debug) if `candidates` is not the family this reduction was
+    /// built with: windows are recomputed against it, and costs/runs are
+    /// assumed to still match.
+    pub fn apply_delta(&mut self, inst: &Instance, candidates: &[CandidateInterval]) {
+        debug_assert_eq!(
+            candidates.len(),
+            self.costs.len(),
+            "apply_delta requires the original candidate family"
+        );
+        self.rebuild_job_state(inst, candidates);
+    }
+
+    /// The shared job-state rebuild behind [`ScheduleReduction::build`] and
+    /// [`ScheduleReduction::apply_delta`]: graph, interesting slots,
+    /// per-candidate windows, and connected components, written into the
+    /// retained buffers.
+    fn rebuild_job_state(&mut self, inst: &Instance, candidates: &[CandidateInterval]) {
+        let mut b = BipartiteGraphBuilder::new(inst.num_slots(), inst.num_jobs() as u32);
+        for (jid, job) in inst.jobs.iter().enumerate() {
+            for &s in &job.allowed {
+                b.add_edge(inst.slot_id(s), jid as u32);
+            }
+        }
+        self.graph = b.build();
+        let graph = &self.graph;
+
+        // interesting slots (degree > 0), tested once per dense slot id
+        let nx = graph.nx() as usize;
+        let mut interesting = SlotSet::new(nx);
+        for x in 0..graph.nx() {
+            if graph.deg_x(x) > 0 {
+                interesting.insert(x);
+            }
+        }
+        self.islots.clear();
+        self.islots.extend(interesting.iter());
+        let islots = &self.islots;
+
+        // connected components of the slot–job graph, via union-find over
+        // each job's adjacent slots
+        let uf = &mut self.scratch.uf;
+        uf.clear();
+        uf.extend(0..graph.nx());
+        fn find(uf: &mut [u32], x: u32) -> u32 {
+            let mut r = x;
+            while uf[r as usize] != r {
+                r = uf[r as usize];
+            }
+            let mut c = x;
+            while uf[c as usize] != r {
+                let next = uf[c as usize];
+                uf[c as usize] = r;
+                c = next;
+            }
+            r
+        }
+        for y in 0..graph.ny() {
+            let adj = graph.adj_y(y);
+            if let Some(&first) = adj.first() {
+                let root = find(uf, first);
+                for &x in &adj[1..] {
+                    let r = find(uf, x);
+                    uf[r as usize] = root;
+                }
+            }
+        }
+        // densify component ids over interesting slots
+        let comp_of_slot = &mut self.scratch.comp_of_slot;
+        comp_of_slot.clear();
+        comp_of_slot.resize(nx, u32::MAX);
+        let dense = &mut self.scratch.dense;
+        dense.clear();
+        dense.resize(nx, u32::MAX);
+        let mut num_comps = 0u32;
+        for &x in islots {
+            let root = find(uf, x);
+            if dense[root as usize] == u32::MAX {
+                dense[root as usize] = num_comps;
+                num_comps += 1;
+            }
+            comp_of_slot[x as usize] = dense[root as usize];
+        }
+        self.num_comps = num_comps;
 
         // per-candidate windows into `islots`, walked incrementally per run
         // (ends increase, so the window only ever grows), plus per-run
         // component sequences in first-slot order (epoch-deduped) with each
         // candidate recording its prefix length into the sequence
-        let mut slot_win = Vec::with_capacity(candidates.len());
-        let mut comp_len = Vec::with_capacity(candidates.len());
-        let mut run_comp_arena = Vec::new();
-        let mut run_comp_off = Vec::with_capacity(runs.len() + 1);
-        run_comp_off.push(0);
-        let mut comp_seen = vec![u32::MAX; num_comps as usize];
-        for (run_idx, &(rlo, rhi)) in runs.iter().enumerate() {
-            let run_base = run_comp_arena.len();
+        self.slot_win.clear();
+        self.slot_win.reserve(candidates.len());
+        self.comp_len.clear();
+        self.comp_len.reserve(candidates.len());
+        self.run_comp_arena.clear();
+        self.run_comp_off.clear();
+        self.run_comp_off.reserve(self.runs.len() + 1);
+        self.run_comp_off.push(0);
+        let comp_seen = &mut self.scratch.comp_seen;
+        comp_seen.clear();
+        comp_seen.resize(num_comps as usize, u32::MAX);
+        for (run_idx, &(rlo, rhi)) in self.runs.iter().enumerate() {
+            let run_base = self.run_comp_arena.len();
             let first = &candidates[rlo as usize];
             let base_id = inst.slot_id(SlotRef::new(first.proc, first.start));
             let off = islots.partition_point(|&s| s < base_id);
@@ -183,28 +260,15 @@ impl ScheduleReduction {
                     let c = comp_of_slot[islots[cursor] as usize];
                     if comp_seen[c as usize] != run_idx as u32 {
                         comp_seen[c as usize] = run_idx as u32;
-                        run_comp_arena.push(c);
+                        self.run_comp_arena.push(c);
                     }
                     cursor += 1;
                 }
-                slot_win.push((off as u32, (cursor - off) as u32));
-                comp_len.push((run_comp_arena.len() - run_base) as u32);
+                self.slot_win.push((off as u32, (cursor - off) as u32));
+                self.comp_len
+                    .push((self.run_comp_arena.len() - run_base) as u32);
             }
-            run_comp_off.push(run_comp_arena.len() as u32);
-        }
-        let costs = candidates.iter().map(|iv| iv.cost).collect();
-
-        Self {
-            graph,
-            islots,
-            slot_win,
-            costs,
-            run_of,
-            runs,
-            run_comp_arena,
-            run_comp_off,
-            comp_len,
-            num_comps,
+            self.run_comp_off.push(self.run_comp_arena.len() as u32);
         }
     }
 
@@ -370,6 +434,35 @@ impl<'r> ScheduleObjective<'r> {
             scratch.memo_eval[j] = self.version;
         }
         scratch.cum = cum;
+    }
+
+    /// Pre-seeds `scratch`'s gain memo: candidate `i` with `clean[i]` set is
+    /// stamped as already evaluated with value `vals[i]`; the rest stay
+    /// unevaluated. A subsequent [`BudgetedObjective::scan_gains`] then
+    /// replays the seeded values and recomputes only the unseeded ones — the
+    /// warm-start path of incremental re-solving.
+    ///
+    /// Only sound on a *fresh* objective (no commits yet): the seed is
+    /// stamped at the initial version, and the caller must guarantee each
+    /// seeded value equals what a fresh evaluation against `S = ∅` would
+    /// return — the warm handle derives this from its instance diff and
+    /// falls back to a cold solve when it cannot.
+    pub(crate) fn seed_memo(&self, scratch: &mut ObjectiveScratch, vals: &[f64], clean: &[bool]) {
+        let m = self.red.num_candidates();
+        debug_assert_eq!(vals.len(), m);
+        debug_assert_eq!(clean.len(), m);
+        debug_assert_eq!(self.version, 1, "seeding requires a fresh objective");
+        scratch.memo_token = self.token;
+        scratch.memo_eval.clear();
+        scratch.memo_eval.resize(m, 0);
+        scratch.memo_val.clear();
+        scratch.memo_val.resize(m, 0.0);
+        for i in 0..m {
+            if clean[i] {
+                scratch.memo_eval[i] = self.version;
+                scratch.memo_val[i] = vals[i];
+            }
+        }
     }
 
     /// Extracts the schedule corresponding to the chosen candidate indices

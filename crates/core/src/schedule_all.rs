@@ -8,11 +8,11 @@
 //! is read straight out of the incremental oracle.
 
 use bmatch::hall_violator;
-use submodular::{budgeted_greedy, GreedyConfig};
+use submodular::{budgeted_greedy, budgeted_greedy_with, BudgetedObjective, GreedyConfig};
 
 use crate::candidates::CandidateInterval;
 use crate::model::{Instance, Schedule, ScheduleError, SolveOptions};
-use crate::objective::{ScheduleObjective, ScheduleReduction};
+use crate::objective::{ObjectiveScratch, ScheduleObjective, ScheduleReduction};
 
 /// Schedules every job of `inst` using awake intervals drawn from
 /// `candidates`, with total cost within `O(log n)` of the cheapest such
@@ -78,6 +78,83 @@ pub fn schedule_all_with(
     let out = budgeted_greedy(&mut obj, cfg);
 
     // Integral utility: reaching (1 − 1/(n+1))·n > n−1 means all n jobs.
+    if !out.reached_target {
+        let certificate = hall_violator(obj.oracle()).unwrap_or_default();
+        return Err(ScheduleError::Infeasible {
+            certificate,
+            achieved_value: out.utility,
+        });
+    }
+    debug_assert_eq!(out.utility, x, "integral utility must hit n exactly");
+
+    Ok(obj.extract_schedule(inst, candidates, &out.chosen))
+}
+
+/// Warm-start seed for [`schedule_all_seeded`]: per-candidate initial gains
+/// carried over from the previous solve, plus the mask of candidates whose
+/// slot neighbourhood the instance delta provably left untouched.
+pub(crate) struct WarmSeed<'s> {
+    /// Initial (`S = ∅`) gain of each candidate, from the previous solve.
+    pub vals: &'s [f64],
+    /// `clean[i]`: no dirty slot intersects candidate `i`'s window, so
+    /// `vals[i]` is still exact.
+    pub clean: &'s [bool],
+}
+
+/// [`schedule_all_with`] with warm-start plumbing: optionally pre-seeds the
+/// gain memo from `seed`, and always captures every candidate's initial
+/// (`S = ∅`) gain into `init_out` — the seed for the *next* warm solve.
+///
+/// With `seed = None` this makes exactly the same greedy decisions as
+/// [`schedule_all_with`]: the explicit initial scan fills the memo with the
+/// very values the greedy's own first scan would compute, and the greedy then
+/// replays them. With a seed, clean candidates replay carried-over values
+/// (provably equal to a fresh evaluation) and only dirty runs are recomputed.
+pub(crate) fn schedule_all_seeded(
+    inst: &Instance,
+    red: &ScheduleReduction,
+    candidates: &[CandidateInterval],
+    opts: &SolveOptions,
+    seed: Option<WarmSeed<'_>>,
+    init_out: &mut Vec<f64>,
+) -> Result<Schedule, ScheduleError> {
+    let n = inst.num_jobs();
+    init_out.clear();
+    if n == 0 {
+        return Ok(empty_schedule());
+    }
+    if let Some((jid, _)) = inst
+        .jobs
+        .iter()
+        .enumerate()
+        .find(|(_, j)| j.allowed.is_empty())
+    {
+        return Err(ScheduleError::Infeasible {
+            certificate: vec![jid as u32],
+            achieved_value: 0.0,
+        });
+    }
+
+    let mut obj = ScheduleObjective::new_cardinality(red);
+    let mut scratch = ObjectiveScratch::default();
+    if let Some(seed) = seed {
+        obj.seed_memo(&mut scratch, seed.vals, seed.clean);
+    }
+    // One explicit sequential scan: recomputes dirty runs, replays seeded
+    // ones, and leaves the memo fully fresh — the greedy's own initial scan
+    // then replays it wholesale.
+    obj.scan_gains(false, &mut scratch, init_out);
+
+    let x = n as f64;
+    let eps = 1.0 / (x + 1.0);
+    let cfg = GreedyConfig {
+        target: x,
+        epsilon: eps,
+        lazy: opts.lazy,
+        parallel: opts.parallel,
+    };
+    let out = budgeted_greedy_with(&mut obj, cfg, &mut scratch);
+
     if !out.reached_target {
         let certificate = hall_violator(obj.oracle()).unwrap_or_default();
         return Err(ScheduleError::Infeasible {

@@ -11,11 +11,14 @@
 //!   socket.
 //! * **Candidate reuse** — enumeration is the per-request cost that does not
 //!   depend on the jobs, only on `(processors, horizon, cost, policy)`.
-//!   Each worker keeps a small keyed cache of enumerated families
-//!   (`Arc<[CandidateInterval]>`, shared with the solver without copying via
-//!   [`Solver::with_shared_candidates`]), so a stream of requests over the
-//!   same grid skips enumeration entirely — [`SolveMetrics::cache_hit`]
-//!   reports this per response.
+//!   Each worker keeps a small keyed cache of [`sched_core::WarmHandle`]s,
+//!   so a stream of requests over the same grid skips enumeration entirely —
+//!   [`SolveMetrics::cache_hit`] reports this per response. `schedule_all`
+//!   requests additionally ride the handle's incremental warm path
+//!   (reduction arrays and clean gains carried between consecutive requests
+//!   on the same grid, keyed by job content; bit-identical to a cold solve
+//!   by construction); other goals borrow the family via
+//!   [`Solver::with_shared_candidates`] as before.
 //! * **Ordering** — [`Engine::submit`] returns a [`Ticket`] per request;
 //!   [`Engine::solve_batch`] / [`Engine::process_lines`] collect tickets in
 //!   submission order, so batch output order always matches input order no
@@ -28,8 +31,8 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use sched_core::{
-    validate_profiles, AffineCost, CandidateInterval, CandidatePolicy, EnergyCost, ProfileCost,
-    Solver,
+    content_keys, validate_profiles, AffineCost, CandidatePolicy, EnergyCost, ProfileCost,
+    SolveOptions, Solver, WarmHandle,
 };
 
 use crate::protocol::{
@@ -263,7 +266,7 @@ impl From<CandidatePolicy> for PolicyKey {
     }
 }
 
-type CandidateCache = HashMap<CacheKey, Arc<[CandidateInterval]>>;
+type CandidateCache = HashMap<CacheKey, WarmHandle>;
 
 fn worker_loop(worker_id: u32, cache_capacity: usize, rx: &Mutex<mpsc::Receiver<Job>>) {
     let mut cache = CandidateCache::new();
@@ -419,34 +422,48 @@ fn serve_request(
         }),
         policy: plan.policy.into(),
     };
-    let (family, cache_hit) = match cache.get(&key) {
-        Some(family) => (Arc::clone(family), true),
-        None => {
-            // plan() has vetted the parameters, so neither constructor can
-            // assert
-            let cost: Box<dyn EnergyCost> = match &req.profiles {
-                Some(profiles) => Box::new(ProfileCost::new(profiles)),
-                None => Box::new(AffineCost::new(req.restart, req.rate)),
-            };
-            let family = Solver::new(&req.instance, cost.as_ref())
-                .policy(plan.policy)
-                .shared_candidates();
-            if cache.len() >= cache_capacity {
-                cache.clear(); // simplest bound; capacity is generous
-            }
-            cache.insert(key, Arc::clone(&family));
-            (family, false)
-        }
+    // plan() has vetted the parameters, so neither constructor can assert
+    let cost: Box<dyn EnergyCost> = match &req.profiles {
+        Some(profiles) => Box::new(ProfileCost::new(profiles)),
+        None => Box::new(AffineCost::new(req.restart, req.rate)),
     };
+    let options = SolveOptions {
+        lazy: plan.lazy,
+        parallel: plan.parallel,
+    };
+    let cache_hit = cache.contains_key(&key);
+    if !cache_hit {
+        if cache.len() >= cache_capacity {
+            cache.clear(); // simplest bound; capacity is generous
+        }
+        cache.insert(key.clone(), WarmHandle::with_options(plan.policy, options));
+    }
+    let handle = cache.get_mut(&key).expect("just inserted");
+    handle.set_options(options);
+    // Identical cost bits are part of the key, so on a hit the handle's
+    // checksum always matches and this returns the cached family without
+    // re-enumerating.
+    let family = handle.family(&req.instance, cost.as_ref());
 
-    let solver = Solver::with_shared_candidates(&req.instance, Arc::clone(&family))
-        .lazy(plan.lazy)
-        .parallel(plan.parallel);
     let t0 = Instant::now();
     let outcome = match plan.goal {
-        Goal::All => solver.schedule_all(),
-        Goal::Prize { target, epsilon } => solver.prize_collecting(target, epsilon),
-        Goal::PrizeExact { target } => solver.prize_collecting_exact(target),
+        // The warm path: consecutive schedule_all requests on one grid reuse
+        // the reduction and every gain whose window content did not change.
+        // Job content hashes are the pairing keys (wire requests carry no
+        // stable job identity).
+        Goal::All => handle.solve(&req.instance, &content_keys(&req.instance), cost.as_ref()),
+        Goal::Prize { target, epsilon } => {
+            Solver::with_shared_candidates(&req.instance, Arc::clone(&family))
+                .lazy(plan.lazy)
+                .parallel(plan.parallel)
+                .prize_collecting(target, epsilon)
+        }
+        Goal::PrizeExact { target } => {
+            Solver::with_shared_candidates(&req.instance, Arc::clone(&family))
+                .lazy(plan.lazy)
+                .parallel(plan.parallel)
+                .prize_collecting_exact(target)
+        }
     };
     let solve_micros = t0.elapsed().as_micros() as u64;
 

@@ -195,6 +195,9 @@ pub struct MatchingOracle<'g> {
     g: &'g BipartiteGraph,
     values: Vec<f64>,
     allowed: Vec<bool>,
+    /// Jobs removed by [`MatchingOracle::retract`]; they no longer
+    /// participate in augmentations or gain evaluations.
+    retired: Vec<bool>,
     match_x: Vec<u32>,
     match_y: Vec<u32>,
     total: f64,
@@ -224,6 +227,7 @@ impl<'g> MatchingOracle<'g> {
             g,
             values,
             allowed: vec![false; g.nx() as usize],
+            retired: vec![false; g.ny() as usize],
             match_x: vec![NONE; g.nx() as usize],
             match_y: vec![NONE; g.ny() as usize],
             total: 0.0,
@@ -324,7 +328,14 @@ impl<'g> MatchingOracle<'g> {
             match_x: &mut self.match_x,
             match_y: &mut self.match_y,
         };
-        let gain = best_augment(self.g, v, &mut view, &mut self.bfs, &self.values);
+        let gain = best_augment(
+            self.g,
+            v,
+            &mut view,
+            &mut self.bfs,
+            &self.values,
+            &self.retired,
+        );
         if gain > 0.0 {
             self.revision += 1;
         }
@@ -339,6 +350,57 @@ impl<'g> MatchingOracle<'g> {
             gain += self.add_slot(v);
         }
         gain
+    }
+
+    /// Retires job `y` — the delta operation for a job leaving the instance.
+    ///
+    /// The job is removed from the committed matching (if saturated) and
+    /// excluded from every future augmentation and gain evaluation. The slot
+    /// it occupied is re-augmented locally: a single alternating-path search
+    /// from the freed slot restores a maximum-weight matching over the
+    /// surviving jobs, because the only new source of augmenting paths after
+    /// deleting one matched pair is that freed slot (every other free slot
+    /// already had no augmenting path, and the retired job cannot terminate
+    /// one). Returns the exact change `F_after − F_before` (always ≤ 0).
+    ///
+    /// Retiring an already-retired job is a no-op returning 0. Any retract of
+    /// a live job bumps [`MatchingOracle::revision`] — even when the job was
+    /// unsaturated, since its departure can still lower future marginal
+    /// gains.
+    pub fn retract(&mut self, y: u32) -> f64 {
+        if self.retired[y as usize] {
+            return 0.0;
+        }
+        self.retired[y as usize] = true;
+        self.revision += 1;
+        let x = self.match_y[y as usize];
+        if x == NONE {
+            return 0.0;
+        }
+        self.match_y[y as usize] = NONE;
+        self.match_x[x as usize] = NONE;
+        let lost = self.values[y as usize];
+        self.total -= lost;
+        let mut view = DirectView {
+            match_x: &mut self.match_x,
+            match_y: &mut self.match_y,
+        };
+        let regained = best_augment(
+            self.g,
+            x,
+            &mut view,
+            &mut self.bfs,
+            &self.values,
+            &self.retired,
+        );
+        self.total += regained;
+        regained - lost
+    }
+
+    /// Has job `y` been retired by [`MatchingOracle::retract`]?
+    #[inline]
+    pub fn is_retired(&self, y: u32) -> bool {
+        self.retired[y as usize]
     }
 
     /// Evaluates `F(S ∪ T) − F(S)` exactly for `T = slots`, *without*
@@ -391,16 +453,24 @@ impl<'g> MatchingOracle<'g> {
                     my_ov: &mut scratch.my_ov,
                     my_ver: &mut scratch.my_ver,
                 };
-                gain += best_augment(self.g, v, &mut view, &mut scratch.bfs, &self.values);
+                gain += best_augment(
+                    self.g,
+                    v,
+                    &mut view,
+                    &mut scratch.bfs,
+                    &self.values,
+                    &self.retired,
+                );
             }
             emit(k, gain);
         }
         gain
     }
 
-    /// Clears `S` back to the empty set.
+    /// Clears `S` back to the empty set and un-retires every job.
     pub fn reset(&mut self) {
         self.allowed.fill(false);
+        self.retired.fill(false);
         self.match_x.fill(NONE);
         self.match_y.fill(NONE);
         self.total = 0.0;
@@ -412,13 +482,15 @@ impl<'g> MatchingOracle<'g> {
 /// Finds the maximum-value unsaturated job reachable from the newly-allowed,
 /// unmatched slot `v` by an alternating path, flips that path, and returns the
 /// gained value (0 if none reachable). Ties broken toward the smallest job
-/// index for determinism.
+/// index for determinism. Retired jobs are invisible: never matched (they are
+/// unmatched by construction) and never chosen as the augmenting endpoint.
 fn best_augment(
     g: &BipartiteGraph,
     v: u32,
     view: &mut impl MatchView,
     bfs: &mut BfsScratch,
     values: &[f64],
+    retired: &[bool],
 ) -> f64 {
     debug_assert_eq!(view.mx(v), NONE, "newly added slot must be unmatched");
     let ep = bfs.next_epoch();
@@ -432,7 +504,7 @@ fn best_augment(
         let x = bfs.queue[head];
         head += 1;
         for &y in g.adj_x(x) {
-            if bfs.job_seen[y as usize] == ep {
+            if retired[y as usize] || bfs.job_seen[y as usize] == ep {
                 continue;
             }
             bfs.job_seen[y as usize] = ep;
@@ -786,6 +858,85 @@ mod tests {
     fn zero_value_rejected() {
         let g = BipartiteGraph::from_edges(1, 1, &[(0, 0)]);
         let _ = MatchingOracle::new(&g, vec![0.0]);
+    }
+
+    #[test]
+    fn retract_reaugments_locally() {
+        // slots {0,1}, jobs {0,1}; slot 0 adj both jobs, slot 1 adj job 0.
+        // Commit both slots: total 2. Retract job 0 (wherever it sits): the
+        // freed slot must re-augment so the surviving job stays matched.
+        let g = BipartiteGraph::from_edges(2, 2, &[(0, 0), (0, 1), (1, 0)]);
+        let mut o = MatchingOracle::new_cardinality(&g);
+        o.commit(&[0, 1]);
+        assert_eq!(o.total(), 2.0);
+        let r = o.revision();
+        assert_eq!(o.retract(0), -1.0);
+        assert_eq!(o.total(), 1.0);
+        assert!(o.is_retired(0));
+        assert_eq!(o.matched_job(0), Some(1), "slot 0 must rebind to job 1");
+        assert!(o.revision() > r);
+        // idempotent
+        assert_eq!(o.retract(0), 0.0);
+        assert_eq!(o.total(), 1.0);
+    }
+
+    #[test]
+    fn retract_excludes_job_from_future_gains() {
+        let g = BipartiteGraph::from_edges(2, 1, &[(0, 0), (1, 0)]);
+        let mut o = MatchingOracle::new_cardinality(&g);
+        let r = o.revision();
+        // job 0 unsaturated; retiring it must still bump revision because
+        // memoized gains (which could have matched it) are now stale.
+        assert_eq!(o.retract(0), 0.0);
+        assert!(o.revision() > r);
+        let mut s = GainScratch::new();
+        assert_eq!(o.gain_of(&[0, 1], &mut s), 0.0);
+        assert_eq!(o.add_slot(0), 0.0, "retired job must not be matched");
+        assert_eq!(o.matched_job(0), None);
+    }
+
+    #[test]
+    fn retract_matches_reference_randomized() {
+        // Interleave slot additions and job retractions; after each step the
+        // oracle total must equal the reference rank over surviving jobs.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..40 {
+            let nx = rng.gen_range(2..=10u32);
+            let ny = rng.gen_range(2..=8u32);
+            let g = random_graph(&mut rng, nx, ny, 0.35);
+            let values: Vec<f64> = (0..ny).map(|_| rng.gen_range(1..=9) as f64).collect();
+            let mut o = MatchingOracle::new(&g, values.clone());
+            let mut inserted = vec![false; nx as usize];
+            let mut gone = vec![false; ny as usize];
+            for _ in 0..(nx + ny) {
+                if rng.gen_bool(0.6) {
+                    let v = rng.gen_range(0..nx);
+                    o.add_slot(v);
+                    inserted[v as usize] = true;
+                } else {
+                    let y = rng.gen_range(0..ny);
+                    o.retract(y);
+                    gone[y as usize] = true;
+                }
+                // reference: same graph minus the retired jobs' edges
+                let live: Vec<(u32, u32)> = g.edges().filter(|&(_, y)| !gone[y as usize]).collect();
+                let gl = BipartiteGraph::from_edges(nx, ny, &live);
+                let want = weighted_rank_reference(&gl, &values, |x| inserted[x as usize]);
+                assert_eq!(o.total(), want, "rank mismatch after delta sequence");
+            }
+        }
+    }
+
+    #[test]
+    fn reset_clears_retirement() {
+        let g = BipartiteGraph::from_edges(1, 1, &[(0, 0)]);
+        let mut o = MatchingOracle::new_cardinality(&g);
+        o.add_slot(0);
+        o.retract(0);
+        assert_eq!(o.total(), 0.0);
+        o.reset();
+        assert!(!o.is_retired(0));
+        assert_eq!(o.add_slot(0), 1.0);
     }
 
     #[test]

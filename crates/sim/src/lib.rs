@@ -61,8 +61,8 @@ pub mod report;
 
 pub use fleet::{replay_fleet, FleetOptions};
 pub use policy::{
-    greedy_decision, GreedyWake, PeriodicResolve, Policy, PolicyKind, SlotDecision, SlotView,
-    ThresholdHiring,
+    greedy_decision, GreedyWake, PeriodicResolve, Policy, PolicyKind, ResolveStats, SlotDecision,
+    SlotView, ThresholdHiring,
 };
 pub use replay::{replay, ReplayOutcome, SimError};
 pub use report::{offline_reference, replay_with_report, OfflineRef, ReplayReport};

@@ -29,12 +29,15 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use sched_core::{
     CandidateInterval, Instance, Job, PowerProfile, ProfileCost, SlotRef, Solver, TimedJob,
+    WarmHandle,
 };
 use sched_engine::{Engine, SolveRequest};
 use secretary::classic_secretary;
+use serde::{Deserialize, Serialize};
 
 /// What a policy may see at one time slot: the clock, the trace geometry,
 /// the *released* jobs, and yesterday's machine state. Constructed by the
@@ -149,6 +152,27 @@ pub struct SlotDecision {
     pub run: Vec<(usize, u32)>,
 }
 
+/// Per-re-solve cost accounting for re-solving policies: warm/cold solve
+/// counters plus wall-time statistics over the individual suffix solves.
+/// Surfaced in [`crate::report::ReplayReport`] and the CLI aggregate table.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResolveStats {
+    /// Re-solves served by the incremental warm path (delta or
+    /// instance-identity); always 0 when warm-start is off.
+    pub warm: u64,
+    /// Re-solves that rebuilt solver state from scratch (every re-solve when
+    /// warm-start is off; first solve and checksum fallbacks when on).
+    pub cold: u64,
+    /// Total timed re-solves (`warm + cold`).
+    pub count: u64,
+    /// Summed wall time of all re-solves, nanoseconds.
+    pub total_ns: u64,
+    /// Median re-solve wall time, nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile re-solve wall time, nanoseconds.
+    pub p99_ns: u64,
+}
+
 /// An online scheduling policy: one decision per slot, under causality.
 pub trait Policy: Send {
     /// Display name carried into reports.
@@ -161,6 +185,12 @@ pub trait Policy: Send {
     /// reported as `events` in replay reports.
     fn events(&self) -> u64 {
         0
+    }
+
+    /// Re-solve accounting, for policies that re-solve ([`PeriodicResolve`]);
+    /// `None` for everything else.
+    fn resolve_stats(&self) -> Option<ResolveStats> {
+        None
     }
 }
 
@@ -354,6 +384,11 @@ enum Resolver {
 pub struct PeriodicResolve {
     period: u32,
     resolver: Resolver,
+    /// Incremental warm-start state; when present, suffix solves go through
+    /// [`WarmHandle::solve`] (inline, bypassing any engine) so consecutive
+    /// re-solves reuse the candidate family, reduction arrays, and clean
+    /// gains. Bit-identical to the cold path by construction.
+    warm: Option<WarmHandle>,
     next_resolve: u32,
     plan_awake: Vec<CandidateInterval>,
     plan_assign: HashMap<usize, SlotRef>,
@@ -363,6 +398,8 @@ pub struct PeriodicResolve {
     degraded: bool,
     resolves: u64,
     fallbacks: u64,
+    /// Wall time of each suffix re-solve, nanoseconds, in call order.
+    solve_ns: Vec<u64>,
 }
 
 /// Ids for engine-mode solve requests; global so concurrent fleet replays
@@ -375,12 +412,14 @@ impl PeriodicResolve {
         Self {
             period: period.max(1),
             resolver: Resolver::Inline,
+            warm: None,
             next_resolve: 0,
             plan_awake: Vec::new(),
             plan_assign: HashMap::new(),
             degraded: false,
             resolves: 0,
             fallbacks: 0,
+            solve_ns: Vec::new(),
         }
     }
 
@@ -390,6 +429,22 @@ impl PeriodicResolve {
             resolver: Resolver::Engine(engine),
             ..Self::new(period)
         }
+    }
+
+    /// Same policy, with incremental warm-start re-solving: a private
+    /// [`WarmHandle`] carries the candidate family, reduction, and gain
+    /// seeds from one checkpoint to the next. Decisions are bit-identical
+    /// to [`PeriodicResolve::new`].
+    pub fn new_warm(period: u32) -> Self {
+        Self {
+            warm: Some(WarmHandle::new(sched_core::CandidatePolicy::All)),
+            ..Self::new(period)
+        }
+    }
+
+    /// Warm/cold solve counts of the warm handle, when warm-start is on.
+    pub fn warm_stats(&self) -> Option<sched_core::WarmStats> {
+        self.warm.as_ref().map(|h| h.stats())
     }
 
     /// Number of suffix re-solves performed so far.
@@ -484,15 +539,25 @@ impl PeriodicResolve {
             jobs,
         };
 
-        let solved = match &self.resolver {
-            Resolver::Inline => {
+        let started = Instant::now();
+        let solved = match (&mut self.warm, &self.resolver) {
+            (Some(handle), _) => {
+                // Warm path: solve through the handle so the candidate
+                // family, reduction arrays, and clean gains carry over from
+                // the previous checkpoint. Trace job ids are the stable keys
+                // steering the old↔new pairing.
+                let cost = ProfileCost::new(view.profiles);
+                let keys: Vec<u64> = ids.iter().map(|&id| id as u64).collect();
+                handle.solve(&inst, &keys, &cost).ok()
+            }
+            (None, Resolver::Inline) => {
                 // Per-processor profile pricing; bit-identical to the affine
                 // (restart, rate) oracle when the trace has no explicit
                 // profiles.
                 let cost = ProfileCost::new(view.profiles);
                 Solver::new(&inst, &cost).schedule_all().ok()
             }
-            Resolver::Engine(engine) => {
+            (None, Resolver::Engine(engine)) => {
                 let id = RESOLVE_REQUEST_IDS.fetch_add(1, Ordering::Relaxed);
                 let mut req = SolveRequest::schedule_all(id, inst, view.restart, view.rate);
                 if view.explicit_profiles {
@@ -501,6 +566,7 @@ impl PeriodicResolve {
                 engine.submit(req).wait().schedule
             }
         };
+        self.solve_ns.push(started.elapsed().as_nanos() as u64);
         let Some(schedule) = solved else {
             // Infeasible suffix: serve eagerly until the next slot's retry.
             self.degraded = true;
@@ -526,7 +592,11 @@ impl PeriodicResolve {
 
 impl Policy for PeriodicResolve {
     fn name(&self) -> String {
-        format!("resolve:{}", self.period)
+        if self.warm.is_some() {
+            format!("resolve:{}:warm", self.period)
+        } else {
+            format!("resolve:{}", self.period)
+        }
     }
 
     fn decide(&mut self, view: &SlotView<'_>) -> SlotDecision {
@@ -592,6 +662,30 @@ impl Policy for PeriodicResolve {
     fn events(&self) -> u64 {
         self.resolves
     }
+
+    fn resolve_stats(&self) -> Option<ResolveStats> {
+        let mut sorted = self.solve_ns.clone();
+        sorted.sort_unstable();
+        let pct = |p: f64| {
+            if sorted.is_empty() {
+                0
+            } else {
+                sorted[((sorted.len() - 1) as f64 * p).round() as usize]
+            }
+        };
+        let (warm, cold) = match &self.warm {
+            Some(h) => (h.stats().warm, h.stats().cold),
+            None => (0, self.resolves),
+        };
+        Some(ResolveStats {
+            warm,
+            cold,
+            count: self.solve_ns.len() as u64,
+            total_ns: self.solve_ns.iter().sum(),
+            p50_ns: pct(0.50),
+            p99_ns: pct(0.99),
+        })
+    }
 }
 
 /// Parseable policy selector — the `--policy` flag of `power-sched replay`.
@@ -608,17 +702,29 @@ pub enum PolicyKind {
     Resolve {
         /// Slots between suffix re-solves.
         period: u32,
+        /// Incremental warm-start re-solving (bit-identical decisions,
+        /// faster re-solves). Off by default.
+        warm: bool,
     },
 }
 
 impl PolicyKind {
     /// Instantiates the policy. When `engine` is given and the kind is
-    /// [`PolicyKind::Resolve`], suffix solves go through the shared pool.
+    /// [`PolicyKind::Resolve`] without warm-start, suffix solves go through
+    /// the shared pool; warm-start solves inline through its own
+    /// [`WarmHandle`] (whose cross-checkpoint reuse subsumes the engine's
+    /// per-grid enumeration cache).
     pub fn build(&self, engine: Option<&Arc<Engine>>) -> Box<dyn Policy> {
         match *self {
             PolicyKind::Greedy => Box::new(GreedyWake),
             PolicyKind::Hiring { observe_frac } => Box::new(ThresholdHiring::new(observe_frac)),
-            PolicyKind::Resolve { period } => match engine {
+            PolicyKind::Resolve { period, warm: true } => {
+                Box::new(PeriodicResolve::new_warm(period))
+            }
+            PolicyKind::Resolve {
+                period,
+                warm: false,
+            } => match engine {
                 Some(e) => Box::new(PeriodicResolve::with_engine(period, Arc::clone(e))),
                 None => Box::new(PeriodicResolve::new(period)),
             },
@@ -631,7 +737,11 @@ impl std::fmt::Display for PolicyKind {
         match self {
             PolicyKind::Greedy => write!(f, "greedy"),
             PolicyKind::Hiring { observe_frac } => write!(f, "hiring:{observe_frac:.3}"),
-            PolicyKind::Resolve { period } => write!(f, "resolve:{period}"),
+            PolicyKind::Resolve {
+                period,
+                warm: false,
+            } => write!(f, "resolve:{period}"),
+            PolicyKind::Resolve { period, warm: true } => write!(f, "resolve:{period}:warm"),
         }
     }
 }
@@ -645,7 +755,10 @@ impl std::str::FromStr for PolicyKind {
             "hiring" => Ok(PolicyKind::Hiring {
                 observe_frac: ThresholdHiring::INV_E,
             }),
-            "resolve" => Ok(PolicyKind::Resolve { period: 4 }),
+            "resolve" => Ok(PolicyKind::Resolve {
+                period: 4,
+                warm: false,
+            }),
             other => {
                 if let Some(f) = other.strip_prefix("hiring:") {
                     let observe_frac: f64 = f
@@ -656,16 +769,20 @@ impl std::str::FromStr for PolicyKind {
                     }
                     Ok(PolicyKind::Hiring { observe_frac })
                 } else if let Some(k) = other.strip_prefix("resolve:") {
+                    let (k, warm) = match k.strip_suffix(":warm") {
+                        Some(k) => (k, true),
+                        None => (k, false),
+                    };
                     let period: u32 = k
                         .parse()
                         .map_err(|e| format!("bad period in '{other}': {e}"))?;
                     if period == 0 {
                         return Err("resolve period must be positive".into());
                     }
-                    Ok(PolicyKind::Resolve { period })
+                    Ok(PolicyKind::Resolve { period, warm })
                 } else {
                     Err(format!(
-                        "unknown policy '{other}' (expected greedy, hiring[:F], or resolve[:K])"
+                        "unknown policy '{other}' (expected greedy, hiring[:F], or resolve[:K[:warm]])"
                     ))
                 }
             }
@@ -682,7 +799,17 @@ mod tests {
         assert_eq!("greedy".parse::<PolicyKind>().unwrap(), PolicyKind::Greedy);
         assert_eq!(
             "resolve:8".parse::<PolicyKind>().unwrap(),
-            PolicyKind::Resolve { period: 8 }
+            PolicyKind::Resolve {
+                period: 8,
+                warm: false
+            }
+        );
+        assert_eq!(
+            "resolve:8:warm".parse::<PolicyKind>().unwrap(),
+            PolicyKind::Resolve {
+                period: 8,
+                warm: true
+            }
         );
         assert_eq!(
             "hiring:0.5".parse::<PolicyKind>().unwrap(),
@@ -694,12 +821,37 @@ mod tests {
         ));
         assert!(matches!(
             "resolve".parse::<PolicyKind>().unwrap(),
-            PolicyKind::Resolve { period: 4 }
+            PolicyKind::Resolve {
+                period: 4,
+                warm: false
+            }
         ));
-        for bad in ["", "bogus", "resolve:0", "resolve:x", "hiring:2.0"] {
+        for bad in [
+            "",
+            "bogus",
+            "resolve:0",
+            "resolve:x",
+            "resolve:4:tepid",
+            "hiring:2.0",
+        ] {
             assert!(bad.parse::<PolicyKind>().is_err(), "{bad} should not parse");
         }
-        assert_eq!(PolicyKind::Resolve { period: 4 }.to_string(), "resolve:4");
+        assert_eq!(
+            PolicyKind::Resolve {
+                period: 4,
+                warm: false
+            }
+            .to_string(),
+            "resolve:4"
+        );
+        assert_eq!(
+            PolicyKind::Resolve {
+                period: 2,
+                warm: true
+            }
+            .to_string(),
+            "resolve:2:warm"
+        );
         assert_eq!(PolicyKind::Greedy.to_string(), "greedy");
     }
 

@@ -17,7 +17,7 @@ use sched_core::simulate::{simulate, PowerTrace};
 use sched_core::trace::{ArrivalTrace, TraceError};
 use sched_core::{CandidateInterval, EnergyCost, PowerProfile, Schedule, SlotRef};
 
-use crate::policy::{Policy, SlotDecision, SlotView};
+use crate::policy::{Policy, ResolveStats, SlotDecision, SlotView};
 
 /// Why a replay failed.
 #[derive(Clone, Debug, PartialEq)]
@@ -69,6 +69,9 @@ pub struct ReplayOutcome {
     pub dropped: Vec<usize>,
     /// The policy's event counter (re-solves, hiring commitments, …).
     pub events: u64,
+    /// Re-solve accounting (warm/cold split and per-re-solve wall time) for
+    /// policies that re-solve; `None` for the eager policies.
+    pub resolve_stats: Option<ResolveStats>,
     /// Display name of the policy that produced this outcome.
     pub policy: String,
 }
@@ -183,6 +186,7 @@ pub fn replay(trace: &ArrivalTrace, policy: &mut dyn Policy) -> Result<ReplayOut
         power,
         dropped,
         events: policy.events(),
+        resolve_stats: policy.resolve_stats(),
         policy: policy.name(),
     })
 }

@@ -14,7 +14,7 @@ use baselines::exact_schedule_all;
 use sched_core::trace::ArrivalTrace;
 use sched_core::{enumerate_candidates, profile_energy, CandidatePolicy, Solver};
 
-use crate::policy::Policy;
+use crate::policy::{Policy, ResolveStats};
 use crate::replay::{replay, ReplayOutcome, SimError};
 
 /// Which offline baseline the competitive ratio is measured against.
@@ -143,6 +143,9 @@ pub struct ReplayReport {
     pub utilization: f64,
     /// Policy event counter (re-solves, hiring commitments).
     pub events: u64,
+    /// Re-solve accounting for re-solving policies: warm/cold solve split
+    /// and per-re-solve wall-time statistics. Absent for eager policies.
+    pub resolve_stats: Option<ResolveStats>,
 }
 
 impl ReplayReport {
@@ -184,6 +187,7 @@ impl ReplayReport {
             busy_slots: outcome.power.busy_slots.iter().sum(),
             utilization: outcome.power.fleet_utilization().unwrap_or(0.0),
             events: outcome.events,
+            resolve_stats: outcome.resolve_stats,
         }
     }
 }
@@ -355,7 +359,12 @@ mod tests {
         assert_eq!(opt, 15.0);
         let (report, outcome) = replay_with_report(
             &t,
-            PolicyKind::Resolve { period: 10 }.build(None).as_mut(),
+            PolicyKind::Resolve {
+                period: 10,
+                warm: false,
+            }
+            .build(None)
+            .as_mut(),
             OfflineRef::Auto,
         )
         .unwrap();

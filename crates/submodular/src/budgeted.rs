@@ -166,6 +166,22 @@ pub struct GreedyOutcome {
 /// Panics if `epsilon ∉ (0,1)`, `target < 0`, or any cost is not strictly
 /// positive and finite.
 pub fn budgeted_greedy<O: BudgetedObjective>(obj: &mut O, cfg: GreedyConfig) -> GreedyOutcome {
+    budgeted_greedy_with(obj, cfg, &mut O::Scratch::default())
+}
+
+/// [`budgeted_greedy`] with a caller-supplied scratch.
+///
+/// The scratch is the per-thread gain-evaluation workspace; objectives that
+/// memoize evaluations in it (like `sched-core`'s scheduling objective) can
+/// pre-seed the memo before the run so the greedy's initial full scan replays
+/// cached values instead of recomputing them — the warm-start path of
+/// incremental re-solving. With a default-constructed scratch this is exactly
+/// [`budgeted_greedy`].
+pub fn budgeted_greedy_with<O: BudgetedObjective>(
+    obj: &mut O,
+    cfg: GreedyConfig,
+    scratch: &mut O::Scratch,
+) -> GreedyOutcome {
     assert!(
         cfg.epsilon > 0.0 && cfg.epsilon < 1.0,
         "epsilon must lie in (0,1), got {}",
@@ -196,9 +212,9 @@ pub fn budgeted_greedy<O: BudgetedObjective>(obj: &mut O, cfg: GreedyConfig) -> 
     }
 
     if cfg.lazy {
-        lazy_loop(obj, cfg, goal, &mut out);
+        lazy_loop(obj, cfg, goal, scratch, &mut out);
     } else {
-        eager_loop(obj, cfg, goal, &mut out);
+        eager_loop(obj, cfg, goal, scratch, &mut out);
     }
     out
 }
@@ -213,14 +229,14 @@ fn eager_loop<O: BudgetedObjective>(
     obj: &mut O,
     cfg: GreedyConfig,
     goal: f64,
+    scratch: &mut O::Scratch,
     out: &mut GreedyOutcome,
 ) {
     let m = obj.num_subsets();
-    let mut scratch = O::Scratch::default();
     let mut gains: Vec<f64> = Vec::new();
     while out.utility < goal {
         let cur = out.utility;
-        obj.scan_gains(cfg.parallel, &mut scratch, &mut gains);
+        obj.scan_gains(cfg.parallel, scratch, &mut gains);
         let obj_ref: &O = obj;
         let mut best = (f64::NEG_INFINITY, 0.0, usize::MAX);
         for (i, &raw) in gains.iter().enumerate() {
@@ -307,18 +323,18 @@ fn lazy_loop<O: BudgetedObjective>(
     obj: &mut O,
     cfg: GreedyConfig,
     goal: f64,
+    scratch: &mut O::Scratch,
     out: &mut GreedyOutcome,
 ) {
     let m = obj.num_subsets();
     let mut round = 0usize;
     let cur0 = out.utility;
-    let mut scratch = O::Scratch::default();
 
     // Initial evaluation of every candidate in one structured scan
     // (optionally parallel) — on run-structured objectives this is O(m)
     // oracle work instead of O(m · |T|).
     let mut initial: Vec<f64> = Vec::new();
-    obj.scan_gains(cfg.parallel, &mut scratch, &mut initial);
+    obj.scan_gains(cfg.parallel, scratch, &mut initial);
     out.evaluations += m;
 
     let mut heap: BinaryHeap<HeapEntry> = initial
@@ -347,7 +363,7 @@ fn lazy_loop<O: BudgetedObjective>(
         } else {
             // stale: re-evaluate against the current solution (cheap for
             // memo-clean candidates, one batched run pass otherwise)
-            let g = clamp_gain(obj.gain(top.idx, &mut scratch), out.utility, cfg.target);
+            let g = clamp_gain(obj.gain(top.idx, scratch), out.utility, cfg.target);
             out.evaluations += 1;
             let ratio = g / top.cost;
             // Every other entry's true ratio is bounded above by its stale

@@ -34,7 +34,8 @@ pub mod setcover;
 
 pub use bitset::BitSet;
 pub use budgeted::{
-    budgeted_greedy, BudgetedObjective, GreedyConfig, GreedyOutcome, IterRecord, SetSystemObjective,
+    budgeted_greedy, budgeted_greedy_with, BudgetedObjective, GreedyConfig, GreedyOutcome,
+    IterRecord, SetSystemObjective,
 };
 pub use coverage_objective::{CoverageObjective, CoverageScratch};
 pub use functions::SetFn;

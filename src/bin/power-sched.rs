@@ -10,7 +10,7 @@
 //! power-sched batch requests.jsonl [--workers N] [--out responses.jsonl]
 //! power-sched batch requests.jsonl --connect HOST:PORT [--shutdown]
 //! power-sched serve --addr 127.0.0.1:7171 [--workers N]
-//! power-sched replay trace.json --policy resolve:4 [--offline auto] [--verbose]
+//! power-sched replay trace.json --policy resolve:4[:warm] [--offline auto] [--verbose]
 //! power-sched replay traces/ --policy greedy --workers 4 --out reports.jsonl
 //! power-sched replay --gen cliffs --count 4 --seed 7 --policy hiring
 //! power-sched perf [--quick] [--out BENCH_solver.json] [--baseline BENCH_solver.json]
@@ -537,6 +537,18 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
                 .map_err(|e| format!("replaying {}: {e}", trace.name))?;
             eprintln!("{} [{}]:", trace.name, report.policy);
             eprint!("{}", outcome.power);
+            if let Some(rs) = report.resolve_stats {
+                eprintln!(
+                    "  re-solves: {} ({} warm, {} cold), total {:.2} ms, \
+                     p50 {:.1} us, p99 {:.1} us",
+                    rs.count,
+                    rs.warm,
+                    rs.cold,
+                    rs.total_ns as f64 / 1e6,
+                    rs.p50_ns as f64 / 1e3,
+                    rs.p99_ns as f64 / 1e3,
+                );
+            }
             out.push(report);
         }
         out
@@ -556,9 +568,17 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
 
     let mut table = bench::Table::new(&[
         "trace", "policy", "jobs", "sched", "drop", "online", "offline", "ref", "ratio",
-        "restarts", "util", "events",
+        "restarts", "util", "events", "warm", "cold", "p50us",
     ]);
     for r in &reports {
+        let (warm, cold, p50us) = match r.resolve_stats {
+            Some(rs) => (
+                rs.warm.to_string(),
+                rs.cold.to_string(),
+                format!("{:.1}", rs.p50_ns as f64 / 1e3),
+            ),
+            None => ("-".into(), "-".into(), "-".into()),
+        };
         table.row(vec![
             r.trace.clone(),
             r.policy.clone(),
@@ -572,6 +592,9 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
             r.restarts.to_string(),
             format!("{:.2}", r.utilization),
             r.events.to_string(),
+            warm,
+            cold,
+            p50us,
         ]);
     }
     eprint!("{}", table.render());

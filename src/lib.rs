@@ -113,7 +113,7 @@ pub mod prelude {
         schedule_all, validate_profiles, AffineCost, ArrivalTrace, CandidateInterval,
         CandidatePolicy, ConvexCost, EnergyCost, Instance, Job, PerProcessorAffine, PowerProfile,
         ProfileCost, Schedule, ScheduleError, SleepChoice, SleepState, SlotRef, SolveOptions,
-        Solver, TimeVaryingCost, TimedJob,
+        Solver, TimeVaryingCost, TimedJob, WarmHandle, WarmStats,
     };
     pub use crate::sim::{
         replay_fleet, replay_with_report, FleetOptions, OfflineRef, Policy, PolicyKind,

@@ -86,7 +86,17 @@ proptest! {
         let render = |workers: usize| -> Vec<String> {
             replay_fleet(&traces, &kind, &FleetOptions { workers, offline: OfflineRef::Auto })
                 .into_iter()
-                .map(|r| serde_json::to_string(&r.unwrap()).unwrap())
+                .map(|r| {
+                    // Re-solve wall times are legitimately run-dependent;
+                    // everything else must be bit-identical.
+                    let mut r = r.unwrap();
+                    if let Some(rs) = &mut r.resolve_stats {
+                        rs.total_ns = 0;
+                        rs.p50_ns = 0;
+                        rs.p99_ns = 0;
+                    }
+                    serde_json::to_string(&r).unwrap()
+                })
                 .collect()
         };
         let one = render(1);
@@ -216,10 +226,142 @@ fn prelude_replay_surface() {
     let trace = generate_trace(TraceKind::PoissonBursts, &small_cfg(), &mut rng);
     let reports = replay_fleet(
         &[trace],
-        &PolicyKind::Resolve { period: 2 },
+        &PolicyKind::Resolve {
+            period: 2,
+            warm: false,
+        },
         &FleetOptions::default(),
     );
     let report: &ReplayReport = reports[0].as_ref().unwrap();
     assert!(report.events >= 1, "periodic resolve never re-solved");
     assert!(report.ratio >= 1.0 - 1e-9);
+}
+
+/// Warm-start re-solving is a pure performance optimization: for any trace
+/// and any re-solve period, `resolve:K:warm` must make bit-identical
+/// decisions (awake runs, assignments, drops, energy) to `resolve:K`.
+#[test]
+fn warm_resolve_bit_identical_to_cold_deterministic() {
+    let cfg = ArrivalConfig {
+        num_processors: 2,
+        horizon: 24,
+        target_jobs: 14,
+        restart: 3.0,
+        rate: 1.0,
+        max_value: 1,
+        slack: 3,
+    };
+    for kind in KINDS {
+        for seed in [0u64, 11, 99] {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let trace = generate_trace(kind, &cfg, &mut rng);
+            for period in [1u32, 3] {
+                let cold = power_scheduling::sim::replay(
+                    &trace,
+                    PolicyKind::Resolve {
+                        period,
+                        warm: false,
+                    }
+                    .build(None)
+                    .as_mut(),
+                )
+                .unwrap();
+                let warm = power_scheduling::sim::replay(
+                    &trace,
+                    PolicyKind::Resolve { period, warm: true }
+                        .build(None)
+                        .as_mut(),
+                )
+                .unwrap();
+                let ctx = format!("{kind} seed {seed} period {period}");
+                assert_eq!(warm.schedule.awake, cold.schedule.awake, "{ctx}");
+                assert_eq!(
+                    warm.schedule.assignments, cold.schedule.assignments,
+                    "{ctx}"
+                );
+                assert_eq!(
+                    warm.schedule.total_cost.to_bits(),
+                    cold.schedule.total_cost.to_bits(),
+                    "{ctx}: energy must be bit-identical"
+                );
+                assert_eq!(warm.dropped, cold.dropped, "{ctx}");
+                assert_eq!(warm.events, cold.events, "{ctx}: re-solve cadence");
+                let stats = warm.resolve_stats.expect("resolve policy reports stats");
+                assert_eq!(
+                    stats.warm + stats.cold,
+                    stats.count,
+                    "{ctx}: counters partition the re-solves"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Property form of the warm/cold equivalence over random Poisson /
+    /// diurnal / deadline-cliff traces and random re-solve periods.
+    #[test]
+    fn warm_resolve_bit_identical_to_cold(seed in 0u64..10_000, kind_ix in 0usize..3, period in 1u32..5) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let trace = generate_trace(KINDS[kind_ix], &small_cfg(), &mut rng);
+        let cold = power_scheduling::sim::replay(
+            &trace,
+            PolicyKind::Resolve { period, warm: false }.build(None).as_mut(),
+        ).unwrap();
+        let warm = power_scheduling::sim::replay(
+            &trace,
+            PolicyKind::Resolve { period, warm: true }.build(None).as_mut(),
+        ).unwrap();
+        prop_assert_eq!(&warm.schedule.awake, &cold.schedule.awake);
+        prop_assert_eq!(&warm.schedule.assignments, &cold.schedule.assignments);
+        prop_assert_eq!(warm.schedule.total_cost.to_bits(), cold.schedule.total_cost.to_bits());
+        prop_assert_eq!(&warm.dropped, &cold.dropped);
+        prop_assert_eq!(warm.events, cold.events);
+    }
+}
+
+/// A cost-model change between re-solves must trip the structural checksum:
+/// the handle falls back to a full cold rebuild (counted in `cold`) and the
+/// post-divergence results still match a from-scratch solve exactly.
+#[test]
+fn warm_handle_checksum_divergence_recovers_cold() {
+    let mut handle = WarmHandle::new(CandidatePolicy::All);
+    let steps: Vec<(Vec<u64>, Instance)> = (0..6)
+        .map(|i| {
+            let jobs = vec![
+                Job::window(1.0, 0, i, i + 4),
+                Job::window(1.0, 1, i + 2, i + 7),
+            ];
+            (vec![1, 2], Instance::new(2, 16, jobs))
+        })
+        .collect();
+    let cheap = AffineCost::new(3.0, 1.0);
+    let pricey = AffineCost::new(7.0, 2.0);
+    for (i, (keys, inst)) in steps.iter().enumerate() {
+        // Swap the cost model mid-stream: the checksum must catch it.
+        let cost: &dyn EnergyCost = if i < 3 { &cheap } else { &pricey };
+        let before = handle.stats();
+        let got = handle.solve(inst, keys, cost).unwrap();
+        let after = handle.stats();
+        if i == 0 || i == 3 {
+            assert_eq!(
+                after.cold,
+                before.cold + 1,
+                "step {i}: rebuild must be counted cold"
+            );
+        } else {
+            assert_eq!(after.warm, before.warm + 1, "step {i}: delta path");
+        }
+        let want = Solver::new(inst, cost).schedule_all().unwrap();
+        assert_eq!(got.awake, want.awake, "step {i}");
+        assert_eq!(got.assignments, want.assignments, "step {i}");
+        assert_eq!(
+            got.total_cost.to_bits(),
+            want.total_cost.to_bits(),
+            "step {i}"
+        );
+    }
+    assert_eq!(handle.stats(), WarmStats { warm: 4, cold: 2 });
 }
