@@ -357,6 +357,65 @@ pub fn run(opts: PerfOptions) -> PerfReport {
         workloads.push(naive);
     }
 
+    // --- telemetry overhead workload: ambient registry off vs on ---
+    // The n64 solve shape again, once with no ambient registry (`fast` —
+    // spans disarm at creation, counters vanish in `with_active`) and once
+    // with a thread-local registry installed (`naive` — every span,
+    // histogram, and counter lands). The pinned Speedup row is the
+    // zero-cost-when-disabled claim in machine-readable form: the ratio
+    // must stay ≈1.0 within the CI tolerance.
+    {
+        let (n, p, t, seed) = (64usize, 4u32, 32u32, 11u64);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let inst = planted_instance(
+            &PlantedConfig {
+                num_processors: p,
+                horizon: t,
+                target_jobs: n,
+                decoy_prob: 0.3,
+                max_value: 1,
+                cost_model: PlantedCostModel::Affine { restart: 3.0 },
+                policy: CandidatePolicy::All,
+            },
+            &mut rng,
+        );
+        let name = format!("obs_overhead_n{n}_p{p}_t{t}");
+        let solves: u64 = 20;
+        let opts_solve = SolveOptions::default();
+        let peak = inst.candidates.len() as u64;
+        let registry = std::sync::Arc::new(sched_obs::Registry::new());
+        // interleaved, like every other fast/naive pair; the thread-local
+        // is reset between passes (and left unset afterwards)
+        let (mut off_ns, mut on_ns) = (u64::MAX, u64::MAX);
+        for _ in 0..rounds {
+            sched_obs::set_thread(None);
+            let t0 = Instant::now();
+            for _ in 0..solves {
+                std::hint::black_box(
+                    schedule_all(&inst.instance, &inst.candidates, &opts_solve).unwrap(),
+                );
+            }
+            off_ns = off_ns.min(t0.elapsed().as_nanos() as u64);
+            sched_obs::set_thread(Some(std::sync::Arc::clone(&registry)));
+            let t0 = Instant::now();
+            for _ in 0..solves {
+                std::hint::black_box(
+                    schedule_all(&inst.instance, &inst.candidates, &opts_solve).unwrap(),
+                );
+            }
+            on_ns = on_ns.min(t0.elapsed().as_nanos() as u64);
+            sched_obs::set_thread(None);
+        }
+        let fast = row(&name, "fast", solves, off_ns, peak);
+        let naive = row(&name, "naive", solves, on_ns, peak);
+        speedups.push(Speedup {
+            workload: name.clone(),
+            fast_over_naive: fast.ops_per_sec / naive.ops_per_sec,
+        });
+        workloads.push(fast);
+        workloads.push(naive);
+    }
+
     PerfReport {
         schema: SCHEMA.into(),
         mode: if opts.quick { "quick" } else { "full" }.into(),
@@ -620,14 +679,19 @@ mod tests {
         let report = run(PerfOptions { quick: true });
         assert_eq!(report.schema, SCHEMA);
         assert_eq!(report.mode, "quick");
-        // (3 solve shapes + 1 hetero shape + 2 warm-vs-cold shapes) × 2
-        // paths + 2 engine rows + 1 replay row
-        assert_eq!(report.workloads.len(), 15);
-        assert_eq!(report.speedups.len(), 6);
+        // (3 solve shapes + 1 hetero shape + 2 warm-vs-cold shapes +
+        // 1 telemetry-overhead shape) × 2 paths + 2 engine rows + 1 replay
+        // row
+        assert_eq!(report.workloads.len(), 17);
+        assert_eq!(report.speedups.len(), 7);
         assert!(report
             .speedups
             .iter()
             .any(|s| s.workload == "resolve_warm_vs_cold_k1"));
+        assert!(report
+            .speedups
+            .iter()
+            .any(|s| s.workload == "obs_overhead_n64_p4_t32"));
         assert!(report
             .workloads
             .iter()

@@ -107,6 +107,7 @@ pub fn enumerate_candidates(
     cost: &dyn EnergyCost,
     policy: CandidatePolicy,
 ) -> Vec<CandidateInterval> {
+    let _span = sched_obs::span!("core.enumerate_ns");
     let t = inst.horizon;
     let mut out = Vec::new();
     for proc in 0..inst.num_processors {
@@ -134,6 +135,7 @@ pub fn enumerate_candidates(
             }
         }
     }
+    sched_obs::counter_add("core.enumerate.candidates", out.len() as u64);
     out
 }
 

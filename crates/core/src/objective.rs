@@ -99,6 +99,7 @@ struct RebuildScratch {
 impl ScheduleReduction {
     /// Builds the reduction for `inst` and the given candidate family.
     pub fn build(inst: &Instance, candidates: &[CandidateInterval]) -> Self {
+        let _span = sched_obs::span!("core.reduction.build_ns");
         // Candidate-dependent state first: costs and the maximal
         // nested-prefix runs over the candidate order. Both survive job
         // deltas untouched — the candidate family is job-independent.
@@ -153,6 +154,7 @@ impl ScheduleReduction {
     /// built with: windows are recomputed against it, and costs/runs are
     /// assumed to still match.
     pub fn apply_delta(&mut self, inst: &Instance, candidates: &[CandidateInterval]) {
+        let _span = sched_obs::span!("core.reduction.apply_delta_ns");
         debug_assert_eq!(
             candidates.len(),
             self.costs.len(),
@@ -325,6 +327,11 @@ pub struct ObjectiveScratch {
     memo_val: Vec<f64>,
     /// Cumulative-gain buffer for prefix scans.
     cum: Vec<f64>,
+    /// Memo telemetry: candidates served from the memo vs. recomputed, as
+    /// plain fields so the hot loops pay no atomics. Flushed to the
+    /// ambient registry once per solve by `schedule_all`.
+    memo_hits: u64,
+    memo_misses: u64,
 }
 
 impl Default for ObjectiveScratch {
@@ -335,11 +342,19 @@ impl Default for ObjectiveScratch {
             memo_eval: Vec::new(),
             memo_val: Vec::new(),
             cum: Vec::new(),
+            memo_hits: 0,
+            memo_misses: 0,
         }
     }
 }
 
 impl ObjectiveScratch {
+    /// Lifetime `(hits, misses)` of the gain memo: candidates whose gain
+    /// was replayed from the memo vs. recomputed through the oracle.
+    pub fn memo_counts(&self) -> (u64, u64) {
+        (self.memo_hits, self.memo_misses)
+    }
+
     fn ensure(&mut self, token: u64, m: usize) {
         if self.memo_token != token || self.memo_val.len() != m {
             self.memo_token = token;
@@ -511,7 +526,10 @@ impl BudgetedObjective for ScheduleObjective<'_> {
     fn gain(&self, i: usize, scratch: &mut Self::Scratch) -> f64 {
         scratch.ensure(self.token, self.red.num_candidates());
         if scratch.memo_eval[i] == 0 || scratch.memo_eval[i] < self.stamp_of(i) {
+            scratch.memo_misses += 1;
             self.refresh_run(self.red.run_of[i] as usize, scratch);
+        } else {
+            scratch.memo_hits += 1;
         }
         scratch.memo_val[i]
     }
@@ -561,7 +579,10 @@ impl BudgetedObjective for ScheduleObjective<'_> {
                 // covers even the run-wide stamp, replay without a pass
                 let stamp = self.stamp_of_run(r);
                 if !(lo..hi).all(|j| scratch.memo_eval[j] != 0 && scratch.memo_eval[j] >= stamp) {
+                    scratch.memo_misses += (hi - lo) as u64;
                     self.refresh_run(r, scratch);
+                } else {
+                    scratch.memo_hits += (hi - lo) as u64;
                 }
                 out[lo..hi].copy_from_slice(&scratch.memo_val[lo..hi]);
             }

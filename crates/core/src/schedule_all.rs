@@ -8,7 +8,7 @@
 //! is read straight out of the incremental oracle.
 
 use bmatch::hall_violator;
-use submodular::{budgeted_greedy, budgeted_greedy_with, BudgetedObjective, GreedyConfig};
+use submodular::{budgeted_greedy_with, BudgetedObjective, GreedyConfig};
 
 use crate::candidates::CandidateInterval;
 use crate::model::{Instance, Schedule, ScheduleError, SolveOptions};
@@ -65,7 +65,9 @@ pub fn schedule_all_with(
         });
     }
 
+    let _span = sched_obs::span!("core.solve.schedule_all_ns");
     let mut obj = ScheduleObjective::new_cardinality(red);
+    let mut scratch = ObjectiveScratch::default();
 
     let x = n as f64;
     let eps = 1.0 / (x + 1.0);
@@ -75,7 +77,8 @@ pub fn schedule_all_with(
         lazy: opts.lazy,
         parallel: opts.parallel,
     };
-    let out = budgeted_greedy(&mut obj, cfg);
+    let out = budgeted_greedy_with(&mut obj, cfg, &mut scratch);
+    flush_solve_telemetry(&obj, &scratch);
 
     // Integral utility: reaching (1 − 1/(n+1))·n > n−1 means all n jobs.
     if !out.reached_target {
@@ -135,6 +138,7 @@ pub(crate) fn schedule_all_seeded(
         });
     }
 
+    let _span = sched_obs::span!("core.solve.schedule_all_ns");
     let mut obj = ScheduleObjective::new_cardinality(red);
     let mut scratch = ObjectiveScratch::default();
     if let Some(seed) = seed {
@@ -154,6 +158,7 @@ pub(crate) fn schedule_all_seeded(
         parallel: opts.parallel,
     };
     let out = budgeted_greedy_with(&mut obj, cfg, &mut scratch);
+    flush_solve_telemetry(&obj, &scratch);
 
     if !out.reached_target {
         let certificate = hall_violator(obj.oracle()).unwrap_or_default();
@@ -165,6 +170,18 @@ pub(crate) fn schedule_all_seeded(
     debug_assert_eq!(out.utility, x, "integral utility must hit n exactly");
 
     Ok(obj.extract_schedule(inst, candidates, &out.chosen))
+}
+
+/// Flushes the per-solve batched counters (gain-memo hits/misses, oracle
+/// augment/retract operations) to the ambient registry. The hot loops only
+/// bump plain integers; this is the single point where they become metrics.
+fn flush_solve_telemetry(obj: &ScheduleObjective<'_>, scratch: &ObjectiveScratch) {
+    let (hits, misses) = scratch.memo_counts();
+    sched_obs::counter_add("core.gain_memo.hits", hits);
+    sched_obs::counter_add("core.gain_memo.misses", misses);
+    let (augments, retracts) = obj.oracle().op_counts();
+    sched_obs::counter_add("matching.oracle.augments", augments);
+    sched_obs::counter_add("matching.oracle.retracts", retracts);
 }
 
 fn empty_schedule() -> Schedule {

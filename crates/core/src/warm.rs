@@ -190,12 +190,14 @@ impl WarmHandle {
         cost: &dyn EnergyCost,
     ) -> Result<Schedule, ScheduleError> {
         debug_assert_eq!(keys.len(), inst.num_jobs(), "one key per job");
+        let _span = sched_obs::span!("core.warm.solve_ns");
         let rebuilt = self.ensure_grid(inst, cost);
         let grid = self.grid.as_mut().expect("ensure_grid populated");
 
         let mut init = Vec::new();
         let result = if rebuilt {
             self.stats.cold += 1;
+            sched_obs::counter_add("core.warm.solves.cold", 1);
             schedule_all_seeded(
                 inst,
                 &grid.reduction,
@@ -210,12 +212,14 @@ impl WarmHandle {
                     // Identical instance: the solver is deterministic, so the
                     // previous result (and its seeds) stand as-is.
                     self.stats.warm += 1;
+                    sched_obs::counter_add("core.warm.solves.warm", 1);
                     let result = prev.result.clone();
                     grid.prev = Some(prev);
                     return result;
                 }
                 Some(prev) => {
                     self.stats.warm += 1;
+                    sched_obs::counter_add("core.warm.solves.warm", 1);
                     let dirty = dirty_times_per_proc(
                         &prev.instance,
                         &prev.keys,
@@ -241,6 +245,7 @@ impl WarmHandle {
                     // Family reusable but no seed (first solve on this grid
                     // ended before producing gains): full gain recompute.
                     self.stats.cold += 1;
+                    sched_obs::counter_add("core.warm.solves.cold", 1);
                     grid.reduction.apply_delta(inst, &grid.candidates);
                     schedule_all_seeded(
                         inst,
@@ -286,6 +291,13 @@ impl WarmHandle {
         };
         if ok {
             return false;
+        }
+        if self.grid.is_some() {
+            // A cached family existed but no longer matches: resized grid or
+            // checksum drift in the cost model. Either way the warm state is
+            // discarded — worth surfacing, since a noisy cost oracle can
+            // silently turn every "warm" solve cold.
+            sched_obs::counter_add("core.warm.checksum_divergence", 1);
         }
         let candidates: Arc<[CandidateInterval]> =
             enumerate_candidates(inst, cost, self.policy).into();

@@ -34,6 +34,7 @@ use sched_core::{
     content_keys, validate_profiles, AffineCost, CandidatePolicy, EnergyCost, ProfileCost,
     SolveOptions, Solver, WarmHandle,
 };
+use sched_obs::{Gauge, Registry, Snapshot};
 
 use crate::protocol::{
     parse_line, version_supported, ErrorKind, SolveMetrics, SolveMode, SolveRequest, SolveResponse,
@@ -106,10 +107,23 @@ struct Job {
 
 /// The worker pool. Dropping the engine (or calling [`Engine::shutdown`])
 /// closes the queue and joins every worker after it drains in-flight work.
+///
+/// # Telemetry
+///
+/// The engine owns a *global* [`Registry`] (queue depth gauge, request
+/// latency histogram, request counters) plus one registry per worker.
+/// Each worker installs its registry as the thread-ambient one, so every
+/// metric the solver stack records (`core.*`, `submodular.*`,
+/// `matching.*`, `engine.cache.*`) lands per-worker.
+/// [`Engine::metrics_snapshot`] folds everything into one `obs/v1`
+/// [`Snapshot`], worker rows prefixed `workerN.`.
 pub struct Engine {
     tx: Option<mpsc::SyncSender<Job>>,
     handles: Vec<JoinHandle<()>>,
     workers: usize,
+    registry: Arc<Registry>,
+    worker_registries: Vec<Arc<Registry>>,
+    queue_depth: Arc<Gauge>,
 }
 
 impl Engine {
@@ -121,15 +135,23 @@ impl Engine {
         } else {
             workers * 2
         };
+        let registry = Arc::new(Registry::new());
+        let queue_depth = registry.gauge("engine.queue.depth");
+        let worker_registries: Vec<Arc<Registry>> =
+            (0..workers).map(|_| Arc::new(Registry::new())).collect();
         let (tx, rx) = mpsc::sync_channel::<Job>(depth);
         let rx = Arc::new(Mutex::new(rx));
         let handles = (0..workers)
             .map(|worker_id| {
                 let rx = Arc::clone(&rx);
                 let cache_capacity = config.cache_capacity.max(1);
+                let global = Arc::clone(&registry);
+                let local = Arc::clone(&worker_registries[worker_id]);
                 std::thread::Builder::new()
                     .name(format!("sched-engine-worker-{worker_id}"))
-                    .spawn(move || worker_loop(worker_id as u32, cache_capacity, &rx))
+                    .spawn(move || {
+                        worker_loop(worker_id as u32, cache_capacity, &rx, global, local)
+                    })
                     .expect("spawn engine worker")
             })
             .collect();
@@ -137,12 +159,32 @@ impl Engine {
             tx: Some(tx),
             handles,
             workers,
+            registry,
+            worker_registries,
+            queue_depth,
         }
     }
 
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// The engine-global registry (queue depth, request latency, accept
+    /// errors). Per-worker solver metrics live in the worker registries;
+    /// use [`Engine::metrics_snapshot`] for the merged view.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// One merged `obs/v1` snapshot: the global registry's rows plus every
+    /// worker registry's rows under a `workerN.` prefix.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        let mut snap = self.registry.snapshot();
+        for (i, w) in self.worker_registries.iter().enumerate() {
+            snap.merge_prefixed(&w.snapshot(), &format!("worker{i}."));
+        }
+        snap
     }
 
     /// Enqueues one request, blocking while the bounded queue is full
@@ -154,6 +196,7 @@ impl Engine {
             req: Box::new(req),
             reply,
         };
+        self.queue_depth.add(1);
         self.tx
             .as_ref()
             .expect("engine queue open until drop")
@@ -268,7 +311,20 @@ impl From<CandidatePolicy> for PolicyKey {
 
 type CandidateCache = HashMap<CacheKey, WarmHandle>;
 
-fn worker_loop(worker_id: u32, cache_capacity: usize, rx: &Mutex<mpsc::Receiver<Job>>) {
+fn worker_loop(
+    worker_id: u32,
+    cache_capacity: usize,
+    rx: &Mutex<mpsc::Receiver<Job>>,
+    global: Arc<Registry>,
+    local: Arc<Registry>,
+) {
+    // Everything the solver stack records ambiently on this thread lands in
+    // the worker's own registry; cross-worker aggregates (queue depth,
+    // request latency) go through handles on the global registry.
+    sched_obs::set_thread(Some(local));
+    let queue_depth = global.gauge("engine.queue.depth");
+    let requests = global.counter("engine.requests");
+    let latency = global.histogram("engine.request.latency_ns");
     let mut cache = CandidateCache::new();
     loop {
         // Hold the lock only while dequeuing; solving runs unlocked so the
@@ -279,7 +335,11 @@ fn worker_loop(worker_id: u32, cache_capacity: usize, rx: &Mutex<mpsc::Receiver<
         };
         match job {
             Ok(job) => {
+                queue_depth.add(-1);
+                requests.inc();
+                let t0 = Instant::now();
                 let response = serve_request(worker_id, cache_capacity, &mut cache, &job.req);
+                latency.record(t0.elapsed().as_nanos() as u64);
                 let _ = job.reply.send(response); // receiver may have hung up
             }
             Err(_) => break, // queue closed: engine is shutting down
@@ -432,6 +492,14 @@ fn serve_request(
         parallel: plan.parallel,
     };
     let cache_hit = cache.contains_key(&key);
+    sched_obs::counter_add(
+        if cache_hit {
+            "engine.cache.hits"
+        } else {
+            "engine.cache.misses"
+        },
+        1,
+    );
     if !cache_hit {
         if cache.len() >= cache_capacity {
             cache.clear(); // simplest bound; capacity is generous

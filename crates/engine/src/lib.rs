@@ -67,4 +67,4 @@ pub use protocol::{
     parse_line, ControlRequest, ErrorKind, SolveMetrics, SolveMode, SolveRequest, SolveResponse,
     WireError, WireRequest, PROTOCOL_VERSION,
 };
-pub use server::serve;
+pub use server::{serve, serve_with_metrics};

@@ -10,7 +10,9 @@
 //!   the prize-collecting modes, `lazy`/`parallel` solver toggles — may be
 //!   omitted entirely;
 //! * **control requests** ([`ControlRequest`]) carry a `control` verb:
-//!   `"ping"` (liveness probe) or `"shutdown"` (drain and stop a server).
+//!   `"ping"` (liveness probe), `"metrics"` (returns the engine's `obs/v1`
+//!   telemetry snapshot in the ack's `obs` field), or `"shutdown"` (drain
+//!   and stop a server).
 //!
 //! Every response is a [`SolveResponse`]: `ok` plus either a [`Schedule`]
 //! and [`SolveMetrics`], or a structured [`WireError`] (`kind` + `message`).
@@ -24,9 +26,13 @@
 //! version 1 requests remain valid — a missing `profiles` field means the
 //! affine `(restart, rate)` default, so every v1 line parses and solves
 //! exactly as before ([`MIN_PROTOCOL_VERSION`] tracks the oldest accepted
-//! version).
+//! version). The `metrics` control verb and the response's optional `obs`
+//! snapshot field are likewise additive: old clients never send the verb,
+//! and parsers ignore fields they do not know, so the version window is
+//! unchanged.
 
 use sched_core::{Instance, PowerProfile, Schedule};
+use sched_obs::Snapshot;
 use serde::{Deserialize, Serialize};
 
 /// Version stamped on every request and response. Bump on any incompatible
@@ -154,7 +160,7 @@ impl SolveRequest {
 pub struct ControlRequest {
     /// Protocol version; must equal [`PROTOCOL_VERSION`].
     pub version: u32,
-    /// `"ping"` or `"shutdown"`.
+    /// `"ping"`, `"metrics"`, or `"shutdown"`.
     pub control: String,
 }
 
@@ -231,6 +237,10 @@ pub struct SolveResponse {
     pub error: Option<WireError>,
     /// Engine measurements, on success.
     pub metrics: Option<SolveMetrics>,
+    /// `obs/v1` telemetry snapshot, set only on `metrics` control acks.
+    /// Optional and trailing, so v1/v2 clients that never send the verb
+    /// parse every response exactly as before.
+    pub obs: Option<Snapshot>,
 }
 
 impl SolveResponse {
@@ -243,6 +253,7 @@ impl SolveResponse {
             schedule: Some(schedule),
             error: None,
             metrics: Some(metrics),
+            obs: None,
         }
     }
 
@@ -255,6 +266,7 @@ impl SolveResponse {
             schedule: None,
             error: Some(error),
             metrics: None,
+            obs: None,
         }
     }
 
@@ -267,6 +279,16 @@ impl SolveResponse {
             schedule: None,
             error: None,
             metrics: None,
+            obs: None,
+        }
+    }
+
+    /// Acknowledgement of a `metrics` control request, carrying the
+    /// engine's telemetry snapshot.
+    pub fn metrics_ack(snapshot: Snapshot) -> Self {
+        Self {
+            obs: Some(snapshot),
+            ..Self::control_ack()
         }
     }
 }

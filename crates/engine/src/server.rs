@@ -8,11 +8,15 @@
 //! before reading anything — without ever reordering its responses.
 //!
 //! Control verbs: `{"version":1,"control":"ping"}` is acknowledged in-line;
-//! `"shutdown"` acknowledges, then stops the accept loop and lets in-flight
-//! connections drain before [`serve`] returns (graceful shutdown).
+//! `"metrics"` is acknowledged with the engine's merged `obs/v1` snapshot
+//! in the response's `obs` field; `"shutdown"` acknowledges, then stops the
+//! accept loop and lets in-flight connections drain before [`serve`]
+//! returns (graceful shutdown, ending with a metrics flush: a text summary
+//! on stderr and, if requested, the JSON snapshot to a file).
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 
@@ -26,6 +30,17 @@ use crate::protocol::{parse_line, ErrorKind, SolveResponse, WireError, WireReque
 /// work still gets its responses), so one parked client cannot keep the
 /// process alive.
 pub fn serve(listener: TcpListener, config: EngineConfig) -> std::io::Result<()> {
+    serve_with_metrics(listener, config, None)
+}
+
+/// [`serve`], optionally writing the final merged `obs/v1` metrics
+/// snapshot to `metrics_out` after the graceful shutdown drain. The text
+/// summary always goes to stderr on shutdown.
+pub fn serve_with_metrics(
+    listener: TcpListener,
+    config: EngineConfig,
+    metrics_out: Option<&Path>,
+) -> std::io::Result<()> {
     let local = listener.local_addr()?;
     let engine = Arc::new(Engine::new(config));
     let shutdown = Arc::new(AtomicBool::new(false));
@@ -50,7 +65,11 @@ pub fn serve(listener: TcpListener, config: EngineConfig) -> std::io::Result<()>
             Err(e) => {
                 // Transient accept failures (EMFILE, aborted handshakes)
                 // must not kill the server; back off briefly and retry. A
-                // persistently failing listener is fatal after ~2 s.
+                // persistently failing listener is fatal after ~2 s. Each
+                // failure is counted and logged — these used to vanish
+                // silently, hiding fd exhaustion until clients timed out.
+                engine.registry().counter("engine.accept.errors").inc();
+                eprintln!("accept error (attempt {consecutive_accept_errors}): {e}");
                 consecutive_accept_errors += 1;
                 if consecutive_accept_errors > 100 {
                     return Err(e);
@@ -86,6 +105,14 @@ pub fn serve(listener: TcpListener, config: EngineConfig) -> std::io::Result<()>
     }
     for conn in connections {
         let _ = conn.join();
+    }
+
+    // Graceful-shutdown metrics flush: everything is drained, so this is
+    // the complete picture of the server's lifetime.
+    let snapshot = engine.metrics_snapshot();
+    eprint!("metrics summary:\n{}", snapshot.render_text());
+    if let Some(path) = metrics_out {
+        std::fs::write(path, snapshot.to_json() + "\n")?;
     }
     Ok(())
 }
@@ -124,6 +151,9 @@ fn handle_connection(
                     Ok(WireRequest::Solve(req)) => Pending::InFlight(engine.submit(*req)),
                     Ok(WireRequest::Control(ctl)) => match ctl.control.as_str() {
                         "ping" => Pending::Ready(Box::new(SolveResponse::control_ack())),
+                        "metrics" => Pending::Ready(Box::new(SolveResponse::metrics_ack(
+                            engine.metrics_snapshot(),
+                        ))),
                         "shutdown" => {
                             shutdown.store(true, Ordering::SeqCst);
                             // Wake the accept loop so it observes the flag.

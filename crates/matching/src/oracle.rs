@@ -203,6 +203,11 @@ pub struct MatchingOracle<'g> {
     total: f64,
     n_allowed: usize,
     revision: u64,
+    // Committed-operation tallies for telemetry: plain fields (no atomics,
+    // no dependency on any metrics crate) that callers read out once per
+    // solve via [`MatchingOracle::op_counts`].
+    augment_ops: u64,
+    retract_ops: u64,
     bfs: BfsScratch,
 }
 
@@ -233,6 +238,8 @@ impl<'g> MatchingOracle<'g> {
             total: 0.0,
             n_allowed: 0,
             revision: 0,
+            augment_ops: 0,
+            retract_ops: 0,
             bfs,
         }
     }
@@ -324,6 +331,7 @@ impl<'g> MatchingOracle<'g> {
         }
         self.allowed[v as usize] = true;
         self.n_allowed += 1;
+        self.augment_ops += 1;
         let mut view = DirectView {
             match_x: &mut self.match_x,
             match_y: &mut self.match_y,
@@ -373,6 +381,7 @@ impl<'g> MatchingOracle<'g> {
         }
         self.retired[y as usize] = true;
         self.revision += 1;
+        self.retract_ops += 1;
         let x = self.match_y[y as usize];
         if x == NONE {
             return 0.0;
@@ -395,6 +404,15 @@ impl<'g> MatchingOracle<'g> {
         );
         self.total += regained;
         regained - lost
+    }
+
+    /// Lifetime `(augment, retract)` committed-operation counts: augmenting
+    /// searches run by [`MatchingOracle::add_slot`] and live-job retracts
+    /// run by [`MatchingOracle::retract`]. Speculative gain evaluations are
+    /// not counted. Telemetry layers read this once per solve.
+    #[inline]
+    pub fn op_counts(&self) -> (u64, u64) {
+        (self.augment_ops, self.retract_ops)
     }
 
     /// Has job `y` been retired by [`MatchingOracle::retract`]?

@@ -566,7 +566,9 @@ impl PeriodicResolve {
                 engine.submit(req).wait().schedule
             }
         };
-        self.solve_ns.push(started.elapsed().as_nanos() as u64);
+        let elapsed_ns = started.elapsed().as_nanos() as u64;
+        self.solve_ns.push(elapsed_ns);
+        sched_obs::record_ns("sim.resolve.latency_ns", elapsed_ns);
         let Some(schedule) = solved else {
             // Infeasible suffix: serve eagerly until the next slot's retry.
             self.degraded = true;
@@ -666,12 +668,13 @@ impl Policy for PeriodicResolve {
     fn resolve_stats(&self) -> Option<ResolveStats> {
         let mut sorted = self.solve_ns.clone();
         sorted.sort_unstable();
-        let pct = |p: f64| {
-            if sorted.is_empty() {
-                0
-            } else {
-                sorted[((sorted.len() - 1) as f64 * p).round() as usize]
-            }
+        // Nearest-rank percentiles (the workspace-wide rule, shared with
+        // `sched_obs` histograms): rank ⌈q·n⌉, zero when there are no
+        // samples. With one sample every percentile is that sample; with
+        // two, p50 is the smaller and p99 the larger.
+        let pct = |q: f64| match sched_obs::nearest_rank_index(sorted.len(), q) {
+            Some(i) => sorted[i],
+            None => 0,
         };
         let (warm, cold) = match &self.warm {
             Some(h) => (h.stats().warm, h.stats().cold),
@@ -853,6 +856,34 @@ mod tests {
             "resolve:2:warm"
         );
         assert_eq!(PolicyKind::Greedy.to_string(), "greedy");
+    }
+
+    #[test]
+    fn resolve_stats_percentiles_follow_nearest_rank_on_tiny_samples() {
+        // Zero samples: every field is zero, not a panic or a garbage index.
+        let mut p = PeriodicResolve::new(4);
+        let s = p.resolve_stats().unwrap();
+        assert_eq!((s.count, s.total_ns, s.p50_ns, s.p99_ns), (0, 0, 0, 0));
+
+        // One sample: every percentile is that sample (rank ⌈q·1⌉ = 1).
+        p.solve_ns = vec![700];
+        let s = p.resolve_stats().unwrap();
+        assert_eq!((s.count, s.total_ns), (1, 700));
+        assert_eq!((s.p50_ns, s.p99_ns), (700, 700));
+
+        // Two samples: p50 is the smaller (rank ⌈0.5·2⌉ = 1), p99 the
+        // larger (rank ⌈0.99·2⌉ = 2) — the rule the old round()-based
+        // formula got wrong by mapping p50 of two samples to the larger.
+        p.solve_ns = vec![900, 100];
+        let s = p.resolve_stats().unwrap();
+        assert_eq!((s.count, s.total_ns), (2, 1000));
+        assert_eq!((s.p50_ns, s.p99_ns), (100, 900));
+
+        // A larger check against the shared rule directly.
+        p.solve_ns = (1..=100).rev().collect();
+        let s = p.resolve_stats().unwrap();
+        assert_eq!(s.p50_ns, 50);
+        assert_eq!(s.p99_ns, 99);
     }
 
     #[test]

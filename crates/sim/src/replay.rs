@@ -115,6 +115,7 @@ pub fn replay(trace: &ArrivalTrace, policy: &mut dyn Policy) -> Result<ReplayOut
         pending.sort_unstable();
 
         let decision = {
+            let _span = sched_obs::span!("sim.decide.latency_ns");
             let view = SlotView {
                 now,
                 num_processors: trace.num_processors,

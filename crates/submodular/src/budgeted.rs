@@ -197,6 +197,9 @@ pub fn budgeted_greedy_with<O: BudgetedObjective>(
         );
     }
 
+    // One span + a few counter flushes per greedy run (not per iteration):
+    // telemetry stays out of the pick/evaluate hot loops.
+    let _span = sched_obs::span!("submodular.greedy.run_ns");
     let goal = (1.0 - cfg.epsilon) * cfg.target;
     let mut out = GreedyOutcome {
         chosen: Vec::new(),
@@ -216,6 +219,14 @@ pub fn budgeted_greedy_with<O: BudgetedObjective>(
     } else {
         eager_loop(obj, cfg, goal, scratch, &mut out);
     }
+    let mode = if cfg.lazy {
+        "submodular.greedy.lazy.iterations"
+    } else {
+        "submodular.greedy.eager.iterations"
+    };
+    sched_obs::counter_add(mode, out.trace.len() as u64);
+    sched_obs::counter_add("submodular.greedy.iterations", out.trace.len() as u64);
+    sched_obs::counter_add("submodular.greedy.evaluations", out.evaluations as u64);
     out
 }
 

@@ -13,6 +13,8 @@
 //! power-sched replay trace.json --policy resolve:4[:warm] [--offline auto] [--verbose]
 //! power-sched replay traces/ --policy greedy --workers 4 --out reports.jsonl
 //! power-sched replay --gen cliffs --count 4 --seed 7 --policy hiring
+//! power-sched replay --gen --policy resolve:1:warm --metrics-out metrics.json
+//! power-sched metrics metrics.json
 //! power-sched perf [--quick] [--out BENCH_solver.json] [--baseline BENCH_solver.json]
 //! ```
 //!
@@ -31,7 +33,8 @@
 //! `BENCH_solver.json` performance report, optionally gating against a
 //! committed baseline.
 
-use power_scheduling::engine::{serve, Engine, EngineConfig};
+use power_scheduling::engine::{serve_with_metrics, Engine, EngineConfig};
+use power_scheduling::obs;
 use power_scheduling::prelude::*;
 use power_scheduling::scheduling::model::validate_schedule;
 use power_scheduling::scheduling::simulate::simulate;
@@ -55,23 +58,25 @@ fn main() -> ExitCode {
         Some("batch") => cmd_batch(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
+        Some("metrics") => cmd_metrics(&args[1..]),
         Some("perf") => bench::perf::cli(&args[1..]),
         _ => {
             eprintln!(
-                "usage: power-sched <generate|solve|validate|batch|serve|replay|perf> ...\n\
+                "usage: power-sched <generate|solve|validate|batch|serve|replay|metrics|perf> ...\n\
                  \n  generate --seed S --processors P --horizon T --jobs N [--values V] --out FILE\
                  \n           [--hetero LEVELS --profiles-out FILE]\
                  \n  generate --trace poisson|diurnal|cliffs --seed S [--processors P --horizon T --jobs N\
                  \n           --restart A --rate R --slack K --values V] [--hetero LEVELS] --out FILE\
                  \n  solve INSTANCE.json [--restart A] [--rate R] [--profiles FILE] [--target Z]\
-                 \n        [--policy all|single|maxlen:K] [--out FILE]\
+                 \n        [--policy all|single|maxlen:K] [--out FILE] [--metrics-out FILE]\
                  \n  validate INSTANCE.json SCHEDULE.json\
-                 \n  batch [REQUESTS.jsonl|-] [--workers N] [--queue D] [--out FILE]\
+                 \n  batch [REQUESTS.jsonl|-] [--workers N] [--queue D] [--out FILE] [--metrics-out FILE]\
                  \n  batch [REQUESTS.jsonl|-] --connect HOST:PORT [--shutdown] [--out FILE]\
-                 \n  serve --addr HOST:PORT [--workers N] [--queue D]\
-                 \n  replay [TRACE.json|DIR] [--gen poisson|diurnal|cliffs --count N --seed S --hetero LEVELS ...]\
+                 \n  serve --addr HOST:PORT [--workers N] [--queue D] [--metrics-out FILE]\
+                 \n  replay [TRACE.json|DIR] [--gen [poisson|diurnal|cliffs] --count N --seed S --hetero LEVELS ...]\
                  \n         [--policy greedy|hiring[:F]|resolve[:K]] [--offline auto|greedy|exact]\
-                 \n         [--workers N] [--out FILE] [--verbose]\
+                 \n         [--workers N] [--out FILE] [--metrics-out FILE] [--verbose]\
+                 \n  metrics SNAPSHOT.json\
                  \n  perf [--quick] [--out FILE] [--baseline FILE] [--tolerance F]"
             );
             return ExitCode::from(2);
@@ -100,6 +105,23 @@ where
         Some(v) => v.parse().map_err(|e| format!("bad {name}: {e}")),
         None => Ok(default),
     }
+}
+
+/// `--metrics-out FILE`: installs the process-wide ambient metrics registry
+/// so everything the solver stack records on this process's threads lands in
+/// one snapshot, and returns the path plus the handle to snapshot at exit.
+fn metrics_registry(args: &[String]) -> Option<(String, std::sync::Arc<obs::Registry>)> {
+    let path = flag(args, "--metrics-out")?;
+    let registry = std::sync::Arc::new(obs::Registry::new());
+    obs::install_global(std::sync::Arc::clone(&registry));
+    Some((path, registry))
+}
+
+/// Writes one `obs/v1` snapshot as compact JSON (newline-terminated).
+fn write_metrics(path: &str, snapshot: &obs::Snapshot) -> Result<(), String> {
+    std::fs::write(path, snapshot.to_json() + "\n").map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!("wrote metrics snapshot to {path}");
+    Ok(())
 }
 
 /// Parses the shared arrival-trace sizing flags. Unset flags fall back to
@@ -231,6 +253,7 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
 
 fn cmd_solve(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("missing INSTANCE.json")?;
+    let metrics = metrics_registry(args);
     let restart: f64 =
         flag(args, "--restart").map_or(Ok(3.0), |v| v.parse().map_err(|e| format!("{e}")))?;
     let rate: f64 =
@@ -285,6 +308,9 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
         let json = serde_json::to_string_pretty(&schedule).map_err(|e| e.to_string())?;
         std::fs::write(&out, json).map_err(|e| e.to_string())?;
         println!("wrote {out}");
+    }
+    if let Some((path, registry)) = metrics {
+        write_metrics(&path, &registry.snapshot())?;
     }
     Ok(())
 }
@@ -343,8 +369,19 @@ fn engine_config(args: &[String]) -> Result<EngineConfig, String> {
 
 fn cmd_batch(args: &[String]) -> Result<(), String> {
     let text = read_requests(args)?;
+    let metrics_out = flag(args, "--metrics-out");
     let out_lines = match flag(args, "--connect") {
-        Some(addr) => batch_over_tcp(&text, &addr, args.iter().any(|a| a == "--shutdown"))?,
+        Some(addr) => {
+            if metrics_out.is_some() {
+                return Err(
+                    "--metrics-out needs a local engine; in client mode ask the running \
+                     server with the 'metrics' control verb or start it with \
+                     serve --metrics-out"
+                        .into(),
+                );
+            }
+            batch_over_tcp(&text, &addr, args.iter().any(|a| a == "--shutdown"))?
+        }
         None => {
             let engine = Engine::new(engine_config(args)?);
             let responses = engine.process_lines(text.lines());
@@ -359,6 +396,9 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
                 "batch: {ok} solved, {failed} failed on {} workers",
                 engine.workers()
             );
+            if let Some(path) = &metrics_out {
+                write_metrics(path, &engine.metrics_snapshot())?;
+            }
             responses
                 .iter()
                 .map(|r| serde_json::to_string(r).map_err(|e| e.to_string()))
@@ -431,7 +471,13 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     // Scripts wait for this exact line before connecting.
     println!("power-sched serve: listening on {local}");
     std::io::stdout().flush().ok();
-    serve(listener, cfg).map_err(|e| format!("serve loop: {e}"))?;
+    let metrics_out = flag(args, "--metrics-out");
+    serve_with_metrics(
+        listener,
+        cfg,
+        metrics_out.as_deref().map(std::path::Path::new),
+    )
+    .map_err(|e| format!("serve loop: {e}"))?;
     println!("power-sched serve: shutdown complete");
     Ok(())
 }
@@ -442,12 +488,19 @@ fn replay_traces(args: &[String]) -> Result<Vec<ArrivalTrace>, String> {
     let mut traces: Vec<ArrivalTrace> = Vec::new();
 
     // Positional operands may appear anywhere among the flags; every flag
-    // of `replay` except --verbose consumes one value operand.
+    // of `replay` consumes one value operand, except --verbose (bare) and
+    // --gen (whose KIND is optional, defaulting to poisson, so it may sit
+    // directly before another flag).
     let mut operands: Vec<&String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         if args[i].starts_with("--") {
-            i += if args[i] == "--verbose" { 1 } else { 2 };
+            let has_value = match args[i].as_str() {
+                "--verbose" => false,
+                "--gen" => args.get(i + 1).is_some_and(|v| !v.starts_with("--")),
+                _ => true,
+            };
+            i += if has_value { 2 } else { 1 };
         } else {
             operands.push(&args[i]);
             i += 1;
@@ -485,7 +538,13 @@ fn replay_traces(args: &[String]) -> Result<Vec<ArrivalTrace>, String> {
         traces.push(trace);
     }
 
-    if let Some(kind) = flag(args, "--gen") {
+    let gen_kind = args.iter().position(|a| a == "--gen").map(|i| {
+        args.get(i + 1)
+            .filter(|v| !v.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| "poisson".into())
+    });
+    if let Some(kind) = gen_kind {
         let kind: TraceKind = kind.parse()?;
         let count: usize = parse_flag(args, "--count", 2)?;
         let seed: u64 = parse_flag(args, "--seed", 0)?;
@@ -516,6 +575,7 @@ fn replay_traces(args: &[String]) -> Result<Vec<ArrivalTrace>, String> {
 }
 
 fn cmd_replay(args: &[String]) -> Result<(), String> {
+    let metrics = metrics_registry(args);
     let traces = replay_traces(args)?;
     let policy: PolicyKind = flag(args, "--policy")
         .unwrap_or_else(|| "greedy".into())
@@ -608,6 +668,20 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
         reports.len(),
         if reports.len() == 1 { "" } else { "s" },
     );
+    if let Some((path, registry)) = metrics {
+        write_metrics(&path, &registry.snapshot())?;
+    }
+    Ok(())
+}
+
+/// Pretty-prints an `obs/v1` metrics snapshot file (as written by
+/// `--metrics-out` or the serve shutdown flush) as the human text table.
+fn cmd_metrics(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("usage: metrics SNAPSHOT.json")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let snapshot = obs::Snapshot::from_json(&text)
+        .map_err(|e| format!("{path}: not an obs/v1 snapshot: {e}"))?;
+    print!("{}", snapshot.render_text());
     Ok(())
 }
 

@@ -73,6 +73,14 @@ pub mod sim {
     pub use sched_sim::*;
 }
 
+/// Telemetry: the lock-cheap metrics registry and `obs/v1` snapshot format
+/// shared by the solver, the engine, and the simulator (re-export of the
+/// `sched-obs` crate). `--metrics-out` files and the engine's `metrics`
+/// control verb both carry [`Snapshot`](obs::Snapshot) JSON.
+pub mod obs {
+    pub use sched_obs::*;
+}
+
 /// Submodular functions and budgeted maximization (re-export).
 pub mod submodular {
     pub use ::submodular::*;

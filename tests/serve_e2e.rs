@@ -134,6 +134,80 @@ fn pipelined_requests_ping_and_graceful_shutdown_over_raw_tcp() {
 }
 
 #[test]
+fn metrics_verb_returns_an_obs_snapshot_over_tcp() {
+    let mut server = ServerGuard::spawn(2);
+    let stream = TcpStream::connect(&server.addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+
+    // A few solves so the counters are nonzero; workers bump their metrics
+    // *before* resolving each ticket, so once the responses are read the
+    // snapshot the verb takes is deterministic.
+    let mut batch = String::new();
+    for i in 0..4u64 {
+        batch.push_str(&serde_json::to_string(&request(i, i as u32)).unwrap());
+        batch.push('\n');
+    }
+    writer.write_all(batch.as_bytes()).unwrap();
+    writer.flush().unwrap();
+    let mut responses = Vec::new();
+    for _ in 0..4 {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read solve response");
+        responses.push(serde_json::from_str::<SolveResponse>(line.trim()).unwrap());
+    }
+
+    writer
+        .write_all(
+            format!(
+                "{{\"version\":{PROTOCOL_VERSION},\"control\":\"metrics\"}}\n{{\"version\":{PROTOCOL_VERSION},\"control\":\"shutdown\"}}\n"
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    writer.flush().unwrap();
+    for _ in 0..2 {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read control response");
+        responses.push(serde_json::from_str::<SolveResponse>(line.trim()).unwrap());
+    }
+    assert!(responses.iter().all(|r| r.ok));
+
+    let obs = responses[4]
+        .obs
+        .as_ref()
+        .expect("metrics ack carries a snapshot");
+    assert_eq!(obs.schema, power_scheduling::obs::SCHEMA);
+    let requests = obs
+        .counters
+        .iter()
+        .find(|c| c.name == "engine.requests")
+        .expect("engine.requests counter");
+    assert_eq!(requests.value, 4, "all solves counted before the verb");
+    let latency = obs
+        .histograms
+        .iter()
+        .find(|h| h.name == "engine.request.latency_ns")
+        .expect("request latency histogram");
+    assert_eq!(latency.count, 4);
+    assert!(latency.p99 >= latency.p50 && latency.p50 > 0);
+    // Per-worker solver metrics are merged in with a worker prefix.
+    assert!(
+        obs.counters
+            .iter()
+            .any(|c| c.name.starts_with("worker") && c.name.ends_with("engine.cache.misses")),
+        "expected prefixed per-worker rows, got: {:?}",
+        obs.counters.iter().map(|c| &c.name).collect::<Vec<_>>()
+    );
+
+    let status = server.wait_for_exit();
+    assert!(status.success());
+}
+
+#[test]
 fn shutdown_is_not_blocked_by_an_idle_connection() {
     // Regression: serve() used to join every connection thread, so a client
     // that connected and then went silent kept the server alive forever
