@@ -414,6 +414,46 @@ pub fn run(opts: PerfOptions) -> PerfReport {
         });
         workloads.push(fast);
         workloads.push(naive);
+
+        // --- tracing overhead: same shape, ambient tracer off vs on ---
+        // With the tracer installed every span becomes a ring-buffer event
+        // and the greedy emits its per-pick decision log. The pinned row
+        // bounds that cost: `fast` (no tracer) over `naive` (thread-local
+        // tracer) must stay ≈1.0 — the record path formats nothing and
+        // takes one short lock per event.
+        let name = format!("trace_overhead_n{n}_p{p}_t{t}");
+        let tracer = std::sync::Arc::new(sched_obs::trace::Tracer::new());
+        let (mut off_ns, mut on_ns) = (u64::MAX, u64::MAX);
+        for _ in 0..rounds {
+            sched_obs::trace::set_thread(None);
+            let t0 = Instant::now();
+            for _ in 0..solves {
+                std::hint::black_box(
+                    schedule_all(&inst.instance, &inst.candidates, &opts_solve).unwrap(),
+                );
+            }
+            off_ns = off_ns.min(t0.elapsed().as_nanos() as u64);
+            sched_obs::trace::set_thread(Some(std::sync::Arc::clone(&tracer)));
+            let t0 = Instant::now();
+            for _ in 0..solves {
+                std::hint::black_box(
+                    schedule_all(&inst.instance, &inst.candidates, &opts_solve).unwrap(),
+                );
+            }
+            on_ns = on_ns.min(t0.elapsed().as_nanos() as u64);
+            sched_obs::trace::set_thread(None);
+            // bounded ring: clearing between rounds keeps eviction churn
+            // out of the measurement's steady state
+            tracer.clear();
+        }
+        let fast = row(&name, "fast", solves, off_ns, peak);
+        let naive = row(&name, "naive", solves, on_ns, peak);
+        speedups.push(Speedup {
+            workload: name.clone(),
+            fast_over_naive: fast.ops_per_sec / naive.ops_per_sec,
+        });
+        workloads.push(fast);
+        workloads.push(naive);
     }
 
     PerfReport {
@@ -680,10 +720,10 @@ mod tests {
         assert_eq!(report.schema, SCHEMA);
         assert_eq!(report.mode, "quick");
         // (3 solve shapes + 1 hetero shape + 2 warm-vs-cold shapes +
-        // 1 telemetry-overhead shape) × 2 paths + 2 engine rows + 1 replay
-        // row
-        assert_eq!(report.workloads.len(), 17);
-        assert_eq!(report.speedups.len(), 7);
+        // 1 telemetry-overhead shape + 1 tracing-overhead shape) × 2 paths
+        // + 2 engine rows + 1 replay row
+        assert_eq!(report.workloads.len(), 19);
+        assert_eq!(report.speedups.len(), 8);
         assert!(report
             .speedups
             .iter()
@@ -692,6 +732,10 @@ mod tests {
             .speedups
             .iter()
             .any(|s| s.workload == "obs_overhead_n64_p4_t32"));
+        assert!(report
+            .speedups
+            .iter()
+            .any(|s| s.workload == "trace_overhead_n64_p4_t32"));
         assert!(report
             .workloads
             .iter()

@@ -537,7 +537,8 @@ impl BudgetedObjective for ScheduleObjective<'_> {
     fn commit(&mut self, i: usize) -> f64 {
         let before = self.oracle.revision();
         let gain = self.oracle.commit(self.red.slots_of(i));
-        if self.oracle.revision() != before {
+        let mutated = self.oracle.revision() != before;
+        if mutated {
             // the matching mutated: gains of candidates sharing a component
             // may have changed; everyone else's memo stays exact (the
             // matching rank decomposes over components, and zero-mutation
@@ -548,10 +549,27 @@ impl BudgetedObjective for ScheduleObjective<'_> {
                 self.comp_version[c as usize] = self.version;
             }
         }
+        if sched_obs::trace::enabled() {
+            let comps = self.red.comps_of(i);
+            sched_obs::trace::instant(
+                "core.commit",
+                vec![
+                    ("cand", i.into()),
+                    ("gain", gain.into()),
+                    ("mutated", u64::from(mutated).into()),
+                    (
+                        "component",
+                        comps.first().map_or(-1i64, |&c| i64::from(c)).into(),
+                    ),
+                    ("components", comps.len().into()),
+                ],
+            );
+        }
         gain
     }
 
     fn scan_gains(&self, parallel: bool, scratch: &mut Self::Scratch, out: &mut Vec<f64>) {
+        let _span = sched_obs::span!("core.objective.scan_gains_ns");
         let m = self.red.num_candidates();
         out.clear();
         out.resize(m, 0.0);

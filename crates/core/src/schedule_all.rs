@@ -35,6 +35,9 @@ pub fn schedule_all(
     if inst.num_jobs() == 0 {
         return Ok(empty_schedule());
     }
+    // The span covers the reduction build too, so a trace shows
+    // solve ⊃ reduction ⊃ scan_gains on a cold solve.
+    let _span = sched_obs::span!("core.solve.schedule_all_ns");
     let red = ScheduleReduction::build(inst, candidates);
     schedule_all_with(inst, &red, candidates, opts)
 }
@@ -65,7 +68,10 @@ pub fn schedule_all_with(
         });
     }
 
-    let _span = sched_obs::span!("core.solve.schedule_all_ns");
+    // No span here: the public entry points ([`schedule_all`],
+    // [`crate::Solver::schedule_all`], [`schedule_all_seeded`]) each open
+    // the `core.solve.schedule_all_ns` span so it also covers their
+    // reduction builds; opening another one would double-count the solve.
     let mut obj = ScheduleObjective::new_cardinality(red);
     let mut scratch = ObjectiveScratch::default();
 

@@ -246,6 +246,9 @@ impl<'a> Solver<'a> {
     /// Theorem 2.2.1: schedules **every** job at cost within `O(log n)` of
     /// the cheapest all-jobs schedule.
     pub fn schedule_all(&self) -> Result<Schedule, ScheduleError> {
+        // Opened before `reduction()` so a first solve's lazy reduction
+        // build nests inside the solve span on the trace timeline.
+        let _span = sched_obs::span!("core.solve.schedule_all_ns");
         schedule_all_with(
             self.instance,
             self.reduction(),

@@ -194,10 +194,23 @@ impl WarmHandle {
         let rebuilt = self.ensure_grid(inst, cost);
         let grid = self.grid.as_mut().expect("ensure_grid populated");
 
+        // One decision event per solve: which of the four warm/cold paths
+        // this call took and why, so a trace can narrate the handle's
+        // behavior next to the greedy's pick log.
+        let decision = |path: &'static str, reason: &'static str| {
+            if sched_obs::trace::enabled() {
+                sched_obs::trace::instant(
+                    "core.warm.decision",
+                    vec![("path", path.into()), ("reason", reason.into())],
+                );
+            }
+        };
+
         let mut init = Vec::new();
         let result = if rebuilt {
             self.stats.cold += 1;
             sched_obs::counter_add("core.warm.solves.cold", 1);
+            decision("cold", "family-rebuilt");
             schedule_all_seeded(
                 inst,
                 &grid.reduction,
@@ -213,6 +226,7 @@ impl WarmHandle {
                     // previous result (and its seeds) stand as-is.
                     self.stats.warm += 1;
                     sched_obs::counter_add("core.warm.solves.warm", 1);
+                    decision("cached", "identical-instance");
                     let result = prev.result.clone();
                     grid.prev = Some(prev);
                     return result;
@@ -220,6 +234,7 @@ impl WarmHandle {
                 Some(prev) => {
                     self.stats.warm += 1;
                     sched_obs::counter_add("core.warm.solves.warm", 1);
+                    decision("warm", "delta-seeded");
                     let dirty = dirty_times_per_proc(
                         &prev.instance,
                         &prev.keys,
@@ -246,6 +261,7 @@ impl WarmHandle {
                     // ended before producing gains): full gain recompute.
                     self.stats.cold += 1;
                     sched_obs::counter_add("core.warm.solves.cold", 1);
+                    decision("cold", "no-seed");
                     grid.reduction.apply_delta(inst, &grid.candidates);
                     schedule_all_seeded(
                         inst,

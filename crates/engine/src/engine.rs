@@ -37,8 +37,8 @@ use sched_core::{
 use sched_obs::{Gauge, Registry, Snapshot};
 
 use crate::protocol::{
-    parse_line, version_supported, ErrorKind, SolveMetrics, SolveMode, SolveRequest, SolveResponse,
-    WireError, WireRequest, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+    line_correlation, parse_line, version_supported, ErrorKind, SolveMetrics, SolveMode,
+    SolveRequest, SolveResponse, WireError, WireRequest, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 
 /// Sizing knobs for [`Engine::new`].
@@ -51,6 +51,13 @@ pub struct EngineConfig {
     /// Per-worker candidate-cache capacity (distinct
     /// grid/cost/policy keys); the cache is cleared when full.
     pub cache_capacity: usize,
+    /// Flight recorder: when set, the engine owns a small bounded
+    /// [`Tracer`](sched_obs::trace::Tracer) ring (last
+    /// [`sched_obs::trace::FLIGHT_CAPACITY`] events per thread), every
+    /// worker records its spans and decision events into it, and the last
+    /// events are dumped to stderr on request failure, accept-loop error
+    /// bursts, and graceful shutdown.
+    pub flight_recorder: bool,
 }
 
 impl Default for EngineConfig {
@@ -59,6 +66,7 @@ impl Default for EngineConfig {
             workers: 0,
             queue_depth: 0,
             cache_capacity: 64,
+            flight_recorder: false,
         }
     }
 }
@@ -124,6 +132,7 @@ pub struct Engine {
     registry: Arc<Registry>,
     worker_registries: Vec<Arc<Registry>>,
     queue_depth: Arc<Gauge>,
+    tracer: Option<Arc<sched_obs::trace::Tracer>>,
 }
 
 impl Engine {
@@ -139,6 +148,9 @@ impl Engine {
         let queue_depth = registry.gauge("engine.queue.depth");
         let worker_registries: Vec<Arc<Registry>> =
             (0..workers).map(|_| Arc::new(Registry::new())).collect();
+        let tracer = config
+            .flight_recorder
+            .then(|| Arc::new(sched_obs::trace::Tracer::flight_recorder()));
         let (tx, rx) = mpsc::sync_channel::<Job>(depth);
         let rx = Arc::new(Mutex::new(rx));
         let handles = (0..workers)
@@ -147,10 +159,11 @@ impl Engine {
                 let cache_capacity = config.cache_capacity.max(1);
                 let global = Arc::clone(&registry);
                 let local = Arc::clone(&worker_registries[worker_id]);
+                let tracer = tracer.clone();
                 std::thread::Builder::new()
                     .name(format!("sched-engine-worker-{worker_id}"))
                     .spawn(move || {
-                        worker_loop(worker_id as u32, cache_capacity, &rx, global, local)
+                        worker_loop(worker_id as u32, cache_capacity, &rx, global, local, tracer)
                     })
                     .expect("spawn engine worker")
             })
@@ -162,7 +175,16 @@ impl Engine {
             registry,
             worker_registries,
             queue_depth,
+            tracer,
         }
+    }
+
+    /// The engine's flight-recorder tracer, when
+    /// [`EngineConfig::flight_recorder`] was set. The serve loop records
+    /// accept errors into it and dumps it on fatal accept bursts and
+    /// graceful shutdown.
+    pub fn tracer(&self) -> Option<&Arc<sched_obs::trace::Tracer>> {
+        self.tracer.as_ref()
     }
 
     /// Number of worker threads.
@@ -248,7 +270,14 @@ impl Engine {
                 ))),
                 Err(mut e) => {
                     e.message = format!("line {}: {}", lineno + 1, e.message);
-                    Pending::Ready(Box::new(SolveResponse::failure(0, e)))
+                    // best-effort correlation: a line that is valid JSON but
+                    // not a valid request still gets its id/trace_id echoed
+                    let (id, trace_id) = line_correlation(line);
+                    let resp = SolveResponse::failure(id, e);
+                    Pending::Ready(Box::new(match trace_id {
+                        Some(t) => resp.with_trace_id(t),
+                        None => resp,
+                    }))
                 }
             })
             .collect();
@@ -317,11 +346,15 @@ fn worker_loop(
     rx: &Mutex<mpsc::Receiver<Job>>,
     global: Arc<Registry>,
     local: Arc<Registry>,
+    tracer: Option<Arc<sched_obs::trace::Tracer>>,
 ) {
     // Everything the solver stack records ambiently on this thread lands in
     // the worker's own registry; cross-worker aggregates (queue depth,
-    // request latency) go through handles on the global registry.
+    // request latency) go through handles on the global registry. The
+    // shared flight recorder (if any) receives every span and decision
+    // event this worker's solves emit.
     sched_obs::set_thread(Some(local));
+    sched_obs::trace::set_thread(tracer);
     let queue_depth = global.gauge("engine.queue.depth");
     let requests = global.counter("engine.requests");
     let latency = global.histogram("engine.request.latency_ns");
@@ -448,6 +481,34 @@ fn plan(req: &SolveRequest) -> Result<Plan, WireError> {
 }
 
 fn serve_request(
+    worker_id: u32,
+    cache_capacity: usize,
+    cache: &mut CandidateCache,
+    req: &SolveRequest,
+) -> SolveResponse {
+    // Resolve the request's trace id (stamping a deterministic `req-<id>`
+    // when the caller sent none) and make it this thread's ambient id for
+    // the duration of the request, so every span and decision event the
+    // solve emits — and the response, success or failure — carries it.
+    let trace_id = req
+        .trace_id
+        .clone()
+        .unwrap_or_else(|| format!("req-{}", req.id));
+    sched_obs::trace::set_trace_id(Some(&trace_id));
+    let response = {
+        let _span = sched_obs::span!("engine.request_ns");
+        serve_request_planned(worker_id, cache_capacity, cache, req)
+    };
+    if !response.ok {
+        if let Some(t) = sched_obs::trace::active_tracer() {
+            t.dump_to_stderr(&format!("request {} failed, trace_id={trace_id}", req.id));
+        }
+    }
+    sched_obs::trace::set_trace_id(None);
+    response.with_trace_id(trace_id)
+}
+
+fn serve_request_planned(
     worker_id: u32,
     cache_capacity: usize,
     cache: &mut CandidateCache,
@@ -818,6 +879,7 @@ mod tests {
             workers: 2,
             queue_depth: 1,
             cache_capacity: 4,
+            ..Default::default()
         });
         let responses = engine.solve_batch(
             (0..40).map(|i| SolveRequest::schedule_all(i, inst(3 + (i % 4) as u32), 2.0, 1.0)),

@@ -90,6 +90,12 @@ pub struct SolveRequest {
     pub lazy: Option<bool>,
     /// Parallel full-scan toggle; `None` = solver default (off).
     pub parallel: Option<bool>,
+    /// Caller-chosen trace id for cross-process tracing. The engine stamps
+    /// a deterministic one (`req-<id>`) when absent and echoes it on
+    /// success *and* failure responses; worker-side spans and decision
+    /// events are tagged with it. Optional and trailing like `profiles`
+    /// and `obs`, so older peers interoperate unchanged.
+    pub trace_id: Option<String>,
 }
 
 impl SolveRequest {
@@ -108,6 +114,7 @@ impl SolveRequest {
             epsilon: None,
             lazy: None,
             parallel: None,
+            trace_id: None,
         }
     }
 
@@ -241,6 +248,11 @@ pub struct SolveResponse {
     /// Optional and trailing, so v1/v2 clients that never send the verb
     /// parse every response exactly as before.
     pub obs: Option<Snapshot>,
+    /// Echo of the request's trace id (engine-stamped when the request
+    /// carried none), present on success *and* failure so clients can
+    /// correlate either outcome with their traces. Optional and trailing
+    /// like `obs`.
+    pub trace_id: Option<String>,
 }
 
 impl SolveResponse {
@@ -254,6 +266,7 @@ impl SolveResponse {
             error: None,
             metrics: Some(metrics),
             obs: None,
+            trace_id: None,
         }
     }
 
@@ -267,6 +280,7 @@ impl SolveResponse {
             error: Some(error),
             metrics: None,
             obs: None,
+            trace_id: None,
         }
     }
 
@@ -280,7 +294,14 @@ impl SolveResponse {
             error: None,
             metrics: None,
             obs: None,
+            trace_id: None,
         }
+    }
+
+    /// Same response with the trace id stamped (builder-style).
+    pub fn with_trace_id(mut self, trace_id: impl Into<String>) -> Self {
+        self.trace_id = Some(trace_id.into());
+        self
     }
 
     /// Acknowledgement of a `metrics` control request, carrying the
@@ -331,6 +352,25 @@ pub fn parse_line(line: &str) -> Result<WireRequest, WireError> {
             ErrorKind::Parse,
             format!("malformed request line: {e}"),
         )),
+    }
+}
+
+/// Lenient correlation envelope: just the `id` and `trace_id` of a request
+/// line, with every other key ignored.
+#[derive(Debug, Default, Deserialize)]
+struct Correlation {
+    id: Option<u64>,
+    trace_id: Option<String>,
+}
+
+/// Best-effort extraction of `(id, trace_id)` from a request line that
+/// failed full parsing, so even a `Parse`-kind failure response can carry
+/// the caller's correlation keys. Lines that are not JSON objects at all
+/// yield `(0, None)` — the same id control acks use for "no request".
+pub fn line_correlation(line: &str) -> (u64, Option<String>) {
+    match serde_json::from_str::<Correlation>(line) {
+        Ok(c) => (c.id.unwrap_or(0), c.trace_id),
+        Err(_) => (0, None),
     }
 }
 

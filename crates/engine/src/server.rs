@@ -21,7 +21,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 
 use crate::engine::{Engine, EngineConfig, Ticket};
-use crate::protocol::{parse_line, ErrorKind, SolveResponse, WireError, WireRequest};
+use crate::protocol::{
+    line_correlation, parse_line, ErrorKind, SolveResponse, WireError, WireRequest,
+};
 
 /// Runs the serve loop on an already-bound listener until a client sends a
 /// `shutdown` control request. Returns once every accepted connection has
@@ -66,12 +68,35 @@ pub fn serve_with_metrics(
                 // Transient accept failures (EMFILE, aborted handshakes)
                 // must not kill the server; back off briefly and retry. A
                 // persistently failing listener is fatal after ~2 s. Each
-                // failure is counted and logged — these used to vanish
-                // silently, hiding fd exhaustion until clients timed out.
+                // failure is counted, logged, and recorded as a structured
+                // flight-recorder event — these used to vanish silently,
+                // hiding fd exhaustion until clients timed out.
                 engine.registry().counter("engine.accept.errors").inc();
                 eprintln!("accept error (attempt {consecutive_accept_errors}): {e}");
+                if let Some(tracer) = engine.tracer() {
+                    tracer.record_instant(
+                        "engine.accept.error",
+                        None,
+                        vec![
+                            ("attempt", u64::from(consecutive_accept_errors).into()),
+                            ("error", e.to_string().into()),
+                        ],
+                    );
+                }
                 consecutive_accept_errors += 1;
                 if consecutive_accept_errors > 100 {
+                    // Error burst turned fatal: dump the flight recorder and
+                    // flush the metrics snapshot before bailing, so the
+                    // failure leaves the same artifacts a clean shutdown
+                    // would.
+                    if let Some(tracer) = engine.tracer() {
+                        tracer.dump_to_stderr("accept-loop error burst");
+                    }
+                    let snapshot = engine.metrics_snapshot();
+                    eprint!("metrics summary:\n{}", snapshot.render_text());
+                    if let Some(path) = metrics_out {
+                        let _ = std::fs::write(path, snapshot.to_json() + "\n");
+                    }
                     return Err(e);
                 }
                 std::thread::sleep(std::time::Duration::from_millis(20));
@@ -107,8 +132,12 @@ pub fn serve_with_metrics(
         let _ = conn.join();
     }
 
-    // Graceful-shutdown metrics flush: everything is drained, so this is
-    // the complete picture of the server's lifetime.
+    // Graceful-shutdown flush: everything is drained, so this is the
+    // complete picture of the server's lifetime — the metrics snapshot
+    // plus, with the flight recorder on, the last trace events per thread.
+    if let Some(tracer) = engine.tracer() {
+        tracer.dump_to_stderr("graceful shutdown");
+    }
     let snapshot = engine.metrics_snapshot();
     eprint!("metrics summary:\n{}", snapshot.render_text());
     if let Some(path) = metrics_out {
@@ -169,7 +198,16 @@ fn handle_connection(
                             ),
                         ))),
                     },
-                    Err(e) => Pending::Ready(Box::new(SolveResponse::failure(0, e))),
+                    Err(e) => {
+                        // carry whatever correlation keys the bad line had,
+                        // so the client can match the failure to its request
+                        let (id, trace_id) = line_correlation(&line);
+                        let resp = SolveResponse::failure(id, e);
+                        Pending::Ready(Box::new(match trace_id {
+                            Some(t) => resp.with_trace_id(t),
+                            None => resp,
+                        }))
+                    }
                 };
                 if tx.send(pending).is_err() {
                     break; // writer gone (client stopped reading)

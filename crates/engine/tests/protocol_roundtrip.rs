@@ -92,6 +92,7 @@ fn request_strategy() -> impl Strategy<Value = SolveRequest> {
                     epsilon: (mode == SolveMode::PrizeCollecting).then(|| f64::from(eps) / 10.0),
                     lazy: set_opts.then_some(lazy),
                     parallel: set_opts.then_some(parallel),
+                    trace_id: (id % 3 == 0).then(|| format!("trace-{id}")),
                 }
             },
         )
@@ -205,6 +206,44 @@ proptest! {
         prop_assert_eq!(back.schedule.unwrap().scheduled_count,
                         resp.schedule.unwrap().scheduled_count);
     }
+}
+
+#[test]
+fn trace_id_is_additive_and_engine_stamps_and_echoes_it() {
+    // wire level: lines without the field parse as None (old clients),
+    // lines with it keep it
+    let line = r#"{"version":1,"id":9,"mode":"ScheduleAll","instance":{"num_processors":1,"horizon":2,"jobs":[{"value":1,"allowed":[{"proc":0,"time":0}]}]},"restart":3,"rate":1}"#;
+    let req = match parse_line(line).unwrap() {
+        WireRequest::Solve(r) => *r,
+        other => panic!("expected solve, got {other:?}"),
+    };
+    assert!(req.trace_id.is_none());
+
+    let engine = sched_engine::engine::Engine::new(sched_engine::engine::EngineConfig {
+        workers: 1,
+        ..Default::default()
+    });
+
+    // engine stamps a deterministic id when the request carries none...
+    let resp = engine.submit(req.clone()).wait();
+    assert!(resp.ok);
+    assert_eq!(resp.trace_id.as_deref(), Some("req-9"));
+
+    // ...echoes the caller's id verbatim when present...
+    let mut tagged = req.clone();
+    tagged.trace_id = Some("client-abc".into());
+    let resp = engine.submit(tagged).wait();
+    assert!(resp.ok);
+    assert_eq!(resp.trace_id.as_deref(), Some("client-abc"));
+
+    // ...and on failures too (unsatisfiable version => structured error)
+    let mut bad = req;
+    bad.version = 999;
+    bad.trace_id = Some("client-err".into());
+    let resp = engine.submit(bad).wait();
+    assert!(!resp.ok);
+    assert_eq!(resp.error.unwrap().kind, ErrorKind::UnsupportedVersion);
+    assert_eq!(resp.trace_id.as_deref(), Some("client-err"));
 }
 
 #[test]

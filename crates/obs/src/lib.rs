@@ -21,6 +21,12 @@
 //!    handles and costs nothing when no registry is installed. Compiling
 //!    this crate with `--no-default-features` (dropping the `enabled`
 //!    feature) turns the whole ambient API into no-ops at compile time.
+//! 4. **Tracing** — the [`trace`] module adds the causal timeline the
+//!    registry cannot express: an ambiently installed [`trace::Tracer`]
+//!    receives a [`trace::TraceEvent`] from every [`span!`] drop and every
+//!    explicit decision point, stamped with the thread's trace id, and
+//!    exports `trace/v1` JSONL or Chrome trace-event JSON. Same
+//!    thread-shadows-global install rules, same `enabled` feature gate.
 //!
 //! # Histogram buckets and percentiles
 //!
@@ -50,6 +56,8 @@ use std::sync::{Arc, RwLock};
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
+
+pub mod trace;
 
 /// Schema tag carried by every serialized [`Snapshot`].
 pub const SCHEMA: &str = "obs/v1";
@@ -393,6 +401,13 @@ impl Snapshot {
     /// Merges every row of `other` into `self` under `prefix` (e.g.
     /// `"worker0."`), used to fold per-worker registries into one global
     /// snapshot. Rows stay sorted.
+    ///
+    /// Name collisions are **kept, not combined**: if a prefixed row lands
+    /// on a name `self` already has, both rows survive, with `self`'s row
+    /// first (the sort is stable and merged rows are appended). Combining
+    /// would silently fabricate totals — histogram percentiles in
+    /// particular cannot be merged exactly — so a duplicated name is left
+    /// visible for the consumer to notice.
     pub fn merge_prefixed(&mut self, other: &Snapshot, prefix: &str) {
         for c in &other.counters {
             self.counters.push(CounterSnapshot {
@@ -578,13 +593,13 @@ pub struct Span {
     armed: Option<(&'static str, Instant)>,
 }
 
-/// Starts a span timer for histogram `name`. When no registry is active at
-/// creation the span is disarmed and drop does nothing (the clock is never
-/// read).
+/// Starts a span timer for histogram `name`. When neither a registry nor a
+/// tracer (see [`trace`]) is active at creation the span is disarmed and
+/// drop does nothing (the clock is never read).
 #[cfg(feature = "enabled")]
 pub fn span(name: &'static str) -> Span {
     Span {
-        armed: ambient::active().then(|| (name, Instant::now())),
+        armed: (ambient::active() || trace::enabled()).then(|| (name, Instant::now())),
     }
 }
 
@@ -592,7 +607,9 @@ pub fn span(name: &'static str) -> Span {
 impl Drop for Span {
     fn drop(&mut self) {
         if let Some((name, start)) = self.armed.take() {
-            record_ns(name, start.elapsed().as_nanos() as u64);
+            let dur_ns = start.elapsed().as_nanos() as u64;
+            record_ns(name, dur_ns);
+            trace::emit_span(name, start, dur_ns);
         }
     }
 }
@@ -870,9 +887,9 @@ mod tests {
         // global: a span created while inactive must not record even if a
         // registry appears before the drop.
         set_thread(None);
-        let global_installed = global().is_some();
-        if global_installed {
-            return; // another test in the process installed the global
+        trace::set_thread(None);
+        if global().is_some() || trace::global().is_some() {
+            return; // another test in the process installed a global sink
         }
         let s = span!("never_ns");
         let r = Arc::new(Registry::new());
@@ -880,5 +897,91 @@ mod tests {
         drop(s);
         set_thread(None);
         assert_eq!(r.histogram("never_ns").count(), 0);
+    }
+
+    #[test]
+    fn merge_prefixed_keeps_both_rows_on_name_collision() {
+        // an empty prefix makes every row of `other` collide with `self`
+        let a = Registry::new();
+        a.counter("reqs").add(3);
+        a.gauge("depth").add(1);
+        a.histogram("lat_ns").record(10);
+        let b = Registry::new();
+        b.counter("reqs").add(5);
+        b.gauge("depth").add(2);
+        b.histogram("lat_ns").record(20);
+
+        let mut snap = a.snapshot();
+        snap.merge_prefixed(&b.snapshot(), "");
+        // both rows survive — nothing is silently summed or dropped —
+        // and the pre-existing row sorts first (stable sort, appended
+        // rows come later among equals)
+        let reqs: Vec<u64> = snap
+            .counters
+            .iter()
+            .filter(|c| c.name == "reqs")
+            .map(|c| c.value)
+            .collect();
+        assert_eq!(reqs, vec![3, 5]);
+        let depths: Vec<i64> = snap
+            .gauges
+            .iter()
+            .filter(|g| g.name == "depth")
+            .map(|g| g.value)
+            .collect();
+        assert_eq!(depths, vec![1, 2]);
+        let lats: Vec<u64> = snap
+            .histograms
+            .iter()
+            .filter(|h| h.name == "lat_ns")
+            .map(|h| h.sum)
+            .collect();
+        assert_eq!(lats, vec![10, 20]);
+        // rows stay globally sorted by name despite the duplicates
+        assert!(snap.counters.windows(2).all(|w| w[0].name <= w[1].name));
+
+        // the same prefix applied twice duplicates deterministically too
+        let mut twice = Registry::new().snapshot();
+        twice.merge_prefixed(&b.snapshot(), "w0.");
+        twice.merge_prefixed(&b.snapshot(), "w0.");
+        assert_eq!(
+            twice
+                .counters
+                .iter()
+                .filter(|c| c.name == "w0.reqs")
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_and_truncated_input_without_panicking() {
+        let valid = {
+            let r = Registry::new();
+            r.counter("c").add(1);
+            r.snapshot().to_json()
+        };
+        assert!(Snapshot::from_json(&valid).is_ok());
+
+        // truncations at every length must fail with a nonzero-information
+        // error (never a panic, never a silent default)
+        for cut in 0..valid.len().min(80) {
+            let err =
+                Snapshot::from_json(&valid[..cut]).expect_err("truncated snapshot must not parse");
+            assert!(!err.is_empty(), "error carries a message at cut {cut}");
+        }
+
+        // structurally valid JSON of the wrong shape
+        for bad in ["[]", "42", "\"obs/v1\"", "{\"schema\":17}"] {
+            let err = Snapshot::from_json(bad).expect_err(bad);
+            assert!(!err.is_empty(), "{bad}");
+        }
+
+        // right shape, wrong schema tag: the error names both schemas
+        let err = Snapshot::from_json(
+            "{\"schema\":\"obs/v0\",\"counters\":[],\"gauges\":[],\"histograms\":[]}",
+        )
+        .expect_err("wrong schema must not parse");
+        assert!(err.contains("obs/v0") && err.contains(SCHEMA), "{err}");
     }
 }

@@ -569,6 +569,28 @@ impl PeriodicResolve {
         let elapsed_ns = started.elapsed().as_nanos() as u64;
         self.solve_ns.push(elapsed_ns);
         sched_obs::record_ns("sim.resolve.latency_ns", elapsed_ns);
+        if sched_obs::trace::enabled() {
+            // Per-resolve decision event: what was re-solved, through which
+            // resolver, and whether the suffix came back feasible.
+            let resolver = if self.warm.is_some() {
+                "warm"
+            } else {
+                match self.resolver {
+                    Resolver::Inline => "inline",
+                    Resolver::Engine(_) => "engine",
+                }
+            };
+            sched_obs::trace::instant(
+                "sim.policy.resolve",
+                vec![
+                    ("now", u64::from(view.now).into()),
+                    ("pending", ids.len().into()),
+                    ("resolver", resolver.into()),
+                    ("feasible", u64::from(solved.is_some()).into()),
+                    ("latency_ns", elapsed_ns.into()),
+                ],
+            );
+        }
         let Some(schedule) = solved else {
             // Infeasible suffix: serve eagerly until the next slot's retry.
             self.degraded = true;

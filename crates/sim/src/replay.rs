@@ -130,6 +130,19 @@ pub fn replay(trace: &ArrivalTrace, policy: &mut dyn Policy) -> Result<ReplayOut
             };
             policy.decide(&view)
         };
+        if sched_obs::trace::enabled() {
+            // Slot-by-slot narration: what the policy chose to run and keep
+            // awake, next to the spans of the solve that produced the plan.
+            sched_obs::trace::instant(
+                "sim.slot.decision",
+                vec![
+                    ("now", u64::from(now).into()),
+                    ("pending", pending.len().into()),
+                    ("run", decision.run.len().into()),
+                    ("awake", decision.awake.len().into()),
+                ],
+            );
+        }
         let awake_now = validate_decision(trace, &pending, &decision, now)?;
 
         for &(id, proc) in &decision.run {

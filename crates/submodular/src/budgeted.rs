@@ -245,21 +245,47 @@ fn eager_loop<O: BudgetedObjective>(
 ) {
     let m = obj.num_subsets();
     let mut gains: Vec<f64> = Vec::new();
+    // Runner-up tracking exists only for the decision log; the untraced
+    // fold below stays exactly the seed-shaped single-argmax pass.
+    let traced = sched_obs::trace::enabled();
     while out.utility < goal {
         let cur = out.utility;
         obj.scan_gains(cfg.parallel, scratch, &mut gains);
         let obj_ref: &O = obj;
         let mut best = (f64::NEG_INFINITY, 0.0, usize::MAX);
-        for (i, &raw) in gains.iter().enumerate() {
-            let g = clamp_gain(raw, cur, cfg.target);
-            best = better(best, (g / obj_ref.cost(i), g, i), obj_ref);
+        let mut second = (f64::NEG_INFINITY, 0.0, usize::MAX);
+        if traced {
+            for (i, &raw) in gains.iter().enumerate() {
+                let g = clamp_gain(raw, cur, cfg.target);
+                let cand = (g / obj_ref.cost(i), g, i);
+                let next = better(best, cand, obj_ref);
+                // whichever of {best, cand} lost competes for second place
+                let loser = if next.2 == cand.2 { best } else { cand };
+                second = better(second, loser, obj_ref);
+                best = next;
+            }
+        } else {
+            for (i, &raw) in gains.iter().enumerate() {
+                let g = clamp_gain(raw, cur, cfg.target);
+                best = better(best, (g / obj_ref.cost(i), g, i), obj_ref);
+            }
         }
         out.evaluations += m;
         let (_, gain, idx) = best;
         if idx == usize::MAX || gain <= 0.0 {
             break; // stalled
         }
-        commit_pick(obj, cfg, idx, out);
+        let runner_up = (second.2 != usize::MAX).then_some((second.2, second.0, second.1));
+        commit_pick(
+            obj,
+            cfg,
+            idx,
+            out,
+            PickTrace {
+                runner_up,
+                reevals: 0,
+            },
+        );
     }
     out.reached_target = out.utility >= goal;
 }
@@ -362,6 +388,16 @@ fn lazy_loop<O: BudgetedObjective>(
         })
         .collect();
 
+    // Re-evaluations since the last commit; reported in the decision log so
+    // a trace shows how hard the lazy heap worked for each pick.
+    let mut reevals_since_commit = 0u64;
+    // The runner-up at a lazy commit is the next heap key: a *stale upper
+    // bound* on the true second-best ratio, which is exactly the certificate
+    // the lazy rule used to justify the pick.
+    let runner_up_of = |heap: &BinaryHeap<HeapEntry>| {
+        heap.peek()
+            .map(|next| (next.idx, next.ratio, next.ratio * next.cost))
+    };
     while out.utility < goal {
         let Some(top) = heap.pop() else { break };
         if top.ratio <= 0.0 {
@@ -369,20 +405,31 @@ fn lazy_loop<O: BudgetedObjective>(
         }
         if top.round == round {
             // fresh: this is the true argmax
-            commit_pick(obj, cfg, top.idx, out);
+            let trace = PickTrace {
+                runner_up: runner_up_of(&heap),
+                reevals: reevals_since_commit,
+            };
+            commit_pick(obj, cfg, top.idx, out, trace);
+            reevals_since_commit = 0;
             round += 1;
         } else {
             // stale: re-evaluate against the current solution (cheap for
             // memo-clean candidates, one batched run pass otherwise)
             let g = clamp_gain(obj.gain(top.idx, scratch), out.utility, cfg.target);
             out.evaluations += 1;
+            reevals_since_commit += 1;
             let ratio = g / top.cost;
             // Every other entry's true ratio is bounded above by its stale
             // heap key; if the refreshed ratio still strictly beats the next
             // key, this candidate is the unique argmax — commit directly
             // instead of cycling it through the heap.
             if g > 0.0 && heap.peek().is_none_or(|next| ratio > next.ratio) {
-                commit_pick(obj, cfg, top.idx, out);
+                let trace = PickTrace {
+                    runner_up: runner_up_of(&heap),
+                    reevals: reevals_since_commit,
+                };
+                commit_pick(obj, cfg, top.idx, out, trace);
+                reevals_since_commit = 0;
                 round += 1;
             } else {
                 heap.push(HeapEntry {
@@ -397,11 +444,23 @@ fn lazy_loop<O: BudgetedObjective>(
     out.reached_target = out.utility >= goal;
 }
 
+/// Decision-log context for one committed pick. Populated only when a tracer
+/// is ambiently installed; carrying it through [`commit_pick`] keeps the
+/// event emission in one place without touching the pick loops' hot paths.
+struct PickTrace {
+    /// Runner-up candidate as `(idx, ratio, gain)`. Exact second-best in
+    /// eager mode; the next (stale upper-bound) heap key in lazy mode.
+    runner_up: Option<(usize, f64, f64)>,
+    /// Lazy-heap re-evaluations spent since the previous commit.
+    reevals: u64,
+}
+
 fn commit_pick<O: BudgetedObjective>(
     obj: &mut O,
     cfg: GreedyConfig,
     idx: usize,
     out: &mut GreedyOutcome,
+    trace: PickTrace,
 ) {
     let before = out.utility;
     let raw = obj.commit(idx);
@@ -410,12 +469,31 @@ fn commit_pick<O: BudgetedObjective>(
     debug_assert!((out.utility - (before + raw)).abs() < 1e-6);
     out.total_cost += cost;
     out.chosen.push(idx);
+    let gain = clamp_gain(raw, before, cfg.target);
     out.trace.push(IterRecord {
         chosen: idx,
-        gain: clamp_gain(raw, before, cfg.target),
+        gain,
         cost,
         utility_after: out.utility,
     });
+    if sched_obs::trace::enabled() {
+        let mut args: Vec<(&'static str, sched_obs::trace::ArgValue)> = vec![
+            ("iter", (out.chosen.len() as u64 - 1).into()),
+            ("chosen", idx.into()),
+            ("gain", gain.into()),
+            ("cost", cost.into()),
+            ("ratio", (gain / cost).into()),
+            ("utility_after", out.utility.into()),
+            ("remaining", (cfg.target - out.utility).max(0.0).into()),
+            ("reevals", trace.reevals.into()),
+        ];
+        if let Some((ru_idx, ru_ratio, ru_gain)) = trace.runner_up {
+            args.push(("runner_up", ru_idx.into()));
+            args.push(("runner_up_ratio", ru_ratio.into()));
+            args.push(("runner_up_gain", ru_gain.into()));
+        }
+        sched_obs::trace::instant("submodular.greedy.pick", args);
+    }
 }
 
 /// [`BudgetedObjective`] over an explicit set system: allowable subsets given

@@ -14,6 +14,8 @@
 //! power-sched replay traces/ --policy greedy --workers 4 --out reports.jsonl
 //! power-sched replay --gen cliffs --count 4 --seed 7 --policy hiring
 //! power-sched replay --gen --policy resolve:1:warm --metrics-out metrics.json
+//! power-sched replay --gen --policy resolve:4:warm --trace-out trace.json
+//! power-sched explain inst.json --restart 3 --rate 1 [--trace-out trace.json]
 //! power-sched metrics metrics.json
 //! power-sched perf [--quick] [--out BENCH_solver.json] [--baseline BENCH_solver.json]
 //! ```
@@ -54,6 +56,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("generate") => cmd_generate(&args[1..]),
         Some("solve") => cmd_solve(&args[1..]),
+        Some("explain") => cmd_explain(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
@@ -62,20 +65,21 @@ fn main() -> ExitCode {
         Some("perf") => bench::perf::cli(&args[1..]),
         _ => {
             eprintln!(
-                "usage: power-sched <generate|solve|validate|batch|serve|replay|metrics|perf> ...\n\
+                "usage: power-sched <generate|solve|explain|validate|batch|serve|replay|metrics|perf> ...\n\
                  \n  generate --seed S --processors P --horizon T --jobs N [--values V] --out FILE\
                  \n           [--hetero LEVELS --profiles-out FILE]\
                  \n  generate --trace poisson|diurnal|cliffs --seed S [--processors P --horizon T --jobs N\
                  \n           --restart A --rate R --slack K --values V] [--hetero LEVELS] --out FILE\
                  \n  solve INSTANCE.json [--restart A] [--rate R] [--profiles FILE] [--target Z]\
                  \n        [--policy all|single|maxlen:K] [--out FILE] [--metrics-out FILE]\
+                 \n  explain INSTANCE.json [solve flags] [--trace-out FILE]\
                  \n  validate INSTANCE.json SCHEDULE.json\
                  \n  batch [REQUESTS.jsonl|-] [--workers N] [--queue D] [--out FILE] [--metrics-out FILE]\
                  \n  batch [REQUESTS.jsonl|-] --connect HOST:PORT [--shutdown] [--out FILE]\
-                 \n  serve --addr HOST:PORT [--workers N] [--queue D] [--metrics-out FILE]\
+                 \n  serve --addr HOST:PORT [--workers N] [--queue D] [--metrics-out FILE] [--flight-recorder]\
                  \n  replay [TRACE.json|DIR] [--gen [poisson|diurnal|cliffs] --count N --seed S --hetero LEVELS ...]\
                  \n         [--policy greedy|hiring[:F]|resolve[:K]] [--offline auto|greedy|exact]\
-                 \n         [--workers N] [--out FILE] [--metrics-out FILE] [--verbose]\
+                 \n         [--workers N] [--out FILE] [--metrics-out FILE] [--trace-out FILE] [--verbose]\
                  \n  metrics SNAPSHOT.json\
                  \n  perf [--quick] [--out FILE] [--baseline FILE] [--tolerance F]"
             );
@@ -121,6 +125,45 @@ fn metrics_registry(args: &[String]) -> Option<(String, std::sync::Arc<obs::Regi
 fn write_metrics(path: &str, snapshot: &obs::Snapshot) -> Result<(), String> {
     std::fs::write(path, snapshot.to_json() + "\n").map_err(|e| format!("writing {path}: {e}"))?;
     eprintln!("wrote metrics snapshot to {path}");
+    Ok(())
+}
+
+/// Flushes `--metrics-out` regardless of how the command body ended: a run
+/// that fails midway still leaves behind whatever it recorded up to the
+/// failure, which is exactly when the numbers are most wanted. The run's
+/// own error takes precedence over a flush error.
+fn flush_metrics(
+    metrics: Option<(String, std::sync::Arc<obs::Registry>)>,
+    result: Result<(), String>,
+) -> Result<(), String> {
+    let flush = match &metrics {
+        Some((path, registry)) => write_metrics(path, &registry.snapshot()),
+        None => Ok(()),
+    };
+    result.and(flush)
+}
+
+/// `--trace-out FILE`: installs the process-wide ambient tracer so every
+/// span and decision event recorded anywhere in the process lands in one
+/// timeline. Returns the path plus the tracer to export at exit.
+fn trace_tracer(args: &[String]) -> Option<(String, std::sync::Arc<obs::trace::Tracer>)> {
+    let path = flag(args, "--trace-out")?;
+    let tracer = std::sync::Arc::new(obs::trace::Tracer::new());
+    obs::trace::install_global(std::sync::Arc::clone(&tracer));
+    Some((path, tracer))
+}
+
+/// Writes the collected trace: Chrome trace-event JSON by default (load it
+/// in Perfetto or `chrome://tracing`), `trace/v1` JSONL when the path ends
+/// in `.jsonl`.
+fn write_trace(path: &str, tracer: &obs::trace::Tracer) -> Result<(), String> {
+    let body = if path.ends_with(".jsonl") {
+        tracer.to_trace_jsonl()
+    } else {
+        tracer.to_chrome_json() + "\n"
+    };
+    std::fs::write(path, body).map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!("wrote {} trace events to {path}", tracer.len());
     Ok(())
 }
 
@@ -251,21 +294,17 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_solve(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("missing INSTANCE.json")?;
-    let metrics = metrics_registry(args);
+/// Loads the instance plus the cost oracle shared by `solve` and `explain`:
+/// `--profiles FILE` switches pricing from the uniform affine model to an
+/// explicit per-processor fleet (validated before the oracle asserts).
+fn load_instance_and_cost(
+    path: &str,
+    args: &[String],
+) -> Result<(Instance, Box<dyn EnergyCost>), String> {
     let restart: f64 =
         flag(args, "--restart").map_or(Ok(3.0), |v| v.parse().map_err(|e| format!("{e}")))?;
     let rate: f64 =
         flag(args, "--rate").map_or(Ok(1.0), |v| v.parse().map_err(|e| format!("{e}")))?;
-    let policy: CandidatePolicy = flag(args, "--policy")
-        .unwrap_or_else(|| "all".into())
-        .parse()?;
-    let target: Option<f64> = match flag(args, "--target") {
-        Some(v) => Some(v.parse().map_err(|e| format!("{e}"))?),
-        None => None,
-    };
-
     let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
     let inst: Instance =
         serde_json::from_str(&text).map_err(|e| format!("{path} is not a valid instance: {e}"))?;
@@ -273,8 +312,6 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
     // checks; validate before the solver indexes slots by id.
     inst.validate()
         .map_err(|e| format!("{path} is not a valid instance: {e}"))?;
-    // --profiles FILE switches pricing from the uniform affine model to an
-    // explicit per-processor fleet (validated before the oracle asserts).
     let cost: Box<dyn EnergyCost> = match flag(args, "--profiles") {
         Some(pp) => {
             let text = std::fs::read_to_string(&pp).map_err(|e| format!("reading {pp}: {e}"))?;
@@ -286,6 +323,25 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
         }
         None => Box::new(AffineCost::new(restart, rate)),
     };
+    Ok((inst, cost))
+}
+
+fn cmd_solve(args: &[String]) -> Result<(), String> {
+    let metrics = metrics_registry(args);
+    flush_metrics(metrics, solve_run(args))
+}
+
+fn solve_run(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing INSTANCE.json")?;
+    let policy: CandidatePolicy = flag(args, "--policy")
+        .unwrap_or_else(|| "all".into())
+        .parse()?;
+    let target: Option<f64> = match flag(args, "--target") {
+        Some(v) => Some(v.parse().map_err(|e| format!("{e}"))?),
+        None => None,
+    };
+
+    let (inst, cost) = load_instance_and_cost(path, args)?;
     let solver = Solver::new(&inst, cost.as_ref()).policy(policy);
 
     let schedule = match target {
@@ -309,8 +365,116 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
         std::fs::write(&out, json).map_err(|e| e.to_string())?;
         println!("wrote {out}");
     }
-    if let Some((path, registry)) = metrics {
-        write_metrics(&path, &registry.snapshot())?;
+    Ok(())
+}
+
+/// Finds an event argument by key.
+fn event_arg<'e>(e: &'e obs::trace::TraceEvent, key: &str) -> Option<&'e obs::trace::ArgValue> {
+    e.args.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+}
+
+/// Numeric view of an event argument (`NaN` when absent or non-numeric).
+fn event_num(e: &obs::trace::TraceEvent, key: &str) -> f64 {
+    match event_arg(e, key) {
+        Some(obs::trace::ArgValue::U64(v)) => *v as f64,
+        Some(obs::trace::ArgValue::I64(v)) => *v as f64,
+        Some(obs::trace::ArgValue::F64(v)) => *v,
+        _ => f64::NAN,
+    }
+}
+
+/// `explain INSTANCE.json`: runs the same solve as `solve`, with the tracer
+/// installed, and narrates the greedy's decision log pick by pick — winner
+/// vs runner-up gains, lazy re-evaluations, budget remaining — followed by
+/// a span-time summary. `--trace-out FILE` additionally exports the full
+/// timeline for Perfetto.
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing INSTANCE.json")?;
+    let tracer = std::sync::Arc::new(obs::trace::Tracer::new());
+    obs::trace::install_global(std::sync::Arc::clone(&tracer));
+    let stem = std::path::Path::new(path)
+        .file_stem()
+        .map_or_else(|| path.clone(), |s| s.to_string_lossy().into_owned());
+    let trace_id = format!("explain-{stem}");
+    obs::trace::set_trace_id(Some(&trace_id));
+
+    let policy: CandidatePolicy = flag(args, "--policy")
+        .unwrap_or_else(|| "all".into())
+        .parse()?;
+    let target: Option<f64> = match flag(args, "--target") {
+        Some(v) => Some(v.parse().map_err(|e| format!("{e}"))?),
+        None => None,
+    };
+    let (inst, cost) = load_instance_and_cost(path, args)?;
+    let solver = Solver::new(&inst, cost.as_ref()).policy(policy);
+    let schedule = match target {
+        Some(z) => solver.prize_collecting_exact(z),
+        None => solver.schedule_all(),
+    }
+    .map_err(|e| e.to_string())?;
+    obs::trace::set_trace_id(None);
+
+    println!(
+        "explain {path} [{trace_id}]: {} jobs, {} processors, horizon {}",
+        inst.num_jobs(),
+        inst.num_processors,
+        inst.horizon
+    );
+    let events = tracer.events();
+    for e in events.iter().filter(|e| e.name == "submodular.greedy.pick") {
+        let reevals = event_num(e, "reevals");
+        print!(
+            "  pick {:>3}: cand {} gain {:.3} cost {:.3} ratio {:.3}  utility {:.3} remaining {:.3}",
+            event_num(e, "iter"),
+            event_num(e, "chosen"),
+            event_num(e, "gain"),
+            event_num(e, "cost"),
+            event_num(e, "ratio"),
+            event_num(e, "utility_after"),
+            event_num(e, "remaining"),
+        );
+        if let Some(ru) = event_arg(e, "runner_up") {
+            print!(
+                "  (runner-up cand {ru} ratio {:.3})",
+                event_num(e, "runner_up_ratio")
+            );
+        }
+        if reevals > 0.0 {
+            print!("  [{reevals} lazy re-evals]");
+        }
+        println!();
+    }
+    // Span-time summary: where the solve's wall time went, per span name.
+    let mut spans: Vec<(&'static str, u64, u64)> = Vec::new();
+    for e in events
+        .iter()
+        .filter(|e| e.kind == obs::trace::EventKind::Span)
+    {
+        match spans.iter_mut().find(|(n, _, _)| *n == e.name) {
+            Some((_, count, total)) => {
+                *count += 1;
+                *total += e.dur_ns;
+            }
+            None => spans.push((e.name, 1, e.dur_ns)),
+        }
+    }
+    spans.sort_by_key(|&(_, _, total)| std::cmp::Reverse(total));
+    for (name, count, total) in &spans {
+        println!(
+            "  span {name}: {count} x, total {:.3} ms",
+            *total as f64 / 1e6
+        );
+    }
+    println!(
+        "scheduled {}/{} jobs (value {:.1}) at energy cost {:.2} with {} awake intervals",
+        schedule.scheduled_count,
+        inst.num_jobs(),
+        schedule.scheduled_value,
+        schedule.total_cost,
+        schedule.awake.len()
+    );
+    if let Some(out) = flag(args, "--trace-out") {
+        write_trace(&out, &tracer)?;
     }
     Ok(())
 }
@@ -364,6 +528,9 @@ fn engine_config(args: &[String]) -> Result<EngineConfig, String> {
     if let Some(q) = flag(args, "--queue") {
         cfg.queue_depth = q.parse().map_err(|e| format!("bad --queue: {e}"))?;
     }
+    // Bare flag: retain the last events per worker thread and dump them on
+    // request failures, accept-loop bursts, and graceful shutdown.
+    cfg.flight_recorder = args.iter().any(|a| a == "--flight-recorder");
     Ok(cfg)
 }
 
@@ -576,6 +743,11 @@ fn replay_traces(args: &[String]) -> Result<Vec<ArrivalTrace>, String> {
 
 fn cmd_replay(args: &[String]) -> Result<(), String> {
     let metrics = metrics_registry(args);
+    flush_metrics(metrics, replay_run(args))
+}
+
+fn replay_run(args: &[String]) -> Result<(), String> {
+    let trace_out = trace_tracer(args);
     let traces = replay_traces(args)?;
     let policy: PolicyKind = flag(args, "--policy")
         .unwrap_or_else(|| "greedy".into())
@@ -586,31 +758,38 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
     let workers: usize = parse_flag(args, "--workers", 1)?;
     let verbose = args.iter().any(|a| a == "--verbose");
 
-    let reports: Vec<ReplayReport> = if verbose {
+    let reports: Vec<ReplayReport> = if verbose || trace_out.is_some() {
         // Sequential so each report can be narrated with its machine-state
-        // timeline; the reports themselves are identical to the parallel
+        // timeline, and so each trace gets its own `trace_id` on one
+        // thread; the reports themselves are identical to the parallel
         // path (replay is deterministic).
         let mut out = Vec::with_capacity(traces.len());
         for trace in &traces {
+            if trace_out.is_some() {
+                obs::trace::set_trace_id(Some(&format!("replay-{}", trace.name)));
+            }
             let mut p = policy.build(None);
             let (report, outcome) = replay_with_report(trace, p.as_mut(), offline)
                 .map_err(|e| format!("replaying {}: {e}", trace.name))?;
-            eprintln!("{} [{}]:", trace.name, report.policy);
-            eprint!("{}", outcome.power);
-            if let Some(rs) = report.resolve_stats {
-                eprintln!(
-                    "  re-solves: {} ({} warm, {} cold), total {:.2} ms, \
-                     p50 {:.1} us, p99 {:.1} us",
-                    rs.count,
-                    rs.warm,
-                    rs.cold,
-                    rs.total_ns as f64 / 1e6,
-                    rs.p50_ns as f64 / 1e3,
-                    rs.p99_ns as f64 / 1e3,
-                );
+            if verbose {
+                eprintln!("{} [{}]:", trace.name, report.policy);
+                eprint!("{}", outcome.power);
+                if let Some(rs) = report.resolve_stats {
+                    eprintln!(
+                        "  re-solves: {} ({} warm, {} cold), total {:.2} ms, \
+                         p50 {:.1} us, p99 {:.1} us",
+                        rs.count,
+                        rs.warm,
+                        rs.cold,
+                        rs.total_ns as f64 / 1e6,
+                        rs.p50_ns as f64 / 1e3,
+                        rs.p99_ns as f64 / 1e3,
+                    );
+                }
             }
             out.push(report);
         }
+        obs::trace::set_trace_id(None);
         out
     } else {
         replay_fleet(&traces, &policy, &FleetOptions { workers, offline })
@@ -668,8 +847,8 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
         reports.len(),
         if reports.len() == 1 { "" } else { "s" },
     );
-    if let Some((path, registry)) = metrics {
-        write_metrics(&path, &registry.snapshot())?;
+    if let Some((path, tracer)) = &trace_out {
+        write_trace(path, tracer)?;
     }
     Ok(())
 }

@@ -251,3 +251,48 @@ fn batch_turns_bad_lines_into_structured_responses() {
         "id is still echoed for invalid instances"
     );
 }
+
+#[test]
+fn failed_replay_still_flushes_metrics_out() {
+    // A command that dies mid-run must leave its partial metrics snapshot
+    // behind: that is the run whose numbers are most wanted. The second
+    // trace here is invalid JSON, so replay fails after the registry is
+    // installed — the flush must happen anyway.
+    let dir = temp_dir("metrics-on-failure");
+    let bad = dir.join("bad-trace.json");
+    std::fs::write(&bad, "{not json").unwrap();
+    let metrics = dir.join("metrics.json");
+    let out = bin()
+        .args([
+            "replay",
+            bad.to_str().unwrap(),
+            "--policy",
+            "resolve:1",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn replay");
+    assert_clean_failure(&out);
+    let text =
+        std::fs::read_to_string(&metrics).expect("metrics snapshot written despite the failed run");
+    let snapshot =
+        power_scheduling::obs::Snapshot::from_json(&text).expect("flushed file is obs/v1");
+    assert_eq!(snapshot.schema, power_scheduling::obs::SCHEMA);
+}
+
+#[test]
+fn metrics_rejects_malformed_snapshot_files_with_nonzero_exit() {
+    let dir = temp_dir("metrics-bad");
+    let path = dir.join("snap.json");
+    std::fs::write(&path, r#"{"schema":"obs/v1","counters":[{"name":"x""#).unwrap();
+    let out = bin()
+        .args(["metrics", path.to_str().unwrap()])
+        .output()
+        .expect("spawn metrics");
+    assert_clean_failure(&out);
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("not an obs/v1 snapshot"),
+        "parse failures must say what was wrong"
+    );
+}
