@@ -1,0 +1,29 @@
+//! `loadgen_harness` — the engine load benchmark (`BENCH_engine_load.json`).
+//!
+//! ```text
+//! loadgen_harness [--quick] [--out BENCH_engine_load.json]
+//!                 [--baseline BENCH_engine_load.json] [--tolerance 0.25]
+//!                 [--relative-only]
+//! ```
+//!
+//! Boots a real `sched-engine` TCP server and drives it with closed-loop
+//! framing comparisons (JSONL vs v3 binary) and open-loop Poisson/diurnal
+//! arrivals against a bounded, shedding admission queue. Emits the
+//! `bench-engine-load/v1` JSON report (see `bench::loadgen` for the
+//! schema). With `--baseline`, compares the fresh run against a committed
+//! report and exits nonzero on regression beyond the tolerance — the CI
+//! load gate (`--relative-only` gates only the machine-portable
+//! binary-over-JSONL ratio).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match bench::loadgen::cli(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -97,9 +97,10 @@ pub fn run(seed: u64, quick: bool) {
     let batch = if quick { 16 } else { 48 };
     let requests: Vec<SolveRequest> = (0..batch)
         .map(|i| {
-            let mut req = SolveRequest::schedule_all(i as u64, p.instance.clone(), 8.0, 1.0);
-            req.parallel = Some(true); // SolveOptions.parallel through the pool
-            req
+            SolveRequest::builder(i as u64, p.instance.clone())
+                .affine(8.0, 1.0)
+                .parallel(true) // SolveOptions.parallel through the pool
+                .build()
         })
         .collect();
     let mut t3 = Table::new(&["workers", "cost (first req)", "req/s", "ms total"]);

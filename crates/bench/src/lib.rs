@@ -9,6 +9,7 @@
 //! [`perf`].
 
 pub mod experiments;
+pub mod loadgen;
 pub mod perf;
 pub mod table;
 

@@ -485,22 +485,18 @@ fn engine_workload(count: usize) -> Vec<SolveRequest> {
             let inst = planted.instance;
             let total = inst.total_value();
             match i % 3 {
-                0 => SolveRequest::schedule_all(i as u64, inst, 4.0, 1.0),
-                1 => SolveRequest::prize_collecting(
-                    i as u64,
-                    inst,
-                    4.0,
-                    1.0,
-                    (total * 0.5).max(1.0),
-                    Some(0.25),
-                ),
-                _ => SolveRequest::prize_collecting_exact(
-                    i as u64,
-                    inst,
-                    4.0,
-                    1.0,
-                    (total * 0.4).max(1.0),
-                ),
+                0 => SolveRequest::builder(i as u64, inst)
+                    .affine(4.0, 1.0)
+                    .build(),
+                1 => SolveRequest::builder(i as u64, inst)
+                    .affine(4.0, 1.0)
+                    .prize_collecting((total * 0.5).max(1.0))
+                    .epsilon(0.25)
+                    .build(),
+                _ => SolveRequest::builder(i as u64, inst)
+                    .affine(4.0, 1.0)
+                    .prize_collecting_exact((total * 0.4).max(1.0))
+                    .build(),
             }
         })
         .collect()

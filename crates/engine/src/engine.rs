@@ -3,12 +3,18 @@
 //!
 //! # Design
 //!
-//! * **Sharding** — workers share a single `std::sync::mpsc` queue behind a
-//!   mutex (work stealing by contention: whichever worker is idle takes the
-//!   next request). The queue is bounded ([`EngineConfig::queue_depth`]), so
-//!   a fast producer blocks in [`Engine::submit`] instead of buffering
-//!   unboundedly — backpressure propagates all the way to a TCP client's
-//!   socket.
+//! * **Sharding** — workers share a single bounded deque behind a mutex
+//!   (work stealing by contention: whichever worker is idle takes the next
+//!   request). A fast producer either blocks in [`Engine::submit`]
+//!   (backpressure — the batch path) or goes through [`Engine::admit`],
+//!   which never blocks: when the queue is full it *sheds* per a
+//!   [`ShedPolicy`] — reject the newcomer, or answer the oldest queued
+//!   request with a structured [`ErrorKind::Overloaded`] response and
+//!   admit the newcomer in its place. Either way memory stays bounded and
+//!   every request gets an answer; nothing is silently dropped.
+//! * **Retry hints** — shed responses carry `retry_after_ms`, estimated
+//!   from an EWMA of recent request latency times the current backlog per
+//!   worker — roughly "when will a queue slot exist again".
 //! * **Candidate reuse** — enumeration is the per-request cost that does not
 //!   depend on the jobs, only on `(processors, horizon, cost, policy)`.
 //!   Each worker keeps a small keyed cache of [`sched_core::WarmHandle`]s,
@@ -24,9 +30,9 @@
 //!   submission order, so batch output order always matches input order no
 //!   matter which worker finished first.
 
-use std::collections::HashMap;
-use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -56,7 +62,7 @@ pub struct EngineConfig {
     /// [`sched_obs::trace::FLIGHT_CAPACITY`] events per thread), every
     /// worker records its spans and decision events into it, and the last
     /// events are dumped to stderr on request failure, accept-loop error
-    /// bursts, and graceful shutdown.
+    /// bursts, and graceful shutdown. Shed events are recorded into it too.
     pub flight_recorder: bool,
 }
 
@@ -89,6 +95,53 @@ impl EngineConfig {
     }
 }
 
+/// What [`Engine::admit`] does when the bounded queue is full.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShedPolicy {
+    /// Shed the *newcomer*: the admitted request is answered immediately
+    /// with [`ErrorKind::Overloaded`]; the queue is untouched. Favors
+    /// requests already accepted (FIFO fairness).
+    Reject,
+    /// Shed the *oldest* queued request (answering its ticket with
+    /// [`ErrorKind::Overloaded`]) and admit the newcomer in its place.
+    /// Favors fresh work — the oldest request has waited longest and is
+    /// the most likely to have been abandoned by its client.
+    Oldest,
+}
+
+impl std::str::FromStr for ShedPolicy {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "reject" => Ok(ShedPolicy::Reject),
+            "oldest" => Ok(ShedPolicy::Oldest),
+            other => Err(format!(
+                "unknown shed policy '{other}' (expected reject or oldest)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for ShedPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ShedPolicy::Reject => "reject",
+            ShedPolicy::Oldest => "oldest",
+        })
+    }
+}
+
+/// Outcome of a non-blocking [`Engine::admit`].
+pub enum AdmitResult {
+    /// The request is queued; the ticket resolves to its response (which
+    /// may still be `Overloaded` if a later `Oldest`-policy admission
+    /// sheds it while it waits).
+    Admitted(Ticket),
+    /// The request was shed at the door ([`ShedPolicy::Reject`] with a
+    /// full queue): here is its `Overloaded` response, ready to send.
+    Shed(Box<SolveResponse>),
+}
+
 /// Claim on one submitted request's response.
 pub struct Ticket {
     rx: mpsc::Receiver<SolveResponse>,
@@ -113,25 +166,146 @@ struct Job {
     reply: mpsc::SyncSender<SolveResponse>,
 }
 
+/// The engine's bounded request queue. Hand-rolled (deque + condvars)
+/// rather than `mpsc::sync_channel` because admission control needs two
+/// things a channel cannot do: inspect fullness *atomically with* the
+/// enqueue decision, and evict the oldest queued entry to answer it with
+/// an `Overloaded` response ([`ShedPolicy::Oldest`]).
+struct SharedQueue {
+    capacity: usize,
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+enum Admission {
+    /// Queued; with [`ShedPolicy::Oldest`] on a full queue, the evicted
+    /// front entry rides along for the caller to answer.
+    Admitted { victim: Option<Job> },
+    /// Full queue under [`ShedPolicy::Reject`]: the job comes back.
+    Rejected(Job),
+}
+
+impl SharedQueue {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState> {
+        // A worker that panicked mid-solve never holds this lock, and the
+        // deque itself cannot be left inconsistent by any panic in here,
+        // so a poisoned mutex is safe to keep using.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Blocking enqueue: waits for a slot (backpressure). After close the
+    /// job is dropped, which resolves its ticket to a structured
+    /// `Internal` failure.
+    fn push_blocking(&self, job: Job) {
+        let mut st = self.lock();
+        while st.jobs.len() >= self.capacity && !st.closed {
+            st = self
+                .not_full
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        if st.closed {
+            return;
+        }
+        st.jobs.push_back(job);
+        drop(st);
+        self.not_empty.notify_one();
+    }
+
+    /// Non-blocking admission applying `policy` when full.
+    fn try_admit(&self, job: Job, policy: ShedPolicy) -> Admission {
+        let mut st = self.lock();
+        if st.closed {
+            return Admission::Admitted { victim: None }; // dropped job → Internal
+        }
+        if st.jobs.len() < self.capacity {
+            st.jobs.push_back(job);
+            drop(st);
+            self.not_empty.notify_one();
+            return Admission::Admitted { victim: None };
+        }
+        match policy {
+            ShedPolicy::Reject => Admission::Rejected(job),
+            ShedPolicy::Oldest => {
+                let victim = st.jobs.pop_front().expect("full queue has a front");
+                st.jobs.push_back(job);
+                Admission::Admitted {
+                    victim: Some(victim),
+                }
+            }
+        }
+    }
+
+    /// Blocking dequeue; `None` once the queue is closed *and* drained.
+    fn pop_blocking(&self) -> Option<Job> {
+        let mut st = self.lock();
+        loop {
+            if let Some(job) = st.jobs.pop_front() {
+                drop(st);
+                self.not_full.notify_one();
+                return Some(job);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self
+                .not_empty
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn close(&self) {
+        self.lock().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    fn len(&self) -> usize {
+        self.lock().jobs.len()
+    }
+}
+
 /// The worker pool. Dropping the engine (or calling [`Engine::shutdown`])
 /// closes the queue and joins every worker after it drains in-flight work.
 ///
 /// # Telemetry
 ///
 /// The engine owns a *global* [`Registry`] (queue depth gauge, request
-/// latency histogram, request counters) plus one registry per worker.
-/// Each worker installs its registry as the thread-ambient one, so every
-/// metric the solver stack records (`core.*`, `submodular.*`,
-/// `matching.*`, `engine.cache.*`) lands per-worker.
+/// latency histogram, request counters, shed counters) plus one registry
+/// per worker. Each worker installs its registry as the thread-ambient
+/// one, so every metric the solver stack records (`core.*`,
+/// `submodular.*`, `matching.*`, `engine.cache.*`) lands per-worker.
 /// [`Engine::metrics_snapshot`] folds everything into one `obs/v1`
 /// [`Snapshot`], worker rows prefixed `workerN.`.
 pub struct Engine {
-    tx: Option<mpsc::SyncSender<Job>>,
+    queue: Arc<SharedQueue>,
     handles: Vec<JoinHandle<()>>,
     workers: usize,
     registry: Arc<Registry>,
     worker_registries: Vec<Arc<Registry>>,
     queue_depth: Arc<Gauge>,
+    /// EWMA of request service latency (ns), updated by workers; feeds the
+    /// `retry_after_ms` hint. Racy updates are fine — it is a hint.
+    latency_ewma_ns: Arc<AtomicU64>,
     tracer: Option<Arc<sched_obs::trace::Tracer>>,
 }
 
@@ -151,30 +325,40 @@ impl Engine {
         let tracer = config
             .flight_recorder
             .then(|| Arc::new(sched_obs::trace::Tracer::flight_recorder()));
-        let (tx, rx) = mpsc::sync_channel::<Job>(depth);
-        let rx = Arc::new(Mutex::new(rx));
+        let queue = Arc::new(SharedQueue::new(depth));
+        let latency_ewma_ns = Arc::new(AtomicU64::new(0));
         let handles = (0..workers)
             .map(|worker_id| {
-                let rx = Arc::clone(&rx);
+                let queue = Arc::clone(&queue);
                 let cache_capacity = config.cache_capacity.max(1);
                 let global = Arc::clone(&registry);
                 let local = Arc::clone(&worker_registries[worker_id]);
                 let tracer = tracer.clone();
+                let ewma = Arc::clone(&latency_ewma_ns);
                 std::thread::Builder::new()
                     .name(format!("sched-engine-worker-{worker_id}"))
                     .spawn(move || {
-                        worker_loop(worker_id as u32, cache_capacity, &rx, global, local, tracer)
+                        worker_loop(
+                            worker_id as u32,
+                            cache_capacity,
+                            &queue,
+                            global,
+                            local,
+                            tracer,
+                            &ewma,
+                        )
                     })
                     .expect("spawn engine worker")
             })
             .collect();
         Self {
-            tx: Some(tx),
+            queue,
             handles,
             workers,
             registry,
             worker_registries,
             queue_depth,
+            latency_ewma_ns,
             tracer,
         }
     }
@@ -192,9 +376,14 @@ impl Engine {
         self.workers
     }
 
+    /// Requests currently queued (excludes in-flight solves).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
     /// The engine-global registry (queue depth, request latency, accept
-    /// errors). Per-worker solver metrics live in the worker registries;
-    /// use [`Engine::metrics_snapshot`] for the merged view.
+    /// errors, shed counters). Per-worker solver metrics live in the worker
+    /// registries; use [`Engine::metrics_snapshot`] for the merged view.
     pub fn registry(&self) -> &Arc<Registry> {
         &self.registry
     }
@@ -210,7 +399,9 @@ impl Engine {
     }
 
     /// Enqueues one request, blocking while the bounded queue is full
-    /// (backpressure). The returned [`Ticket`] resolves to the response.
+    /// (backpressure — the batch path). The returned [`Ticket`] resolves
+    /// to the response. Serve connections use [`Engine::admit`] instead,
+    /// which sheds rather than blocking the reader.
     pub fn submit(&self, req: SolveRequest) -> Ticket {
         let id = req.id;
         let (reply, rx) = mpsc::sync_channel(1);
@@ -219,12 +410,88 @@ impl Engine {
             reply,
         };
         self.queue_depth.add(1);
-        self.tx
-            .as_ref()
-            .expect("engine queue open until drop")
-            .send(job)
-            .expect("engine workers alive until drop");
+        self.queue.push_blocking(job);
         Ticket { rx, id }
+    }
+
+    /// Non-blocking admission with load shedding: when the queue is full,
+    /// `policy` decides who gets the [`ErrorKind::Overloaded`] answer —
+    /// the newcomer ([`ShedPolicy::Reject`], returned as
+    /// [`AdmitResult::Shed`]) or the oldest queued request
+    /// ([`ShedPolicy::Oldest`], whose *ticket* resolves to `Overloaded`
+    /// while the newcomer is admitted). Shed responses carry a
+    /// `retry_after_ms` hint; every shed increments
+    /// `engine.shed.{reject|oldest}` and is recorded by the flight
+    /// recorder.
+    pub fn admit(&self, req: SolveRequest, policy: ShedPolicy) -> AdmitResult {
+        let id = req.id;
+        let trace_id = req.trace_id.clone();
+        let (reply, rx) = mpsc::sync_channel(1);
+        let job = Job {
+            req: Box::new(req),
+            reply,
+        };
+        match self.queue.try_admit(job, policy) {
+            Admission::Admitted { victim: None } => {
+                self.queue_depth.add(1);
+                AdmitResult::Admitted(Ticket { rx, id })
+            }
+            Admission::Admitted {
+                victim: Some(victim),
+            } => {
+                // net queue length unchanged: one in, one out
+                let resp = self.shed_response(victim.req.id, victim.req.trace_id.clone(), policy);
+                let _ = victim.reply.send(resp); // victim's ticket resolves now
+                AdmitResult::Admitted(Ticket { rx, id })
+            }
+            Admission::Rejected(job) => {
+                drop(job); // our own reply channel; the response goes back directly
+                AdmitResult::Shed(Box::new(self.shed_response(id, trace_id, policy)))
+            }
+        }
+    }
+
+    /// Builds one `Overloaded` response and books the shed (counters +
+    /// flight recorder).
+    fn shed_response(
+        &self,
+        id: u64,
+        trace_id: Option<String>,
+        policy: ShedPolicy,
+    ) -> SolveResponse {
+        self.registry.counter("engine.shed").inc();
+        self.registry
+            .counter(&format!("engine.shed.{policy}"))
+            .inc();
+        if let Some(t) = &self.tracer {
+            t.record_instant(
+                "engine.shed",
+                trace_id.as_deref(),
+                vec![
+                    ("id", id.into()),
+                    ("policy", policy.to_string().into()),
+                    ("queue_len", self.queue.len().into()),
+                ],
+            );
+        }
+        let resp = SolveResponse::overloaded(id, self.retry_after_hint_ms());
+        match trace_id {
+            Some(t) => resp.with_trace_id(t),
+            None => resp,
+        }
+    }
+
+    /// Estimated milliseconds until a queue slot frees up: current backlog
+    /// per worker times the recent-latency EWMA. Floors at 1ms; before any
+    /// request has completed the EWMA seed is 1ms per backlog entry.
+    fn retry_after_hint_ms(&self) -> u64 {
+        let ewma_ns = match self.latency_ewma_ns.load(Ordering::Relaxed) {
+            0 => 1_000_000, // no completions yet: assume 1ms requests
+            n => n,
+        };
+        let backlog = self.queue.len() as u64 + 1;
+        let ns = ewma_ns.saturating_mul(backlog) / self.workers.max(1) as u64;
+        (ns / 1_000_000).max(1)
     }
 
     /// Solves a batch concurrently; the output order matches the input
@@ -296,7 +563,7 @@ impl Engine {
 
 impl Drop for Engine {
     fn drop(&mut self) {
-        self.tx.take(); // close the queue: workers exit once drained
+        self.queue.close(); // workers exit once drained
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
@@ -343,10 +610,11 @@ type CandidateCache = HashMap<CacheKey, WarmHandle>;
 fn worker_loop(
     worker_id: u32,
     cache_capacity: usize,
-    rx: &Mutex<mpsc::Receiver<Job>>,
+    queue: &SharedQueue,
     global: Arc<Registry>,
     local: Arc<Registry>,
     tracer: Option<Arc<sched_obs::trace::Tracer>>,
+    ewma_ns: &AtomicU64,
 ) {
     // Everything the solver stack records ambiently on this thread lands in
     // the worker's own registry; cross-worker aggregates (queue depth,
@@ -359,24 +627,22 @@ fn worker_loop(
     let requests = global.counter("engine.requests");
     let latency = global.histogram("engine.request.latency_ns");
     let mut cache = CandidateCache::new();
-    loop {
-        // Hold the lock only while dequeuing; solving runs unlocked so the
-        // pool processes requests concurrently.
-        let job = match rx.lock() {
-            Ok(guard) => guard.recv(),
-            Err(_) => break, // a sibling worker panicked while dequeuing
+    while let Some(job) = queue.pop_blocking() {
+        queue_depth.add(-1);
+        requests.inc();
+        let t0 = Instant::now();
+        let response = serve_request(worker_id, cache_capacity, &mut cache, &job.req);
+        let elapsed_ns = t0.elapsed().as_nanos() as u64;
+        latency.record(elapsed_ns);
+        // racy read-modify-write is fine: this feeds a hint, not a metric
+        let prev = ewma_ns.load(Ordering::Relaxed);
+        let next = if prev == 0 {
+            elapsed_ns
+        } else {
+            prev - prev / 8 + elapsed_ns / 8
         };
-        match job {
-            Ok(job) => {
-                queue_depth.add(-1);
-                requests.inc();
-                let t0 = Instant::now();
-                let response = serve_request(worker_id, cache_capacity, &mut cache, &job.req);
-                latency.record(t0.elapsed().as_nanos() as u64);
-                let _ = job.reply.send(response); // receiver may have hung up
-            }
-            Err(_) => break, // queue closed: engine is shutting down
-        }
+        ewma_ns.store(next, Ordering::Relaxed);
+        let _ = job.reply.send(response); // receiver may have hung up
     }
 }
 
@@ -616,24 +882,43 @@ fn serve_request_planned(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sched_core::{Instance, Job, SlotRef};
+    use sched_core::{Instance, Job as CoreJob, SlotRef};
 
     fn inst(t: u32) -> Instance {
         Instance::new(
             1,
             t,
             vec![
-                Job::unit(vec![SlotRef::new(0, 0)]),
-                Job::unit(vec![SlotRef::new(0, t - 1)]),
+                CoreJob::unit(vec![SlotRef::new(0, 0)]),
+                CoreJob::unit(vec![SlotRef::new(0, t - 1)]),
             ],
         )
+    }
+
+    fn schedule_all(id: u64, instance: Instance, restart: f64, rate: f64) -> SolveRequest {
+        SolveRequest::builder(id, instance)
+            .affine(restart, rate)
+            .build()
+    }
+
+    /// A request heavy enough (dense 2×300 grid, 600 jobs) to occupy a
+    /// worker for tens of milliseconds — long enough for a test thread to
+    /// observably fill the queue behind it.
+    fn stall_request(id: u64) -> SolveRequest {
+        let t = 300;
+        let jobs = (0..600)
+            .map(|j| CoreJob::unit(vec![SlotRef::new((j % 2) as u32, (j as u32 / 2) % t)]))
+            .collect();
+        SolveRequest::builder(id, Instance::new(2, t, jobs))
+            .affine(5.0, 1.0)
+            .build()
     }
 
     #[test]
     fn batch_preserves_input_order_and_matches_direct_solves() {
         let engine = Engine::new(EngineConfig::with_workers(4));
         let requests: Vec<SolveRequest> = (0..24)
-            .map(|i| SolveRequest::schedule_all(1000 + i, inst(4 + (i % 5) as u32), 10.0, 1.0))
+            .map(|i| schedule_all(1000 + i, inst(4 + (i % 5) as u32), 10.0, 1.0))
             .collect();
         let responses = engine.solve_batch(requests.clone());
         assert_eq!(responses.len(), 24);
@@ -650,9 +935,7 @@ mod tests {
     #[test]
     fn candidate_cache_hits_across_requests_on_same_grid() {
         let engine = Engine::new(EngineConfig::with_workers(1));
-        let reqs: Vec<SolveRequest> = (0..6)
-            .map(|i| SolveRequest::schedule_all(i, inst(6), 3.0, 1.0))
-            .collect();
+        let reqs: Vec<SolveRequest> = (0..6).map(|i| schedule_all(i, inst(6), 3.0, 1.0)).collect();
         let responses = engine.solve_batch(reqs);
         let hits: Vec<bool> = responses
             .iter()
@@ -669,15 +952,22 @@ mod tests {
     fn structured_errors_for_bad_requests() {
         let engine = Engine::new(EngineConfig::with_workers(2));
 
-        let mut wrong_version = SolveRequest::schedule_all(1, inst(4), 3.0, 1.0);
-        wrong_version.version = 99;
-        let mut missing_target = SolveRequest::schedule_all(2, inst(4), 3.0, 1.0);
+        let wrong_version = SolveRequest::builder(1, inst(4))
+            .affine(3.0, 1.0)
+            .version(99)
+            .build();
+        let mut missing_target = schedule_all(2, inst(4), 3.0, 1.0);
         missing_target.mode = SolveMode::PrizeCollecting;
-        let mut bad_policy = SolveRequest::schedule_all(3, inst(4), 3.0, 1.0);
-        bad_policy.policy = Some("bogus".into());
-        let mut bad_instance = SolveRequest::schedule_all(4, inst(4), 3.0, 1.0);
+        let bad_policy = SolveRequest::builder(3, inst(4))
+            .affine(3.0, 1.0)
+            .policy("bogus")
+            .build();
+        let mut bad_instance = schedule_all(4, inst(4), 3.0, 1.0);
         bad_instance.instance.jobs[0].allowed[0].time = 99;
-        let infeasible = SolveRequest::prize_collecting_exact(5, inst(4), 3.0, 1.0, 50.0);
+        let infeasible = SolveRequest::builder(5, inst(4))
+            .affine(3.0, 1.0)
+            .prize_collecting_exact(50.0)
+            .build();
 
         let responses = engine.solve_batch(vec![
             wrong_version,
@@ -708,13 +998,10 @@ mod tests {
         // Regression: restart=rate=0 (or NaN) used to trip AffineCost::new's
         // assert inside a worker thread, killing it permanently.
         let engine = Engine::new(EngineConfig::with_workers(1));
-        let mut zero = SolveRequest::schedule_all(1, inst(4), 0.0, 0.0);
-        zero.rate = 0.0;
-        let mut nan = SolveRequest::schedule_all(2, inst(4), f64::NAN, 1.0);
-        nan.restart = f64::NAN;
-        let mut negative = SolveRequest::schedule_all(3, inst(4), -1.0, 1.0);
-        negative.restart = -1.0;
-        let fine = SolveRequest::schedule_all(4, inst(4), 3.0, 1.0);
+        let zero = schedule_all(1, inst(4), 0.0, 0.0);
+        let nan = schedule_all(2, inst(4), f64::NAN, 1.0);
+        let negative = schedule_all(3, inst(4), -1.0, 1.0);
+        let fine = schedule_all(4, inst(4), 3.0, 1.0);
 
         let responses = engine.solve_batch(vec![zero, nan, negative, fine]);
         for r in &responses[..3] {
@@ -732,7 +1019,7 @@ mod tests {
         let instance = Instance::new(
             2,
             3,
-            vec![Job::unit(vec![SlotRef::new(0, 1), SlotRef::new(1, 1)])],
+            vec![CoreJob::unit(vec![SlotRef::new(0, 1), SlotRef::new(1, 1)])],
         );
         let cheap_p1 = vec![
             PowerProfile::affine(9.0, 2.0),
@@ -742,11 +1029,16 @@ mod tests {
             PowerProfile::affine(1.0, 0.5),
             PowerProfile::affine(9.0, 2.0),
         ];
+        let profiled = |id: u64, profiles: Vec<PowerProfile>| {
+            SolveRequest::builder(id, instance.clone())
+                .profiles(profiles)
+                .build()
+        };
         let responses = engine.solve_batch(vec![
-            SolveRequest::schedule_all_profiled(1, instance.clone(), cheap_p1.clone()),
-            SolveRequest::schedule_all_profiled(2, instance.clone(), cheap_p1.clone()),
-            SolveRequest::schedule_all_profiled(3, instance.clone(), cheap_p0),
-            SolveRequest::schedule_all(4, instance.clone(), 3.0, 1.0),
+            profiled(1, cheap_p1.clone()),
+            profiled(2, cheap_p1.clone()),
+            profiled(3, cheap_p0),
+            schedule_all(4, instance.clone(), 3.0, 1.0),
         ]);
         assert!(responses.iter().all(|r| r.ok), "{responses:?}");
         let placed = |r: &SolveResponse| {
@@ -778,14 +1070,16 @@ mod tests {
         use sched_core::{PowerProfile, SleepState};
         let engine = Engine::new(EngineConfig::with_workers(1));
         // wrong count
-        let short = SolveRequest::schedule_all_profiled(
+        let short = SolveRequest::builder(
             1,
-            Instance::new(2, 3, vec![Job::unit(vec![SlotRef::new(0, 0)])]),
-            vec![PowerProfile::affine(1.0, 1.0)],
-        );
+            Instance::new(2, 3, vec![CoreJob::unit(vec![SlotRef::new(0, 0)])]),
+        )
+        .profiles(vec![PowerProfile::affine(1.0, 1.0)])
+        .build();
         // non-monotone ladder, built field-by-field as a hostile client would
-        let mut bad_ladder =
-            SolveRequest::schedule_all_profiled(2, inst(3), vec![PowerProfile::affine(4.0, 1.0)]);
+        let mut bad_ladder = SolveRequest::builder(2, inst(3))
+            .profiles(vec![PowerProfile::affine(4.0, 1.0)])
+            .build();
         bad_ladder.profiles.as_mut().unwrap()[0].sleep_states = vec![
             SleepState {
                 idle_rate: 0.2,
@@ -796,7 +1090,7 @@ mod tests {
                 wake_cost: 3.0,
             },
         ];
-        let fine = SolveRequest::schedule_all(3, inst(4), 3.0, 1.0);
+        let fine = schedule_all(3, inst(4), 3.0, 1.0);
         let responses = engine.solve_batch(vec![short, bad_ladder, fine]);
         assert_eq!(
             responses[0].error.as_ref().unwrap().kind,
@@ -819,8 +1113,10 @@ mod tests {
     #[test]
     fn v1_requests_still_served() {
         let engine = Engine::new(EngineConfig::with_workers(1));
-        let mut v1 = SolveRequest::schedule_all(7, inst(4), 3.0, 1.0);
-        v1.version = 1;
+        let v1 = SolveRequest::builder(7, inst(4))
+            .affine(3.0, 1.0)
+            .version(1)
+            .build();
         let responses = engine.solve_batch(vec![v1]);
         assert!(responses[0].ok, "{:?}", responses[0].error);
         assert_eq!(responses[0].version, PROTOCOL_VERSION);
@@ -829,8 +1125,7 @@ mod tests {
     #[test]
     fn process_lines_interleaves_parse_errors_in_order() {
         let engine = Engine::new(EngineConfig::with_workers(2));
-        let good =
-            serde_json::to_string(&SolveRequest::schedule_all(7, inst(4), 3.0, 1.0)).unwrap();
+        let good = serde_json::to_string(&schedule_all(7, inst(4), 3.0, 1.0)).unwrap();
         let lines = [
             good.as_str(),
             "{\"truncated\":",
@@ -861,12 +1156,19 @@ mod tests {
         let instance = Instance::new(
             1,
             4,
-            vec![Job::window(2.0, 0, 0, 2), Job::window(3.0, 0, 2, 4)],
+            vec![CoreJob::window(2.0, 0, 0, 2), CoreJob::window(3.0, 0, 2, 4)],
         );
         let responses = engine.solve_batch(vec![
-            SolveRequest::schedule_all(1, instance.clone(), 1.0, 1.0),
-            SolveRequest::prize_collecting(2, instance.clone(), 1.0, 1.0, 3.0, Some(0.25)),
-            SolveRequest::prize_collecting_exact(3, instance.clone(), 1.0, 1.0, 5.0),
+            schedule_all(1, instance.clone(), 1.0, 1.0),
+            SolveRequest::builder(2, instance.clone())
+                .affine(1.0, 1.0)
+                .prize_collecting(3.0)
+                .epsilon(0.25)
+                .build(),
+            SolveRequest::builder(3, instance.clone())
+                .affine(1.0, 1.0)
+                .prize_collecting_exact(5.0)
+                .build(),
         ]);
         assert!(responses.iter().all(|r| r.ok), "{responses:?}");
         assert!(responses[1].schedule.as_ref().unwrap().scheduled_value >= 0.75 * 3.0 - 1e-9);
@@ -881,12 +1183,143 @@ mod tests {
             cache_capacity: 4,
             ..Default::default()
         });
-        let responses = engine.solve_batch(
-            (0..40).map(|i| SolveRequest::schedule_all(i, inst(3 + (i % 4) as u32), 2.0, 1.0)),
-        );
+        let responses = engine
+            .solve_batch((0..40).map(|i| schedule_all(i, inst(3 + (i % 4) as u32), 2.0, 1.0)));
         assert_eq!(responses.len(), 40);
         assert!(responses.iter().all(|r| r.ok));
         let ids: Vec<u64> = responses.iter().map(|r| r.id).collect();
         assert_eq!(ids, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shared_queue_sheds_deterministically() {
+        // the queue alone, no workers: admission decisions are exact
+        let q = SharedQueue::new(2);
+        let job = |id: u64| Job {
+            req: Box::new(schedule_all(id, inst(4), 1.0, 1.0)),
+            reply: mpsc::sync_channel(1).0,
+        };
+        assert!(matches!(
+            q.try_admit(job(1), ShedPolicy::Reject),
+            Admission::Admitted { victim: None }
+        ));
+        assert!(matches!(
+            q.try_admit(job(2), ShedPolicy::Reject),
+            Admission::Admitted { victim: None }
+        ));
+        // full: Reject bounces the newcomer, queue untouched
+        match q.try_admit(job(3), ShedPolicy::Reject) {
+            Admission::Rejected(j) => assert_eq!(j.req.id, 3),
+            _ => panic!("expected rejection at capacity"),
+        }
+        assert_eq!(q.len(), 2);
+        // full: Oldest evicts the front (id 1), admits the newcomer
+        match q.try_admit(job(4), ShedPolicy::Oldest) {
+            Admission::Admitted {
+                victim: Some(victim),
+            } => assert_eq!(victim.req.id, 1),
+            _ => panic!("expected oldest-shed at capacity"),
+        }
+        assert_eq!(q.len(), 2);
+        // FIFO order of the survivors, then clean close
+        assert_eq!(q.pop_blocking().unwrap().req.id, 2);
+        assert_eq!(q.pop_blocking().unwrap().req.id, 4);
+        q.close();
+        assert!(q.pop_blocking().is_none());
+    }
+
+    #[test]
+    fn admit_sheds_structured_overloaded_under_reject() {
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            queue_depth: 1,
+            cache_capacity: 4,
+            ..Default::default()
+        });
+        // occupy the single worker for a while
+        let stall = engine.submit(stall_request(0));
+        // burst far past capacity without draining: depth 1 must shed most
+        let mut admitted = Vec::new();
+        let mut shed = 0u32;
+        for i in 1..=50u64 {
+            match engine.admit(schedule_all(i, inst(4), 2.0, 1.0), ShedPolicy::Reject) {
+                AdmitResult::Admitted(t) => admitted.push(t),
+                AdmitResult::Shed(resp) => {
+                    assert!(!resp.ok);
+                    assert_eq!(resp.id, i, "shed response echoes the newcomer's id");
+                    assert_eq!(resp.error.as_ref().unwrap().kind, ErrorKind::Overloaded);
+                    assert!(resp.retry_after_ms.unwrap() >= 1, "hint must be positive");
+                    shed += 1;
+                }
+            }
+        }
+        assert!(shed > 0, "a burst of 50 into a depth-1 queue must shed");
+        assert!(stall.wait().ok);
+        // Reject never touches queued work: every admitted ticket solves
+        for t in admitted {
+            let r = t.wait();
+            assert!(r.ok, "{:?}", r.error);
+        }
+        // sheds are counted
+        let snap = engine.metrics_snapshot();
+        let count = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|c| c.name == name)
+                .map_or(0, |c| c.value)
+        };
+        assert_eq!(count("engine.shed"), u64::from(shed));
+        assert_eq!(count("engine.shed.reject"), u64::from(shed));
+    }
+
+    #[test]
+    fn admit_oldest_answers_the_victims_ticket_and_admits_the_newcomer() {
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            queue_depth: 1,
+            cache_capacity: 4,
+            ..Default::default()
+        });
+        let stall = engine.submit(stall_request(0));
+        // wait until the worker has dequeued the stall, so the queue is
+        // observably empty before the two admissions race nothing
+        let t0 = Instant::now();
+        while engine.queue_len() > 0 {
+            assert!(t0.elapsed().as_secs() < 10, "worker never took the stall");
+            std::thread::yield_now();
+        }
+        let first = match engine.admit(
+            SolveRequest::builder(1, inst(4))
+                .affine(2.0, 1.0)
+                .trace_id("victim-1")
+                .build(),
+            ShedPolicy::Oldest,
+        ) {
+            AdmitResult::Admitted(t) => t,
+            AdmitResult::Shed(r) => panic!("empty queue must admit: {r:?}"),
+        };
+        let second = match engine.admit(schedule_all(2, inst(4), 2.0, 1.0), ShedPolicy::Oldest) {
+            AdmitResult::Admitted(t) => t,
+            AdmitResult::Shed(r) => panic!("oldest policy never sheds the newcomer: {r:?}"),
+        };
+        // the first request was evicted: its ticket resolves to Overloaded
+        // with its own correlation keys and a positive hint
+        let victim = first.wait();
+        assert!(!victim.ok);
+        assert_eq!(victim.id, 1);
+        assert_eq!(victim.error.as_ref().unwrap().kind, ErrorKind::Overloaded);
+        assert_eq!(victim.trace_id.as_deref(), Some("victim-1"));
+        assert!(victim.retry_after_ms.unwrap() >= 1);
+        // the newcomer and the stall both solve
+        assert!(stall.wait().ok);
+        let r = second.wait();
+        assert!(r.ok, "{:?}", r.error);
+        let snap = engine.metrics_snapshot();
+        let oldest = snap
+            .counters
+            .iter()
+            .find(|c| c.name == "engine.shed.oldest")
+            .map_or(0, |c| c.value);
+        assert_eq!(oldest, 1);
     }
 }

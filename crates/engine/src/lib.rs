@@ -9,19 +9,40 @@
 //!
 //! ```text
 //!                     ┌──────────────────────────────────────────────┐
-//!   JSONL lines ──►   │                 Engine                       │
-//!   (file, stdin,     │  bounded queue ──┬── worker 0 ── Solver +    │
-//!    TCP socket)      │  (backpressure)  ├── worker 1    candidate   │
-//!                     │                  └── worker N    cache (Arc) │
+//!   v3 frames or ──►  │                 Engine                       │
+//!   JSONL lines       │  bounded queue ──┬── worker 0 ── Solver +    │
+//!   (file, stdin,     │  (backpressure   ├── worker 1    candidate   │
+//!    TCP socket)      │   or shedding)   └── worker N    cache (Arc) │
 //!                     └──────────────┬───────────────────────────────┘
-//!   JSONL responses ◄── tickets, resolved in submission order
+//!   responses ◄── tickets, resolved in submission order
 //! ```
 //!
-//! ## Wire protocol (JSONL, versioned)
+//! ## Wire protocol v3 (framed binary, negotiated)
 //!
-//! One JSON object per line; one response line per request line, in request
-//! order — see [`protocol`] for the schema and [`PROTOCOL_VERSION`] for
-//! versioning. A minimal request:
+//! Since protocol v3 the default transport is a length-prefixed binary
+//! frame:
+//!
+//! ```text
+//! ┌──────────┬────────────┬──────────┬───────────────┐
+//! │ magic    │ len: u32   │ tag: u8  │ payload       │
+//! │ B3 50    │ LE, payload│ 1=json   │ (len bytes)   │
+//! │          │ bytes      │ 2=binary │               │
+//! └──────────┴────────────┴──────────┴───────────────┘
+//! ```
+//!
+//! The payload is one request/response object, encoded either as JSON text
+//! (tag 1) or with the compact field-tagged binary codec in [`codec`]
+//! (tag 2). The server *negotiates per connection by sniffing the first
+//! byte* — `0xB3` never begins a JSONL line, so framed and line clients
+//! share one port — and each response echoes the format of the frame that
+//! carried its request. The `hello` control verb returns a capability card
+//! ([`HelloInfo`]) for clients that want explicit negotiation. Legacy JSONL
+//! (v1/v2) remains fully supported: one JSON object per line, one response
+//! line per request line, in request order — handy with `nc` for debugging.
+//! See [`protocol`] for the schema, versioning, and the compatibility
+//! policy, and [`client::EngineClient`] for the canonical client.
+//!
+//! A minimal JSONL request (still accepted verbatim):
 //!
 //! ```json
 //! {"version":1,"id":1,"mode":"ScheduleAll",
@@ -39,7 +60,7 @@
 //! let engine = Engine::new(EngineConfig::with_workers(2));
 //! let inst = Instance::new(1, 4, vec![Job::unit(vec![SlotRef::new(0, 0)])]);
 //! let responses = engine.solve_batch(vec![
-//!     SolveRequest::schedule_all(1, inst, 10.0, 1.0),
+//!     SolveRequest::builder(1, inst).affine(10.0, 1.0).build(),
 //! ]);
 //! assert!(responses[0].ok);
 //! assert_eq!(responses[0].schedule.as_ref().unwrap().scheduled_count, 1);
@@ -53,18 +74,25 @@
 //!   calls (asserted by integration tests).
 //! * **Order** — [`Engine::solve_batch`] and the server's per-connection
 //!   writer resolve tickets in submission order.
-//! * **Backpressure** — the request queue is bounded; producers block
-//!   instead of buffering unboundedly.
+//! * **Backpressure or shedding** — the request queue is bounded. By
+//!   default producers block instead of buffering unboundedly; a server
+//!   started with a shed policy instead answers excess load with structured
+//!   `Overloaded` responses carrying a `retry_after_ms` hint (see
+//!   [`ShedPolicy`] and [`ServeOptions`]).
 //!
 //! [`Solver`]: sched_core::Solver
 
+pub mod client;
+pub mod codec;
 pub mod engine;
 pub mod protocol;
 pub mod server;
 
-pub use engine::{Engine, EngineConfig, Ticket};
+pub use client::{EngineClient, Transport};
+pub use codec::{read_frame, write_frame, FrameError, WireFormat, MAGIC, MAX_FRAME_LEN};
+pub use engine::{AdmitResult, Engine, EngineConfig, ShedPolicy, Ticket};
 pub use protocol::{
-    parse_line, ControlRequest, ErrorKind, SolveMetrics, SolveMode, SolveRequest, SolveResponse,
-    WireError, WireRequest, PROTOCOL_VERSION,
+    parse_line, parse_value, ControlRequest, ErrorKind, HelloInfo, SolveMetrics, SolveMode,
+    SolveRequest, SolveRequestBuilder, SolveResponse, WireError, WireRequest, PROTOCOL_VERSION,
 };
-pub use server::{serve, serve_with_metrics};
+pub use server::{serve, serve_with_metrics, serve_with_options, ServeOptions};

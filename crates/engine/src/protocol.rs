@@ -1,16 +1,34 @@
-//! The JSONL wire protocol: one JSON object per line, one response line per
-//! request line, in request order.
+//! The engine wire protocol: request/response schema, versioning, and the
+//! compatibility policy.
+//!
+//! # Transports
+//!
+//! Protocol v3 speaks two framings over the same request/response schema,
+//! chosen per connection by its **first byte** (see [`crate::codec`]):
+//!
+//! * **v3 frames** (the default for `batch --connect` and
+//!   [`crate::client::EngineClient`]): `magic | u32 len | u8 format-tag |
+//!   payload`, where the payload is the request object in either compact
+//!   binary (tag 2) or JSON text (tag 1). The magic byte `0xB3` is outside
+//!   ASCII, so no JSONL line can be mistaken for a frame.
+//! * **JSONL** (versions 1/2, kept byte-compatible for `nc`/debug use):
+//!   one JSON object per line, one response line per request line, in
+//!   request order.
+//!
+//! # Request/response schema
 //!
 //! Two request shapes share a connection or batch file:
 //!
 //! * **solve requests** ([`SolveRequest`]) name a protocol `version`, a
 //!   caller-chosen `id` (echoed back), a [`SolveMode`], the [`Instance`],
 //!   and the affine cost parameters `restart`/`rate`. Optional fields —
-//!   `policy` (`"all"` | `"single"` | `"maxlen:K"`), `target`/`epsilon` for
-//!   the prize-collecting modes, `lazy`/`parallel` solver toggles — may be
-//!   omitted entirely;
+//!   `profiles`, `policy` (`"all"` | `"single"` | `"maxlen:K"`),
+//!   `target`/`epsilon` for the prize-collecting modes, `lazy`/`parallel`
+//!   solver toggles, `trace_id` — may be omitted entirely. Construct them
+//!   with [`SolveRequest::builder`].
 //! * **control requests** ([`ControlRequest`]) carry a `control` verb:
-//!   `"ping"` (liveness probe), `"metrics"` (returns the engine's `obs/v1`
+//!   `"ping"` (liveness probe), `"hello"` (capability negotiation — the ack
+//!   carries [`HelloInfo`]), `"metrics"` (returns the engine's `obs/v1`
 //!   telemetry snapshot in the ack's `obs` field), or `"shutdown"` (drain
 //!   and stop a server).
 //!
@@ -19,28 +37,61 @@
 //! Control requests are acknowledged with a schedule-less `ok` response
 //! whose id echoes nothing (`0`).
 //!
-//! The protocol is versioned via [`PROTOCOL_VERSION`]; requests with an
-//! unknown version are rejected with [`ErrorKind::UnsupportedVersion`]
-//! rather than misinterpreted. Version 2 added the optional per-processor
-//! `profiles` field (heterogeneous wake costs and sleep-state ladders);
-//! version 1 requests remain valid — a missing `profiles` field means the
-//! affine `(restart, rate)` default, so every v1 line parses and solves
-//! exactly as before ([`MIN_PROTOCOL_VERSION`] tracks the oldest accepted
-//! version). The `metrics` control verb and the response's optional `obs`
-//! snapshot field are likewise additive: old clients never send the verb,
-//! and parsers ignore fields they do not know, so the version window is
-//! unchanged.
+//! # Compatibility policy
+//!
+//! **What [`MIN_PROTOCOL_VERSION`] promises.** Any request stamped with a
+//! version in `MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION` that uses only the
+//! fields defined at that version is accepted and served with *unchanged
+//! semantics*. A v1 JSONL line written against the first release still
+//! parses, solves identically, and receives a response whose v1-era fields
+//! mean what they always meant. Shrinking the window (raising
+//! `MIN_PROTOCOL_VERSION`) is a breaking release decision, never a side
+//! effect of a feature.
+//!
+//! **Additive fields vs. version bumps.** New capability ships as trailing
+//! `Option` fields whenever possible: absent means the old behavior, both
+//! sides ignore fields they do not know, and the version window does not
+//! move. That is how v2's `profiles`, the `metrics` verb with the `obs`
+//! response field, and `trace_id` landed. [`PROTOCOL_VERSION`] is bumped
+//! only when a client may need to *assert* the new capability set — a new
+//! transport, a new response the client must understand, or a changed
+//! field meaning. The stamp is a capability floor, not a parse switch:
+//! servers answer with their own version and old parsers keep working.
+//!
+//! **The v1 → v3 history.** v1: affine `(restart, rate)` costs over JSONL.
+//! v2 (additive fields, window unchanged): per-processor `profiles`,
+//! `metrics`/`obs` telemetry, `trace_id` propagation. v3 (this version):
+//! length-prefixed binary framing with content negotiation, the `hello`
+//! verb, and bounded-queue admission control — a v3 stamp tells the server
+//! the client understands framed responses, [`ErrorKind::Overloaded`]
+//! failures, and the `retry_after_ms` hint. The JSONL encoding of v1/v2 is
+//! still accepted byte-for-byte.
+//!
+//! **v3 negotiation flow.**
+//! 1. The client connects and sends either a frame (first byte `0xB3` →
+//!    framed mode for the whole connection) or a JSON line (first byte
+//!    `{` or anything else → legacy JSONL mode). Nothing is consumed
+//!    speculatively; the server sniffs without committing.
+//! 2. Optionally, the client's first request is the `hello` verb. The ack
+//!    carries [`HelloInfo`] — the server's version window and supported
+//!    payload formats — so a cautious client can downgrade before sending
+//!    work. Clients that already know the server skip this round-trip.
+//! 3. Every response is encoded in the format of the request frame it
+//!    answers (JSONL requests get JSONL lines), so mixed-format
+//!    connections and pipelining stay unambiguous.
 
 use sched_core::{Instance, PowerProfile, Schedule};
 use sched_obs::Snapshot;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// Version stamped on every request and response. Bump on any incompatible
-/// change to the wire structs.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// change to the wire structs or transport (see the module-level
+/// compatibility policy).
+pub const PROTOCOL_VERSION: u32 = 3;
 
-/// Oldest protocol version still accepted. v1 (no `profiles` field) is a
-/// strict subset of v2, so both are served.
+/// Oldest protocol version still accepted. v1 (affine costs, JSONL) is a
+/// strict subset of v2 (profiles) which the v3 server still speaks
+/// verbatim, so the whole window is served.
 pub const MIN_PROTOCOL_VERSION: u32 = 1;
 
 /// Is `version` within the accepted window?
@@ -60,10 +111,10 @@ pub enum SolveMode {
     PrizeCollectingExact,
 }
 
-/// One solve request line.
+/// One solve request.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SolveRequest {
-    /// Protocol version; must equal [`PROTOCOL_VERSION`].
+    /// Protocol version; must be within the accepted window.
     pub version: u32,
     /// Caller-chosen correlation id, echoed in the response.
     pub id: u64,
@@ -99,82 +150,170 @@ pub struct SolveRequest {
 }
 
 impl SolveRequest {
-    /// A [`SolveMode::ScheduleAll`] request with every optional field unset.
-    pub fn schedule_all(id: u64, instance: Instance, restart: f64, rate: f64) -> Self {
-        Self {
-            version: PROTOCOL_VERSION,
-            id,
-            mode: SolveMode::ScheduleAll,
-            instance,
-            restart,
-            rate,
-            profiles: None,
-            policy: None,
-            target: None,
-            epsilon: None,
-            lazy: None,
-            parallel: None,
-            trace_id: None,
-        }
-    }
-
-    /// A [`SolveMode::ScheduleAll`] request priced by explicit per-processor
-    /// profiles (the v2 heterogeneous form; `restart`/`rate` are stamped as
-    /// zeros and ignored).
-    pub fn schedule_all_profiled(id: u64, instance: Instance, profiles: Vec<PowerProfile>) -> Self {
-        Self {
-            profiles: Some(profiles),
-            ..Self::schedule_all(id, instance, 0.0, 0.0)
-        }
-    }
-
-    /// A [`SolveMode::PrizeCollecting`] request (`epsilon` defaults to 0.1
-    /// engine-side when `None`).
-    pub fn prize_collecting(
-        id: u64,
-        instance: Instance,
-        restart: f64,
-        rate: f64,
-        target: f64,
-        epsilon: Option<f64>,
-    ) -> Self {
-        Self {
-            mode: SolveMode::PrizeCollecting,
-            target: Some(target),
-            epsilon,
-            ..Self::schedule_all(id, instance, restart, rate)
-        }
-    }
-
-    /// A [`SolveMode::PrizeCollectingExact`] request.
-    pub fn prize_collecting_exact(
-        id: u64,
-        instance: Instance,
-        restart: f64,
-        rate: f64,
-        target: f64,
-    ) -> Self {
-        Self {
-            mode: SolveMode::PrizeCollectingExact,
-            target: Some(target),
-            ..Self::schedule_all(id, instance, restart, rate)
+    /// Starts a request builder: [`SolveMode::ScheduleAll`] with zero affine
+    /// costs and every optional field unset. Chain setters, then
+    /// [`SolveRequestBuilder::build`]:
+    ///
+    /// ```
+    /// use sched_engine::protocol::{SolveMode, SolveRequest};
+    /// use sched_core::{Instance, Job, SlotRef};
+    ///
+    /// let inst = Instance::new(1, 4, vec![Job::unit(vec![SlotRef::new(0, 0)])]);
+    /// let req = SolveRequest::builder(7, inst)
+    ///     .affine(3.0, 1.0)
+    ///     .trace_id("replay-7")
+    ///     .build();
+    /// assert_eq!(req.mode, SolveMode::ScheduleAll);
+    /// assert_eq!(req.restart, 3.0);
+    /// ```
+    pub fn builder(id: u64, instance: Instance) -> SolveRequestBuilder {
+        SolveRequestBuilder {
+            req: SolveRequest {
+                version: PROTOCOL_VERSION,
+                id,
+                mode: SolveMode::ScheduleAll,
+                instance,
+                restart: 0.0,
+                rate: 0.0,
+                profiles: None,
+                policy: None,
+                target: None,
+                epsilon: None,
+                lazy: None,
+                parallel: None,
+                trace_id: None,
+            },
         }
     }
 }
 
-/// One control request line (server-level verbs).
+/// Fluent constructor for [`SolveRequest`] — the one way to build requests
+/// in-process (the wire shape itself stays a plain serde struct). Every
+/// setter is optional; the starting state is a current-version
+/// `ScheduleAll` over the given instance with zero affine costs.
+#[derive(Clone, Debug)]
+pub struct SolveRequestBuilder {
+    req: SolveRequest,
+}
+
+impl SolveRequestBuilder {
+    /// Overrides the stamped protocol version (compat tests; defaults to
+    /// [`PROTOCOL_VERSION`]).
+    pub fn version(mut self, version: u32) -> Self {
+        self.req.version = version;
+        self
+    }
+
+    /// Sets the solver goal method.
+    pub fn mode(mut self, mode: SolveMode) -> Self {
+        self.req.mode = mode;
+        self
+    }
+
+    /// Sets the affine cost model: wake-up cost `α` and per-slot rate.
+    pub fn affine(mut self, restart: f64, rate: f64) -> Self {
+        self.req.restart = restart;
+        self.req.rate = rate;
+        self
+    }
+
+    /// Prices by explicit per-processor profiles (the v2 heterogeneous
+    /// form; the affine `restart`/`rate` stamps are ignored engine-side).
+    pub fn profiles(mut self, profiles: Vec<PowerProfile>) -> Self {
+        self.req.profiles = Some(profiles);
+        self
+    }
+
+    /// Sets the candidate policy (`"all"` | `"single"` | `"maxlen:K"`).
+    pub fn policy(mut self, policy: impl Into<String>) -> Self {
+        self.req.policy = Some(policy.into());
+        self
+    }
+
+    /// Switches to [`SolveMode::PrizeCollecting`] with the given target
+    /// (set [`epsilon`](Self::epsilon) separately; engine default `0.1`).
+    pub fn prize_collecting(mut self, target: f64) -> Self {
+        self.req.mode = SolveMode::PrizeCollecting;
+        self.req.target = Some(target);
+        self
+    }
+
+    /// Switches to [`SolveMode::PrizeCollectingExact`] with the given
+    /// target.
+    pub fn prize_collecting_exact(mut self, target: f64) -> Self {
+        self.req.mode = SolveMode::PrizeCollectingExact;
+        self.req.target = Some(target);
+        self
+    }
+
+    /// Sets `ε` for [`SolveMode::PrizeCollecting`].
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.req.epsilon = Some(epsilon);
+        self
+    }
+
+    /// Sets the lazy-greedy toggle.
+    pub fn lazy(mut self, lazy: bool) -> Self {
+        self.req.lazy = Some(lazy);
+        self
+    }
+
+    /// Sets the parallel full-scan toggle.
+    pub fn parallel(mut self, parallel: bool) -> Self {
+        self.req.parallel = Some(parallel);
+        self
+    }
+
+    /// Sets the caller's trace id.
+    pub fn trace_id(mut self, trace_id: impl Into<String>) -> Self {
+        self.req.trace_id = Some(trace_id.into());
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> SolveRequest {
+        self.req
+    }
+}
+
+/// One control request (server-level verbs).
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ControlRequest {
-    /// Protocol version; must equal [`PROTOCOL_VERSION`].
+    /// Protocol version; must be within the accepted window.
     pub version: u32,
-    /// `"ping"`, `"metrics"`, or `"shutdown"`.
+    /// `"ping"`, `"hello"`, `"metrics"`, or `"shutdown"`.
     pub control: String,
+}
+
+/// The server's capability card, carried on `hello` acks: the protocol
+/// window it serves and the payload formats it decodes. Lets a client
+/// negotiate down (or bail) before sending work.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HelloInfo {
+    /// Newest protocol version the server speaks ([`PROTOCOL_VERSION`]).
+    pub protocol: u32,
+    /// Oldest version still accepted ([`MIN_PROTOCOL_VERSION`]).
+    pub min_protocol: u32,
+    /// Payload encodings the server accepts: frame formats plus `"jsonl"`
+    /// for the legacy line transport.
+    pub formats: Vec<String>,
+}
+
+impl HelloInfo {
+    /// This build's capabilities.
+    pub fn current() -> Self {
+        Self {
+            protocol: PROTOCOL_VERSION,
+            min_protocol: MIN_PROTOCOL_VERSION,
+            formats: vec!["binary".into(), "json".into(), "jsonl".into()],
+        }
+    }
 }
 
 /// Machine-readable failure category of a [`WireError`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ErrorKind {
-    /// The line was not a well-formed request object.
+    /// The line or frame payload was not a well-formed request object.
     Parse,
     /// The request's protocol version is not supported.
     UnsupportedVersion,
@@ -188,6 +327,11 @@ pub enum ErrorKind {
     Infeasible,
     /// The engine could not complete the request (worker failure).
     Internal,
+    /// The request was shed by admission control: the bounded queue was
+    /// full. The response's `retry_after_ms` carries the server's backoff
+    /// hint. Retrying (after the hint) is always safe — the request was
+    /// never solved.
+    Overloaded,
 }
 
 /// Structured error carried by failed responses.
@@ -229,7 +373,7 @@ pub struct SolveMetrics {
     pub cache_hit: bool,
 }
 
-/// One response line.
+/// One response.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SolveResponse {
     /// Protocol version of the responder.
@@ -253,6 +397,13 @@ pub struct SolveResponse {
     /// correlate either outcome with their traces. Optional and trailing
     /// like `obs`.
     pub trace_id: Option<String>,
+    /// Backoff hint in milliseconds, set only on
+    /// [`ErrorKind::Overloaded`] failures: the server's estimate of when
+    /// queue space will exist again. Additive v3 field.
+    pub retry_after_ms: Option<u64>,
+    /// The server's capability card, set only on `hello` control acks.
+    /// Additive v3 field.
+    pub hello: Option<HelloInfo>,
 }
 
 impl SolveResponse {
@@ -267,6 +418,8 @@ impl SolveResponse {
             metrics: Some(metrics),
             obs: None,
             trace_id: None,
+            retry_after_ms: None,
+            hello: None,
         }
     }
 
@@ -281,7 +434,23 @@ impl SolveResponse {
             metrics: None,
             obs: None,
             trace_id: None,
+            retry_after_ms: None,
+            hello: None,
         }
+    }
+
+    /// An [`ErrorKind::Overloaded`] shed response with the server's
+    /// retry-after hint.
+    pub fn overloaded(id: u64, retry_after_ms: u64) -> Self {
+        let mut resp = Self::failure(
+            id,
+            WireError::new(
+                ErrorKind::Overloaded,
+                "request shed: admission queue is full",
+            ),
+        );
+        resp.retry_after_ms = Some(retry_after_ms);
+        resp
     }
 
     /// Acknowledgement of a control request.
@@ -295,6 +464,8 @@ impl SolveResponse {
             metrics: None,
             obs: None,
             trace_id: None,
+            retry_after_ms: None,
+            hello: None,
         }
     }
 
@@ -312,9 +483,18 @@ impl SolveResponse {
             ..Self::control_ack()
         }
     }
+
+    /// Acknowledgement of a `hello` control request, carrying this build's
+    /// capability card.
+    pub fn hello_ack() -> Self {
+        Self {
+            hello: Some(HelloInfo::current()),
+            ..Self::control_ack()
+        }
+    }
 }
 
-/// A parsed request line: solve work or a control verb.
+/// A parsed request: solve work or a control verb.
 #[derive(Clone, Debug)]
 pub enum WireRequest {
     /// A solve request (boxed: the instance dominates the size).
@@ -323,17 +503,21 @@ pub enum WireRequest {
     Control(ControlRequest),
 }
 
-/// Parses one JSONL line into a [`WireRequest`].
+/// Parses an already-decoded request value (the payload of a v3 frame)
+/// into a [`WireRequest`].
 ///
 /// Control objects are recognized first (they carry a `control` key a solve
-/// request never has); anything else must parse as a [`SolveRequest`]. A
-/// control request from an unknown protocol version is rejected here with
-/// [`ErrorKind::UnsupportedVersion`] — its verb must never be acted on.
-/// (Solve requests get the same version check engine-side, before solving.)
-/// Otherwise the returned error is [`ErrorKind::Parse`] with the
-/// solve-parse detail.
-pub fn parse_line(line: &str) -> Result<WireRequest, WireError> {
-    if let Ok(ctl) = serde_json::from_str::<ControlRequest>(line) {
+/// request never has); anything else must deserialize as a
+/// [`SolveRequest`]. A control request from an unknown protocol version is
+/// rejected here with [`ErrorKind::UnsupportedVersion`] — its verb must
+/// never be acted on. (Solve requests get the same version check
+/// engine-side, before solving.)
+pub fn parse_value(v: &Value) -> Result<WireRequest, WireError> {
+    let is_control = matches!(v, Value::Object(_)) && v.field("control").is_ok();
+    if is_control {
+        let ctl = ControlRequest::from_value(v).map_err(|e| {
+            WireError::new(ErrorKind::Parse, format!("malformed control request: {e}"))
+        })?;
         if !version_supported(ctl.version) {
             return Err(WireError::new(
                 ErrorKind::UnsupportedVersion,
@@ -346,30 +530,47 @@ pub fn parse_line(line: &str) -> Result<WireRequest, WireError> {
         }
         return Ok(WireRequest::Control(ctl));
     }
-    match serde_json::from_str::<SolveRequest>(line) {
+    match SolveRequest::from_value(v) {
         Ok(req) => Ok(WireRequest::Solve(Box::new(req))),
         Err(e) => Err(WireError::new(
             ErrorKind::Parse,
-            format!("malformed request line: {e}"),
+            format!("malformed request: {e}"),
         )),
     }
 }
 
-/// Lenient correlation envelope: just the `id` and `trace_id` of a request
-/// line, with every other key ignored.
-#[derive(Debug, Default, Deserialize)]
-struct Correlation {
-    id: Option<u64>,
-    trace_id: Option<String>,
+/// Parses one JSONL line into a [`WireRequest`] (the legacy v1/v2
+/// transport; framed payloads go through [`parse_value`] directly).
+pub fn parse_line(line: &str) -> Result<WireRequest, WireError> {
+    let v: Value = serde_json::from_str(line)
+        .map_err(|e| WireError::new(ErrorKind::Parse, format!("malformed request line: {e}")))?;
+    parse_value(&v)
 }
 
-/// Best-effort extraction of `(id, trace_id)` from a request line that
+/// Best-effort extraction of `(id, trace_id)` from a request value that
 /// failed full parsing, so even a `Parse`-kind failure response can carry
-/// the caller's correlation keys. Lines that are not JSON objects at all
-/// yield `(0, None)` — the same id control acks use for "no request".
+/// the caller's correlation keys. Values that are not objects (or carry
+/// ill-typed keys) yield `(0, None)` — the same id control acks use for
+/// "no request".
+pub fn value_correlation(v: &Value) -> (u64, Option<String>) {
+    let id = v
+        .field("id")
+        .ok()
+        .and_then(|f| u64::from_value(f).ok())
+        .unwrap_or(0);
+    let trace_id = v
+        .field("trace_id")
+        .ok()
+        .and_then(|f| Option::<String>::from_value(f).ok())
+        .flatten();
+    (id, trace_id)
+}
+
+/// [`value_correlation`] for a raw JSONL line (non-JSON lines yield
+/// `(0, None)`).
 pub fn line_correlation(line: &str) -> (u64, Option<String>) {
-    match serde_json::from_str::<Correlation>(line) {
-        Ok(c) => (c.id.unwrap_or(0), c.trace_id),
+    match serde_json::from_str::<Value>(line) {
+        Ok(v) => value_correlation(&v),
         Err(_) => (0, None),
     }
 }
@@ -385,7 +586,11 @@ mod tests {
 
     #[test]
     fn request_round_trips_through_json() {
-        let req = SolveRequest::prize_collecting(42, tiny(), 3.0, 1.0, 1.0, Some(0.25));
+        let req = SolveRequest::builder(42, tiny())
+            .affine(3.0, 1.0)
+            .prize_collecting(1.0)
+            .epsilon(0.25)
+            .build();
         let json = serde_json::to_string(&req).unwrap();
         let back: SolveRequest = serde_json::from_str(&json).unwrap();
         assert_eq!(back.id, 42);
@@ -393,6 +598,20 @@ mod tests {
         assert_eq!(back.target, Some(1.0));
         assert_eq!(back.epsilon, Some(0.25));
         assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+
+    #[test]
+    fn builder_defaults_match_the_old_positional_shape() {
+        // the builder with only affine costs set must produce exactly what
+        // `schedule_all(id, inst, restart, rate)` used to: every optional
+        // field unset, current version stamped
+        let req = SolveRequest::builder(7, tiny()).affine(10.0, 1.0).build();
+        assert_eq!(req.version, PROTOCOL_VERSION);
+        assert_eq!(req.mode, SolveMode::ScheduleAll);
+        assert_eq!((req.restart, req.rate), (10.0, 1.0));
+        assert!(req.profiles.is_none() && req.policy.is_none());
+        assert!(req.target.is_none() && req.epsilon.is_none());
+        assert!(req.lazy.is_none() && req.parallel.is_none() && req.trace_id.is_none());
     }
 
     #[test]
@@ -432,7 +651,9 @@ mod tests {
                 wake_cost: 2.0,
             }],
         )];
-        let req = SolveRequest::schedule_all_profiled(11, tiny(), profiles.clone());
+        let req = SolveRequest::builder(11, tiny())
+            .profiles(profiles.clone())
+            .build();
         assert_eq!(req.version, PROTOCOL_VERSION);
         let json = serde_json::to_string(&req).unwrap();
         let back: SolveRequest = serde_json::from_str(&json).unwrap();
@@ -470,5 +691,60 @@ mod tests {
         assert!(!back.ok);
         assert_eq!(back.error.as_ref().unwrap().kind, ErrorKind::BadRequest);
         assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+
+    #[test]
+    fn overloaded_response_carries_kind_and_hint() {
+        let resp = SolveResponse::overloaded(5, 12);
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: SolveResponse = serde_json::from_str(&json).unwrap();
+        assert!(!back.ok);
+        assert_eq!(back.id, 5);
+        assert_eq!(back.error.as_ref().unwrap().kind, ErrorKind::Overloaded);
+        assert_eq!(back.retry_after_ms, Some(12));
+    }
+
+    #[test]
+    fn hello_ack_carries_the_capability_card() {
+        let resp = SolveResponse::hello_ack();
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: SolveResponse = serde_json::from_str(&json).unwrap();
+        assert!(back.ok);
+        let hello = back.hello.expect("hello info");
+        assert_eq!(hello.protocol, PROTOCOL_VERSION);
+        assert_eq!(hello.min_protocol, MIN_PROTOCOL_VERSION);
+        assert!(hello.formats.iter().any(|f| f == "binary"));
+        assert!(hello.formats.iter().any(|f| f == "jsonl"));
+    }
+
+    #[test]
+    fn parse_value_classifies_solve_and_control() {
+        let req = SolveRequest::builder(4, tiny()).affine(2.0, 1.0).build();
+        match parse_value(&req.to_value()).unwrap() {
+            WireRequest::Solve(r) => assert_eq!(r.id, 4),
+            other => panic!("expected solve, got {other:?}"),
+        }
+        let ctl = ControlRequest {
+            version: PROTOCOL_VERSION,
+            control: "hello".into(),
+        };
+        match parse_value(&ctl.to_value()).unwrap() {
+            WireRequest::Control(c) => assert_eq!(c.control, "hello"),
+            other => panic!("expected control, got {other:?}"),
+        }
+        assert_eq!(
+            parse_value(&Value::Str("nope".into())).unwrap_err().kind,
+            ErrorKind::Parse
+        );
+    }
+
+    #[test]
+    fn correlation_survives_malformed_requests() {
+        assert_eq!(
+            line_correlation(r#"{"id":9,"trace_id":"t-9","mode":"Bogus"}"#),
+            (9, Some("t-9".into()))
+        );
+        assert_eq!(line_correlation("not json"), (0, None));
+        assert_eq!(value_correlation(&Value::Null), (0, None));
     }
 }

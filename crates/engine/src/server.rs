@@ -1,18 +1,36 @@
-//! A `std::net` TCP server speaking the JSONL wire protocol.
+//! A `std::net` TCP server speaking the v3 framed protocol *and* the
+//! legacy JSONL transport, negotiated per connection.
 //!
-//! One OS thread per connection pair: a **reader** parses request lines and
-//! submits them to the shared [`Engine`] (the bounded queue makes a
-//! saturated pool push back on the socket), while the connection's **writer**
-//! resolves tickets *in request order* and streams response lines back. That
+//! **Content negotiation** happens on the first byte of each connection,
+//! peeked without consuming: `0xB3` (the frame magic, outside ASCII) means
+//! the whole connection is framed — `magic | u32 len | u8 format-tag |
+//! payload`, responses echoing each request's payload format — while
+//! anything else falls back to JSONL lines exactly as protocol v1/v2
+//! shipped them, so `nc` and old clients keep working byte-for-byte. A
+//! `hello` control verb answers with the server's capability card
+//! ([`crate::protocol::HelloInfo`]).
+//!
+//! One OS thread per connection pair: a **reader** parses requests and
+//! hands them to the shared [`Engine`], while the connection's **writer**
+//! resolves tickets *in request order* and streams responses back. That
 //! keeps each connection pipelined — a client may write its whole batch
 //! before reading anything — without ever reordering its responses.
 //!
+//! **Admission control**: with a [`ShedPolicy`] configured
+//! ([`ServeOptions::shed_policy`], the CLI's `--shed-policy`), readers use
+//! the engine's non-blocking [`Engine::admit`] — a full queue sheds per
+//! policy with a structured `Overloaded` response (+`retry_after_ms`)
+//! instead of queueing unboundedly or blocking the socket. Without a
+//! policy, the v1/v2 behavior remains: the bounded queue blocks the
+//! reader and backpressure reaches the client's send buffer.
+//!
 //! Control verbs: `{"version":1,"control":"ping"}` is acknowledged in-line;
-//! `"metrics"` is acknowledged with the engine's merged `obs/v1` snapshot
-//! in the response's `obs` field; `"shutdown"` acknowledges, then stops the
-//! accept loop and lets in-flight connections drain before [`serve`]
-//! returns (graceful shutdown, ending with a metrics flush: a text summary
-//! on stderr and, if requested, the JSON snapshot to a file).
+//! `"hello"` returns the capability card; `"metrics"` is acknowledged with
+//! the engine's merged `obs/v1` snapshot in the response's `obs` field;
+//! `"shutdown"` acknowledges, then stops the accept loop and lets
+//! in-flight connections drain before [`serve`] returns (graceful
+//! shutdown, ending with a metrics flush: a text summary on stderr and,
+//! if requested, the JSON snapshot to a file).
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -20,10 +38,24 @@ use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 
-use crate::engine::{Engine, EngineConfig, Ticket};
+use crate::codec::{self, FrameError, WireFormat};
+use crate::engine::{AdmitResult, Engine, EngineConfig, ShedPolicy, Ticket};
 use crate::protocol::{
-    line_correlation, parse_line, ErrorKind, SolveResponse, WireError, WireRequest,
+    line_correlation, parse_line, parse_value, value_correlation, ErrorKind, SolveResponse,
+    WireError, WireRequest,
 };
+
+/// Serve-loop knobs beyond the engine sizing in [`EngineConfig`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServeOptions<'a> {
+    /// Write the final merged `obs/v1` metrics snapshot here after the
+    /// graceful-shutdown drain (the text summary always goes to stderr).
+    pub metrics_out: Option<&'a Path>,
+    /// Admission control: `Some(policy)` makes connection readers shed on
+    /// a full queue instead of blocking (see [`Engine::admit`]); `None`
+    /// keeps blocking backpressure.
+    pub shed_policy: Option<ShedPolicy>,
+}
 
 /// Runs the serve loop on an already-bound listener until a client sends a
 /// `shutdown` control request. Returns once every accepted connection has
@@ -32,17 +64,33 @@ use crate::protocol::{
 /// work still gets its responses), so one parked client cannot keep the
 /// process alive.
 pub fn serve(listener: TcpListener, config: EngineConfig) -> std::io::Result<()> {
-    serve_with_metrics(listener, config, None)
+    serve_with_options(listener, config, ServeOptions::default())
 }
 
 /// [`serve`], optionally writing the final merged `obs/v1` metrics
-/// snapshot to `metrics_out` after the graceful shutdown drain. The text
-/// summary always goes to stderr on shutdown.
+/// snapshot to `metrics_out` after the graceful shutdown drain.
 pub fn serve_with_metrics(
     listener: TcpListener,
     config: EngineConfig,
     metrics_out: Option<&Path>,
 ) -> std::io::Result<()> {
+    serve_with_options(
+        listener,
+        config,
+        ServeOptions {
+            metrics_out,
+            shed_policy: None,
+        },
+    )
+}
+
+/// [`serve`] with the full option set ([`ServeOptions`]).
+pub fn serve_with_options(
+    listener: TcpListener,
+    config: EngineConfig,
+    options: ServeOptions<'_>,
+) -> std::io::Result<()> {
+    let metrics_out = options.metrics_out;
     let local = listener.local_addr()?;
     let engine = Arc::new(Engine::new(config));
     let shutdown = Arc::new(AtomicBool::new(false));
@@ -62,6 +110,9 @@ pub fn serve_with_metrics(
         let stream = match stream {
             Ok(s) => {
                 consecutive_accept_errors = 0;
+                // Request/response traffic: Nagle + delayed ACK would add
+                // ~40ms stalls per unbuffered exchange.
+                let _ = s.set_nodelay(true);
                 s
             }
             Err(e) => {
@@ -111,10 +162,11 @@ pub fn serve_with_metrics(
         let engine = Arc::clone(&engine);
         let shutdown = Arc::clone(&shutdown);
         let streams = Arc::clone(&streams);
+        let shed_policy = options.shed_policy;
         connections.push(std::thread::spawn(move || {
             // Connection errors (resets, half-closed sockets) only end that
             // connection; the server keeps serving others.
-            let _ = handle_connection(stream, &engine, &shutdown, local);
+            let _ = handle_connection(stream, &engine, &shutdown, local, shed_policy);
             if let Ok(mut registry) = streams.lock() {
                 registry.retain(|(id, _)| *id != conn_id);
             }
@@ -146,12 +198,84 @@ pub fn serve_with_metrics(
     Ok(())
 }
 
-/// Outcome of parsing one line on a connection, in arrival order.
+/// Outcome of parsing one request on a connection, in arrival order.
 enum Pending {
-    /// Response already known (parse error, control ack).
+    /// Response already known (parse error, control ack, shed).
     Ready(Box<SolveResponse>),
     /// Solve dispatched to the engine.
     InFlight(Ticket),
+}
+
+/// How a pending response must be written back: the transport/format of
+/// the request it answers.
+#[derive(Clone, Copy)]
+enum Encoding {
+    /// Legacy transport: one JSON line.
+    Jsonl,
+    /// v3 frame in the given payload format.
+    Frame(WireFormat),
+}
+
+struct Dispatch {
+    pending: Pending,
+    /// A `shutdown` verb was handled: stop reading after answering it.
+    stop: bool,
+}
+
+/// Turns one parsed request (or its parse failure + best-effort
+/// correlation keys) into a pending response, shared by both transports.
+fn dispatch_request(
+    parsed: Result<WireRequest, WireError>,
+    correlation: (u64, Option<String>),
+    engine: &Engine,
+    shutdown: &AtomicBool,
+    local: SocketAddr,
+    shed_policy: Option<ShedPolicy>,
+) -> Dispatch {
+    let mut stop = false;
+    let pending = match parsed {
+        Ok(WireRequest::Solve(req)) => match shed_policy {
+            // no admission control: block on the bounded queue
+            // (backpressure through the socket, the v1/v2 behavior)
+            None => Pending::InFlight(engine.submit(*req)),
+            Some(policy) => match engine.admit(*req, policy) {
+                AdmitResult::Admitted(ticket) => Pending::InFlight(ticket),
+                AdmitResult::Shed(resp) => Pending::Ready(resp),
+            },
+        },
+        Ok(WireRequest::Control(ctl)) => match ctl.control.as_str() {
+            "ping" => Pending::Ready(Box::new(SolveResponse::control_ack())),
+            "hello" => Pending::Ready(Box::new(SolveResponse::hello_ack())),
+            "metrics" => Pending::Ready(Box::new(SolveResponse::metrics_ack(
+                engine.metrics_snapshot(),
+            ))),
+            "shutdown" => {
+                shutdown.store(true, Ordering::SeqCst);
+                // Wake the accept loop so it observes the flag.
+                let _ = TcpStream::connect(local);
+                stop = true;
+                Pending::Ready(Box::new(SolveResponse::control_ack()))
+            }
+            other => Pending::Ready(Box::new(SolveResponse::failure(
+                0,
+                WireError::new(
+                    ErrorKind::BadRequest,
+                    format!("unknown control verb '{other}'"),
+                ),
+            ))),
+        },
+        Err(e) => {
+            // carry whatever correlation keys the bad request had, so the
+            // client can match the failure to its request
+            let (id, trace_id) = correlation;
+            let resp = SolveResponse::failure(id, e);
+            Pending::Ready(Box::new(match trace_id {
+                Some(t) => resp.with_trace_id(t),
+                None => resp,
+            }))
+        }
+    };
+    Dispatch { pending, stop }
 }
 
 fn handle_connection(
@@ -159,76 +283,145 @@ fn handle_connection(
     engine: &Engine,
     shutdown: &AtomicBool,
     local: SocketAddr,
+    shed_policy: Option<ShedPolicy>,
 ) -> std::io::Result<()> {
-    let reader = BufReader::new(stream.try_clone()?);
+    let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
+
+    // Content negotiation: peek (without consuming) the connection's first
+    // byte. The frame magic 0xB3 is outside ASCII, so it can never begin a
+    // JSONL line — one byte decides the transport for the whole connection.
+    let framed = match reader.fill_buf() {
+        Ok([]) => return Ok(()), // clean EOF before any request
+        Ok(buf) => buf[0] == codec::MAGIC[0],
+        Err(e) => return Err(e),
+    };
+
     // Bounded: when a pipelining client stops reading responses, the writer
     // stalls on the socket, this queue fills, the reader blocks here and
     // stops consuming requests — backpressure reaches the client's send
     // buffer instead of responses piling up in server memory.
-    let (tx, rx) = mpsc::sync_channel::<Pending>(64);
+    let (tx, rx) = mpsc::sync_channel::<(Pending, Encoding)>(64);
 
     std::thread::scope(|scope| {
         scope.spawn(move || {
-            for line in reader.lines() {
-                let Ok(line) = line else { break };
-                if line.trim().is_empty() {
-                    continue;
-                }
-                let mut stop = false;
-                let pending = match parse_line(&line) {
-                    Ok(WireRequest::Solve(req)) => Pending::InFlight(engine.submit(*req)),
-                    Ok(WireRequest::Control(ctl)) => match ctl.control.as_str() {
-                        "ping" => Pending::Ready(Box::new(SolveResponse::control_ack())),
-                        "metrics" => Pending::Ready(Box::new(SolveResponse::metrics_ack(
-                            engine.metrics_snapshot(),
-                        ))),
-                        "shutdown" => {
-                            shutdown.store(true, Ordering::SeqCst);
-                            // Wake the accept loop so it observes the flag.
-                            let _ = TcpStream::connect(local);
-                            stop = true;
-                            Pending::Ready(Box::new(SolveResponse::control_ack()))
-                        }
-                        other => Pending::Ready(Box::new(SolveResponse::failure(
-                            0,
-                            WireError::new(
-                                ErrorKind::BadRequest,
-                                format!("unknown control verb '{other}'"),
-                            ),
-                        ))),
-                    },
-                    Err(e) => {
-                        // carry whatever correlation keys the bad line had,
-                        // so the client can match the failure to its request
-                        let (id, trace_id) = line_correlation(&line);
-                        let resp = SolveResponse::failure(id, e);
-                        Pending::Ready(Box::new(match trace_id {
-                            Some(t) => resp.with_trace_id(t),
-                            None => resp,
-                        }))
-                    }
-                };
-                if tx.send(pending).is_err() {
-                    break; // writer gone (client stopped reading)
-                }
-                if stop {
-                    break; // no requests are read after a shutdown verb
-                }
+            if framed {
+                read_frames(reader, engine, shutdown, local, shed_policy, &tx);
+            } else {
+                read_lines(reader, engine, shutdown, local, shed_policy, &tx);
             }
             // tx drops here: the writer drains what remains, then ends.
         });
 
-        for pending in rx {
+        for (pending, encoding) in rx {
             let response = match pending {
                 Pending::Ready(r) => *r,
                 Pending::InFlight(ticket) => ticket.wait(),
             };
-            let line = serde_json::to_string(&response)
-                .unwrap_or_else(|e| format!("{{\"version\":1,\"id\":0,\"ok\":false,\"error\":{{\"kind\":\"Internal\",\"message\":\"serialize: {e}\"}}}}"));
-            writeln!(writer, "{line}")?;
+            match encoding {
+                Encoding::Jsonl => {
+                    let line = serde_json::to_string(&response)
+                        .unwrap_or_else(|e| format!("{{\"version\":1,\"id\":0,\"ok\":false,\"error\":{{\"kind\":\"Internal\",\"message\":\"serialize: {e}\"}}}}"));
+                    writeln!(writer, "{line}")?;
+                }
+                Encoding::Frame(format) => {
+                    let payload = codec::value_to_payload(format, &response).unwrap_or_else(|e| {
+                        let fallback = SolveResponse::failure(
+                            response.id,
+                            WireError::new(ErrorKind::Internal, format!("serialize: {e}")),
+                        );
+                        codec::value_to_payload(format, &fallback).unwrap_or_default()
+                    });
+                    codec::write_frame(&mut writer, format, &payload)?;
+                }
+            }
             writer.flush()?;
         }
         Ok(())
     })
+}
+
+/// Reader half of a legacy JSONL connection (protocol v1/v2, unchanged).
+fn read_lines(
+    reader: BufReader<TcpStream>,
+    engine: &Engine,
+    shutdown: &AtomicBool,
+    local: SocketAddr,
+    shed_policy: Option<ShedPolicy>,
+    tx: &mpsc::SyncSender<(Pending, Encoding)>,
+) {
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let dispatch = dispatch_request(
+            parse_line(&line),
+            line_correlation(&line),
+            engine,
+            shutdown,
+            local,
+            shed_policy,
+        );
+        if tx.send((dispatch.pending, Encoding::Jsonl)).is_err() {
+            break; // writer gone (client stopped reading)
+        }
+        if dispatch.stop {
+            break; // no requests are read after a shutdown verb
+        }
+    }
+}
+
+/// Reader half of a v3 framed connection. A malformed frame (bad magic,
+/// oversized declaration, unknown tag, truncation) is answered with one
+/// structured `Parse` failure and then the connection is closed — a byte
+/// stream cannot be resynchronized after a framing error. This loop must
+/// never panic, whatever bytes arrive (fuzzed in `tests/frame_malformed`).
+fn read_frames(
+    mut reader: BufReader<TcpStream>,
+    engine: &Engine,
+    shutdown: &AtomicBool,
+    local: SocketAddr,
+    shed_policy: Option<ShedPolicy>,
+    tx: &mpsc::SyncSender<(Pending, Encoding)>,
+) {
+    // format of the most recent well-formed frame: the best guess for
+    // encoding a framing-error response the client will understand
+    let mut last_format = WireFormat::Binary;
+    loop {
+        match codec::read_frame(&mut reader) {
+            Ok(None) => break, // clean EOF between frames
+            Ok(Some((format, payload))) => {
+                last_format = format;
+                let (parsed, correlation) = match codec::payload_to_value(format, &payload) {
+                    Ok(value) => (parse_value(&value), value_correlation(&value)),
+                    Err(e) => (
+                        Err(WireError::new(
+                            ErrorKind::Parse,
+                            format!("undecodable frame payload: {e}"),
+                        )),
+                        (0, None),
+                    ),
+                };
+                let dispatch =
+                    dispatch_request(parsed, correlation, engine, shutdown, local, shed_policy);
+                if tx
+                    .send((dispatch.pending, Encoding::Frame(format)))
+                    .is_err()
+                {
+                    break;
+                }
+                if dispatch.stop {
+                    break;
+                }
+            }
+            Err(FrameError::Io(_)) => break, // transport died: nothing to answer
+            Err(e) => {
+                let resp =
+                    SolveResponse::failure(0, WireError::new(ErrorKind::Parse, e.to_string()));
+                let _ = tx.send((Pending::Ready(Box::new(resp)), Encoding::Frame(last_format)));
+                break;
+            }
+        }
+    }
 }

@@ -1,0 +1,169 @@
+//! Hostile-input tests for the v3 framed transport: truncated headers,
+//! lying length prefixes, unknown format tags, and random byte salads must
+//! all produce one structured `Parse` failure (or a clean close) — never a
+//! panic, never a hung connection, and never a poisoned accept loop.
+
+use proptest::{proptest, ProptestConfig};
+use sched_core::{Instance, Job, SlotRef};
+use sched_engine::codec::{read_frame, WireFormat, MAGIC, MAX_FRAME_LEN};
+use sched_engine::{
+    serve, EngineClient, EngineConfig, ErrorKind, SolveRequest, SolveResponse, Transport,
+};
+use serde::Deserialize;
+use std::io::{BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+fn spawn_server() -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || serve(listener, EngineConfig::with_workers(1)));
+    addr
+}
+
+/// Proof of life: the server still solves on a fresh connection.
+fn assert_server_alive(addr: SocketAddr) {
+    let mut client = EngineClient::connect(addr, Transport::default()).expect("connect");
+    let inst = Instance::new(1, 4, vec![Job::unit(vec![SlotRef::new(0, 1)])]);
+    client
+        .send(&SolveRequest::builder(7, inst).affine(3.0, 1.0).build())
+        .unwrap();
+    client.flush().unwrap();
+    let resp = client.recv().unwrap().expect("response");
+    assert!(resp.ok, "{:?}", resp.error);
+}
+
+/// Sends raw bytes on a fresh connection, half-closes, and returns
+/// everything the server wrote back before closing.
+fn poke(addr: SocketAddr, bytes: &[u8]) -> Vec<u8> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    writer.write_all(bytes).unwrap();
+    writer.flush().unwrap();
+    stream.shutdown(Shutdown::Write).unwrap();
+    let mut out = Vec::new();
+    BufReader::new(stream)
+        .read_to_end(&mut out)
+        .expect("drain server reply without hanging");
+    out
+}
+
+/// Decodes the single framed failure response `poke` got back.
+fn sole_failure(mut cursor: &[u8]) -> SolveResponse {
+    let (format, payload) = read_frame(&mut cursor)
+        .expect("server reply is a well-formed frame")
+        .expect("server replied before closing");
+    assert_eq!(format, WireFormat::Binary, "errors default to binary");
+    let remaining: &[u8] = cursor;
+    assert!(remaining.is_empty(), "exactly one reply frame, then close");
+    let value = sched_engine::codec::payload_to_value(format, &payload).unwrap();
+    let resp = SolveResponse::from_value(&value).unwrap();
+    assert!(!resp.ok);
+    resp
+}
+
+#[test]
+fn truncated_length_prefix_yields_structured_parse_failure() {
+    let addr = spawn_server();
+    // magic + half a length word, then EOF.
+    let resp = sole_failure(&poke(addr, &[MAGIC[0], MAGIC[1], 0x10, 0x00]));
+    assert_eq!(resp.error.unwrap().kind, ErrorKind::Parse);
+    assert_server_alive(addr);
+}
+
+#[test]
+fn truncated_payload_yields_structured_parse_failure() {
+    let addr = spawn_server();
+    // A header promising 100 payload bytes, delivering 3.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&MAGIC);
+    bytes.extend_from_slice(&100u32.to_le_bytes());
+    bytes.push(WireFormat::Binary.tag());
+    bytes.extend_from_slice(&[1, 2, 3]);
+    let resp = sole_failure(&poke(addr, &bytes));
+    assert_eq!(resp.error.unwrap().kind, ErrorKind::Parse);
+    assert_server_alive(addr);
+}
+
+#[test]
+fn oversized_declared_length_is_rejected_without_buffering() {
+    let addr = spawn_server();
+    // Declares 4 GiB-ish; the server must refuse on the header alone (the
+    // codec rejects before allocating — asserted by its unit tests) and
+    // answer immediately even though no payload ever arrives.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&MAGIC);
+    bytes.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+    bytes.push(WireFormat::Binary.tag());
+    let resp = sole_failure(&poke(addr, &bytes));
+    let err = resp.error.unwrap();
+    assert_eq!(err.kind, ErrorKind::Parse);
+    assert!(
+        err.message.contains("declares"),
+        "error names the lying length: {}",
+        err.message
+    );
+    assert_server_alive(addr);
+}
+
+#[test]
+fn unknown_format_tag_yields_structured_parse_failure() {
+    let addr = spawn_server();
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&MAGIC);
+    bytes.extend_from_slice(&2u32.to_le_bytes());
+    bytes.push(9); // no such format
+    bytes.extend_from_slice(b"{}");
+    let resp = sole_failure(&poke(addr, &bytes));
+    assert_eq!(resp.error.unwrap().kind, ErrorKind::Parse);
+    assert_server_alive(addr);
+}
+
+#[test]
+fn undecodable_binary_payload_yields_structured_parse_failure() {
+    let addr = spawn_server();
+    // A perfectly framed payload of garbage binary-codec bytes.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&MAGIC);
+    bytes.extend_from_slice(&4u32.to_le_bytes());
+    bytes.push(WireFormat::Binary.tag());
+    bytes.extend_from_slice(&[0xFE, 0xDC, 0xBA, 0x98]);
+    let resp = sole_failure(&poke(addr, &bytes));
+    assert_eq!(resp.error.unwrap().kind, ErrorKind::Parse);
+    assert_server_alive(addr);
+}
+
+/// One long-lived server shared by every random draw: random byte
+/// prefixes — magic-led or not — must never panic the accept loop or hang
+/// a connection. (Non-magic first bytes fall back to the JSONL path, so
+/// this also fuzzes line parsing.)
+fn fuzz_server() -> SocketAddr {
+    static ADDR: OnceLock<SocketAddr> = OnceLock::new();
+    *ADDR.get_or_init(spawn_server)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_byte_prefixes_never_panic_the_accept_loop(
+        lead_with_magic in proptest::any::<bool>(),
+        bytes in proptest::collection::vec(0u8..=255, 0..64),
+    ) {
+        let addr = fuzz_server();
+        let mut payload = Vec::new();
+        if lead_with_magic {
+            payload.extend_from_slice(&MAGIC);
+        }
+        payload.extend_from_slice(&bytes);
+        // Whatever the server answers (failure frames, JSONL parse errors,
+        // or nothing), it must close the connection instead of hanging...
+        let _ = poke(addr, &payload);
+        // ...and keep serving the next client.
+        assert_server_alive(addr);
+    }
+}

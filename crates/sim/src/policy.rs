@@ -559,7 +559,9 @@ impl PeriodicResolve {
             }
             (None, Resolver::Engine(engine)) => {
                 let id = RESOLVE_REQUEST_IDS.fetch_add(1, Ordering::Relaxed);
-                let mut req = SolveRequest::schedule_all(id, inst, view.restart, view.rate);
+                let mut req = SolveRequest::builder(id, inst)
+                    .affine(view.restart, view.rate)
+                    .build();
                 if view.explicit_profiles {
                     req.profiles = Some(view.profiles.to_vec());
                 }

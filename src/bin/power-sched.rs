@@ -22,11 +22,16 @@
 //!
 //! Instances and schedules are serialized with serde as plain JSON, so they
 //! round-trip through scripts and other tooling. `batch` and `serve` speak
-//! the versioned JSONL wire protocol of the `sched-engine` crate: one
-//! request object per line, one response line per request, in input order.
-//! `batch --connect` turns the same subcommand into a TCP client, which is
-//! how scripts drive (and gracefully shut down, via `--shutdown`) a running
-//! `serve` instance. `replay` drives the `sched-sim` online simulator: it
+//! the versioned wire protocol of the `sched-engine` crate: since v3 the
+//! default transport is length-prefixed binary frames, negotiated per
+//! connection, while the legacy JSONL line protocol (one request object per
+//! line, one response line per request, in input order) remains accepted on
+//! the same port — pick one with `--format binary|json|jsonl`. `batch
+//! --connect` turns the same subcommand into a TCP client, which is how
+//! scripts drive (and gracefully shut down, via `--shutdown`) a running
+//! `serve` instance; `serve --queue-depth D --shed-policy reject|oldest`
+//! bounds the admission queue and answers excess load with structured
+//! `Overloaded` responses instead of queueing without bound. `replay` drives the `sched-sim` online simulator: it
 //! replays timed arrival traces (files, a directory, or generated on the
 //! fly with `--gen`) through an online policy and reports one JSON line per
 //! trace — online cost, offline reference cost, and the empirical
@@ -35,7 +40,9 @@
 //! `BENCH_solver.json` performance report, optionally gating against a
 //! committed baseline.
 
-use power_scheduling::engine::{serve_with_metrics, Engine, EngineConfig};
+use power_scheduling::engine::{
+    serve_with_options, Engine, EngineClient, EngineConfig, ServeOptions, ShedPolicy, Transport,
+};
 use power_scheduling::obs;
 use power_scheduling::prelude::*;
 use power_scheduling::scheduling::model::validate_schedule;
@@ -47,8 +54,8 @@ use power_scheduling::workloads::{
     TraceKind,
 };
 use rand::SeedableRng;
-use std::io::{BufRead, BufReader, BufWriter, Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::io::{Read, Write};
+use std::net::TcpListener;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -74,9 +81,10 @@ fn main() -> ExitCode {
                  \n        [--policy all|single|maxlen:K] [--out FILE] [--metrics-out FILE]\
                  \n  explain INSTANCE.json [solve flags] [--trace-out FILE]\
                  \n  validate INSTANCE.json SCHEDULE.json\
-                 \n  batch [REQUESTS.jsonl|-] [--workers N] [--queue D] [--out FILE] [--metrics-out FILE]\
-                 \n  batch [REQUESTS.jsonl|-] --connect HOST:PORT [--shutdown] [--out FILE]\
-                 \n  serve --addr HOST:PORT [--workers N] [--queue D] [--metrics-out FILE] [--flight-recorder]\
+                 \n  batch [REQUESTS.jsonl|-] [--workers N] [--queue-depth D] [--out FILE] [--metrics-out FILE]\
+                 \n  batch [REQUESTS.jsonl|-] --connect HOST:PORT [--format binary|json|jsonl] [--shutdown] [--out FILE]\
+                 \n  serve --addr HOST:PORT [--workers N] [--queue-depth D] [--shed-policy reject|oldest]\
+                 \n        [--metrics-out FILE] [--flight-recorder]\
                  \n  replay [TRACE.json|DIR] [--gen [poisson|diurnal|cliffs] --count N --seed S --hetero LEVELS ...]\
                  \n         [--policy greedy|hiring[:F]|resolve[:K]] [--offline auto|greedy|exact]\
                  \n         [--workers N] [--out FILE] [--metrics-out FILE] [--trace-out FILE] [--verbose]\
@@ -525,8 +533,9 @@ fn engine_config(args: &[String]) -> Result<EngineConfig, String> {
     if let Some(w) = flag(args, "--workers") {
         cfg.workers = w.parse().map_err(|e| format!("bad --workers: {e}"))?;
     }
-    if let Some(q) = flag(args, "--queue") {
-        cfg.queue_depth = q.parse().map_err(|e| format!("bad --queue: {e}"))?;
+    // --queue-depth is the documented spelling; --queue stays as an alias.
+    if let Some(q) = flag(args, "--queue-depth").or_else(|| flag(args, "--queue")) {
+        cfg.queue_depth = q.parse().map_err(|e| format!("bad --queue-depth: {e}"))?;
     }
     // Bare flag: retain the last events per worker thread and dump them on
     // request failures, accept-loop bursts, and graceful shutdown.
@@ -547,7 +556,16 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
                         .into(),
                 );
             }
-            batch_over_tcp(&text, &addr, args.iter().any(|a| a == "--shutdown"))?
+            let transport: Transport = match flag(args, "--format") {
+                Some(f) => f.parse()?,
+                None => Transport::default(), // v3 binary frames
+            };
+            batch_over_tcp(
+                &text,
+                &addr,
+                transport,
+                args.iter().any(|a| a == "--shutdown"),
+            )?
         }
         None => {
             let engine = Engine::new(engine_config(args)?);
@@ -575,59 +593,33 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     write_responses(args, &out_lines)
 }
 
-/// Client mode: stream the request lines to a `power-sched serve` instance
-/// and collect one response line per non-blank request line (plus the
-/// shutdown acknowledgement when `--shutdown` is set).
-fn batch_over_tcp(text: &str, addr: &str, shutdown: bool) -> Result<Vec<String>, String> {
-    let stream = TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
-    let mut writer = BufWriter::new(stream.try_clone().map_err(|e| e.to_string())?);
-    let reader = BufReader::new(stream);
-
-    let mut expected = text.lines().filter(|l| !l.trim().is_empty()).count();
-    if shutdown {
-        expected += 1;
-    }
-    if expected == 0 {
+/// Client mode: pipeline the request lines to a `power-sched serve`
+/// instance over the chosen transport (v3 binary frames by default) and
+/// collect one response line per non-blank request line (plus the shutdown
+/// acknowledgement when `--shutdown` is set). Framed responses are
+/// re-serialized as JSONL so the output file looks the same on every
+/// transport.
+fn batch_over_tcp(
+    text: &str,
+    addr: &str,
+    transport: Transport,
+    shutdown: bool,
+) -> Result<Vec<String>, String> {
+    let lines: Vec<String> = text.lines().map(str::to_string).collect();
+    if lines.iter().all(|l| l.trim().is_empty()) && !shutdown {
         // Nothing to send means nothing to wait for; entering the read loop
         // would block forever (neither side would ever write).
         return Ok(Vec::new());
     }
-    std::thread::scope(|scope| -> Result<Vec<String>, String> {
-        // Writer runs concurrently so a large pipelined batch cannot
-        // deadlock against the server's responses.
-        let sender = scope.spawn(move || -> Result<(), String> {
-            for line in text.lines().filter(|l| !l.trim().is_empty()) {
-                writeln!(writer, "{line}").map_err(|e| format!("sending request: {e}"))?;
-            }
-            if shutdown {
-                writeln!(
-                    writer,
-                    "{{\"version\":{PROTOCOL_VERSION},\"control\":\"shutdown\"}}"
-                )
-                .map_err(|e| format!("sending shutdown: {e}"))?;
-            }
-            writer.flush().map_err(|e| format!("sending requests: {e}"))
-        });
-
-        let mut out = Vec::with_capacity(expected);
-        for line in reader.lines() {
-            let line = line.map_err(|e| format!("reading response: {e}"))?;
-            out.push(line);
-            if out.len() == expected {
-                break;
-            }
-        }
-        sender
-            .join()
-            .map_err(|_| "request sender panicked".to_string())??;
-        if out.len() < expected {
-            return Err(format!(
-                "server closed the connection after {} of {expected} responses",
-                out.len()
-            ));
-        }
-        Ok(out)
-    })
+    let mut client =
+        EngineClient::connect(addr, transport).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let responses = client
+        .pipeline_lines(&lines, shutdown)
+        .map_err(|e| format!("batch over {transport}: {e}"))?;
+    responses
+        .iter()
+        .map(|v| serde_json::to_string(v).map_err(|e| e.to_string()))
+        .collect()
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
@@ -639,10 +631,17 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     println!("power-sched serve: listening on {local}");
     std::io::stdout().flush().ok();
     let metrics_out = flag(args, "--metrics-out");
-    serve_with_metrics(
+    let shed_policy: Option<ShedPolicy> = match flag(args, "--shed-policy") {
+        Some(p) => Some(p.parse()?),
+        None => None,
+    };
+    serve_with_options(
         listener,
         cfg,
-        metrics_out.as_deref().map(std::path::Path::new),
+        ServeOptions {
+            metrics_out: metrics_out.as_deref().map(std::path::Path::new),
+            shed_policy,
+        },
     )
     .map_err(|e| format!("serve loop: {e}"))?;
     println!("power-sched serve: shutdown complete");

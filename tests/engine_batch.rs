@@ -38,28 +38,18 @@ fn mixed_requests(n: usize, seed: u64) -> Vec<SolveRequest> {
             );
             let inst = planted.instance;
             let total = inst.total_value();
-            let mut req = match i % 3 {
-                0 => SolveRequest::schedule_all(i as u64, inst, 4.0, 1.0),
-                1 => SolveRequest::prize_collecting(
-                    i as u64,
-                    inst,
-                    4.0,
-                    1.0,
-                    (total * 0.5).max(1.0),
-                    Some(0.25),
-                ),
-                _ => SolveRequest::prize_collecting_exact(
-                    i as u64,
-                    inst,
-                    4.0,
-                    1.0,
-                    (total * 0.4).max(1.0),
-                ),
+            let mut builder = SolveRequest::builder(i as u64, inst).affine(4.0, 1.0);
+            builder = match i % 3 {
+                0 => builder,
+                1 => builder
+                    .prize_collecting((total * 0.5).max(1.0))
+                    .epsilon(0.25),
+                _ => builder.prize_collecting_exact((total * 0.4).max(1.0)),
             };
             if i % 5 == 0 {
-                req.policy = Some("maxlen:6".into());
+                builder = builder.policy("maxlen:6");
             }
-            req
+            builder.build()
         })
         .collect()
 }

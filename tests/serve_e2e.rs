@@ -2,8 +2,15 @@
 //! ephemeral port, driven over TCP — pipelined solve requests, a malformed
 //! line, `ping`, and a graceful `shutdown` that must end the process with
 //! exit code 0.
+//!
+//! The first test deliberately keeps a hand-rolled JSONL client: it is the
+//! compatibility proof that v1/v2 line-protocol clients keep working
+//! against a v3 server, byte for byte. Everything else goes through
+//! [`EngineClient`], the shared client the CLI itself uses.
 
-use power_scheduling::engine::{ErrorKind, SolveRequest, SolveResponse, PROTOCOL_VERSION};
+use power_scheduling::engine::{
+    EngineClient, ErrorKind, SolveRequest, SolveResponse, Transport, WireFormat, PROTOCOL_VERSION,
+};
 use power_scheduling::prelude::*;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -72,7 +79,7 @@ impl Drop for ServerGuard {
 
 fn request(id: u64, time: u32) -> SolveRequest {
     let inst = Instance::new(1, 4, vec![Job::unit(vec![SlotRef::new(0, time % 4)])]);
-    SolveRequest::schedule_all(id, inst, 3.0, 1.0)
+    SolveRequest::builder(id, inst).affine(3.0, 1.0).build()
 }
 
 #[test]
@@ -134,45 +141,29 @@ fn pipelined_requests_ping_and_graceful_shutdown_over_raw_tcp() {
 }
 
 #[test]
-fn metrics_verb_returns_an_obs_snapshot_over_tcp() {
+fn metrics_verb_returns_an_obs_snapshot_over_binary_frames() {
     let mut server = ServerGuard::spawn(2);
-    let stream = TcpStream::connect(&server.addr).expect("connect");
-    stream
-        .set_read_timeout(Some(Duration::from_secs(30)))
-        .unwrap();
-    let mut writer = stream.try_clone().unwrap();
-    let mut reader = BufReader::new(stream);
+    let mut client =
+        EngineClient::connect(&*server.addr, Transport::default()).expect("connect framed binary");
+    assert_eq!(client.transport(), Transport::Framed(WireFormat::Binary));
 
     // A few solves so the counters are nonzero; workers bump their metrics
     // *before* resolving each ticket, so once the responses are read the
     // snapshot the verb takes is deterministic.
-    let mut batch = String::new();
     for i in 0..4u64 {
-        batch.push_str(&serde_json::to_string(&request(i, i as u32)).unwrap());
-        batch.push('\n');
+        client.send(&request(i, i as u32)).unwrap();
     }
-    writer.write_all(batch.as_bytes()).unwrap();
-    writer.flush().unwrap();
+    client.flush().unwrap();
     let mut responses = Vec::new();
     for _ in 0..4 {
-        let mut line = String::new();
-        reader.read_line(&mut line).expect("read solve response");
-        responses.push(serde_json::from_str::<SolveResponse>(line.trim()).unwrap());
+        responses.push(client.recv().expect("read solve response").unwrap());
     }
 
-    writer
-        .write_all(
-            format!(
-                "{{\"version\":{PROTOCOL_VERSION},\"control\":\"metrics\"}}\n{{\"version\":{PROTOCOL_VERSION},\"control\":\"shutdown\"}}\n"
-            )
-            .as_bytes(),
-        )
-        .unwrap();
-    writer.flush().unwrap();
+    client.send_control("metrics").unwrap();
+    client.send_control("shutdown").unwrap();
+    client.flush().unwrap();
     for _ in 0..2 {
-        let mut line = String::new();
-        reader.read_line(&mut line).expect("read control response");
-        responses.push(serde_json::from_str::<SolveResponse>(line.trim()).unwrap());
+        responses.push(client.recv().expect("read control response").unwrap());
     }
     assert!(responses.iter().all(|r| r.ok));
 
@@ -205,6 +196,75 @@ fn metrics_verb_returns_an_obs_snapshot_over_tcp() {
 
     let status = server.wait_for_exit();
     assert!(status.success());
+}
+
+/// The compatibility matrix the protocol docs promise: v1 and v2 JSONL
+/// clients, a v3 JSON-framed client, and a v3 binary client all get served
+/// by one v3 server — on the same port, negotiated per connection.
+#[test]
+fn protocol_version_matrix_v1_v2_v3_clients_against_one_server() {
+    let mut server = ServerGuard::spawn(2);
+
+    // v1 and v2 clients: raw JSONL with an explicit old version stamp.
+    for version in [1u32, 2] {
+        let stream = TcpStream::connect(&server.addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut req = request(u64::from(version), 0);
+        req.version = version;
+        writeln!(writer, "{}", serde_json::to_string(&req).unwrap()).unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("v1/v2 response line");
+        let resp: SolveResponse = serde_json::from_str(line.trim()).unwrap();
+        assert!(resp.ok, "v{version} client rejected: {:?}", resp.error);
+        assert_eq!(resp.id, u64::from(version));
+        assert_eq!(
+            resp.version, PROTOCOL_VERSION,
+            "responses are stamped with the server's version"
+        );
+    }
+
+    // v3 clients: framed JSON and framed binary, with explicit negotiation.
+    for transport in [
+        Transport::Framed(WireFormat::Json),
+        Transport::Framed(WireFormat::Binary),
+    ] {
+        let mut client = EngineClient::connect(&*server.addr, transport).expect("connect framed");
+        let hello = client.hello().expect("hello negotiation");
+        assert_eq!(hello.protocol, PROTOCOL_VERSION);
+        assert_eq!(hello.min_protocol, 1, "v1 clients stay supported");
+        client.send(&request(7, 1)).unwrap();
+        client.flush().unwrap();
+        let resp = client.recv().unwrap().expect("framed response");
+        assert!(resp.ok, "{:?}", resp.error);
+        assert_eq!(resp.id, 7);
+    }
+
+    // A version from the future is refused with a structured error.
+    {
+        let stream = TcpStream::connect(&server.addr).expect("connect");
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut req = request(99, 0);
+        req.version = PROTOCOL_VERSION + 1;
+        writeln!(writer, "{}", serde_json::to_string(&req).unwrap()).unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let resp: SolveResponse = serde_json::from_str(line.trim()).unwrap();
+        assert!(!resp.ok);
+        assert_eq!(resp.error.unwrap().kind, ErrorKind::UnsupportedVersion);
+    }
+
+    let mut shutter = EngineClient::connect(&*server.addr, Transport::default()).unwrap();
+    shutter.send_control("shutdown").unwrap();
+    shutter.flush().unwrap();
+    assert!(shutter.recv().unwrap().expect("shutdown ack").ok);
+    assert!(server.wait_for_exit().success());
 }
 
 #[test]

@@ -205,6 +205,22 @@ impl<T: Serialize> Serialize for &T {
     }
 }
 
+// Identity impls, mirroring upstream serde_json's `Value`: a `Value` *is*
+// the data model, so serializing clones and deserializing never fails.
+// They let generic transcoders (e.g. the engine's binary wire codec) pass
+// already-parsed values through `to_string`/`from_str` without re-typing.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
