@@ -43,6 +43,7 @@ pub fn run(seed: u64, quick: bool) {
                 jobs.push(Job {
                     value: val,
                     allowed: vec![SlotRef::new(0, tpos)],
+                    work: None,
                 });
                 sum += val;
                 tpos += 1;

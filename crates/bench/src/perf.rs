@@ -41,13 +41,17 @@ use std::time::Instant;
 use rand::SeedableRng;
 use sched_core::naive::naive_schedule_all;
 use sched_core::{
-    enumerate_candidates, schedule_all, CandidatePolicy, PowerProfile, ProfileCost, SolveOptions,
+    enumerate_candidates, schedule_all, solve_dvfs, solve_dvfs_naive, CandidatePolicy,
+    PowerProfile, ProfileCost, SolveOptions,
 };
 use sched_engine::{Engine, EngineConfig, SolveRequest};
 use sched_sim::{replay, replay_fleet, FleetOptions, OfflineRef, PolicyKind};
 use serde::{Deserialize, Serialize};
 use workloads::planted::PlantedCostModel;
-use workloads::{generate_trace, planted_instance, ArrivalConfig, PlantedConfig, TraceKind};
+use workloads::{
+    dvfs_instance, generate_trace, planted_instance, ArrivalConfig, DvfsConfig, PlantedConfig,
+    TraceKind,
+};
 
 use crate::Table;
 
@@ -228,6 +232,53 @@ pub fn run(opts: PerfOptions) -> PerfReport {
         }
         let fast = row(&name, "fast", solves, fast_ns, cands.len() as u64);
         let naive = row(&name, "naive", solves, naive_ns, cands.len() as u64);
+        speedups.push(Speedup {
+            workload: name.clone(),
+            fast_over_naive: fast.ops_per_sec / naive.ops_per_sec,
+        });
+        workloads.push(fast);
+        workloads.push(naive);
+    }
+
+    // --- DVFS solve workload: speed-scaling compile → solve → decompile ---
+    // the n64 shape with planted work requirements over a three-rung
+    // quadratic ladder; fast and naive run the identical pipeline end to
+    // end (compilation included — it is part of every real DVFS solve), so
+    // the speedup isolates the solver paths on the lane-expanded grid
+    {
+        let (n, p, t, seed) = (64usize, 4u32, 32u32, 11u64);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let dvfs = dvfs_instance(
+            &DvfsConfig {
+                num_processors: p,
+                horizon: t,
+                target_jobs: n,
+                ..DvfsConfig::default()
+            },
+            &mut rng,
+        );
+        let name = format!("solve_dvfs_n{n}_p{p}_t{t}");
+        let solves: u64 = 20;
+        let peak = dvfs
+            .compile()
+            .expect("pinned DVFS shape compiles")
+            .candidates
+            .len() as u64;
+        let (mut fast_ns, mut naive_ns) = (u64::MAX, u64::MAX);
+        for _ in 0..rounds {
+            let t0 = Instant::now();
+            for _ in 0..solves {
+                std::hint::black_box(solve_dvfs(&dvfs).unwrap());
+            }
+            fast_ns = fast_ns.min(t0.elapsed().as_nanos() as u64);
+            let t0 = Instant::now();
+            for _ in 0..solves {
+                std::hint::black_box(solve_dvfs_naive(&dvfs).unwrap());
+            }
+            naive_ns = naive_ns.min(t0.elapsed().as_nanos() as u64);
+        }
+        let fast = row(&name, "fast", solves, fast_ns, peak);
+        let naive = row(&name, "naive", solves, naive_ns, peak);
         speedups.push(Speedup {
             workload: name.clone(),
             fast_over_naive: fast.ops_per_sec / naive.ops_per_sec,
@@ -715,11 +766,11 @@ mod tests {
         let report = run(PerfOptions { quick: true });
         assert_eq!(report.schema, SCHEMA);
         assert_eq!(report.mode, "quick");
-        // (3 solve shapes + 1 hetero shape + 2 warm-vs-cold shapes +
-        // 1 telemetry-overhead shape + 1 tracing-overhead shape) × 2 paths
-        // + 2 engine rows + 1 replay row
-        assert_eq!(report.workloads.len(), 19);
-        assert_eq!(report.speedups.len(), 8);
+        // (3 solve shapes + 1 hetero shape + 1 DVFS shape + 2 warm-vs-cold
+        // shapes + 1 telemetry-overhead shape + 1 tracing-overhead shape)
+        // × 2 paths + 2 engine rows + 1 replay row
+        assert_eq!(report.workloads.len(), 21);
+        assert_eq!(report.speedups.len(), 9);
         assert!(report
             .speedups
             .iter()
@@ -736,6 +787,14 @@ mod tests {
             .workloads
             .iter()
             .any(|w| w.name.contains("hetero") && w.path == "fast"));
+        assert!(report
+            .workloads
+            .iter()
+            .any(|w| w.name == "solve_dvfs_n64_p4_t32" && w.path == "naive"));
+        assert!(report
+            .speedups
+            .iter()
+            .any(|s| s.workload == "solve_dvfs_n64_p4_t32"));
         for w in &report.workloads {
             assert!(w.ops_per_sec > 0.0, "{}", w.name);
             assert!(w.ns_per_op > 0.0, "{}", w.name);

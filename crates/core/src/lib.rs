@@ -58,6 +58,9 @@
 //! * [`profile`] — per-processor power profiles: heterogeneous wake costs,
 //!   busy rates, and multi-level sleep-state ladders with the break-even
 //!   sleep-depth rule ([`ProfileCost`] is the heterogeneous oracle);
+//! * [`dvfs`] — speed scaling: work-requirement jobs on a discrete
+//!   frequency ladder, compiled onto the classical machinery via a
+//!   lane-expanded virtual grid;
 //! * [`candidates`] — awake-interval candidate generation policies;
 //! * [`bitset`] — `u64`-word slot bitsets used throughout the hot path;
 //! * [`objective`] — the matching-rank [`submodular::BudgetedObjective`]
@@ -76,6 +79,7 @@
 pub mod bitset;
 pub mod candidates;
 pub mod cost;
+pub mod dvfs;
 pub mod model;
 pub mod naive;
 pub mod objective;
@@ -93,14 +97,18 @@ pub use cost::{
     AffineCost, ConvexCost, EnergyCost, PerProcessorAffine, TableCost, TimeVaryingCost,
     UnavailableSlots,
 };
+pub use dvfs::{
+    solve_dvfs, solve_dvfs_naive, validate_dvfs_schedule, CompiledDvfs, DvfsCost, DvfsError,
+    DvfsInstance, DvfsInterval, DvfsQuantum, DvfsSchedule, DvfsSolveError, DvfsViolation,
+};
 pub use model::{Instance, InstanceError, Job, Schedule, ScheduleError, SlotRef, SolveOptions};
 pub use objective::{ScheduleObjective, ScheduleReduction};
 pub use prize_collecting::{
     prize_collecting, prize_collecting_exact, prize_collecting_exact_with, prize_collecting_with,
 };
 pub use profile::{
-    fleet_or_default, validate_profiles, PowerProfile, ProfileCost, ProfileError, SleepChoice,
-    SleepState,
+    fleet_or_default, validate_profiles, FreqLadder, FreqLadderError, FreqLevel, PowerProfile,
+    ProfileCost, ProfileError, SleepChoice, SleepState, MAX_FREQ, MAX_FREQ_LEVELS,
 };
 pub use schedule_all::{schedule_all, schedule_all_with};
 pub use simulate::{profile_energy, simulate, PowerTrace, ProfileEnergy, SlotState};

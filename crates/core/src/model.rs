@@ -37,6 +37,13 @@ pub struct Job {
     /// Valid (processor, time) pairs — the set `T` of Definition 2. May span
     /// several disjoint intervals on several processors.
     pub allowed: Vec<SlotRef>,
+    /// Work requirement in units of computation, for speed-scaling (DVFS)
+    /// instances: at frequency `f` the job occupies `ceil(work / f)` slots.
+    /// `None` (the legacy fixed-shape encoding — missing from pre-DVFS JSON)
+    /// means one unit; the classical solvers ignore anything beyond that and
+    /// the DVFS compiler in [`crate::dvfs`] expands larger requirements.
+    /// Must be at least 1 when present.
+    pub work: Option<u32>,
 }
 
 impl Job {
@@ -45,6 +52,7 @@ impl Job {
         Self {
             value: 1.0,
             allowed,
+            work: None,
         }
     }
 
@@ -53,6 +61,7 @@ impl Job {
         Self {
             value,
             allowed: (start..end).map(|t| SlotRef::new(proc, t)).collect(),
+            work: None,
         }
     }
 
@@ -61,6 +70,18 @@ impl Job {
         self.allowed
             .extend((start..end).map(|t| SlotRef::new(proc, t)));
         self
+    }
+
+    /// Sets the work requirement (builder style).
+    pub fn with_work(mut self, work: u32) -> Self {
+        self.work = Some(work);
+        self
+    }
+
+    /// The work requirement, defaulting the legacy encoding to one unit.
+    #[inline]
+    pub fn work_units(&self) -> u32 {
+        self.work.unwrap_or(1)
     }
 }
 
@@ -109,6 +130,9 @@ impl Instance {
                     job: i as u32,
                     value: j.value,
                 });
+            }
+            if j.work == Some(0) {
+                return Err(InstanceError::InvalidWork { job: i as u32 });
             }
             for s in &j.allowed {
                 if s.proc >= self.num_processors || s.time >= self.horizon {
@@ -215,6 +239,11 @@ pub enum InstanceError {
         /// The rejected slot reference.
         slot: SlotRef,
     },
+    /// A job declares an explicit work requirement of zero.
+    InvalidWork {
+        /// Offending job index.
+        job: u32,
+    },
 }
 
 impl std::fmt::Display for InstanceError {
@@ -228,6 +257,9 @@ impl std::fmt::Display for InstanceError {
                 "job {job} references out-of-range slot ({}, {})",
                 slot.proc, slot.time
             ),
+            InstanceError::InvalidWork { job } => {
+                write!(f, "job {job} declares a work requirement of zero")
+            }
         }
     }
 }
@@ -395,6 +427,7 @@ mod tests {
             vec![Job {
                 value: 0.0,
                 allowed: vec![],
+                work: None,
             }],
         );
     }
@@ -429,12 +462,38 @@ mod tests {
             jobs: vec![Job {
                 value: f64::NAN,
                 allowed: vec![],
+                work: None,
             }],
         };
         assert!(matches!(
             bad_value.validate(),
             Err(InstanceError::InvalidValue { job: 0, .. })
         ));
+
+        let zero_work = Instance {
+            num_processors: 1,
+            horizon: 2,
+            jobs: vec![Job::unit(vec![SlotRef::new(0, 0)]).with_work(0)],
+        };
+        assert_eq!(
+            zero_work.validate(),
+            Err(InstanceError::InvalidWork { job: 0 })
+        );
+        assert!(zero_work
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("work requirement of zero"));
+    }
+
+    #[test]
+    fn work_units_defaults_to_one() {
+        let j = Job::unit(vec![SlotRef::new(0, 0)]);
+        assert_eq!(j.work, None);
+        assert_eq!(j.work_units(), 1);
+        let j = j.with_work(3);
+        assert_eq!(j.work_units(), 3);
+        Instance::new(1, 1, vec![Job::unit(vec![SlotRef::new(0, 0)]).with_work(2)]);
     }
 
     #[test]

@@ -389,6 +389,239 @@ impl EnergyCost for ProfileCost {
     }
 }
 
+/// Hard cap on the number of frequency levels in a [`FreqLadder`]. The DVFS
+/// compilation multiplies the processor count by the level count, so this
+/// bounds the virtual-grid blowup.
+pub const MAX_FREQ_LEVELS: usize = 8;
+
+/// Hard cap on any single frequency in a [`FreqLadder`]. The compilation
+/// multiplies the horizon by the top frequency (one lane per work unit per
+/// slot), so this bounds the virtual-horizon blowup.
+pub const MAX_FREQ: u32 = 64;
+
+/// One frequency level of a [`FreqLadder`], as a computed view: the speed
+/// (work units per slot) and the dynamic power drawn per slot while awake at
+/// that speed.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FreqLevel {
+    /// Work units executed per slot at this level.
+    pub freq: u32,
+    /// Power per awake slot at this level: `alpha * freq^gamma + beta`.
+    pub power: f64,
+}
+
+/// A discrete DVFS frequency ladder with dynamic power
+/// `P(f) = alpha * f^gamma + beta` (the `DiscretePowerModel` shape).
+///
+/// Frequencies are integer speeds — work units per slot — listed strictly
+/// increasing. A job with work requirement `w` occupies `ceil(w / f)` slots
+/// when run at frequency `f`: low levels *stretch* a job across cheap slow
+/// slots, high levels *compress* it into few expensive fast ones.
+///
+/// Validation additionally requires **monotone non-decreasing energy per
+/// unit of work** up the ladder (`P(f)/f` non-decreasing in `f`): the
+/// above-critical-speed regime where slowing down never wastes energy. This
+/// keeps the stretch/compress trade-off well-posed — higher frequencies buy
+/// schedule room, never free energy.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FreqLadder {
+    /// Dynamic-power coefficient `alpha` (finite, non-negative).
+    pub alpha: f64,
+    /// Static power `beta` drawn per awake slot regardless of speed
+    /// (finite, non-negative).
+    pub beta: f64,
+    /// Dynamic-power exponent `gamma` (finite, non-negative; cubes are the
+    /// classical CMOS model).
+    pub gamma: f64,
+    /// Available frequencies, strictly increasing, each in
+    /// `1..=`[`MAX_FREQ`], at most [`MAX_FREQ_LEVELS`] of them.
+    pub freqs: Vec<u32>,
+}
+
+impl FreqLadder {
+    /// A validated ladder.
+    ///
+    /// # Panics
+    /// Panics if the parameters violate [`FreqLadder::validate`].
+    pub fn new(alpha: f64, beta: f64, gamma: f64, freqs: Vec<u32>) -> Self {
+        let l = Self {
+            alpha,
+            beta,
+            gamma,
+            freqs,
+        };
+        if let Err(e) = l.validate() {
+            panic!("{e}");
+        }
+        l
+    }
+
+    /// The degenerate single-frequency ladder that reduces DVFS to the
+    /// classical fixed-shape model: one speed-1 level with `gamma = 1`,
+    /// `beta = 0`, so `P(1) = rate` bitwise (`1^1 == 1`, `rate·1+0 == rate`).
+    pub fn degenerate(rate: f64) -> Self {
+        Self::new(rate, 0.0, 1.0, vec![1])
+    }
+
+    /// Structural checks: finite non-negative curve parameters, a non-empty
+    /// strictly increasing frequency list within the caps, strictly positive
+    /// power at every level, and monotone non-decreasing energy-per-work.
+    pub fn validate(&self) -> Result<(), FreqLadderError> {
+        let finite_nonneg = |x: f64| x.is_finite() && x >= 0.0;
+        if !finite_nonneg(self.alpha) || !finite_nonneg(self.beta) || !finite_nonneg(self.gamma) {
+            return Err(FreqLadderError::NonFinite);
+        }
+        if self.freqs.is_empty() {
+            return Err(FreqLadderError::Empty);
+        }
+        if self.freqs.len() > MAX_FREQ_LEVELS {
+            return Err(FreqLadderError::TooManyLevels {
+                got: self.freqs.len(),
+            });
+        }
+        let mut prev = 0u32;
+        for (level, &f) in self.freqs.iter().enumerate() {
+            if f == 0 || f > MAX_FREQ {
+                return Err(FreqLadderError::FreqOutOfRange { level, freq: f });
+            }
+            if f <= prev {
+                return Err(FreqLadderError::NotIncreasing { level });
+            }
+            prev = f;
+        }
+        let mut prev_epw = -f64::INFINITY;
+        for (level, &f) in self.freqs.iter().enumerate() {
+            let p = self.power_of_freq(f);
+            if !(p > 0.0 && p.is_finite()) {
+                return Err(FreqLadderError::NonPositivePower { level, power: p });
+            }
+            let epw = p / f as f64;
+            // Tolerance absorbs powf round-off on equal-energy ladders.
+            if epw < prev_epw - 1e-9 {
+                return Err(FreqLadderError::EnergyPerWorkDecreasing { level });
+            }
+            prev_epw = epw;
+        }
+        Ok(())
+    }
+
+    /// Number of levels `L`.
+    #[inline]
+    pub fn num_levels(&self) -> usize {
+        self.freqs.len()
+    }
+
+    /// The top (fastest) frequency.
+    #[inline]
+    pub fn max_freq(&self) -> u32 {
+        *self.freqs.last().expect("validated ladder is non-empty")
+    }
+
+    /// The bottom (slowest) frequency.
+    #[inline]
+    pub fn min_freq(&self) -> u32 {
+        self.freqs[0]
+    }
+
+    /// Dynamic power per awake slot at frequency `f`:
+    /// `alpha * f^gamma + beta`.
+    #[inline]
+    pub fn power_of_freq(&self, f: u32) -> f64 {
+        self.alpha * (f as f64).powf(self.gamma) + self.beta
+    }
+
+    /// The computed view of level `level` (0 = slowest).
+    #[inline]
+    pub fn level(&self, level: usize) -> FreqLevel {
+        let freq = self.freqs[level];
+        FreqLevel {
+            freq,
+            power: self.power_of_freq(freq),
+        }
+    }
+
+    /// All levels, slow → fast.
+    pub fn levels(&self) -> Vec<FreqLevel> {
+        (0..self.num_levels()).map(|l| self.level(l)).collect()
+    }
+
+    /// The lowest level whose frequency can execute `work` units in a single
+    /// slot, or `None` if even the top frequency cannot.
+    pub fn min_level_for(&self, work: u32) -> Option<usize> {
+        self.freqs.iter().position(|&f| f >= work)
+    }
+}
+
+/// Structural problems in a [`FreqLadder`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FreqLadderError {
+    /// `alpha`, `beta`, or `gamma` is NaN, infinite, or negative.
+    NonFinite,
+    /// The frequency list is empty.
+    Empty,
+    /// More than [`MAX_FREQ_LEVELS`] levels.
+    TooManyLevels {
+        /// Levels supplied.
+        got: usize,
+    },
+    /// A frequency is zero or above [`MAX_FREQ`].
+    FreqOutOfRange {
+        /// Offending level index.
+        level: usize,
+        /// The rejected frequency.
+        freq: u32,
+    },
+    /// Frequencies are not strictly increasing.
+    NotIncreasing {
+        /// Offending level index.
+        level: usize,
+    },
+    /// `P(f) <= 0` at some level: awake slots would be free and the greedy's
+    /// ratio rule would divide by zero.
+    NonPositivePower {
+        /// Offending level index.
+        level: usize,
+        /// The computed power.
+        power: f64,
+    },
+    /// Energy per unit of work `P(f)/f` decreases up the ladder — the
+    /// below-critical-speed regime this model excludes.
+    EnergyPerWorkDecreasing {
+        /// Offending level index.
+        level: usize,
+    },
+}
+
+impl std::fmt::Display for FreqLadderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FreqLadderError::NonFinite => {
+                write!(f, "ladder parameters must be finite and non-negative")
+            }
+            FreqLadderError::Empty => write!(f, "ladder must list at least one frequency"),
+            FreqLadderError::TooManyLevels { got } => {
+                write!(f, "ladder has {got} levels (max {MAX_FREQ_LEVELS})")
+            }
+            FreqLadderError::FreqOutOfRange { level, freq } => {
+                write!(f, "level {level} frequency {freq} outside 1..={MAX_FREQ}")
+            }
+            FreqLadderError::NotIncreasing { level } => {
+                write!(f, "frequencies must strictly increase (level {level})")
+            }
+            FreqLadderError::NonPositivePower { level, power } => {
+                write!(f, "level {level} has non-positive power {power}")
+            }
+            FreqLadderError::EnergyPerWorkDecreasing { level } => write!(
+                f,
+                "energy per work unit decreases at level {level}; \
+                 P(f)/f must be non-decreasing up the ladder"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FreqLadderError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -542,6 +775,133 @@ mod tests {
         let explicit = [laddered()];
         let fleet = fleet_or_default(Some(&explicit), 1, 0.0, 1.0);
         assert_eq!(fleet[0].sleep_states.len(), 2);
+    }
+
+    #[test]
+    fn freq_ladder_validates_and_prices() {
+        let l = FreqLadder::new(1.0, 0.5, 2.0, vec![1, 2, 4]);
+        assert_eq!(l.num_levels(), 3);
+        assert_eq!(l.min_freq(), 1);
+        assert_eq!(l.max_freq(), 4);
+        // P(f) = f² + 0.5
+        assert_eq!(
+            l.level(0),
+            FreqLevel {
+                freq: 1,
+                power: 1.5
+            }
+        );
+        assert_eq!(
+            l.level(1),
+            FreqLevel {
+                freq: 2,
+                power: 4.5
+            }
+        );
+        assert_eq!(
+            l.level(2),
+            FreqLevel {
+                freq: 4,
+                power: 16.5
+            }
+        );
+        assert_eq!(l.levels().len(), 3);
+        assert_eq!(l.min_level_for(1), Some(0));
+        assert_eq!(l.min_level_for(2), Some(1));
+        assert_eq!(l.min_level_for(3), Some(2));
+        assert_eq!(l.min_level_for(5), None);
+    }
+
+    #[test]
+    fn degenerate_ladder_prices_bitwise_like_rate() {
+        for rate in [0.25, 1.0, 3.5] {
+            let l = FreqLadder::degenerate(rate);
+            assert_eq!(l.power_of_freq(1).to_bits(), rate.to_bits());
+        }
+    }
+
+    #[test]
+    fn freq_ladder_rejects_bad_shapes() {
+        let base = |freqs: Vec<u32>| FreqLadder {
+            alpha: 1.0,
+            beta: 0.0,
+            gamma: 2.0,
+            freqs,
+        };
+        assert_eq!(base(vec![]).validate(), Err(FreqLadderError::Empty));
+        assert_eq!(
+            base(vec![1, 1]).validate(),
+            Err(FreqLadderError::NotIncreasing { level: 1 })
+        );
+        assert_eq!(
+            base(vec![0]).validate(),
+            Err(FreqLadderError::FreqOutOfRange { level: 0, freq: 0 })
+        );
+        assert_eq!(
+            base(vec![1, 1000]).validate(),
+            Err(FreqLadderError::FreqOutOfRange {
+                level: 1,
+                freq: 1000
+            })
+        );
+        assert_eq!(
+            base((1..=9).collect()).validate(),
+            Err(FreqLadderError::TooManyLevels { got: 9 })
+        );
+        let nan = FreqLadder {
+            alpha: f64::NAN,
+            beta: 0.0,
+            gamma: 1.0,
+            freqs: vec![1],
+        };
+        assert_eq!(nan.validate(), Err(FreqLadderError::NonFinite));
+        // alpha = beta = 0 makes every level free
+        let free = FreqLadder {
+            alpha: 0.0,
+            beta: 0.0,
+            gamma: 1.0,
+            freqs: vec![1],
+        };
+        assert!(matches!(
+            free.validate(),
+            Err(FreqLadderError::NonPositivePower { level: 0, .. })
+        ));
+        // gamma < 1 with beta = 0: P(f)/f decreases — below critical speed
+        let sub = FreqLadder {
+            alpha: 1.0,
+            beta: 0.0,
+            gamma: 0.5,
+            freqs: vec![1, 4],
+        };
+        assert_eq!(
+            sub.validate(),
+            Err(FreqLadderError::EnergyPerWorkDecreasing { level: 1 })
+        );
+        // gamma = 1, beta = 0: constant energy per work — allowed (ties ok)
+        assert!(base(vec![1, 2, 4]).validate().is_ok());
+        assert!(FreqLadder {
+            alpha: 2.0,
+            beta: 0.0,
+            gamma: 1.0,
+            freqs: vec![1, 2, 4]
+        }
+        .validate()
+        .is_ok());
+        for e in [
+            FreqLadderError::Empty,
+            FreqLadderError::EnergyPerWorkDecreasing { level: 1 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn freq_ladder_serde_round_trip() {
+        let l = FreqLadder::new(1.0, 0.5, 3.0, vec![1, 2, 3]);
+        let json = serde_json::to_string(&l).unwrap();
+        let back: FreqLadder = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, l);
+        assert_eq!(back.validate(), Ok(()));
     }
 
     #[test]

@@ -16,7 +16,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::model::{Instance, InstanceError, Job, SlotRef};
 use crate::profile::{
-    fleet_or_default, validate_profiles, PowerProfile, ProfileCost, ProfileError,
+    fleet_or_default, validate_profiles, FreqLadder, FreqLadderError, PowerProfile, ProfileCost,
+    ProfileError,
 };
 
 /// A unit-time job with a release time.
@@ -29,6 +30,11 @@ pub struct TimedJob {
     pub value: f64,
     /// Valid (processor, time) pairs, all at or after `release`.
     pub allowed: Vec<SlotRef>,
+    /// Work requirement for DVFS traces (see [`Job::work`]); `None` = one
+    /// unit, the legacy encoding. Online replays run a job within a single
+    /// slot, so with a frequency ladder present the work must fit the top
+    /// frequency; without one, work beyond a unit is rejected.
+    pub work: Option<u32>,
 }
 
 impl TimedJob {
@@ -41,7 +47,20 @@ impl TimedJob {
             allowed: (start.max(release)..end)
                 .map(|t| SlotRef::new(proc, t))
                 .collect(),
+            work: None,
         }
+    }
+
+    /// Sets the work requirement (builder style).
+    pub fn with_work(mut self, work: u32) -> Self {
+        self.work = Some(work);
+        self
+    }
+
+    /// The work requirement, defaulting the legacy encoding to one unit.
+    #[inline]
+    pub fn work_units(&self) -> u32 {
+        self.work.unwrap_or(1)
     }
 
     /// Latest allowed time, or `None` for an empty allowed set.
@@ -72,6 +91,13 @@ pub struct ArrivalTrace {
     /// `(restart, rate)` profile, which keeps pre-profile trace files
     /// loading unchanged.
     pub profiles: Option<Vec<PowerProfile>>,
+    /// Optional DVFS frequency ladder shared by every processor. Present, it
+    /// lets jobs carry multi-unit work requirements (compressed into single
+    /// slots online, stretched or compressed offline) and re-prices awake
+    /// runs by the minimum level covering the heaviest job they execute.
+    /// Absent = the classical fixed-shape model, which keeps pre-DVFS trace
+    /// files loading unchanged.
+    pub freq_ladder: Option<FreqLadder>,
 }
 
 /// Structural problems detected by [`ArrivalTrace::validate`].
@@ -109,6 +135,27 @@ pub enum TraceError {
     /// The explicit per-processor profiles are invalid (wrong count, bad
     /// parameters, or a non-monotone sleep ladder).
     InvalidProfiles(ProfileError),
+    /// The frequency ladder is invalid.
+    InvalidLadder(FreqLadderError),
+    /// A trace carries both a frequency ladder and explicit per-processor
+    /// profiles — the DVFS re-pricing assumes the homogeneous affine model.
+    LadderWithProfiles,
+    /// A job's work requirement exceeds the ladder's top frequency: online
+    /// replays run a job within one slot, so it could never be placed.
+    WorkExceedsTopFreq {
+        /// Offending job index.
+        job: u32,
+        /// The declared work.
+        work: u32,
+        /// The ladder's fastest frequency.
+        max_freq: u32,
+    },
+    /// A job declares multi-unit work but the trace has no frequency ladder
+    /// to execute it with.
+    WorkWithoutLadder {
+        /// Offending job index.
+        job: u32,
+    },
 }
 
 impl std::fmt::Display for TraceError {
@@ -130,6 +177,25 @@ impl std::fmt::Display for TraceError {
                  (got restart {restart}, rate {rate})"
             ),
             TraceError::InvalidProfiles(e) => write!(f, "invalid power profiles: {e}"),
+            TraceError::InvalidLadder(e) => write!(f, "invalid frequency ladder: {e}"),
+            TraceError::LadderWithProfiles => write!(
+                f,
+                "a trace may carry a frequency ladder or explicit profiles, not both"
+            ),
+            TraceError::WorkExceedsTopFreq {
+                job,
+                work,
+                max_freq,
+            } => write!(
+                f,
+                "job {job} requires {work} work units but the ladder tops out at \
+                 frequency {max_freq} (online jobs must fit one slot)"
+            ),
+            TraceError::WorkWithoutLadder { job } => write!(
+                f,
+                "job {job} declares a multi-unit work requirement but the trace \
+                 has no frequency ladder"
+            ),
         }
     }
 }
@@ -159,10 +225,29 @@ impl ArrivalTrace {
             validate_profiles(profiles, self.num_processors)
                 .map_err(TraceError::InvalidProfiles)?;
         }
+        if let Some(ladder) = &self.freq_ladder {
+            ladder.validate().map_err(TraceError::InvalidLadder)?;
+            if self.profiles.is_some() {
+                return Err(TraceError::LadderWithProfiles);
+            }
+        }
         self.to_instance()
             .validate()
             .map_err(TraceError::Instance)?;
         for (i, j) in self.jobs.iter().enumerate() {
+            match &self.freq_ladder {
+                Some(ladder) if j.work_units() > ladder.max_freq() => {
+                    return Err(TraceError::WorkExceedsTopFreq {
+                        job: i as u32,
+                        work: j.work_units(),
+                        max_freq: ladder.max_freq(),
+                    });
+                }
+                None if j.work_units() > 1 => {
+                    return Err(TraceError::WorkWithoutLadder { job: i as u32 });
+                }
+                _ => {}
+            }
             if j.release >= self.horizon {
                 return Err(TraceError::ReleaseAfterHorizon {
                     job: i as u32,
@@ -194,9 +279,25 @@ impl ArrivalTrace {
                 .map(|j| Job {
                     value: j.value,
                     allowed: j.allowed.clone(),
+                    work: j.work,
                 })
                 .collect(),
         }
+    }
+
+    /// The offline DVFS instance an omniscient speed-scaling solver sees,
+    /// when the trace carries a frequency ladder: release times dropped,
+    /// work requirements kept, the trace's `restart` as the wake cost.
+    /// `None` for classical traces.
+    pub fn to_dvfs_instance(&self) -> Option<crate::dvfs::DvfsInstance> {
+        let ladder = self.freq_ladder.clone()?;
+        Some(crate::dvfs::DvfsInstance {
+            num_processors: self.num_processors,
+            horizon: self.horizon,
+            wake_cost: self.restart,
+            ladder,
+            jobs: self.to_instance().jobs,
+        })
     }
 
     /// Sum of all job values.
@@ -241,6 +342,7 @@ mod tests {
                 TimedJob::window(2.0, 2, 1, 2, 6),
             ],
             profiles: None,
+            freq_ladder: None,
         }
     }
 
@@ -297,6 +399,79 @@ mod tests {
         let mut t = trace();
         t.jobs[0].allowed[0].time = 99;
         assert!(matches!(t.validate(), Err(TraceError::Instance(_))));
+    }
+
+    #[test]
+    fn dvfs_trace_validation_rules() {
+        let ladder = FreqLadder::new(1.0, 0.0, 2.0, vec![1, 2, 4]);
+        let mut t = trace();
+        t.freq_ladder = Some(ladder.clone());
+        t.jobs[0].work = Some(3);
+        assert_eq!(t.validate(), Ok(()));
+        let d = t.to_dvfs_instance().unwrap();
+        assert_eq!(d.wake_cost, t.restart);
+        assert_eq!(d.jobs[0].work_units(), 3);
+        assert_eq!(d.ladder, ladder);
+        assert!(trace().to_dvfs_instance().is_none());
+
+        // Work beyond the top frequency cannot run in one online slot.
+        t.jobs[0].work = Some(5);
+        assert_eq!(
+            t.validate(),
+            Err(TraceError::WorkExceedsTopFreq {
+                job: 0,
+                work: 5,
+                max_freq: 4
+            })
+        );
+
+        // Multi-unit work without a ladder is meaningless.
+        let mut t = trace();
+        t.jobs[1].work = Some(2);
+        assert_eq!(t.validate(), Err(TraceError::WorkWithoutLadder { job: 1 }));
+
+        // Ladder and explicit profiles are mutually exclusive.
+        let mut t = trace();
+        t.freq_ladder = Some(ladder.clone());
+        t.profiles = Some(vec![PowerProfile::affine(3.0, 1.0); 2]);
+        assert_eq!(t.validate(), Err(TraceError::LadderWithProfiles));
+
+        // A broken ladder is reported as such.
+        let mut t = trace();
+        t.freq_ladder = Some(FreqLadder {
+            alpha: 1.0,
+            beta: 0.0,
+            gamma: 2.0,
+            freqs: vec![],
+        });
+        assert!(matches!(t.validate(), Err(TraceError::InvalidLadder(_))));
+        for e in [
+            TraceError::LadderWithProfiles,
+            TraceError::WorkExceedsTopFreq {
+                job: 0,
+                work: 5,
+                max_freq: 4,
+            },
+            TraceError::WorkWithoutLadder { job: 1 },
+            TraceError::InvalidLadder(FreqLadderError::Empty),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn dvfs_trace_serde_round_trip() {
+        let mut t = trace();
+        t.freq_ladder = Some(FreqLadder::new(0.5, 0.25, 3.0, vec![1, 2]));
+        t.jobs[0].work = Some(2);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: ArrivalTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.validate(), Ok(()));
+        assert_eq!(back.freq_ladder, t.freq_ladder);
+        assert_eq!(back.jobs[0].work, Some(2));
+        assert_eq!(back.jobs[1].work, None);
+        assert_eq!(back.jobs[0].work_units(), 2);
+        assert_eq!(back.jobs[1].work_units(), 1);
     }
 
     #[test]

@@ -648,6 +648,7 @@ mod tests {
             Job {
                 value: 1.0,
                 allowed: vec![],
+                work: None,
             },
         ]);
         let r = h.solve(&broken, &[1, 2], &c);

@@ -35,6 +35,7 @@ fn build_instance(p: u32, t: u32, jobs: &[(u32, u32, u32, u32)]) -> Instance {
                 allowed: (start..end.max(start + 1).min(t))
                     .map(|time| SlotRef::new(proc, time))
                     .collect(),
+                work: None,
             }
         })
         .collect();

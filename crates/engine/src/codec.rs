@@ -303,6 +303,14 @@ pub const FIELD_NAMES: &[&str] = &[
     "p50",
     "p99",
     "p999",
+    // DVFS speed scaling (additive v3 fields — appended, never reordered)
+    "work",
+    "freq_ladder",
+    "freq_levels",
+    "alpha",
+    "beta",
+    "gamma",
+    "freqs",
 ];
 
 /// Key byte announcing an inline (varint length + UTF-8) key instead of a

@@ -37,8 +37,8 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use sched_core::{
-    content_keys, validate_profiles, AffineCost, CandidatePolicy, EnergyCost, ProfileCost,
-    SolveOptions, Solver, WarmHandle,
+    content_keys, validate_profiles, AffineCost, CandidatePolicy, DvfsCost, DvfsInstance,
+    EnergyCost, ProfileCost, SolveOptions, Solver, WarmHandle,
 };
 use sched_obs::{Gauge, Registry, Snapshot};
 
@@ -585,6 +585,12 @@ struct CacheKey {
     /// (sleep ladders never affect interval pricing, so they stay out of
     /// the key); `None` for the affine default.
     profile_bits: Option<Vec<(u64, u64)>>,
+    /// `(alpha, beta, gamma)` bits plus the frequency rungs for DVFS
+    /// requests — every parameter the compiled candidate family's prices
+    /// depend on. `None` for ladder-free requests, so a DVFS family can
+    /// never be served where fixed-shape pricing was asked (or vice
+    /// versa), even on an identical physical grid.
+    ladder_bits: Option<(u64, u64, u64, Vec<u32>)>,
     policy: PolicyKey,
 }
 
@@ -676,6 +682,51 @@ fn plan(req: &SolveRequest) -> Result<Plan, WireError> {
         .map_err(|e| WireError::new(ErrorKind::InvalidInstance, e.to_string()))?;
     // The cost constructors assert their parameters; reject over the wire
     // instead of letting a bad request panic (and kill) a worker thread.
+    if let Some(ladder) = &req.freq_ladder {
+        if req.profiles.is_some() {
+            return Err(WireError::new(
+                ErrorKind::BadRequest,
+                "freq_ladder and profiles are mutually exclusive",
+            ));
+        }
+        if req.policy.is_some() {
+            return Err(WireError::new(
+                ErrorKind::BadRequest,
+                "freq_ladder requests use the compiled DVFS candidate family; \
+                 `policy` is not applicable",
+            ));
+        }
+        if req.mode != SolveMode::ScheduleAll {
+            return Err(WireError::new(
+                ErrorKind::BadRequest,
+                "freq_ladder requests support ScheduleAll only",
+            ));
+        }
+        ladder.validate().map_err(|e| {
+            WireError::new(ErrorKind::BadRequest, format!("invalid freq_ladder: {e}"))
+        })?;
+        if !(req.restart.is_finite() && req.restart >= 0.0) {
+            return Err(WireError::new(
+                ErrorKind::BadRequest,
+                format!(
+                    "wake cost (restart) must be finite and non-negative (got {})",
+                    req.restart
+                ),
+            ));
+        }
+        return Ok(Plan {
+            policy: CandidatePolicy::All,
+            lazy: req.lazy.unwrap_or(true),
+            parallel: req.parallel.unwrap_or(false),
+            goal: Goal::All,
+        });
+    }
+    if let Some(job) = req.instance.jobs.iter().position(|j| j.work_units() > 1) {
+        return Err(WireError::new(
+            ErrorKind::BadRequest,
+            format!("job {job} declares a work requirement but the request has no freq_ladder"),
+        ));
+    }
     match &req.profiles {
         Some(profiles) => {
             validate_profiles(profiles, req.instance.num_processors)
@@ -784,6 +835,9 @@ fn serve_request_planned(
         Ok(p) => p,
         Err(e) => return SolveResponse::failure(req.id, e),
     };
+    if req.freq_ladder.is_some() {
+        return serve_dvfs_request(worker_id, cache_capacity, cache, req, &plan);
+    }
 
     // Profiled pricing ignores restart/rate entirely, so their bits are
     // normalized out of the key — otherwise two clients sending the same
@@ -807,6 +861,7 @@ fn serve_request_planned(
                 .map(|p| (p.wake_cost.to_bits(), p.busy_rate.to_bits()))
                 .collect()
         }),
+        ladder_bits: None,
         policy: plan.policy.into(),
     };
     // plan() has vetted the parameters, so neither constructor can assert
@@ -873,6 +928,105 @@ fn serve_request_planned(
                 cache_hit,
             },
         ),
+        Err(e) => {
+            SolveResponse::failure(req.id, WireError::new(ErrorKind::Infeasible, e.to_string()))
+        }
+    }
+}
+
+/// The DVFS solve path: compiles the request into the speed-scaling
+/// virtual grid, solves it through the same warm-start candidate cache
+/// (keyed by the ladder's parameter bits), and answers with the physical
+/// schedule plus per-interval `freq_levels`.
+fn serve_dvfs_request(
+    worker_id: u32,
+    cache_capacity: usize,
+    cache: &mut CandidateCache,
+    req: &SolveRequest,
+    plan: &Plan,
+) -> SolveResponse {
+    let ladder = req.freq_ladder.as_ref().expect("caller checked");
+    let dvfs = DvfsInstance {
+        num_processors: req.instance.num_processors,
+        horizon: req.instance.horizon,
+        wake_cost: req.restart,
+        ladder: ladder.clone(),
+        jobs: req.instance.jobs.clone(),
+    };
+    let compiled = match dvfs.compile() {
+        Ok(c) => c,
+        Err(e) => {
+            return SolveResponse::failure(
+                req.id,
+                WireError::new(ErrorKind::BadRequest, e.to_string()),
+            )
+        }
+    };
+    let key = CacheKey {
+        processors: req.instance.num_processors,
+        horizon: req.instance.horizon,
+        restart_bits: req.restart.to_bits(),
+        rate_bits: 0,
+        profile_bits: None,
+        ladder_bits: Some((
+            ladder.alpha.to_bits(),
+            ladder.beta.to_bits(),
+            ladder.gamma.to_bits(),
+            ladder.freqs.clone(),
+        )),
+        policy: PolicyKey::All,
+    };
+    let options = SolveOptions {
+        lazy: plan.lazy,
+        parallel: plan.parallel,
+    };
+    let cache_hit = cache.contains_key(&key);
+    sched_obs::counter_add(
+        if cache_hit {
+            "engine.cache.hits"
+        } else {
+            "engine.cache.misses"
+        },
+        1,
+    );
+    if !cache_hit {
+        if cache.len() >= cache_capacity {
+            cache.clear();
+        }
+        cache.insert(
+            key.clone(),
+            WarmHandle::with_options(CandidatePolicy::All, options),
+        );
+    }
+    let handle = cache.get_mut(&key).expect("just inserted");
+    handle.set_options(options);
+    // Enumerating the compiled grid with the DvfsCost oracle reproduces the
+    // explicit candidate family bit for bit (proved in sched-core), so the
+    // cached family is interchangeable with `compiled.candidates`.
+    let cost = DvfsCost::new(&dvfs);
+    let family = handle.family(&compiled.instance, &cost);
+
+    let t0 = Instant::now();
+    let outcome = handle.solve(&compiled.instance, &content_keys(&compiled.instance), &cost);
+    let solve_micros = t0.elapsed().as_micros() as u64;
+
+    match outcome {
+        Ok(schedule) => {
+            let (physical, freq_levels) =
+                compiled.to_physical_schedule(&compiled.decompile(&schedule));
+            let mut resp = SolveResponse::success(
+                req.id,
+                physical,
+                SolveMetrics {
+                    solve_micros,
+                    candidates: family.len() as u64,
+                    worker: worker_id,
+                    cache_hit,
+                },
+            );
+            resp.freq_levels = Some(freq_levels);
+            resp
+        }
         Err(e) => {
             SolveResponse::failure(req.id, WireError::new(ErrorKind::Infeasible, e.to_string()))
         }
@@ -1108,6 +1262,84 @@ mod tests {
         );
         // the single worker survived both and still solves
         assert!(responses[2].ok, "{:?}", responses[2].error);
+    }
+
+    #[test]
+    fn dvfs_requests_solve_and_return_freq_levels() {
+        use sched_core::FreqLadder;
+        let engine = Engine::new(EngineConfig::with_workers(1));
+        // The documented greedy-vs-exact DVFS instance: P(1)=1, P(2)=4,
+        // wake 1. Greedy stretches the bottom level first and lands at 9.
+        let instance = Instance::new(
+            1,
+            3,
+            vec![
+                CoreJob::window(1.0, 0, 0, 1).with_work(2),
+                CoreJob::window(1.0, 0, 1, 2),
+                CoreJob::window(1.0, 0, 2, 3),
+            ],
+        );
+        let ladder = FreqLadder::new(1.0, 0.0, 2.0, vec![1, 2]);
+        let req = |id: u64| {
+            SolveRequest::builder(id, instance.clone())
+                .affine(1.0, 0.0)
+                .freq_ladder(ladder.clone())
+                .build()
+        };
+        let responses = engine.solve_batch(vec![req(1), req(2)]);
+        for resp in &responses {
+            assert!(resp.ok, "{:?}", resp.error);
+            let schedule = resp.schedule.as_ref().unwrap();
+            assert_eq!(schedule.total_cost, 9.0);
+            assert_eq!(schedule.scheduled_count, 3);
+            let levels = resp.freq_levels.as_ref().expect("DVFS response levels");
+            assert_eq!(levels.len(), schedule.awake.len());
+            assert!(levels.iter().all(|&l| l < 2));
+        }
+        // identical grid + ladder: the compiled family is cached
+        let hits: Vec<bool> = responses
+            .iter()
+            .map(|r| r.metrics.unwrap().cache_hit)
+            .collect();
+        assert_eq!(hits, vec![false, true]);
+        // direct solve agrees with the engine's decompiled answer
+        let dvfs = DvfsInstance {
+            num_processors: 1,
+            horizon: 3,
+            wake_cost: 1.0,
+            ladder: ladder.clone(),
+            jobs: instance.jobs.clone(),
+        };
+        let direct = sched_core::solve_dvfs(&dvfs).unwrap();
+        assert_eq!(direct.total_cost, 9.0);
+    }
+
+    #[test]
+    fn dvfs_misuse_is_rejected_not_fatal() {
+        use sched_core::{FreqLadder, PowerProfile};
+        let engine = Engine::new(EngineConfig::with_workers(1));
+        let ladder = FreqLadder::new(1.0, 0.0, 2.0, vec![1, 2]);
+        // ladder + profiles is ambiguous pricing
+        let both = SolveRequest::builder(1, inst(4))
+            .affine(1.0, 0.0)
+            .freq_ladder(ladder.clone())
+            .profiles(vec![PowerProfile::affine(3.0, 1.0)])
+            .build();
+        // a work requirement without a ladder has no frequency to run at
+        let mut orphan_work = SolveRequest::builder(2, inst(4)).affine(3.0, 1.0).build();
+        orphan_work.instance.jobs[0] = orphan_work.instance.jobs[0].clone().with_work(2);
+        // prize-collecting over the compiled grid is not offered
+        let mut prize = SolveRequest::builder(3, inst(4))
+            .affine(1.0, 0.0)
+            .prize_collecting(1.0)
+            .build();
+        prize.freq_ladder = Some(ladder);
+        let fine = schedule_all(4, inst(4), 3.0, 1.0);
+        let responses = engine.solve_batch(vec![both, orphan_work, prize, fine]);
+        for r in &responses[..3] {
+            assert_eq!(r.error.as_ref().unwrap().kind, ErrorKind::BadRequest);
+        }
+        assert!(responses[3].ok, "{:?}", responses[3].error);
     }
 
     #[test]

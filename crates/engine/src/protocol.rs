@@ -80,7 +80,7 @@
 //!    answers (JSONL requests get JSONL lines), so mixed-format
 //!    connections and pipelining stay unambiguous.
 
-use sched_core::{Instance, PowerProfile, Schedule};
+use sched_core::{FreqLadder, Instance, PowerProfile, Schedule};
 use sched_obs::Snapshot;
 use serde::{Deserialize, Serialize, Value};
 
@@ -147,6 +147,12 @@ pub struct SolveRequest {
     /// events are tagged with it. Optional and trailing like `profiles`
     /// and `obs`, so older peers interoperate unchanged.
     pub trace_id: Option<String>,
+    /// Discrete DVFS frequency ladder (additive v3 field). When present,
+    /// jobs may carry `work` requirements and the engine solves the
+    /// compiled speed-scaling problem, answering with the physical
+    /// schedule plus per-interval `freq_levels`. Mutually exclusive with
+    /// `profiles`. Absent = the fixed-shape behavior of v1/v2.
+    pub freq_ladder: Option<FreqLadder>,
 }
 
 impl SolveRequest {
@@ -182,6 +188,7 @@ impl SolveRequest {
                 lazy: None,
                 parallel: None,
                 trace_id: None,
+                freq_ladder: None,
             },
         }
     }
@@ -267,6 +274,13 @@ impl SolveRequestBuilder {
     /// Sets the caller's trace id.
     pub fn trace_id(mut self, trace_id: impl Into<String>) -> Self {
         self.req.trace_id = Some(trace_id.into());
+        self
+    }
+
+    /// Prices by a discrete DVFS frequency ladder (additive v3 field; the
+    /// affine `restart` stamp is the wake cost, `rate` is ignored).
+    pub fn freq_ladder(mut self, ladder: FreqLadder) -> Self {
+        self.req.freq_ladder = Some(ladder);
         self
     }
 
@@ -404,6 +418,11 @@ pub struct SolveResponse {
     /// The server's capability card, set only on `hello` control acks.
     /// Additive v3 field.
     pub hello: Option<HelloInfo>,
+    /// Frequency ladder level of each interval in `schedule.awake`
+    /// (parallel arrays), set only on successful DVFS solves — a request
+    /// that carried `freq_ladder`. Additive v3 field: ladder-free
+    /// responses omit it and parse unchanged by v1/v2 clients.
+    pub freq_levels: Option<Vec<u32>>,
 }
 
 impl SolveResponse {
@@ -420,6 +439,7 @@ impl SolveResponse {
             trace_id: None,
             retry_after_ms: None,
             hello: None,
+            freq_levels: None,
         }
     }
 
@@ -436,6 +456,7 @@ impl SolveResponse {
             trace_id: None,
             retry_after_ms: None,
             hello: None,
+            freq_levels: None,
         }
     }
 
@@ -466,6 +487,7 @@ impl SolveResponse {
             trace_id: None,
             retry_after_ms: None,
             hello: None,
+            freq_levels: None,
         }
     }
 

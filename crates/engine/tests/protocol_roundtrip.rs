@@ -30,6 +30,7 @@ fn instance_strategy() -> impl Strategy<Value = Instance> {
                         .into_iter()
                         .map(|(proc, time)| SlotRef { proc, time })
                         .collect(),
+                    work: None,
                 })
                 .collect(),
         })
@@ -93,6 +94,7 @@ fn request_strategy() -> impl Strategy<Value = SolveRequest> {
                     lazy: set_opts.then_some(lazy),
                     parallel: set_opts.then_some(parallel),
                     trace_id: (id % 3 == 0).then(|| format!("trace-{id}")),
+                    freq_ladder: None,
                 }
             },
         )

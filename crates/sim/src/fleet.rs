@@ -130,6 +130,7 @@ mod tests {
                     })
                     .collect(),
                 profiles: None,
+                freq_ladder: None,
             })
             .collect()
     }

@@ -47,6 +47,7 @@
 //!         TimedJob::window(1.0, 3, 0, 3, 6),
 //!     ],
 //!     profiles: None,
+//!     freq_ladder: None,
 //! };
 //! let mut policy = PolicyKind::Greedy.build(None);
 //! let (report, _) = replay_with_report(&trace, policy.as_mut(), OfflineRef::Auto).unwrap();

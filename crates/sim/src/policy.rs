@@ -32,8 +32,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use sched_core::{
-    CandidateInterval, Instance, Job, PowerProfile, ProfileCost, SlotRef, Solver, TimedJob,
-    WarmHandle,
+    CandidateInterval, FreqLadder, Instance, Job, PowerProfile, ProfileCost, SlotRef, Solver,
+    TimedJob, WarmHandle,
 };
 use sched_engine::{Engine, SolveRequest};
 use secretary::classic_secretary;
@@ -65,6 +65,11 @@ pub struct SlotView<'a> {
     /// Did the trace carry explicit profiles? (Engine-mode re-solves only
     /// ship profiles over the wire when they are explicit.)
     pub(crate) explicit_profiles: bool,
+    /// The trace's frequency ladder, when it is a DVFS trace. Awake runs
+    /// are then re-priced by the simulator at the lowest level covering the
+    /// heaviest job in the run, and idle holds burn the bottom level's
+    /// power instead of the affine rate.
+    pub(crate) freq_ladder: Option<&'a FreqLadder>,
 }
 
 impl SlotView<'_> {
@@ -111,9 +116,27 @@ impl SlotView<'_> {
     /// Largest idle streak worth bridging awake on `proc` — the ski-rental
     /// break-even against the cheapest sleep option (off, or any ladder
     /// state), capped at the horizon. Equals `ceil(restart / rate)` for the
-    /// affine default profile.
+    /// affine default profile. On a DVFS trace the idle burn is the bottom
+    /// frequency's power, not the affine rate, so the break-even is
+    /// `ceil(restart / P(f_min))`.
     pub fn hold_break_even(&self, proc: u32) -> u32 {
+        if let Some(ladder) = self.freq_ladder {
+            let idle_burn = ladder.level(0).power;
+            let slots = (self.restart / idle_burn).ceil() as u32;
+            return slots.max(1).min(self.horizon);
+        }
         self.profiles[proc as usize].hold_break_even(self.horizon)
+    }
+
+    /// The trace's frequency ladder, when this is a DVFS trace.
+    pub fn ladder(&self) -> Option<&FreqLadder> {
+        self.freq_ladder
+    }
+
+    /// The lowest ladder level able to finish `work` units in one slot, or
+    /// `None` when the trace has no ladder (or no level is fast enough).
+    pub fn min_level_for(&self, work: u32) -> Option<usize> {
+        self.freq_ladder.and_then(|l| l.min_level_for(work))
     }
 
     /// Processors on which `id` may run *right now* (sorted, deduped).
@@ -530,6 +553,7 @@ impl PeriodicResolve {
                         .copied()
                         .filter(|s| s.time >= view.now)
                         .collect(),
+                    work: None,
                 }
             })
             .collect();
@@ -930,6 +954,7 @@ mod tests {
             awake_prev: &awake_prev,
             profiles: &profiles,
             explicit_profiles: false,
+            freq_ladder: None,
         };
         // each job is single-processor here, so both procs get used
         let d = greedy_decision(&view, false);
@@ -941,6 +966,7 @@ mod tests {
             release: 0,
             value: 1.0,
             allowed: vec![SlotRef::new(0, 0), SlotRef::new(1, 0)],
+            work: None,
         }];
         let pending = vec![0usize];
         let view = SlotView {
@@ -954,6 +980,7 @@ mod tests {
             awake_prev: &awake_prev,
             profiles: &profiles,
             explicit_profiles: false,
+            freq_ladder: None,
         };
         let d = greedy_decision(&view, false);
         assert_eq!(d.run, vec![(0, 1)]);
@@ -977,6 +1004,7 @@ mod tests {
             awake_prev: &awake_prev,
             profiles: &profiles,
             explicit_profiles: false,
+            freq_ladder: None,
         };
         let _ = view.job(0);
     }

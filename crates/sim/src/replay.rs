@@ -9,13 +9,17 @@
 //! Awake slots are folded into maximal per-processor runs, each priced by
 //! the trace's affine cost model exactly as the offline optimizer would
 //! price the same interval — so online and offline costs are directly
-//! comparable. The finished replay is packaged as an ordinary
+//! comparable. On a DVFS trace each run is instead priced at the lowest
+//! ladder level whose frequency covers the heaviest job executed in the
+//! run (`wake + P(f_ℓ) · len`, the bottom level when the run is idle),
+//! which keeps every run a feasible awake interval of the compiled
+//! offline DVFS problem. The finished replay is packaged as an ordinary
 //! [`Schedule`] plus the [`PowerTrace`] machine-state timeline from
 //! [`sched_core::simulate`].
 
 use sched_core::simulate::{simulate, PowerTrace};
 use sched_core::trace::{ArrivalTrace, TraceError};
-use sched_core::{CandidateInterval, EnergyCost, PowerProfile, Schedule, SlotRef};
+use sched_core::{CandidateInterval, EnergyCost, FreqLadder, PowerProfile, Schedule, SlotRef};
 
 use crate::policy::{Policy, ResolveStats, SlotDecision, SlotView};
 
@@ -94,6 +98,7 @@ pub fn replay(trace: &ArrivalTrace, policy: &mut dyn Policy) -> Result<ReplayOut
     // (restart, rate) model replays always used.
     let profiles: Vec<PowerProfile> = trace.fleet_profiles();
     let cost = trace.cost_model();
+    let ladder = trace.freq_ladder.as_ref();
 
     // Job ids ordered by (release, id): the released prefix grows with t.
     let mut order: Vec<usize> = (0..trace.jobs.len()).collect();
@@ -105,6 +110,10 @@ pub fn replay(trace: &ArrivalTrace, policy: &mut dyn Policy) -> Result<ReplayOut
     let mut dropped: Vec<usize> = Vec::new();
     let mut awake_prev = vec![false; p];
     let mut run_start: Vec<Option<u32>> = vec![None; p];
+    // Heaviest work requirement executed in the current run of each
+    // processor (0 while the run is idle) — fixes the DVFS level the run
+    // is priced at when it closes.
+    let mut run_max_work: Vec<u32> = vec![0; p];
     let mut runs: Vec<CandidateInterval> = Vec::new();
 
     for now in 0..trace.horizon {
@@ -127,6 +136,7 @@ pub fn replay(trace: &ArrivalTrace, policy: &mut dyn Policy) -> Result<ReplayOut
                 awake_prev: &awake_prev,
                 profiles: &profiles,
                 explicit_profiles: trace.profiles.is_some(),
+                freq_ladder: ladder,
             };
             policy.decide(&view)
         };
@@ -148,6 +158,8 @@ pub fn replay(trace: &ArrivalTrace, policy: &mut dyn Policy) -> Result<ReplayOut
         for &(id, proc) in &decision.run {
             assignments[id] = Some(SlotRef::new(proc, now));
             pending.retain(|&x| x != id);
+            let w = trace.jobs[id].work_units();
+            run_max_work[proc as usize] = run_max_work[proc as usize].max(w);
         }
         // Expiry: pending jobs with no opportunity left after this slot.
         pending.retain(|&id| {
@@ -163,8 +175,17 @@ pub fn replay(trace: &ArrivalTrace, policy: &mut dyn Policy) -> Result<ReplayOut
             match (run_start[proc], awake_now[proc]) {
                 (None, true) => run_start[proc] = Some(now),
                 (Some(start), false) => {
-                    runs.push(priced_run(&cost, proc as u32, start, now));
+                    runs.push(priced_run(
+                        &cost,
+                        ladder,
+                        trace.restart,
+                        proc as u32,
+                        start,
+                        now,
+                        run_max_work[proc],
+                    ));
                     run_start[proc] = None;
+                    run_max_work[proc] = 0;
                 }
                 _ => {}
             }
@@ -173,7 +194,15 @@ pub fn replay(trace: &ArrivalTrace, policy: &mut dyn Policy) -> Result<ReplayOut
     }
     for (proc, start) in run_start.iter().enumerate() {
         if let Some(start) = start {
-            runs.push(priced_run(&cost, proc as u32, *start, trace.horizon));
+            runs.push(priced_run(
+                &cost,
+                ladder,
+                trace.restart,
+                proc as u32,
+                *start,
+                trace.horizon,
+                run_max_work[proc],
+            ));
         }
     }
     runs.sort_by_key(|iv| (iv.proc, iv.start));
@@ -205,12 +234,33 @@ pub fn replay(trace: &ArrivalTrace, policy: &mut dyn Policy) -> Result<ReplayOut
     })
 }
 
-fn priced_run(cost: &dyn EnergyCost, proc: u32, start: u32, end: u32) -> CandidateInterval {
+fn priced_run(
+    cost: &dyn EnergyCost,
+    ladder: Option<&FreqLadder>,
+    wake: f64,
+    proc: u32,
+    start: u32,
+    end: u32,
+    max_work: u32,
+) -> CandidateInterval {
+    let cost = match ladder {
+        // DVFS pricing: the whole run holds the lowest level whose
+        // frequency covers the heaviest job it executed (the bottom level
+        // when idle). Trace validation caps work at the top frequency, so
+        // a sufficient level always exists.
+        Some(ladder) => {
+            let level = ladder
+                .min_level_for(max_work.max(1))
+                .expect("trace validation caps work at the top frequency");
+            wake + ladder.level(level).power * (end - start) as f64
+        }
+        None => cost.cost(proc, start, end),
+    };
     CandidateInterval {
         proc,
         start,
         end,
-        cost: cost.cost(proc, start, end),
+        cost,
     }
 }
 
@@ -286,6 +336,7 @@ mod tests {
                 TimedJob::window(1.0, 6, 0, 6, 9),
             ],
             profiles: None,
+            freq_ladder: None,
         }
     }
 
@@ -344,6 +395,7 @@ mod tests {
                 .map(|i| TimedJob::window(1.0 + i as f64, 2 * i, 0, 2 * i, 2 * i + 2))
                 .collect(),
             profiles: None,
+            freq_ladder: None,
         };
         let greedy = replay(&trace, &mut GreedyWake).unwrap();
         let mut hiring_policy = ThresholdHiring::new(0.25);
@@ -445,6 +497,7 @@ mod tests {
                 TimedJob::window(1.0, 1, 0, 1, 2),
             ],
             profiles: None,
+            freq_ladder: None,
         };
         let out = replay(&trace, &mut GreedyWake).unwrap();
         assert_eq!(out.schedule.scheduled_count, 1);

@@ -156,6 +156,7 @@ fn windowed_job(cfg: &ArrivalConfig, value: f64, release: u32, proc: u32, home: 
         release,
         value,
         allowed: (release..end).map(|t| SlotRef::new(proc, t)).collect(),
+        work: None,
     }
 }
 
@@ -208,6 +209,7 @@ pub fn poisson_bursts(cfg: &ArrivalConfig, rng: &mut impl Rng) -> ArrivalTrace {
         rate: cfg.rate,
         jobs,
         profiles: None,
+        freq_ladder: None,
     }
 }
 
@@ -246,6 +248,7 @@ pub fn diurnal(cfg: &ArrivalConfig, rng: &mut impl Rng) -> ArrivalTrace {
         rate: cfg.rate,
         jobs,
         profiles: None,
+        freq_ladder: None,
     }
 }
 
@@ -280,6 +283,7 @@ pub fn deadline_cliffs(cfg: &ArrivalConfig, rng: &mut impl Rng) -> ArrivalTrace 
                     release,
                     value: job_value(cfg, rng),
                     allowed: (release..cliff).map(|t| SlotRef::new(proc, t)).collect(),
+                    work: None,
                 });
             }
         }
@@ -297,6 +301,7 @@ pub fn deadline_cliffs(cfg: &ArrivalConfig, rng: &mut impl Rng) -> ArrivalTrace 
         rate: cfg.rate,
         jobs,
         profiles: None,
+        freq_ladder: None,
     }
 }
 

@@ -16,12 +16,16 @@
 //!   harness;
 //! * [`hetero`] — heterogeneous-fleet power-profile generators (distinct
 //!   per-processor wake costs / busy rates, optional sleep-state ladders)
-//!   and profile-attached arrival traces.
+//!   and profile-attached arrival traces;
+//! * [`dvfs`] — speed-scaling workloads: instances and traces whose jobs
+//!   carry planted work requirements against a shared frequency ladder,
+//!   clamped so every workload stays feasible at the lowest frequency.
 //!
 //! All generators take explicit RNGs so every experiment is reproducible
 //! from its printed seed.
 
 pub mod arrivals;
+pub mod dvfs;
 pub mod hetero;
 pub mod market;
 pub mod online_hiring;
@@ -32,6 +36,7 @@ pub mod setcover_hard;
 pub use arrivals::{
     deadline_cliffs, diurnal, generate_trace, poisson_bursts, ArrivalConfig, TraceKind,
 };
+pub use dvfs::{dvfs_instance, dvfs_trace, DvfsConfig};
 pub use hetero::{hetero_profiles, hetero_trace};
 pub use market::market_prices;
 pub use online_hiring::ProcessorRankFn;

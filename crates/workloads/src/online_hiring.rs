@@ -157,10 +157,12 @@ mod tests {
                 Job {
                     value: 10.0,
                     allowed: vec![SlotRef::new(0, 0)],
+                    work: None,
                 },
                 Job {
                     value: 1.0,
                     allowed: vec![SlotRef::new(1, 0)],
+                    work: None,
                 },
             ],
         );

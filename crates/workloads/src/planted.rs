@@ -197,7 +197,11 @@ pub fn planted_instance(cfg: &PlantedConfig, rng: &mut impl Rng) -> PlantedInsta
         }
         allowed.sort_unstable();
         allowed.dedup();
-        jobs.push(Job { value, allowed });
+        jobs.push(Job {
+            value,
+            allowed,
+            work: None,
+        });
     }
 
     let instance = Instance::new(cfg.num_processors, cfg.horizon, jobs);

@@ -38,6 +38,7 @@ pub fn set_cover_to_scheduling(sc: &SetCoverInstance) -> (Instance, Vec<Candidat
             Job {
                 value: 1.0,
                 allowed,
+                work: None,
             }
         })
         .collect();

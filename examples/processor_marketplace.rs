@@ -77,6 +77,7 @@ fn main() {
             (!allowed.is_empty()).then_some(Job {
                 value: j.value,
                 allowed,
+                work: None,
             })
         })
         .collect();

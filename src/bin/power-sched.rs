@@ -4,9 +4,11 @@
 //! power-sched generate --seed 7 --processors 2 --horizon 16 --jobs 12 --out inst.json
 //! power-sched generate --trace poisson --seed 7 --horizon 24 --jobs 12 --out trace.json
 //! power-sched generate --seed 7 --processors 3 --hetero 2 --out inst.json --profiles-out profs.json
+//! power-sched generate --dvfs --seed 7 --out trace.json --instance-out inst.json --ladder-out ladder.json
 //! power-sched solve inst.json --restart 3 --rate 1 [--target 25.5] [--out sched.json]
 //! power-sched solve inst.json --profiles profs.json [--out sched.json]
-//! power-sched validate inst.json sched.json
+//! power-sched solve inst.json --freq-ladder ladder.json --restart 4 [--out sched.json]
+//! power-sched validate inst.json sched.json [--freq-ladder ladder.json]
 //! power-sched batch requests.jsonl [--workers N] [--out responses.jsonl]
 //! power-sched batch requests.jsonl --connect HOST:PORT [--shutdown]
 //! power-sched serve --addr 127.0.0.1:7171 [--workers N]
@@ -50,8 +52,8 @@ use power_scheduling::scheduling::simulate::simulate;
 use power_scheduling::scheduling::{validate_profiles, PowerProfile, ProfileCost};
 use power_scheduling::workloads::planted::PlantedCostModel;
 use power_scheduling::workloads::{
-    generate_trace, hetero_profiles, hetero_trace, planted_instance, ArrivalConfig, PlantedConfig,
-    TraceKind,
+    dvfs_instance, dvfs_trace, generate_trace, hetero_profiles, hetero_trace, planted_instance,
+    ArrivalConfig, DvfsConfig, PlantedConfig, TraceKind,
 };
 use rand::SeedableRng;
 use std::io::{Read, Write};
@@ -77,10 +79,13 @@ fn main() -> ExitCode {
                  \n           [--hetero LEVELS --profiles-out FILE]\
                  \n  generate --trace poisson|diurnal|cliffs --seed S [--processors P --horizon T --jobs N\
                  \n           --restart A --rate R --slack K --values V] [--hetero LEVELS] --out FILE\
+                 \n  generate --dvfs --seed S [--processors P --horizon T --jobs N --restart A\
+                 \n           --alpha A --beta B --gamma G --freqs 1,2,4 --max-work W --slack K --values V]\
+                 \n           [--out TRACE] [--instance-out FILE --ladder-out FILE]\
                  \n  solve INSTANCE.json [--restart A] [--rate R] [--profiles FILE] [--target Z]\
-                 \n        [--policy all|single|maxlen:K] [--out FILE] [--metrics-out FILE]\
+                 \n        [--freq-ladder FILE] [--policy all|single|maxlen:K] [--out FILE] [--metrics-out FILE]\
                  \n  explain INSTANCE.json [solve flags] [--trace-out FILE]\
-                 \n  validate INSTANCE.json SCHEDULE.json\
+                 \n  validate INSTANCE.json SCHEDULE.json [--freq-ladder FILE]\
                  \n  batch [REQUESTS.jsonl|-] [--workers N] [--queue-depth D] [--out FILE] [--metrics-out FILE]\
                  \n  batch [REQUESTS.jsonl|-] --connect HOST:PORT [--format binary|json|jsonl] [--shutdown] [--out FILE]\
                  \n  serve --addr HOST:PORT [--workers N] [--queue-depth D] [--shed-policy reject|oldest]\
@@ -207,6 +212,120 @@ fn arrival_config(args: &[String]) -> Result<ArrivalConfig, String> {
     Ok(cfg)
 }
 
+/// Parses the DVFS generator knobs (`generate --dvfs`). Unset flags fall
+/// back to [`DvfsConfig::default`]; the ladder is validated here so the
+/// generators (which assert validity) never panic on CLI input.
+fn dvfs_config(args: &[String]) -> Result<DvfsConfig, String> {
+    let d = DvfsConfig::default();
+    let freqs: Vec<u32> = match flag(args, "--freqs") {
+        Some(csv) => csv
+            .split(',')
+            .map(|f| f.trim().parse().map_err(|e| format!("bad --freqs: {e}")))
+            .collect::<Result<_, _>>()?,
+        None => d.freqs.clone(),
+    };
+    let cfg = DvfsConfig {
+        num_processors: parse_flag(args, "--processors", d.num_processors)?,
+        horizon: parse_flag(args, "--horizon", d.horizon)?,
+        target_jobs: parse_flag(args, "--jobs", d.target_jobs)?,
+        wake_cost: parse_flag(args, "--restart", d.wake_cost)?,
+        alpha: parse_flag(args, "--alpha", d.alpha)?,
+        beta: parse_flag(args, "--beta", d.beta)?,
+        gamma: parse_flag(args, "--gamma", d.gamma)?,
+        freqs,
+        max_work: parse_flag(args, "--max-work", d.max_work)?,
+        max_value: parse_flag(args, "--values", d.max_value)?,
+        slack: parse_flag(args, "--slack", d.slack)?,
+    };
+    if cfg.num_processors == 0 || cfg.horizon == 0 || cfg.max_work == 0 {
+        return Err("--processors, --horizon, and --max-work must be positive".into());
+    }
+    if !(cfg.wake_cost.is_finite() && cfg.wake_cost >= 0.0) {
+        return Err(format!(
+            "--restart (wake cost) must be finite and non-negative, got {}",
+            cfg.wake_cost
+        ));
+    }
+    FreqLadder {
+        alpha: cfg.alpha,
+        beta: cfg.beta,
+        gamma: cfg.gamma,
+        freqs: cfg.freqs.clone(),
+    }
+    .validate()
+    .map_err(|e| format!("invalid frequency ladder: {e}"))?;
+    Ok(cfg)
+}
+
+/// `generate --dvfs`: speed-scaling workloads. `--out` writes a replayable
+/// arrival trace with the ladder embedded; `--instance-out`/`--ladder-out`
+/// write an offline instance (jobs carrying work requirements) and the
+/// ladder file `solve --freq-ladder` consumes. Trace and instance draw from
+/// the same seeded stream in that order, so the triple is reproducible.
+fn generate_dvfs(args: &[String], seed: u64) -> Result<(), String> {
+    let cfg = dvfs_config(args)?;
+    let trace_out = flag(args, "--out");
+    let instance_out = flag(args, "--instance-out");
+    let ladder_out = flag(args, "--ladder-out");
+    if trace_out.is_none() && instance_out.is_none() {
+        return Err("generate --dvfs needs --out TRACE and/or --instance-out FILE".into());
+    }
+    if instance_out.is_some() != ladder_out.is_some() {
+        return Err("--instance-out and --ladder-out go together (solve needs both files)".into());
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    if let Some(out) = trace_out {
+        let mut trace = dvfs_trace(&cfg, &mut rng);
+        trace.name = format!("{}-s{seed}", trace.name);
+        trace
+            .validate()
+            .map_err(|e| format!("generated trace is invalid: {e}"))?;
+        let json = serde_json::to_string_pretty(&trace).map_err(|e| e.to_string())?;
+        std::fs::write(&out, json).map_err(|e| e.to_string())?;
+        println!(
+            "wrote {} ({}: {} jobs, {} processors, horizon {}, wake {}, ladder {:?})",
+            out,
+            trace.name,
+            trace.jobs.len(),
+            trace.num_processors,
+            trace.horizon,
+            trace.restart,
+            cfg.freqs
+        );
+    }
+    if let (Some(inst_out), Some(ladder_out)) = (instance_out, ladder_out) {
+        let dvfs = dvfs_instance(&cfg, &mut rng);
+        dvfs.validate()
+            .map_err(|e| format!("generated instance is invalid: {e}"))?;
+        let inst = Instance {
+            num_processors: dvfs.num_processors,
+            horizon: dvfs.horizon,
+            jobs: dvfs.jobs.clone(),
+        };
+        let json = serde_json::to_string_pretty(&inst).map_err(|e| e.to_string())?;
+        std::fs::write(&inst_out, json).map_err(|e| e.to_string())?;
+        let total_work: u32 = dvfs.jobs.iter().map(Job::work_units).sum();
+        println!(
+            "wrote {} ({} jobs, {} work units, {} processors, horizon {})",
+            inst_out,
+            inst.num_jobs(),
+            total_work,
+            inst.num_processors,
+            inst.horizon
+        );
+        let json = serde_json::to_string_pretty(&dvfs.ladder).map_err(|e| e.to_string())?;
+        std::fs::write(&ladder_out, json).map_err(|e| e.to_string())?;
+        println!(
+            "wrote {ladder_out} ({} levels, alpha {} beta {} gamma {})",
+            cfg.freqs.len(),
+            cfg.alpha,
+            cfg.beta,
+            cfg.gamma
+        );
+    }
+    Ok(())
+}
+
 fn cmd_generate(args: &[String]) -> Result<(), String> {
     let seed: u64 =
         flag(args, "--seed").map_or(Ok(0), |v| v.parse().map_err(|e| format!("{e}")))?;
@@ -218,6 +337,9 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         flag(args, "--jobs").map_or(Ok(12), |v| v.parse().map_err(|e| format!("{e}")))?;
     let values: u32 =
         flag(args, "--values").map_or(Ok(1), |v| v.parse().map_err(|e| format!("{e}")))?;
+    if args.iter().any(|a| a == "--dvfs") {
+        return generate_dvfs(args, seed);
+    }
     let out = flag(args, "--out").ok_or("--out FILE is required")?;
     let hetero: Option<u32> = match flag(args, "--hetero") {
         Some(v) => Some(
@@ -339,8 +461,77 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
     flush_metrics(metrics, solve_run(args))
 }
 
+/// Loads and validates a `--freq-ladder FILE` JSON ladder.
+fn load_ladder(path: &str) -> Result<FreqLadder, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let ladder: FreqLadder = serde_json::from_str(&text)
+        .map_err(|e| format!("{path} is not a valid frequency ladder: {e}"))?;
+    ladder
+        .validate()
+        .map_err(|e| format!("{path} is not a valid frequency ladder: {e}"))?;
+    Ok(ladder)
+}
+
+/// `solve INSTANCE --freq-ladder FILE`: the speed-scaling solve. Jobs carry
+/// work requirements; the solver picks per-interval frequency levels, paying
+/// `wake + (alpha·f^gamma + beta) · len` per awake interval. Mutually
+/// exclusive with `--profiles`/`--target` (DVFS is schedule-all only).
+fn solve_dvfs_run(args: &[String], inst_path: &str, ladder_path: &str) -> Result<(), String> {
+    if flag(args, "--profiles").is_some() {
+        return Err("--freq-ladder and --profiles are mutually exclusive".into());
+    }
+    if flag(args, "--target").is_some() {
+        return Err("--freq-ladder supports schedule-all only (no --target)".into());
+    }
+    let restart: f64 =
+        flag(args, "--restart").map_or(Ok(3.0), |v| v.parse().map_err(|e| format!("{e}")))?;
+    let text = std::fs::read_to_string(inst_path).map_err(|e| e.to_string())?;
+    let inst: Instance = serde_json::from_str(&text)
+        .map_err(|e| format!("{inst_path} is not a valid instance: {e}"))?;
+    inst.validate()
+        .map_err(|e| format!("{inst_path} is not a valid instance: {e}"))?;
+    let dvfs = DvfsInstance {
+        num_processors: inst.num_processors,
+        horizon: inst.horizon,
+        wake_cost: restart,
+        ladder: load_ladder(ladder_path)?,
+        jobs: inst.jobs,
+    };
+    dvfs.validate().map_err(|e| e.to_string())?;
+    let schedule = solve_dvfs(&dvfs).map_err(|e| e.to_string())?;
+    let completed = schedule
+        .assignments
+        .iter()
+        .zip(&dvfs.jobs)
+        .filter(|(quanta, job)| quanta.len() == job.work_units() as usize)
+        .count();
+    println!(
+        "scheduled {}/{} jobs (value {:.1}) at energy cost {:.2} with {} awake intervals",
+        completed,
+        dvfs.jobs.len(),
+        schedule.scheduled_value,
+        schedule.total_cost,
+        schedule.awake.len()
+    );
+    for iv in &schedule.awake {
+        println!(
+            "  proc {} [{}, {}) at freq {} (level {}): cost {:.2}",
+            iv.proc, iv.start, iv.end, iv.freq, iv.level, iv.cost
+        );
+    }
+    if let Some(out) = flag(args, "--out") {
+        let json = serde_json::to_string_pretty(&schedule).map_err(|e| e.to_string())?;
+        std::fs::write(&out, json).map_err(|e| e.to_string())?;
+        println!("wrote {out}");
+    }
+    Ok(())
+}
+
 fn solve_run(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("missing INSTANCE.json")?;
+    if let Some(ladder_path) = flag(args, "--freq-ladder") {
+        return solve_dvfs_run(args, path, &ladder_path);
+    }
     let policy: CandidatePolicy = flag(args, "--policy")
         .unwrap_or_else(|| "all".into())
         .parse()?;
@@ -864,14 +1055,56 @@ fn cmd_metrics(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_validate(args: &[String]) -> Result<(), String> {
-    let [inst_path, sched_path] = args else {
-        return Err("usage: validate INSTANCE.json SCHEDULE.json".into());
+    let operands: Vec<&String> = {
+        // the only validate flag, --freq-ladder, consumes one value operand
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            if args[i].starts_with("--") {
+                i += 2;
+            } else {
+                out.push(&args[i]);
+                i += 1;
+            }
+        }
+        out
+    };
+    let [inst_path, sched_path] = operands[..] else {
+        return Err("usage: validate INSTANCE.json SCHEDULE.json [--freq-ladder FILE]".into());
     };
     let inst: Instance =
         serde_json::from_str(&std::fs::read_to_string(inst_path).map_err(|e| e.to_string())?)
             .map_err(|e| e.to_string())?;
     inst.validate()
         .map_err(|e| format!("{inst_path} is not a valid instance: {e}"))?;
+    if let Some(ladder_path) = flag(args, "--freq-ladder") {
+        let restart: f64 =
+            flag(args, "--restart").map_or(Ok(3.0), |v| v.parse().map_err(|e| format!("{e}")))?;
+        let dvfs = DvfsInstance {
+            num_processors: inst.num_processors,
+            horizon: inst.horizon,
+            wake_cost: restart,
+            ladder: load_ladder(&ladder_path)?,
+            jobs: inst.jobs,
+        };
+        dvfs.validate().map_err(|e| e.to_string())?;
+        let sched: DvfsSchedule =
+            serde_json::from_str(&std::fs::read_to_string(sched_path).map_err(|e| e.to_string())?)
+                .map_err(|e| e.to_string())?;
+        if sched.assignments.len() != dvfs.jobs.len() {
+            return Err(format!(
+                "schedule has {} assignments but the instance has {} jobs",
+                sched.assignments.len(),
+                dvfs.jobs.len()
+            ));
+        }
+        let violations = validate_dvfs_schedule(&dvfs, &sched);
+        if violations.is_empty() {
+            println!("schedule is valid");
+            return Ok(());
+        }
+        return Err(format!("schedule invalid: {violations:?}"));
+    }
     let sched: Schedule =
         serde_json::from_str(&std::fs::read_to_string(sched_path).map_err(|e| e.to_string())?)
             .map_err(|e| e.to_string())?;

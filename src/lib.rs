@@ -118,10 +118,11 @@ pub mod prelude {
     };
     pub use crate::scheduling::{
         enumerate_candidates, prize_collecting, prize_collecting_exact, profile_energy,
-        schedule_all, validate_profiles, AffineCost, ArrivalTrace, CandidateInterval,
-        CandidatePolicy, ConvexCost, EnergyCost, Instance, Job, PerProcessorAffine, PowerProfile,
-        ProfileCost, Schedule, ScheduleError, SleepChoice, SleepState, SlotRef, SolveOptions,
-        Solver, TimeVaryingCost, TimedJob, WarmHandle, WarmStats,
+        schedule_all, solve_dvfs, validate_dvfs_schedule, validate_profiles, AffineCost,
+        ArrivalTrace, CandidateInterval, CandidatePolicy, ConvexCost, DvfsInstance, DvfsSchedule,
+        EnergyCost, FreqLadder, Instance, Job, PerProcessorAffine, PowerProfile, ProfileCost,
+        Schedule, ScheduleError, SleepChoice, SleepState, SlotRef, SolveOptions, Solver,
+        TimeVaryingCost, TimedJob, WarmHandle, WarmStats,
     };
     pub use crate::sim::{
         replay_fleet, replay_with_report, FleetOptions, OfflineRef, Policy, PolicyKind,

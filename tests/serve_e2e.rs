@@ -367,3 +367,73 @@ fn batch_connect_drives_a_server_and_shuts_it_down() {
         "graceful shutdown must exit 0: {status:?}"
     );
 }
+
+/// Speed scaling over the wire: a v3 request carrying `freq_ladder` and
+/// work requirements is served through the real serve loop and answers
+/// with per-interval frequency assignments (`freq_levels` parallel to
+/// `schedule.awake`). A legacy-shaped request on the same connection is
+/// unaffected — the DVFS fields are additive.
+#[test]
+fn dvfs_request_over_serve_loop_returns_frequency_assignments() {
+    let mut server = ServerGuard::spawn(2);
+    let mut client =
+        EngineClient::connect(&*server.addr, Transport::default()).expect("connect framed binary");
+
+    // The documented greedy-vs-exact anchor instance: wake 1, P(f) = f^2
+    // over rungs {1, 2}; greedy pays 9 (see README "Speed scaling").
+    let inst = Instance {
+        num_processors: 1,
+        horizon: 3,
+        jobs: vec![
+            Job {
+                value: 1.0,
+                allowed: vec![SlotRef::new(0, 0)],
+                work: Some(2),
+            },
+            Job {
+                value: 1.0,
+                allowed: vec![SlotRef::new(0, 1)],
+                work: None,
+            },
+            Job {
+                value: 1.0,
+                allowed: vec![SlotRef::new(0, 2)],
+                work: None,
+            },
+        ],
+    };
+    let ladder = FreqLadder::new(1.0, 0.0, 2.0, vec![1, 2]);
+    let dvfs_req = SolveRequest::builder(1, inst)
+        .affine(1.0, 1.0)
+        .freq_ladder(ladder)
+        .build();
+    client.send(&dvfs_req).unwrap();
+    client.send(&request(2, 0)).unwrap();
+    client.send_control("shutdown").unwrap();
+    client.flush().unwrap();
+
+    let dvfs_resp = client.recv().unwrap().expect("dvfs response");
+    assert!(dvfs_resp.ok, "{:?}", dvfs_resp.error);
+    let schedule = dvfs_resp.schedule.expect("dvfs schedule");
+    assert_eq!(schedule.scheduled_count, 3);
+    assert_eq!(schedule.total_cost, 9.0, "greedy pays the eager-grab price");
+    let levels = dvfs_resp
+        .freq_levels
+        .expect("DVFS responses carry frequency assignments");
+    assert_eq!(
+        levels.len(),
+        schedule.awake.len(),
+        "one level per awake interval"
+    );
+    assert!(levels.iter().all(|&l| l < 2), "levels index the ladder");
+
+    // Legacy request on the same connection: served, no freq_levels.
+    let classic = client.recv().unwrap().expect("classic response");
+    assert!(classic.ok, "{:?}", classic.error);
+    assert!(classic.freq_levels.is_none());
+    let ack = client.recv().unwrap().expect("shutdown ack");
+    assert!(ack.ok);
+
+    let status = server.wait_for_exit();
+    assert!(status.success());
+}

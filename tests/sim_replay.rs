@@ -198,9 +198,11 @@ fn deadline_cliff_forced_rescue_saves_last_slot_arrival() {
                 release: 3,
                 value: 1.0,
                 allowed: vec![SlotRef::new(0, 3), SlotRef::new(1, 3)],
+                work: None,
             },
         ],
         profiles: None,
+        freq_ladder: None,
     };
     let mut policy = PeriodicResolve::new(6);
     let out = power_scheduling::sim::replay(&trace, &mut policy).unwrap();
